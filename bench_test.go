@@ -1,0 +1,363 @@
+// Benchmark harness: one testing.B target per table/figure of the
+// paper (reduced problem sizes so `go test -bench=.` completes in
+// minutes) plus the ablation benches DESIGN.md §4 calls out. The
+// full-size experiments live in cmd/ndbench; EXPERIMENTS.md maps each
+// benchmark to the paper.
+package ndirect_test
+
+import (
+	"io"
+	"testing"
+
+	"ndirect"
+	"ndirect/internal/acl"
+	"ndirect/internal/autotune"
+	"ndirect/internal/bench"
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/hw"
+	"ndirect/internal/im2col"
+	"ndirect/internal/tensor"
+	"ndirect/internal/xnn"
+	"ndirect/internal/xsmm"
+)
+
+// benchShape is a reduced Table-4-layer-3-like workload: same kernel
+// and stride structure, smaller channels/space so a -bench run stays
+// fast.
+var benchShape = conv.Shape{N: 1, C: 32, H: 28, W: 28, K: 32, R: 3, S: 3, Str: 1, Pad: 1}
+
+// benchShape1x1 exercises the no-im2col regime (layers 19/20).
+var benchShape1x1 = conv.Shape{N: 1, C: 64, H: 28, W: 28, K: 64, R: 1, S: 1, Str: 1, Pad: 0}
+
+func reportGFLOPS(b *testing.B, s conv.Shape, iters int) {
+	b.Helper()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(s.FLOPs())*float64(iters)/sec/1e9, "GFLOPS")
+	}
+}
+
+func benchOperands(s conv.Shape) (in, filter, out *tensor.Tensor) {
+	in = s.NewInput()
+	in.FillRandom(1)
+	filter = s.NewFilter()
+	filter.FillRandom(2)
+	out = s.NewOutput()
+	return
+}
+
+// --- Figure 4: the four measured methods on the 3×3 workload ---
+
+func BenchmarkFig4NDirect(b *testing.B) {
+	s := benchShape
+	in, filter, out := benchOperands(s)
+	plan := core.NewPlan(s, core.Options{Threads: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Execute(in, filter, out)
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+func BenchmarkFig4Im2colGEMM(b *testing.B) {
+	s := benchShape
+	in, filter, _ := benchOperands(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im2col.Conv2D(s, in, filter, im2col.Options{Threads: 1})
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+func BenchmarkFig4LIBXSMM(b *testing.B) {
+	s := benchShape
+	in, filter, _ := benchOperands(s)
+	inB := tensor.NCHWToNCHWc(in, xsmm.BlockC)
+	fB := tensor.KCRSToCRSKc(filter, xsmm.BlockC, xsmm.BlockK)
+	outB := xsmm.NewBlockedOutput(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xsmm.Conv2DBlocked(s, inB, fB, outB, xsmm.Options{Threads: 1})
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+func BenchmarkFig4XNNPACK(b *testing.B) {
+	s := benchShape
+	in, filter, _ := benchOperands(s)
+	inNHWC := tensor.NCHWToNHWC(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xnn.Conv2DNHWC(s, inNHWC, filter, xnn.Options{Threads: 1})
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+func BenchmarkFig4NDirect1x1(b *testing.B) {
+	s := benchShape1x1
+	in, filter, out := benchOperands(s)
+	plan := core.NewPlan(s, core.Options{Threads: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Execute(in, filter, out)
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+func BenchmarkFig4Modeled(b *testing.B) {
+	// One full modeled Figure 4 sweep (28 layers × 4 methods) per
+	// iteration.
+	cfg := bench.Config{Platform: hw.Phytium2000, Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Fig4(cfg)
+	}
+}
+
+// --- Figure 1: motivation ---
+
+func BenchmarkFig1aBreakdown(b *testing.B) {
+	s := benchShape
+	in, filter, _ := benchOperands(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im2col.Conv2D(s, in, filter, im2col.Options{Threads: 1, CollectStats: true})
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+func BenchmarkFig1bMotivationModeled(b *testing.B) {
+	cfg := bench.Config{Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Fig1b(cfg)
+	}
+}
+
+func BenchmarkFig1bACLDirect(b *testing.B) {
+	s := benchShape
+	in, filter, _ := benchOperands(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acl.DirectConv2D(s, in, filter, acl.Options{Threads: 1})
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+// --- Figure 5: packing ablation (DESIGN.md ablation 1) ---
+
+func BenchmarkFig5PackingAblation(b *testing.B) {
+	s := conv.Shape{N: 1, C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1} // layer 26 geometry, reduced
+	in, filter, out := benchOperands(s)
+	b.Run("overlapped", func(b *testing.B) {
+		plan := core.NewPlan(s, core.Options{Threads: 1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan.Execute(in, filter, out)
+		}
+		reportGFLOPS(b, s, b.N)
+	})
+	b.Run("sequential", func(b *testing.B) {
+		plan := core.NewPlan(s, core.Options{Threads: 1, SequentialPack: true})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan.Execute(in, filter, out)
+		}
+		reportGFLOPS(b, s, b.N)
+	})
+}
+
+// --- Figure 6: vs the tuned schedule ---
+
+func BenchmarkFig6AnsorTunedSchedule(b *testing.B) {
+	s := benchShape
+	in, filter, out := benchOperands(s)
+	res := autotune.Tune(s, autotune.TuneOptions{Trials: 12, Population: 6, Generations: 2, Threads: 1, Seed: 1})
+	sch := autotune.ClampFor(res.Best, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		autotune.Execute(s, sch, in, filter, out, 1)
+	}
+	reportGFLOPS(b, s, b.N)
+}
+
+// --- Figure 7: end-to-end ---
+
+func BenchmarkFig7EndToEndModeled(b *testing.B) {
+	cfg := bench.Config{Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Fig7Modeled(cfg, []string{"resnet50"})
+	}
+}
+
+func BenchmarkFig7ResNet50Blocks(b *testing.B) {
+	// One representative bottleneck worth of convs (1x1 -> 3x3 -> 1x1)
+	// through the public model-free API.
+	shapes := []conv.Shape{
+		{N: 1, C: 256, H: 14, W: 14, K: 64, R: 1, S: 1, Str: 1, Pad: 0},
+		{N: 1, C: 64, H: 14, W: 14, K: 64, R: 3, S: 3, Str: 1, Pad: 1},
+		{N: 1, C: 64, H: 14, W: 14, K: 256, R: 1, S: 1, Str: 1, Pad: 0},
+	}
+	plans := make([]*core.Plan, len(shapes))
+	ins := make([]*tensor.Tensor, len(shapes))
+	fs := make([]*tensor.Tensor, len(shapes))
+	outs := make([]*tensor.Tensor, len(shapes))
+	var flops int64
+	for i, s := range shapes {
+		plans[i] = core.NewPlan(s, core.Options{Threads: 1})
+		ins[i], fs[i], outs[i] = benchOperands(s)
+		flops += s.FLOPs()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range shapes {
+			plans[j].Execute(ins[j], fs[j], outs[j])
+		}
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(flops)*float64(b.N)/sec/1e9, "GFLOPS")
+	}
+}
+
+// --- Figures 8 & 9: embedded and SMT projections ---
+
+func BenchmarkFig8EmbeddedModeled(b *testing.B) {
+	cfg := bench.Config{Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Fig8(cfg)
+	}
+}
+
+func BenchmarkFig9HyperThreadingModeled(b *testing.B) {
+	cfg := bench.Config{Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Fig9(cfg)
+	}
+}
+
+// --- DESIGN.md §4 ablations ---
+
+// Ablation 2: the three micro-kernel bodies for the same 3×3
+// stride-1 workload — looped 12×8 (default), fully S-unrolled
+// Algorithm 3 (the paper's NEON form; spills on 16-register hosts)
+// and the generic slice-accumulator kernel.
+func BenchmarkAblationKernelSpecialisation(b *testing.B) {
+	s := benchShape
+	in, filter, out := benchOperands(s)
+	for _, variant := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"looped12x8-default", core.Options{Threads: 1}},
+		{"unrolledS3-Alg3", core.Options{Threads: 1, UnrolledKernels: true}},
+		{"generic", core.Options{Threads: 1, ForceGenericKernel: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			plan := core.NewPlan(s, variant.opt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Execute(in, filter, out)
+			}
+			reportGFLOPS(b, s, b.N)
+		})
+	}
+}
+
+// Ablation 3: the Equation 3-4 optimum against alternative register
+// tiles.
+func BenchmarkAblationRegisterTile(b *testing.B) {
+	s := benchShape
+	in, filter, out := benchOperands(s)
+	for _, tile := range []struct {
+		name   string
+		vw, vk int
+	}{
+		{"12x8-optimal", 12, 8},
+		{"8x8", 8, 8},
+		{"16x4", 16, 4},
+		{"4x16", 4, 16},
+	} {
+		b.Run(tile.name, func(b *testing.B) {
+			plan := core.NewPlan(s, core.Options{Threads: 1, ForceVw: tile.vw, ForceVk: tile.vk})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Execute(in, filter, out)
+			}
+			reportGFLOPS(b, s, b.N)
+		})
+	}
+}
+
+// Ablation 4: the Equation 5-6 thread mapping vs naive K-only
+// parallelism, on the machine model (the host has one core).
+func BenchmarkAblationThreadMapping(b *testing.B) {
+	cfg := bench.Config{Platform: hw.Phytium2000, Out: io.Discard}
+	s := conv.Shape{N: 64, C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1}
+	b.Run("eq5-6-mapping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.ModelLayer(cfg, bench.MNDirect, s)
+		}
+	})
+	b.Run("k-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.ModelLayer(cfg, bench.MACLDirect, s)
+		}
+	})
+}
+
+// Ablation 5: on-the-fly filter transform inside the worker loop is
+// nDirect's compatibility cost; compare against convolving with
+// nothing to transform (C split into one tile so the transform runs
+// once) vs many small kt tiles (transform repeated).
+func BenchmarkAblationFilterTransform(b *testing.B) {
+	s := benchShape
+	in, filter, out := benchOperands(s)
+	b.Run("single-kt-tile", func(b *testing.B) {
+		plan := core.NewPlan(s, core.Options{Threads: 1, ForceTk: s.K})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan.Execute(in, filter, out)
+		}
+		reportGFLOPS(b, s, b.N)
+	})
+	b.Run("tiny-kt-tiles", func(b *testing.B) {
+		plan := core.NewPlan(s, core.Options{Threads: 1, ForceTk: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan.Execute(in, filter, out)
+		}
+		reportGFLOPS(b, s, b.N)
+	})
+}
+
+// --- public API entry points ---
+
+func BenchmarkPublicConv2D(b *testing.B) {
+	s := ndirect.Shape(benchShape)
+	in := ndirect.NewTensor(s.N, s.C, s.H, s.W)
+	in.FillRandom(1)
+	w := ndirect.NewTensor(s.K, s.C, s.R, s.S)
+	w.FillRandom(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ndirect.Conv2D(s, in, w, ndirect.Options{Threads: 1})
+	}
+	reportGFLOPS(b, conv.Shape(s), b.N)
+}
+
+func BenchmarkPublicDepthwise(b *testing.B) {
+	s := conv.Shape{N: 1, C: 32, H: 56, W: 56, K: 32, R: 3, S: 3, Str: 1, Pad: 1}
+	in := tensor.New(s.N, s.C, s.H, s.W)
+	in.FillRandom(1)
+	f := tensor.New(s.C, s.R, s.S)
+	f.FillRandom(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DepthwiseConv2D(s, in, f, core.Options{Threads: 1})
+	}
+}

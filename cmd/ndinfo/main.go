@@ -1,0 +1,96 @@
+// Command ndinfo prints the analytical-model outputs the paper's
+// design sections derive: the register tile (Equations 3–4), the
+// cache tiles (Equations 1–2) and the thread mapping (Equations 5–6)
+// for each platform and evaluation layer, plus the host-measured α.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+	"ndirect/internal/model"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "", "restrict to one platform (phytium|kp920|tx2|rpi4)")
+		layerID  = flag.Int("layer", 0, "restrict to one Table 4 layer (1-28; 0 = a representative subset)")
+		alpha    = flag.Bool("alpha", false, "measure the streaming/non-streaming cost ratio α on this host (§6.2)")
+		roofline = flag.Bool("roofline", false, "print per-layer arithmetic intensity and roofline bounds per platform")
+	)
+	flag.Parse()
+
+	fmt.Println("== Register tiles (Eq. 3-4): V_w x V_k per kernel width ==")
+	fmt.Printf("%6s %6s %8s %8s %10s %8s\n", "S", "stride", "Vw", "Vk", "registers", "FAI")
+	for _, s := range []int{1, 3, 5, 7} {
+		for _, str := range []int{1, 2} {
+			rt := model.SolveRegisterTile(s, str)
+			fmt.Printf("%6d %6d %8d %8d %10d %8.2f\n", s, str, rt.Vw, rt.Vk, rt.Registers, rt.FAI)
+		}
+	}
+
+	plats := hw.Platforms
+	if *platform != "" {
+		p, ok := hw.ByName(*platform)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+			os.Exit(2)
+		}
+		plats = []hw.Platform{p}
+	}
+
+	layerIDs := []int{1, 3, 5, 10, 17, 24}
+	if *layerID > 0 {
+		layerIDs = []int{*layerID}
+	}
+
+	for _, p := range plats {
+		fmt.Printf("\n== %s ==\n", p)
+		fmt.Printf("caches: L1 %dKB  L2(eff) %dKB  L3(eff) %dKB  alpha=%.1f (%s replacement)\n",
+			p.L1.SizeBytes>>10, p.EffectiveL2Bytes()>>10, p.EffectiveL3Bytes()>>10,
+			p.Alpha, p.L1.Policy)
+		fmt.Printf("%6s | %-22s | %-28s\n", "layer", "cache tiles (Eq. 1-2)", "thread mapping (Eq. 5-6)")
+		for _, id := range layerIDs {
+			l, ok := conv.LayerByID(id)
+			if !ok {
+				continue
+			}
+			s := l.Shape.WithBatch(p.Cores)
+			rt := model.SolveRegisterTile(s.S, s.Str)
+			ct := model.SolveCacheTiles(p, s, rt)
+			tm := model.SolveThreadMapping(s, p.Alpha, p.Cores, rt.Vk)
+			fmt.Printf("%6d | %-22s | %-28s\n", id, ct.String(), tm.String())
+		}
+	}
+
+	if *roofline {
+		fmt.Println("\n== Roofline view (batch = cores; AI over one cold pass) ==")
+		for _, p := range plats {
+			ridge := p.PeakGFLOPS / p.BandwidthGiBs // GFLOP per GiB: the roofline knee
+			fmt.Printf("%s: knee at %.1f FLOP/byte\n", p.Name, ridge/1.074)
+			fmt.Printf("%6s %14s %16s\n", "layer", "AI FLOP/byte", "roofline bound")
+			for _, id := range layerIDs {
+				l, ok := conv.LayerByID(id)
+				if !ok {
+					continue
+				}
+				s := l.Shape.WithBatch(p.Cores)
+				ai := s.ArithmeticIntensity()
+				bound := "compute"
+				if ai < ridge/1.074 {
+					bound = "memory"
+				}
+				fmt.Printf("%6d %14.1f %16s\n", id, ai, bound)
+			}
+		}
+	}
+
+	if *alpha {
+		fmt.Println("\n== Host α microbenchmark (§6.2) ==")
+		a := hw.MeasureAlpha()
+		fmt.Printf("alpha = %.2f (non-streaming vs streaming access cost ratio)\n", a)
+	}
+}

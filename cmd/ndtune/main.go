@@ -1,0 +1,69 @@
+// Command ndtune runs the Ansor-substitute evolutionary schedule
+// search on one convolution layer and reports the best schedule, its
+// throughput, and nDirect's throughput on the same layer for
+// comparison (the per-layer view behind Figure 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ndirect/internal/autotune"
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/parallel"
+)
+
+func main() {
+	var (
+		layerID = flag.Int("layer", 3, "Table 4 layer id (1-28)")
+		batch   = flag.Int("batch", 1, "batch size")
+		threads = flag.Int("threads", parallel.DefaultThreads(), "worker threads")
+		trials  = flag.Int("trials", 48, "measurement budget")
+		popSize = flag.Int("population", 12, "schedules per generation")
+		gens    = flag.Int("generations", 4, "evolution rounds")
+		seed    = flag.Int64("seed", 1, "search seed")
+		useCM   = flag.Bool("cost-model", false, "enable the Ansor-style learned cost model")
+	)
+	flag.Parse()
+
+	l, ok := conv.LayerByID(*layerID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no Table 4 layer %d\n", *layerID)
+		os.Exit(2)
+	}
+	s := l.Shape.WithBatch(*batch)
+	fmt.Printf("tuning layer %d: %v\n", l.ID, s)
+
+	res := autotune.Tune(s, autotune.TuneOptions{
+		Population:   *popSize,
+		Generations:  *gens,
+		Trials:       *trials,
+		Threads:      *threads,
+		Seed:         *seed,
+		UseCostModel: *useCM,
+	})
+	if *useCM {
+		fmt.Printf("cost model ranked %d candidates without measuring them\n", res.ModelRanked)
+	}
+	gf := float64(s.FLOPs()) / res.BestSec / 1e9
+	fmt.Printf("best schedule after %d trials: %v\n", res.Trials, res.Best)
+	fmt.Printf("tuned throughput: %.2f GFLOPS (%.4fs)\n", gf, res.BestSec)
+
+	// nDirect on the same layer, same threads.
+	in := s.NewInput()
+	in.FillRandom(11)
+	filter := s.NewFilter()
+	filter.FillRandom(13)
+	plan := core.NewPlan(s, core.Options{Threads: *threads})
+	out := s.NewOutput()
+	plan.Execute(in, filter, out) // warm-up
+	t0 := time.Now()
+	plan.Execute(in, filter, out)
+	ndSec := time.Since(t0).Seconds()
+	ndGF := float64(s.FLOPs()) / ndSec / 1e9
+	fmt.Printf("nDirect throughput: %.2f GFLOPS (%.4fs)  -> speedup %.2fx over tuned schedule\n",
+		ndGF, ndSec, ndGF/gf)
+}

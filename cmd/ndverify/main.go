@@ -1,0 +1,137 @@
+// Command ndverify runs the artifact-evaluation correctness matrix:
+// every convolution implementation in the repository against the
+// naive Algorithm 1 oracle over a battery of shapes (all Table 4
+// geometries at reduced size plus adversarial edge cases). Exits
+// non-zero on any mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndirect/internal/acl"
+	"ndirect/internal/autotune"
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/fft"
+	"ndirect/internal/im2col"
+	"ndirect/internal/tensor"
+	"ndirect/internal/winograd"
+	"ndirect/internal/xnn"
+	"ndirect/internal/xsmm"
+)
+
+const tol = 5e-5
+const fftTol = 5e-4 // frequency-domain round trip carries more error
+
+func main() {
+	threads := flag.Int("threads", 2, "worker threads per run")
+	full := flag.Bool("full", false, "also run the (slow) full-size Table 4 shapes")
+	flag.Parse()
+
+	shapes := battery(*full)
+	impls := []struct {
+		name string
+		tol  float64
+		run  func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool)
+	}{
+		{"NDIRECT", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			return core.Conv2D(s, in, f, core.Options{Threads: *threads}), true
+		}},
+		{"NDIRECT(seq-pack)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			return core.Conv2D(s, in, f, core.Options{Threads: *threads, SequentialPack: true}), true
+		}},
+		{"NDIRECT(NHWC)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			out := core.Conv2DNHWC(s, tensor.NCHWToNHWC(in), f, core.Options{Threads: *threads})
+			return tensor.NHWCToNCHW(out), true
+		}},
+		{"im2col+GEMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			out, _ := im2col.Conv2D(s, in, f, im2col.Options{Threads: *threads})
+			return out, true
+		}},
+		{"LIBXSMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			out, _ := xsmm.Conv2D(s, in, f, xsmm.Options{Threads: *threads})
+			return out, true
+		}},
+		{"XNNPACK", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			out, _ := xnn.Conv2D(s, in, f, xnn.Options{Threads: *threads})
+			return out, true
+		}},
+		{"ACL_DIRECT", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			return acl.DirectConv2D(s, in, f, acl.Options{Threads: *threads}), true
+		}},
+		{"ACL_GEMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			return acl.GEMMConv2D(s, in, f, acl.Options{Threads: *threads}), true
+		}},
+		{"Ansor(default)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			out := s.NewOutput()
+			autotune.Execute(s, autotune.DefaultSchedule(s), in, f, out, *threads)
+			return out, true
+		}},
+		{"Winograd", 5e-4, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			out, err := winograd.Conv2D(s, in, f, winograd.Options{Threads: *threads})
+			return out, err == nil
+		}},
+		{"FFT", fftTol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+			return fft.Conv2D(s, in, f, fft.Options{Threads: *threads}), true
+		}},
+	}
+
+	failures := 0
+	checks := 0
+	for _, s := range shapes {
+		in := s.NewInput()
+		in.FillRandom(int64(s.C*101 + s.K))
+		f := s.NewFilter()
+		f.FillRandom(int64(s.R*37 + s.H))
+		want := conv.Reference(s, in, f)
+		for _, impl := range impls {
+			got, applicable := impl.run(s, in, f)
+			if !applicable {
+				continue
+			}
+			checks++
+			if d := tensor.RelDiff(want, got); d > impl.tol {
+				failures++
+				fmt.Printf("FAIL %-18s %v: rel diff %.2e (tol %.0e)\n", impl.name, s, d, impl.tol)
+			}
+		}
+	}
+	fmt.Printf("\n%d implementation×shape checks, %d failures\n", checks, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("all implementations agree with the Algorithm 1 oracle")
+}
+
+// battery returns the verification shapes: each Table 4 geometry at
+// reduced size (structure preserved) plus adversarial edges.
+func battery(full bool) []conv.Shape {
+	var out []conv.Shape
+	for _, l := range conv.Table4 {
+		s := l.Shape
+		if !full {
+			if s.H > 28 {
+				s.H, s.W = 28, 28
+			}
+			if s.C > 64 {
+				s.C = 64
+			}
+			if s.K > 64 {
+				s.K = 64
+			}
+		} else {
+			s = s.WithBatch(2)
+		}
+		out = append(out, s)
+	}
+	out = append(out,
+		conv.Shape{N: 2, C: 5, H: 7, W: 9, K: 13, R: 3, S: 3, Str: 1, Pad: 1},
+		conv.Shape{N: 1, C: 4, H: 10, W: 12, K: 6, R: 3, S: 5, Str: 1, Pad: 2},
+		conv.Shape{N: 1, C: 1, H: 1, W: 1, K: 1, R: 1, S: 1, Str: 1, Pad: 0},
+		conv.Shape{N: 1, C: 3, H: 5, W: 5, K: 2, R: 5, S: 5, Str: 1, Pad: 2},
+		conv.Shape{N: 1, C: 2, H: 4, W: 4, K: 2, R: 3, S: 3, Str: 1, Pad: 3},
+	)
+	return out
+}

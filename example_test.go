@@ -1,0 +1,67 @@
+package ndirect_test
+
+import (
+	"fmt"
+
+	"ndirect"
+)
+
+// The basic one-shot convolution on framework-native layouts.
+func ExampleConv2D() {
+	s := ndirect.Shape{N: 1, C: 2, H: 4, W: 4, K: 2, R: 3, S: 3, Str: 1, Pad: 1}
+	in := ndirect.NewTensor(s.N, s.C, s.H, s.W)
+	in.Fill(1)
+	w := ndirect.NewTensor(s.K, s.C, s.R, s.S)
+	w.Fill(0.5)
+	out := ndirect.Conv2D(s, in, w, ndirect.Options{Threads: 1})
+	// Centre output: 2 channels × 9 taps × 1 × 0.5 = 9.
+	fmt.Println(out.Dims, out.At(0, 0, 1, 1))
+	// Output: [1 2 4 4] 9
+}
+
+// Plans expose the analytically derived execution parameters.
+func ExampleNewPlan() {
+	l, _ := ndirect.LayerByID(3) // ResNet-50 3×3 layer
+	plan := ndirect.NewPlan(l.Shape, ndirect.Options{Threads: 1})
+	fmt.Println(plan.RT.Vw, plan.RT.Vk) // the Equation 3-4 optimum
+	// Output: 12 8
+}
+
+// The machine model projects algorithms onto the paper's platforms.
+func ExampleProject() {
+	l, _ := ndirect.LayerByID(3)
+	s := l.Shape.WithBatch(64)
+	nd, _ := ndirect.Project("ndirect", "phytium", s, 0)
+	gm, _ := ndirect.Project("im2col+gemm", "phytium", s, 0)
+	fmt.Println(nd.GFLOPS > gm.GFLOPS, nd.Bound)
+	// Output: true fma
+}
+
+// Depthwise-separable building block (§10.2).
+func ExampleDepthwiseConv2D() {
+	s := ndirect.Shape{N: 1, C: 3, H: 4, W: 4, K: 3, R: 3, S: 3, Str: 1, Pad: 1}
+	in := ndirect.NewTensor(s.N, s.C, s.H, s.W)
+	in.Fill(1)
+	f := ndirect.NewTensor(s.C, s.R, s.S)
+	f.Fill(1)
+	out := ndirect.DepthwiseConv2D(s, in, f, ndirect.Options{Threads: 1})
+	// Each channel convolves independently: centre sees 9 ones.
+	fmt.Println(out.Dims, out.At(0, 2, 1, 1))
+	// Output: [1 3 4 4] 9
+}
+
+// Quantised INT16 convolution with INT32 accumulation (§3.3).
+func ExampleConv2DInt16() {
+	s := ndirect.Shape{N: 1, C: 1, H: 3, W: 3, K: 1, R: 3, S: 3, Str: 1, Pad: 1}
+	in := make([]int16, 9)
+	for i := range in {
+		in[i] = 2
+	}
+	w := make([]int16, 9)
+	for i := range w {
+		w[i] = 3
+	}
+	acc := ndirect.Conv2DInt16(s, in, w, ndirect.Options{Threads: 1})
+	fmt.Println(acc[4]) // centre: 9 taps × 2 × 3
+	// Output: 54
+}

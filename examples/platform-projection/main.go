@@ -1,0 +1,37 @@
+// Platform projection: use the machine model through the public API
+// to estimate how the convolution algorithms would perform on the
+// paper's four ARM machines — the reproduction's substitute for
+// running on the testbed (DESIGN.md §1, EXPERIMENTS.md for the
+// calibration record).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ndirect"
+)
+
+func main() {
+	layerID := flag.Int("layer", 3, "Table 4 layer id (1-28)")
+	flag.Parse()
+
+	l, err := ndirect.LayerByID(*layerID)
+	if err != nil {
+		panic(err)
+	}
+
+	algos := []string{"ndirect", "libxsmm", "im2col+gemm", "xnnpack", "ansor", "acl-direct"}
+	for _, p := range ndirect.Platforms {
+		s := l.Shape.WithBatch(p.Cores) // paper methodology: N = cores
+		fmt.Printf("\n%s — layer %d at batch %d:\n", p, l.ID, s.N)
+		fmt.Printf("  %-14s %10s %8s %10s\n", "algorithm", "GFLOPS", "% peak", "bound")
+		for _, a := range algos {
+			pr, err := ndirect.Project(a, p.Name, s, 0)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %-14s %10.1f %7.1f%% %10s\n", a, pr.GFLOPS, pr.PctPeak*100, pr.Bound)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: run one nDirect convolution and check it against the
+// naive reference.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"ndirect"
+)
+
+func main() {
+	// A ResNet-50 3×3 layer (Table 4, layer 3) at batch 1.
+	l, err := ndirect.LayerByID(3)
+	if err != nil {
+		panic(err)
+	}
+	s := l.Shape // N=1 C=64 H=W=56 K=64 R=S=3 stride 1 pad 1
+
+	// Framework-native layouts: NCHW activations, KCRS filters.
+	in := ndirect.NewTensor(s.N, s.C, s.H, s.W)
+	in.FillRandom(1)
+	w := ndirect.NewTensor(s.K, s.C, s.R, s.S)
+	w.FillRandom(2)
+
+	// One-shot convolution with the analytical-model defaults.
+	out := ndirect.Conv2D(s, in, w, ndirect.Options{})
+	fmt.Printf("conv %v -> output %v\n", s, out.Dims)
+
+	// Validate against Algorithm 1.
+	ref := ndirect.Reference(s, in, w)
+	var maxDiff float64
+	for i := range out.Data {
+		if d := math.Abs(float64(out.Data[i] - ref.Data[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max abs diff vs naive reference: %.2e\n", maxDiff)
+
+	// For repeated execution, build the plan once; it records the
+	// derived tile sizes and thread mapping.
+	plan := ndirect.NewPlan(s, ndirect.Options{})
+	fmt.Printf("register tile: %v\n", plan.RT)
+	fmt.Printf("cache tiles:   %v\n", plan.CT)
+	fmt.Printf("thread map:    %v\n", plan.TM)
+	plan.Execute(in, w, out)
+	fmt.Println("plan re-executed OK")
+}

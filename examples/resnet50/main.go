@@ -1,0 +1,54 @@
+// End-to-end ResNet-50 inference with the nDirect backend — the
+// workload of the paper's §8.3 evaluation (synthetic weights; timing,
+// not accuracy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ndirect"
+)
+
+func main() {
+	var (
+		batch   = flag.Int("batch", 1, "batch size (the paper uses the core count)")
+		threads = flag.Int("threads", 0, "worker threads (0 = all cores)")
+		backend = flag.String("backend", "ndirect", "ndirect|im2col+gemm|ansor|libxsmm|xnnpack")
+		fuse    = flag.Bool("fuse", false, "fold BN and fuse bias+ReLU into the conv epilogue")
+	)
+	flag.Parse()
+
+	model, err := ndirect.BuildModel("resnet50", ndirect.ModelOptions{
+		Backend: *backend,
+		Threads: *threads,
+		Fuse:    *fuse,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	x := model.NewInput(*batch)
+	x.FillRandom(7)
+
+	fmt.Printf("%s / backend=%s fuse=%v batch=%d\n", model.Name(), *backend, *fuse, *batch)
+	fmt.Printf("%d distinct convolution shapes in the graph\n", len(model.ConvShapes()))
+
+	// Warm-up, then timed run.
+	model.Infer(x)
+	t0 := time.Now()
+	y := model.Infer(x)
+	elapsed := time.Since(t0)
+
+	// Top prediction of the first image (synthetic weights: the class
+	// is meaningless, the pipeline is what is exercised).
+	best, bestV := 0, float32(-1)
+	for i := 0; i < 1000; i++ {
+		if v := y.Data[i]; v > bestV {
+			best, bestV = i, v
+		}
+	}
+	fmt.Printf("inference: %.3fs (%.1f images/s)\n", elapsed.Seconds(), float64(*batch)/elapsed.Seconds())
+	fmt.Printf("top class of image 0: %d (p=%.4f)\n", best, bestV)
+}

@@ -1,0 +1,3 @@
+module ndirect
+
+go 1.22

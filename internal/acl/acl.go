@@ -1,0 +1,137 @@
+// Package acl implements the ARM Compute Library-style baselines of
+// the motivation study (Figure 1b): a direct convolution that
+// parallelises only the K dimension while iterating the batch
+// sequentially ("naïve parallelization of the K dimension without
+// considering the convolution workload characteristics", §3.2 — the
+// strategy that reaches only 5% of multi-core peak), and an
+// im2col+GEMM variant on an unblocked textbook GEMM (ACL_GEMM).
+package acl
+
+import (
+	"ndirect/internal/conv"
+	"ndirect/internal/gemm"
+	"ndirect/internal/im2col"
+	"ndirect/internal/parallel"
+	"ndirect/internal/simd"
+	"ndirect/internal/tensor"
+)
+
+// Options configure the baselines.
+type Options struct {
+	Threads int
+}
+
+// DirectConv2D is the ACL-style direct convolution: output channels
+// are statically split across all workers; batch images are processed
+// one after another, accumulating the linear cost the paper
+// describes. The inner computation vectorises over output columns
+// but uses no packing, no filter blocking and no cache tiling.
+func DirectConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	conv.CheckOperands(s, in, filter)
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	p, q := s.P(), s.Q()
+	out := s.NewOutput()
+	for n := 0; n < s.N; n++ { // sequential batch loop (the flaw)
+		parallel.For(s.K, threads, func(k int) {
+			directPlane(s, in.Data, filter.Data, out.Data, n, k, p, q)
+		})
+	}
+	return out
+}
+
+// directPlane computes out[n][k] with a straightforward loop nest:
+// vectorised over groups of 4 output columns for stride 1, scalar
+// otherwise.
+func directPlane(s conv.Shape, in, filter, out []float32, n, k, p, q int) {
+	fBase := k * s.C * s.R * s.S
+	for oh := 0; oh < p; oh++ {
+		ihBase := oh*s.Str - s.Pad
+		outRow := out[((n*s.K+k)*p+oh)*q : ((n*s.K+k)*p+oh+1)*q]
+		ow := 0
+		if s.Str == 1 {
+			for ; ow+simd.Width <= q; ow += simd.Width {
+				iwBase := ow - s.Pad
+				acc := simd.Zero()
+				for c := 0; c < s.C; c++ {
+					inBase := ((n*s.C + c) * s.H) * s.W
+					fc := fBase + c*s.R*s.S
+					for r := 0; r < s.R; r++ {
+						ih := ihBase + r
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						row := in[inBase+ih*s.W : inBase+(ih+1)*s.W]
+						for ss := 0; ss < s.S; ss++ {
+							iw := iwBase + ss
+							f := filter[fc+r*s.S+ss]
+							if iw >= 0 && iw+simd.Width <= s.W {
+								acc = acc.FMAScalar(simd.Load(row[iw:]), f)
+								continue
+							}
+							var v simd.Vec4
+							for lane := 0; lane < simd.Width; lane++ {
+								if x := iw + lane; x >= 0 && x < s.W {
+									v[lane] = row[x]
+								}
+							}
+							acc = acc.FMAScalar(v, f)
+						}
+					}
+				}
+				acc.Store(outRow[ow:])
+			}
+		}
+		for ; ow < q; ow++ {
+			var acc float32
+			for c := 0; c < s.C; c++ {
+				inBase := ((n*s.C + c) * s.H) * s.W
+				fc := fBase + c*s.R*s.S
+				for r := 0; r < s.R; r++ {
+					ih := ihBase + r
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for ss := 0; ss < s.S; ss++ {
+						iw := ow*s.Str - s.Pad + ss
+						if iw < 0 || iw >= s.W {
+							continue
+						}
+						acc += in[inBase+ih*s.W+iw] * filter[fc+r*s.S+ss]
+					}
+				}
+			}
+			outRow[ow] = acc
+		}
+	}
+}
+
+// GEMMConv2D is the ACL_GEMM baseline: im2col lowering followed by an
+// unblocked GEMM whose rows (output channels) are split across the
+// workers — again leaving batch-level parallelism unused.
+func GEMMConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	conv.CheckOperands(s, in, filter)
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	p, q := s.P(), s.Q()
+	pq := p * q
+	crs := s.C * s.R * s.S
+	out := s.NewOutput()
+	cols := make([]float32, crs*pq)
+	for n := 0; n < s.N; n++ { // sequential batch loop
+		if im2col.NeedsLowering(s) {
+			im2col.Lower(s, in, n, cols)
+		} else {
+			copy(cols, in.Data[n*s.C*s.H*s.W:(n+1)*s.C*s.H*s.W])
+		}
+		cOut := out.Data[n*s.K*pq:]
+		parallel.For(s.K, threads, func(k int) {
+			gemm.Naive(1, pq, crs, filter.Data[k*crs:(k+1)*crs], cols, cOut[k*pq:(k+1)*pq])
+		})
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package acl
+
+import (
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+const tol = 2e-5
+
+func shapes() []conv.Shape {
+	return []conv.Shape{
+		{N: 2, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1},
+		{N: 1, C: 4, H: 10, W: 10, K: 8, R: 1, S: 1, Str: 1, Pad: 0},
+		{N: 1, C: 4, H: 16, W: 16, K: 8, R: 3, S: 3, Str: 2, Pad: 1},
+		{N: 1, C: 3, H: 18, W: 18, K: 8, R: 7, S: 7, Str: 2, Pad: 3},
+		{N: 1, C: 5, H: 7, W: 9, K: 3, R: 3, S: 3, Str: 1, Pad: 1},
+	}
+}
+
+func TestDirectConv2DMatchesReference(t *testing.T) {
+	for _, s := range shapes() {
+		in := s.NewInput()
+		in.FillRandom(int64(s.C))
+		f := s.NewFilter()
+		f.FillRandom(int64(s.K))
+		want := conv.Reference(s, in, f)
+		got := DirectConv2D(s, in, f, Options{Threads: 2})
+		if d := tensor.RelDiff(want, got); d > tol {
+			t.Fatalf("direct %v: rel diff %g", s, d)
+		}
+	}
+}
+
+func TestGEMMConv2DMatchesReference(t *testing.T) {
+	for _, s := range shapes() {
+		in := s.NewInput()
+		in.FillRandom(int64(s.C + 1))
+		f := s.NewFilter()
+		f.FillRandom(int64(s.K + 1))
+		want := conv.Reference(s, in, f)
+		got := GEMMConv2D(s, in, f, Options{Threads: 2})
+		if d := tensor.RelDiff(want, got); d > tol {
+			t.Fatalf("gemm %v: rel diff %g", s, d)
+		}
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 12, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(3)
+	f := s.NewFilter()
+	f.FillRandom(4)
+	if tensor.MaxAbsDiff(DirectConv2D(s, in, f, Options{Threads: 1}),
+		DirectConv2D(s, in, f, Options{Threads: 8})) != 0 {
+		t.Fatal("direct: thread count changed result")
+	}
+	if tensor.MaxAbsDiff(GEMMConv2D(s, in, f, Options{Threads: 1}),
+		GEMMConv2D(s, in, f, Options{Threads: 8})) != 0 {
+		t.Fatal("gemm: thread count changed result")
+	}
+}

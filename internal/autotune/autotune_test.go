@@ -1,0 +1,206 @@
+package autotune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+const tol = 2e-5
+
+func checkSchedule(t *testing.T, s conv.Shape, sch Schedule) {
+	t.Helper()
+	if !sch.Valid(s) {
+		t.Fatalf("schedule %v invalid for %v", sch, s)
+	}
+	in := s.NewInput()
+	in.FillRandom(int64(s.C))
+	f := s.NewFilter()
+	f.FillRandom(int64(s.K))
+	want := conv.Reference(s, in, f)
+	got := s.NewOutput()
+	Execute(s, sch, in, f, got, 2)
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("%v / %v: rel diff %g", s, sch, d)
+	}
+}
+
+func TestExecuteDefaultSchedule(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	checkSchedule(t, s, DefaultSchedule(s))
+}
+
+func TestExecuteScheduleVariants(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	for _, sch := range []Schedule{
+		{TileK: 4, TileC: 4, TileH: 2, TileW: 4, VecW: 4},
+		{TileK: 16, TileC: 8, TileH: 5, TileW: 8, VecW: 8, UnrollS: true},
+		{TileK: 8, TileC: 8, TileH: 10, TileW: 12, VecW: 12, ParallelKH: true},
+		{TileK: 16, TileC: 8, TileH: 1, TileW: 8, VecW: 4, UnrollS: true, ParallelKH: true},
+	} {
+		checkSchedule(t, s, sch)
+	}
+}
+
+func TestExecuteStride2AndOddShapes(t *testing.T) {
+	s := conv.Shape{N: 1, C: 4, H: 15, W: 15, K: 8, R: 3, S: 3, Str: 2, Pad: 1}
+	checkSchedule(t, s, DefaultSchedule(s))
+	s = conv.Shape{N: 1, C: 3, H: 19, W: 17, K: 8, R: 7, S: 7, Str: 2, Pad: 3}
+	checkSchedule(t, s, DefaultSchedule(s))
+	s = conv.Shape{N: 1, C: 5, H: 7, W: 7, K: 9, R: 1, S: 1, Str: 1, Pad: 0}
+	checkSchedule(t, s, DefaultSchedule(s))
+}
+
+func TestRandomSchedulesAlwaysValidAndCorrect(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 9, W: 9, K: 12, R: 3, S: 3, Str: 1, Pad: 1}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		checkSchedule(t, s, randomSchedule(rng, s))
+	}
+}
+
+// Property: mutate and crossover always yield valid schedules.
+func TestMutateCrossoverClosureProperty(t *testing.T) {
+	s := conv.Shape{N: 1, C: 16, H: 14, W: 14, K: 32, R: 3, S: 3, Str: 1, Pad: 1}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSchedule(rng, s)
+		b := randomSchedule(rng, s)
+		for i := 0; i < 8; i++ {
+			a = mutate(rng, a, s)
+			if !a.Valid(s) {
+				return false
+			}
+		}
+		c := crossover(rng, a, b, s)
+		return c.Valid(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampScheduleTinyShape(t *testing.T) {
+	s := conv.Shape{N: 1, C: 2, H: 3, W: 3, K: 2, R: 3, S: 3, Str: 1, Pad: 1}
+	sch := clampSchedule(Schedule{TileK: 64, TileC: 64, TileH: 14, TileW: 48, VecW: 12}, s)
+	if !sch.Valid(s) {
+		t.Fatalf("clamped schedule %v still invalid", sch)
+	}
+	checkSchedule(t, s, sch)
+}
+
+func TestTuneImprovesOrMatchesDefault(t *testing.T) {
+	s := conv.Shape{N: 1, C: 16, H: 14, W: 14, K: 32, R: 3, S: 3, Str: 1, Pad: 1}
+	res := Tune(s, TuneOptions{Population: 6, Generations: 3, Trials: 20, Threads: 1, Seed: 7})
+	if res.Trials == 0 || res.BestSec >= 1e30 {
+		t.Fatalf("tuning did not measure anything: %+v", res)
+	}
+	if !res.Best.Valid(s) {
+		t.Fatalf("best schedule invalid: %v", res.Best)
+	}
+	// History must be monotone non-increasing (best-so-far).
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatal("history must be best-so-far")
+		}
+	}
+	// The tuned schedule must still be correct.
+	checkSchedule(t, s, res.Best)
+}
+
+func TestTuneDeterministicPerSeed(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	a := Tune(s, TuneOptions{Population: 4, Generations: 2, Trials: 8, Threads: 1, Seed: 3})
+	b := Tune(s, TuneOptions{Population: 4, Generations: 2, Trials: 8, Threads: 1, Seed: 3})
+	if a.Trials != b.Trials {
+		t.Fatalf("trial counts differ: %d vs %d", a.Trials, b.Trials)
+	}
+	// Same seed explores the same schedules (times may differ).
+	if a.Best != b.Best {
+		t.Logf("note: best differs under timing noise: %v vs %v", a.Best, b.Best)
+	}
+}
+
+func TestTuneMeasureBatchReduction(t *testing.T) {
+	s := conv.Shape{N: 8, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	res := Tune(s, TuneOptions{Population: 4, Generations: 1, Trials: 4, Threads: 1, Seed: 1, MeasureBatch: 2})
+	if res.TuneShape.N != 2 {
+		t.Fatalf("tuning batch = %d, want 2", res.TuneShape.N)
+	}
+}
+
+func TestExecuteInvalidSchedulePanics(t *testing.T) {
+	s := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 1, Pad: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Execute(s, Schedule{}, s.NewInput(), s.NewFilter(), s.NewOutput(), 1)
+}
+
+func TestCostModelRecoversLinearRelation(t *testing.T) {
+	// Feed the model synthetic times that are a pure function of one
+	// feature (log TileK); after training its ranking must follow it.
+	s := conv.Shape{N: 1, C: 64, H: 28, W: 28, K: 128, R: 3, S: 3, Str: 1, Pad: 1}
+	cm := NewCostModel(s)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		sch := randomSchedule(rng, s)
+		synthetic := 1e-3 * float64(sch.TileK) // time grows with TileK
+		cm.Observe(sch, synthetic)
+	}
+	if !cm.Trained() {
+		t.Fatal("model should be trained after 40 samples")
+	}
+	small := clampSchedule(Schedule{TileK: 4, TileC: 16, TileH: 4, TileW: 8, VecW: 4}, s)
+	large := clampSchedule(Schedule{TileK: 128, TileC: 16, TileH: 4, TileW: 8, VecW: 4}, s)
+	if cm.Predict(small) >= cm.Predict(large) {
+		t.Fatalf("model failed to learn TileK ordering: %g vs %g",
+			cm.Predict(small), cm.Predict(large))
+	}
+}
+
+func TestCostModelUntrainedPredictsInf(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	cm := NewCostModel(s)
+	if !math.IsInf(cm.Predict(DefaultSchedule(s)), 1) {
+		t.Fatal("untrained model must predict +Inf")
+	}
+	cm.Observe(DefaultSchedule(s), 0) // non-positive times ignored
+	if cm.Samples() != 0 {
+		t.Fatal("zero-second observation must be rejected")
+	}
+}
+
+func TestTuneWithCostModelRanksMore(t *testing.T) {
+	s := conv.Shape{N: 1, C: 16, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	res := Tune(s, TuneOptions{
+		Population: 12, Generations: 4, Trials: 40, Threads: 1, Seed: 9,
+		UseCostModel: true,
+	})
+	if res.ModelRanked == 0 {
+		t.Fatal("cost model should have ranked extra candidates")
+	}
+	if !res.Best.Valid(s) {
+		t.Fatalf("best schedule invalid: %v", res.Best)
+	}
+	// Correctness of the winner.
+	checkSchedule(t, s, res.Best)
+}
+
+func TestDefaultScheduleValidForAllTable4Layers(t *testing.T) {
+	for _, l := range conv.Table4 {
+		for _, batch := range []int{1, 4} {
+			s := l.Shape.WithBatch(batch)
+			sch := DefaultSchedule(s)
+			if !sch.Valid(s) {
+				t.Fatalf("layer %d batch %d: default schedule %v invalid", l.ID, batch, sch)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package autotune
+
+import (
+	"math"
+
+	"ndirect/internal/conv"
+)
+
+// Ansor pairs its evolutionary search with a learned cost model so
+// that only the most promising candidates are measured on hardware
+// (§2.4: "evolutionary search with a predictive model"). This file
+// provides the reproduction's equivalent: a ridge-regression model
+// over schedule features, trained online on the measurements the
+// search has already paid for, used to rank a large candidate pool
+// down to a small measurement set.
+
+// featureDim is the length of the schedule feature vector.
+const featureDim = 9
+
+// features maps a (shape, schedule) pair to the regression inputs:
+// log-scale tile sizes, the vector width, cache-footprint ratios and
+// the categorical knobs. All features are bounded and dimensionless
+// so one model can generalise across related schedules.
+func features(s conv.Shape, sch Schedule) [featureDim]float64 {
+	inTileFloats := float64(sch.TileC) * float64((sch.TileH-1)*s.Str+s.R) * float64((sch.TileW-1)*s.Str+s.S)
+	outTileFloats := float64(sch.TileK) * float64(sch.TileH) * float64(sch.TileW)
+	l1 := 32.0 * 1024 / 4
+	l2 := 512.0 * 1024 / 4
+	f := [featureDim]float64{
+		math.Log2(float64(sch.TileK)),
+		math.Log2(float64(sch.TileC)),
+		math.Log2(float64(sch.TileH)),
+		math.Log2(float64(sch.TileW)),
+		float64(sch.VecW) / 12,
+		math.Min(4, inTileFloats/l1),  // input-tile pressure on L1
+		math.Min(4, outTileFloats/l2), // output-tile pressure on L2
+		b2f(sch.UnrollS),
+		b2f(sch.ParallelKH),
+	}
+	return f
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CostModel is an online ridge regression predicting log run time
+// from schedule features.
+type CostModel struct {
+	shape   conv.Shape
+	lambda  float64
+	xs      [][featureDim + 1]float64 // with bias term
+	ys      []float64                 // log seconds
+	weights [featureDim + 1]float64
+	trained bool
+}
+
+// NewCostModel creates a model for one layer shape.
+func NewCostModel(s conv.Shape) *CostModel {
+	return &CostModel{shape: s, lambda: 1e-3}
+}
+
+// Observe records a measured (schedule, seconds) pair and refits.
+func (m *CostModel) Observe(sch Schedule, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	f := features(m.shape, sch)
+	var row [featureDim + 1]float64
+	copy(row[:featureDim], f[:])
+	row[featureDim] = 1 // bias
+	m.xs = append(m.xs, row)
+	m.ys = append(m.ys, math.Log(seconds))
+	m.fit()
+}
+
+// Samples returns the number of observations.
+func (m *CostModel) Samples() int { return len(m.xs) }
+
+// Trained reports whether the model has enough data to rank
+// candidates (at least as many samples as features).
+func (m *CostModel) Trained() bool { return m.trained }
+
+// Predict returns the model's predicted run time in seconds. Before
+// training it returns +Inf so callers fall back to measuring.
+func (m *CostModel) Predict(sch Schedule) float64 {
+	if !m.trained {
+		return math.Inf(1)
+	}
+	f := features(m.shape, sch)
+	acc := m.weights[featureDim]
+	for i := 0; i < featureDim; i++ {
+		acc += m.weights[i] * f[i]
+	}
+	return math.Exp(acc)
+}
+
+// fit solves the ridge normal equations (XᵀX + λI)w = Xᵀy by Gaussian
+// elimination with partial pivoting — a 10×10 system, instant.
+func (m *CostModel) fit() {
+	n := len(m.xs)
+	if n < featureDim+1 {
+		return
+	}
+	const d = featureDim + 1
+	var a [d][d + 1]float64
+	for i := 0; i < d; i++ {
+		a[i][i] = m.lambda
+	}
+	for r := 0; r < n; r++ {
+		x := &m.xs[r]
+		y := m.ys[r]
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+			a[i][d] += x[i] * y
+		}
+	}
+	// Elimination.
+	for col := 0; col < d; col++ {
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return // singular; keep previous weights
+		}
+		inv := 1 / a[col][col]
+		for j := col; j <= d; j++ {
+			a[col][j] *= inv
+		}
+		for r := 0; r < d; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= d; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		m.weights[i] = a[i][d]
+	}
+	m.trained = true
+}

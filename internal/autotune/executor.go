@@ -1,0 +1,203 @@
+package autotune
+
+import (
+	"ndirect/internal/conv"
+	"ndirect/internal/parallel"
+	"ndirect/internal/simd"
+	"ndirect/internal/tensor"
+)
+
+// Execute runs the scheduled direct convolution: the loop nest a TVM
+// back-end would emit for an NCHW conv2d — two-level tiles, the
+// innermost output-column axis vectorised, input read in place (no
+// packing, no filter re-blocking: the structural gap to nDirect that
+// Figure 6 measures).
+func Execute(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int) {
+	ExecuteFused(s, sch, in, filter, out, threads, nil, false)
+}
+
+// ExecuteFused is Execute with an operator-fusion epilogue: after the
+// reduction finishes for an output tile, a per-channel bias and/or
+// ReLU is applied while the tile is still cache-hot — the Relay-style
+// fusion that gives the Ansor configuration its end-to-end edge
+// (§8.3). bias may be nil.
+func ExecuteFused(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int, bias []float32, relu bool) {
+	conv.CheckOperands(s, in, filter)
+	if !sch.Valid(s) {
+		panic("autotune: invalid schedule for shape")
+	}
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	p := s.P()
+	hTiles := (p + sch.TileH - 1) / sch.TileH
+	kTiles := (s.K + sch.TileK - 1) / sch.TileK
+
+	if sch.ParallelKH {
+		parallel.For(s.N*kTiles, threads, func(nk int) {
+			n, kt := nk/kTiles, nk%kTiles
+			k0 := kt * sch.TileK
+			k1 := min(k0+sch.TileK, s.K)
+			execBlock(s, sch, in.Data, filter.Data, out.Data, n, k0, k1, 0, p, bias, relu)
+		})
+	} else {
+		parallel.For(s.N*hTiles, threads, func(nh int) {
+			n, ht := nh/hTiles, nh%hTiles
+			h0 := ht * sch.TileH
+			h1 := min(h0+sch.TileH, p)
+			execBlock(s, sch, in.Data, filter.Data, out.Data, n, 0, s.K, h0, h1, bias, relu)
+		})
+	}
+}
+
+// ClampFor adapts a schedule tuned on one shape to another shape with
+// the same layer geometry but a different batch (tiles are batch
+// independent); it simply re-clamps to be safe.
+func ClampFor(sch Schedule, s conv.Shape) Schedule {
+	out := clampSchedule(sch, s)
+	if !out.Valid(s) {
+		return DefaultSchedule(s)
+	}
+	return out
+}
+
+// execBlock computes out[n][k0:k1][h0:h1][:] with the scheduled tile
+// loops.
+func execBlock(s conv.Shape, sch Schedule, in, filter, out []float32, n, k0, k1, h0, h1 int, bias []float32, relu bool) {
+	p, q := s.P(), s.Q()
+	rs := s.R * s.S
+	for kt := k0; kt < k1; kt += sch.TileK {
+		ktEnd := min(kt+sch.TileK, k1)
+		for ht := h0; ht < h1; ht += sch.TileH {
+			htEnd := min(ht+sch.TileH, h1)
+			for wt := 0; wt < q; wt += sch.TileW {
+				wtEnd := min(wt+sch.TileW, q)
+				// Zero the output tile, then accumulate channel tiles.
+				for k := kt; k < ktEnd; k++ {
+					for oh := ht; oh < htEnd; oh++ {
+						row := out[((n*s.K+k)*p+oh)*q:]
+						for ow := wt; ow < wtEnd; ow++ {
+							row[ow] = 0
+						}
+					}
+				}
+				for ct := 0; ct < s.C; ct += sch.TileC {
+					ctEnd := min(ct+sch.TileC, s.C)
+					for k := kt; k < ktEnd; k++ {
+						for oh := ht; oh < htEnd; oh++ {
+							convRow(s, sch, in, filter, out, n, k, oh, wt, wtEnd, ct, ctEnd, q, rs)
+						}
+					}
+				}
+				// Fused epilogue: touch the finished tile while hot.
+				if bias != nil || relu {
+					for k := kt; k < ktEnd; k++ {
+						var b float32
+						if bias != nil {
+							b = bias[k]
+						}
+						for oh := ht; oh < htEnd; oh++ {
+							row := out[((n*s.K+k)*p+oh)*q:]
+							for ow := wt; ow < wtEnd; ow++ {
+								v := row[ow] + b
+								if relu && v < 0 {
+									v = 0
+								}
+								row[ow] = v
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// convRow accumulates channels [ct, ctEnd) into one output row
+// segment, vectorised over VecW output columns.
+func convRow(s conv.Shape, sch Schedule, in, filter, out []float32, n, k, oh, wt, wtEnd, ct, ctEnd, q, rs int) {
+	p := s.P()
+	outRow := out[((n*s.K+k)*p+oh)*q:]
+	ihBase := oh*s.Str - s.Pad
+	vecW := sch.VecW
+	nv := vecW / simd.Width
+
+	ow := wt
+	if s.Str == 1 {
+		for ; ow+vecW <= wtEnd; ow += vecW {
+			var acc [3]simd.Vec4 // up to VecW=12
+			iwBase := ow - s.Pad
+			for c := ct; c < ctEnd; c++ {
+				inBase := ((n*s.C + c) * s.H) * s.W
+				fBase := (k*s.C + c) * rs
+				for r := 0; r < s.R; r++ {
+					ih := ihBase + r
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					row := in[inBase+ih*s.W : inBase+(ih+1)*s.W]
+					if sch.UnrollS && s.S == 3 {
+						// Unrolled 3-tap body.
+						f0 := filter[fBase+r*3]
+						f1 := filter[fBase+r*3+1]
+						f2 := filter[fBase+r*3+2]
+						for v := 0; v < nv; v++ {
+							iw := iwBase + v*simd.Width
+							acc[v] = fmaTap(acc[v], row, iw, f0, s.W)
+							acc[v] = fmaTap(acc[v], row, iw+1, f1, s.W)
+							acc[v] = fmaTap(acc[v], row, iw+2, f2, s.W)
+						}
+					} else {
+						for ss := 0; ss < s.S; ss++ {
+							f := filter[fBase+r*s.S+ss]
+							for v := 0; v < nv; v++ {
+								acc[v] = fmaTap(acc[v], row, iwBase+v*simd.Width+ss, f, s.W)
+							}
+						}
+					}
+				}
+			}
+			for v := 0; v < nv; v++ {
+				o := outRow[ow+v*simd.Width : ow+v*simd.Width+simd.Width]
+				simd.Load(o).Add(acc[v]).Store(o)
+			}
+		}
+	}
+	// Scalar tail (and the whole row for strided schedules).
+	for ; ow < wtEnd; ow++ {
+		var acc float32
+		for c := ct; c < ctEnd; c++ {
+			inBase := ((n*s.C + c) * s.H) * s.W
+			fBase := (k*s.C + c) * rs
+			for r := 0; r < s.R; r++ {
+				ih := ihBase + r
+				if ih < 0 || ih >= s.H {
+					continue
+				}
+				for ss := 0; ss < s.S; ss++ {
+					iw := ow*s.Str - s.Pad + ss
+					if iw < 0 || iw >= s.W {
+						continue
+					}
+					acc += in[inBase+ih*s.W+iw] * filter[fBase+r*s.S+ss]
+				}
+			}
+		}
+		outRow[ow] += acc
+	}
+}
+
+// fmaTap adds one filter tap's contribution to a 4-wide accumulator,
+// guarding the image borders lane-wise.
+func fmaTap(acc simd.Vec4, row []float32, iw int, f float32, w int) simd.Vec4 {
+	if iw >= 0 && iw+simd.Width <= w {
+		return acc.FMAScalar(simd.Load(row[iw:]), f)
+	}
+	var v simd.Vec4
+	for lane := 0; lane < simd.Width; lane++ {
+		if x := iw + lane; x >= 0 && x < w {
+			v[lane] = row[x]
+		}
+	}
+	return acc.FMAScalar(v, f)
+}

@@ -1,0 +1,163 @@
+// Package autotune is the reproduction's stand-in for Ansor (TVM's
+// auto-scheduler, Zheng et al. OSDI'20), the search-based competitor
+// of §2.4/§8.2: it explores a schedule space for a generic tiled
+// direct convolution with an evolutionary search driven by measured
+// run time, exactly the role Ansor plays in the paper's evaluation —
+// a strong tuned baseline that nDirect still beats per-layer because
+// the searched loop nest lacks nDirect's packing and filter-blocking
+// micro-kernel structure, but which can win end-to-end when operator
+// fusion matters (§8.3).
+package autotune
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ndirect/internal/conv"
+)
+
+// Schedule is one point of the search space: a TVM-style NCHW direct
+// convolution schedule with two-level loop tiling, a vectorised
+// output-column axis and an unrolled kernel-width axis.
+type Schedule struct {
+	TileK int // output-channel tile
+	TileC int // input-channel (reduction) tile
+	TileH int // output-row tile
+	TileW int // output-column tile (multiple of VecW)
+	VecW  int // vector width over output columns (4, 8 or 12)
+	// UnrollS unrolls the kernel-width loop when true (Ansor's
+	// unroll pragma).
+	UnrollS bool
+	// ParallelKH selects the parallel axis binding: false fuses
+	// (n, h-tiles) — the batch-major binding — true fuses
+	// (n, k-tiles).
+	ParallelKH bool
+}
+
+func (sch Schedule) String() string {
+	return fmt.Sprintf("Tk=%d Tc=%d Th=%d Tw=%d vec=%d unroll=%v pkh=%v",
+		sch.TileK, sch.TileC, sch.TileH, sch.TileW, sch.VecW, sch.UnrollS, sch.ParallelKH)
+}
+
+// Valid reports whether the schedule is admissible for the shape.
+func (sch Schedule) Valid(s conv.Shape) bool {
+	return sch.TileK >= 1 && sch.TileK <= s.K &&
+		sch.TileC >= 1 && sch.TileC <= s.C &&
+		sch.TileH >= 1 && sch.TileH <= s.P() &&
+		(sch.VecW == 4 || sch.VecW == 8 || sch.VecW == 12) &&
+		sch.TileW >= sch.VecW && sch.TileW%sch.VecW == 0
+}
+
+// DefaultSchedule is the untuned starting point (TVM's fallback
+// schedule: modest square tiles, vector width 4).
+func DefaultSchedule(s conv.Shape) Schedule {
+	sch := Schedule{
+		TileK: min(32, s.K),
+		TileC: min(16, s.C),
+		TileH: min(4, s.P()),
+		TileW: 8,
+		VecW:  4,
+	}
+	if sch.TileW > s.Q() {
+		sch.TileW = 4
+	}
+	return sch
+}
+
+// candidates for the categorical knobs.
+var (
+	tileKChoices = []int{4, 8, 16, 32, 64, 128}
+	tileCChoices = []int{4, 8, 16, 32, 64}
+	tileHChoices = []int{1, 2, 4, 7, 8, 14}
+	vecWChoices  = []int{4, 8, 12}
+	tileWFactors = []int{1, 2, 3, 4}
+)
+
+// randomSchedule samples an admissible schedule uniformly from the
+// knob grid.
+func randomSchedule(rng *rand.Rand, s conv.Shape) Schedule {
+	for {
+		vec := vecWChoices[rng.Intn(len(vecWChoices))]
+		sch := Schedule{
+			TileK:      tileKChoices[rng.Intn(len(tileKChoices))],
+			TileC:      tileCChoices[rng.Intn(len(tileCChoices))],
+			TileH:      tileHChoices[rng.Intn(len(tileHChoices))],
+			TileW:      vec * tileWFactors[rng.Intn(len(tileWFactors))],
+			VecW:       vec,
+			UnrollS:    rng.Intn(2) == 1,
+			ParallelKH: rng.Intn(2) == 1,
+		}
+		sch = clampSchedule(sch, s)
+		if sch.Valid(s) {
+			return sch
+		}
+	}
+}
+
+// mutate perturbs one knob of the schedule.
+func mutate(rng *rand.Rand, sch Schedule, s conv.Shape) Schedule {
+	out := sch
+	switch rng.Intn(6) {
+	case 0:
+		out.TileK = tileKChoices[rng.Intn(len(tileKChoices))]
+	case 1:
+		out.TileC = tileCChoices[rng.Intn(len(tileCChoices))]
+	case 2:
+		out.TileH = tileHChoices[rng.Intn(len(tileHChoices))]
+	case 3:
+		out.VecW = vecWChoices[rng.Intn(len(vecWChoices))]
+		out.TileW = out.VecW * tileWFactors[rng.Intn(len(tileWFactors))]
+	case 4:
+		out.UnrollS = !out.UnrollS
+	case 5:
+		out.ParallelKH = !out.ParallelKH
+	}
+	out = clampSchedule(out, s)
+	if !out.Valid(s) {
+		return sch
+	}
+	return out
+}
+
+// crossover mixes two parents knob-wise.
+func crossover(rng *rand.Rand, a, b Schedule, s conv.Shape) Schedule {
+	pick := func(x, y int) int {
+		if rng.Intn(2) == 0 {
+			return x
+		}
+		return y
+	}
+	out := Schedule{
+		TileK:      pick(a.TileK, b.TileK),
+		TileC:      pick(a.TileC, b.TileC),
+		TileH:      pick(a.TileH, b.TileH),
+		UnrollS:    a.UnrollS,
+		ParallelKH: b.ParallelKH,
+	}
+	if rng.Intn(2) == 0 {
+		out.VecW, out.TileW = a.VecW, a.TileW
+	} else {
+		out.VecW, out.TileW = b.VecW, b.TileW
+	}
+	out = clampSchedule(out, s)
+	if !out.Valid(s) {
+		return a
+	}
+	return out
+}
+
+// clampSchedule pulls tile sizes inside the problem dimensions while
+// preserving the vector-width divisibility constraint.
+func clampSchedule(sch Schedule, s conv.Shape) Schedule {
+	sch.TileK = min(sch.TileK, s.K)
+	sch.TileC = min(sch.TileC, s.C)
+	sch.TileH = min(sch.TileH, s.P())
+	if sch.TileW > s.Q() {
+		sch.TileW = s.Q() / sch.VecW * sch.VecW
+		if sch.TileW == 0 {
+			sch.VecW = 4
+			sch.TileW = 4
+		}
+	}
+	return sch
+}

@@ -1,0 +1,167 @@
+package autotune
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"ndirect/internal/conv"
+)
+
+// TuneOptions configure the evolutionary search. The defaults mirror
+// the paper's per-layer budget in miniature (Ansor converges within
+// its 1,000-trial budget; our space is far smaller).
+type TuneOptions struct {
+	Population  int // schedules per generation (default 16)
+	Generations int // evolution rounds (default 6)
+	Trials      int // hard cap on measurements (default 96)
+	Threads     int // workers for the measured runs
+	Seed        int64
+	// Repeats per measurement (minimum time taken; default 2).
+	Repeats int
+	// MeasureBatch shrinks the batch during tuning (0 = shape's N).
+	// The tuned schedule transfers: tiles depend on the layer, not N.
+	MeasureBatch int
+	// UseCostModel enables the Ansor-style learned cost model: each
+	// generation proposes PoolFactor× more candidates than the
+	// population, ranks them with an online ridge regression trained
+	// on all prior measurements, and measures only the predicted-best
+	// subset — spending the hardware budget where the model thinks it
+	// matters (§2.4).
+	UseCostModel bool
+	// PoolFactor is the candidate-to-measurement ratio when the cost
+	// model is active (default 4).
+	PoolFactor int
+}
+
+func (o *TuneOptions) setDefaults() {
+	if o.Population <= 0 {
+		o.Population = 16
+	}
+	if o.Generations <= 0 {
+		o.Generations = 6
+	}
+	if o.Trials <= 0 {
+		o.Trials = 96
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 2
+	}
+	if o.PoolFactor <= 0 {
+		o.PoolFactor = 4
+	}
+}
+
+// Result reports the outcome of a tuning run.
+type Result struct {
+	Best      Schedule
+	BestSec   float64 // best measured time on the tuning shape
+	Trials    int     // measurements performed
+	History   []float64
+	TuneShape conv.Shape // the (possibly batch-reduced) measured shape
+	// ModelRanked counts candidates that were scored by the cost
+	// model instead of being measured (0 without UseCostModel).
+	ModelRanked int
+}
+
+// Tune searches for the fastest schedule for the shape using
+// measured execution time as fitness — the Ansor workflow with the
+// learned cost model replaced by direct measurement (our trial budget
+// is small enough to afford it).
+func Tune(s conv.Shape, opt TuneOptions) Result {
+	opt.setDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+
+	ts := s
+	if opt.MeasureBatch > 0 && opt.MeasureBatch < s.N {
+		ts = s.WithBatch(opt.MeasureBatch)
+	}
+	in := ts.NewInput()
+	in.FillRandom(11)
+	filter := ts.NewFilter()
+	filter.FillRandom(13)
+	out := ts.NewOutput()
+
+	res := Result{TuneShape: ts, BestSec: 1e30}
+	seen := map[Schedule]float64{}
+	cm := NewCostModel(ts)
+
+	measure := func(sch Schedule) float64 {
+		if t, ok := seen[sch]; ok {
+			return t
+		}
+		if res.Trials >= opt.Trials {
+			return 1e30
+		}
+		res.Trials++
+		best := 1e30
+		for rep := 0; rep < opt.Repeats; rep++ {
+			t0 := time.Now()
+			Execute(ts, sch, in, filter, out, opt.Threads)
+			if d := time.Since(t0).Seconds(); d < best {
+				best = d
+			}
+		}
+		seen[sch] = best
+		cm.Observe(sch, best)
+		if best < res.BestSec {
+			res.BestSec = best
+			res.Best = sch
+		}
+		res.History = append(res.History, res.BestSec)
+		return best
+	}
+
+	// Generation 0: default schedule plus random exploration.
+	pop := []Schedule{DefaultSchedule(ts)}
+	for len(pop) < opt.Population {
+		pop = append(pop, randomSchedule(rng, ts))
+	}
+	type scored struct {
+		sch Schedule
+		sec float64
+	}
+	for g := 0; g < opt.Generations && res.Trials < opt.Trials; g++ {
+		// With the cost model, rank a larger proposal pool and spend
+		// measurements only on the predicted-best subset.
+		if opt.UseCostModel && cm.Trained() && g > 0 {
+			pool := pop
+			for len(pool) < opt.Population*opt.PoolFactor {
+				pool = append(pool, mutate(rng, pop[rng.Intn(len(pop))], ts))
+			}
+			sort.SliceStable(pool, func(i, j int) bool {
+				return cm.Predict(pool[i]) < cm.Predict(pool[j])
+			})
+			res.ModelRanked += len(pool) - opt.Population
+			pop = pool[:opt.Population]
+		}
+		scoredPop := make([]scored, 0, len(pop))
+		for _, sch := range pop {
+			scoredPop = append(scoredPop, scored{sch, measure(sch)})
+		}
+		sort.Slice(scoredPop, func(i, j int) bool { return scoredPop[i].sec < scoredPop[j].sec })
+
+		// Elites survive; offspring from mutation and crossover of the
+		// top half; fresh randoms keep diversity.
+		elite := max(2, opt.Population/4)
+		next := make([]Schedule, 0, opt.Population)
+		for i := 0; i < elite && i < len(scoredPop); i++ {
+			next = append(next, scoredPop[i].sch)
+		}
+		half := max(2, len(scoredPop)/2)
+		for len(next) < opt.Population-2 {
+			a := scoredPop[rng.Intn(half)].sch
+			if rng.Intn(3) == 0 {
+				b := scoredPop[rng.Intn(half)].sch
+				next = append(next, crossover(rng, a, b, ts))
+			} else {
+				next = append(next, mutate(rng, a, ts))
+			}
+		}
+		for len(next) < opt.Population {
+			next = append(next, randomSchedule(rng, ts))
+		}
+		pop = next
+	}
+	return res
+}

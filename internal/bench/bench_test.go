@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+)
+
+func tinyCfg(buf *bytes.Buffer) Config {
+	return Config{Threads: 1, Batch: 1, Reps: 1, TuneTrials: 4, Out: buf}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(tinyCfg(&buf))
+	Table3(tinyCfg(&buf))
+	Table4(tinyCfg(&buf))
+	out := buf.String()
+	for _, want := range []string{"nDirect", "Phytium 2000+", "ThunderX2", "VGG-16", "Table 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables output missing %q", want)
+		}
+	}
+	// 28 Table-4 rows.
+	if got := strings.Count(out, "ResNet-50"); got != 23 {
+		t.Fatalf("Table 4 has %d ResNet rows, want 23", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); g != 2 {
+		t.Fatalf("Geomean = %v, want 2", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+}
+
+func TestMeasureLayerAllMethods(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 14, W: 14, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	for _, m := range []Method{MNDirect, MNDirectSeqPack, MIm2col, MXSMM, MXNN, MACLDirect, MACLGEMM, MAnsor} {
+		r := MeasureLayer(cfg, m, s)
+		if r.GFLOPS <= 0 || r.Seconds <= 0 {
+			t.Fatalf("%s: bad result %+v", m, r)
+		}
+	}
+}
+
+func TestModelLayerAllMethods(t *testing.T) {
+	s := conv.Shape{N: 64, C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1}
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.Platform = hw.KP920
+	for _, m := range []Method{MNDirect, MNDirectSeqPack, MIm2col, MXSMM, MXNN, MACLDirect, MACLGEMM, MAnsor} {
+		r := ModelLayer(cfg, m, s)
+		if r.GFLOPS <= 0 || r.PctPeak <= 0 || r.PctPeak > 1 {
+			t.Fatalf("%s: bad projection %+v", m, r)
+		}
+	}
+}
+
+func TestFig1bOutputs(t *testing.T) {
+	var buf bytes.Buffer
+	Fig1b(tinyCfg(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1b") || !strings.Contains(out, "Geo") {
+		t.Fatal("Fig1b output malformed")
+	}
+	if strings.Count(out, "\n") < 22 { // header + 20 layers + geomean
+		t.Fatalf("Fig1b printed too few rows:\n%s", out)
+	}
+}
+
+func TestFig4Outputs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.Platform = hw.Phytium2000
+	Fig4(cfg)
+	out := buf.String()
+	if !strings.Contains(out, "NDIRECT") || !strings.Contains(out, "nDirect vs best baseline") {
+		t.Fatalf("Fig4 output malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 30 { // header*2 + 28 layers + geo + ratio
+		t.Fatal("Fig4 printed too few rows")
+	}
+}
+
+func TestFig6ModeledOnly(t *testing.T) {
+	var buf bytes.Buffer
+	Fig6(tinyCfg(&buf), false)
+	out := buf.String()
+	if !strings.Contains(out, "ThunderX2") {
+		t.Fatal("Fig6 output malformed")
+	}
+}
+
+func TestFig8And9Outputs(t *testing.T) {
+	var buf bytes.Buffer
+	Fig8(tinyCfg(&buf))
+	Fig9(tinyCfg(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "single-core") || !strings.Contains(out, "4-core") {
+		t.Fatal("Fig8 output malformed")
+	}
+	if !strings.Contains(out, "hyper-threading") {
+		t.Fatal("Fig9 output malformed")
+	}
+}
+
+func TestFig7ModeledOutputs(t *testing.T) {
+	var buf bytes.Buffer
+	Fig7Modeled(tinyCfg(&buf), []string{"resnet50"})
+	out := buf.String()
+	if !strings.Contains(out, "ResNet-50") || !strings.Contains(out, "Phytium") {
+		t.Fatalf("Fig7Modeled output malformed:\n%s", out)
+	}
+}
+
+func TestFig5MeasuredSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured Fig5 is slow")
+	}
+	var buf bytes.Buffer
+	Fig5(tinyCfg(&buf))
+	if !strings.Contains(buf.String(), "packing") {
+		t.Fatal("Fig5 output malformed")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	if err := Fig4CSV(cfg, []hw.Platform{hw.Phytium2000}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+28*4 { // header + 28 layers x 4 methods
+		t.Fatalf("Fig4CSV rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "platform,layer,method") {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+	buf.Reset()
+	if err := Fig6CSV(cfg, []hw.Platform{hw.KP920}); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+20 {
+		t.Fatalf("Fig6CSV rows = %d", len(lines))
+	}
+}
+
+func TestFig7MeasuredTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured end-to-end is slow")
+	}
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.TuneTrials = 2
+	Fig7Measured(cfg, []string{"resnet18", "nosuchmodel"})
+	out := buf.String()
+	if !strings.Contains(out, "ResNet-18") {
+		t.Fatalf("Fig7Measured output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown model") {
+		t.Fatal("unknown model must be reported")
+	}
+}
+
+func TestVarianceExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	Variance(cfg, 5) // small 1x1 layer keeps the 20 runs fast
+	out := buf.String()
+	if !strings.Contains(out, "20 runs") || !strings.Contains(out, "geomean") {
+		t.Fatalf("variance output malformed:\n%s", out)
+	}
+	buf.Reset()
+	Variance(cfg, 99)
+	if !strings.Contains(buf.String(), "no Table 4 layer") {
+		t.Fatal("bad layer id must be reported")
+	}
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+)
+
+// CSV emitters: machine-readable variants of the main figures, for
+// regenerating the paper's plots with external tooling.
+
+// Fig4CSV writes the Figure 4 series as CSV: one row per
+// (platform, layer, method) with modeled GFLOPS and %-of-peak.
+func Fig4CSV(cfg Config, platforms []hw.Platform) error {
+	cfg.setDefaults()
+	w := csv.NewWriter(cfg.Out)
+	if err := w.Write([]string{"platform", "layer", "method", "gflops", "pct_peak"}); err != nil {
+		return err
+	}
+	methods := []Method{MIm2col, MXNN, MXSMM, MNDirect}
+	for _, p := range platforms {
+		c := cfg
+		c.Platform = p
+		for _, l := range conv.Table4 {
+			s := l.Shape.WithBatch(p.Cores)
+			for _, m := range methods {
+				r := ModelLayer(c, m, s)
+				if err := w.Write([]string{
+					p.Name,
+					strconv.Itoa(l.ID),
+					string(m),
+					fmt.Sprintf("%.2f", r.GFLOPS),
+					fmt.Sprintf("%.4f", r.PctPeak),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Fig6CSV writes the Figure 6 series as CSV: one row per
+// (platform, layer) with the modeled nDirect-over-Ansor speedup.
+func Fig6CSV(cfg Config, platforms []hw.Platform) error {
+	cfg.setDefaults()
+	w := csv.NewWriter(cfg.Out)
+	if err := w.Write([]string{"platform", "layer", "speedup_vs_ansor"}); err != nil {
+		return err
+	}
+	for _, p := range platforms {
+		c := cfg
+		c.Platform = p
+		for _, l := range conv.Layers1to20() {
+			s := l.Shape.WithBatch(p.Cores)
+			nd := ModelLayer(c, MNDirect, s)
+			an := ModelLayer(c, MAnsor, s)
+			if err := w.Write([]string{
+				p.Name,
+				strconv.Itoa(l.ID),
+				fmt.Sprintf("%.3f", nd.GFLOPS/an.GFLOPS),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

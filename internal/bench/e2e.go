@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"ndirect/internal/autotune"
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+	"ndirect/internal/nn"
+	"ndirect/internal/tensor"
+)
+
+// Fig7 reproduces the end-to-end inference evaluation (§8.3):
+// MXNet+NDIRECT, Ansor (tuned, with operator fusion) and
+// MXNet+OpenBLAS (im2col+GEMM) on ResNet-50/101 and VGG-16/19,
+// normalised to Ansor.
+//
+// Fig7Measured runs the real networks on the host (batch and model
+// list from the caller — full 64-image batches are testbed-scale);
+// Fig7Modeled sums per-convolution-layer machine-model projections on
+// Phytium 2000+ and ThunderX2 with N = cores, crediting the Ansor
+// configuration with the fusion saving (one output pass per conv
+// instead of separate BN/ReLU sweeps).
+func Fig7Measured(cfg Config, models []string) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Figure 7 (measured on host): end-to-end inference, batch=%d, threads=%d\n", cfg.Batch, cfg.Threads)
+	fprintf(w, "(speedup normalised to Ansor; >1 = faster than Ansor)\n")
+	fprintf(w, "%-12s %18s %10s %18s\n", "model", "MXNet+NDIRECT", "Ansor", "MXNet+OpenBLAS")
+	for _, name := range models {
+		net, ok := nn.ByName(name)
+		if !ok {
+			fprintf(w, "%-12s unknown model\n", name)
+			continue
+		}
+		x := tensor.New(cfg.Batch, 3, 224, 224)
+		x.FillRandom(7)
+
+		ansorEng := &nn.Engine{Algo: nn.AlgoAnsor, Threads: cfg.Threads, Fuse: true}
+		ansorEng.Tune(net, autotune.TuneOptions{
+			Trials: cfg.TuneTrials, Population: 8, Generations: 3,
+			Seed: 2, MeasureBatch: 1,
+		})
+		ansorSec := timeIt(cfg.Reps, func() { net.Forward(ansorEng, x) })
+
+		ndEng := &nn.Engine{Algo: nn.AlgoNDirect, Threads: cfg.Threads}
+		ndSec := timeIt(cfg.Reps, func() { net.Forward(ndEng, x) })
+
+		blasEng := &nn.Engine{Algo: nn.AlgoIm2col, Threads: cfg.Threads}
+		blasSec := timeIt(cfg.Reps, func() { net.Forward(blasEng, x) })
+
+		fprintf(w, "%-12s %17.2fx %9.2fx %17.2fx   (Ansor %.2fs)\n",
+			net.Name, ansorSec/ndSec, 1.0, ansorSec/blasSec, ansorSec)
+	}
+}
+
+// fusionSaving estimates the per-conv time the unfused library
+// configurations spend on the separate BN and ReLU output sweeps that
+// the Ansor configuration fuses away: two extra read+write passes
+// over the output tensor at achievable bandwidth.
+func fusionSaving(p hw.Platform, s conv.Shape) float64 {
+	bytes := 2 * 2 * s.OutputBytes() // BN pass + ReLU pass, read+write each
+	return float64(bytes) / (p.BandwidthGiBs * bwEffFig7 * (1 << 30))
+}
+
+const bwEffFig7 = 0.6
+
+// Fig7Modeled projects the end-to-end comparison onto Phytium 2000+
+// and ThunderX2 (conv layers only; pooling/FC excluded — they are a
+// small, configuration-independent fraction).
+func Fig7Modeled(cfg Config, models []string) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Figure 7 (modeled, conv layers, N = cores): speedup normalised to Ansor\n")
+	fprintf(w, "%-10s %-12s %18s %10s %18s\n", "platform", "model", "MXNet+NDIRECT", "Ansor", "MXNet+OpenBLAS")
+	for _, p := range []hw.Platform{hw.Phytium2000, hw.ThunderX2} {
+		c := cfg
+		c.Platform = p
+		for _, name := range models {
+			net, ok := nn.ByName(name)
+			if !ok {
+				continue
+			}
+			// Project each conv shape once and weight by how many
+			// times the network instantiates it.
+			type proj struct{ nd, an, gm, extra float64 }
+			cache := map[conv.Shape]proj{}
+			var ndSec, ansorSec, blasSec float64
+			for _, u := range net.ConvUnits() {
+				s := u.Shape.WithBatch(p.Cores)
+				pr, ok := cache[s]
+				if !ok {
+					pr = proj{
+						nd:    ModelLayer(c, MNDirect, s).Seconds,
+						an:    ModelLayer(c, MAnsor, s).Seconds,
+						gm:    ModelLayer(c, MIm2col, s).Seconds,
+						extra: fusionSaving(p, s),
+					}
+					cache[s] = pr
+				}
+				ndSec += pr.nd + pr.extra // unfused: pays the BN/ReLU sweeps
+				blasSec += pr.gm + pr.extra
+				ansorSec += pr.an // fused
+			}
+			fprintf(w, "%-10s %-12s %17.2fx %9.2fx %17.2fx\n",
+				shortName(p.Name), net.Name, ansorSec/ndSec, 1.0, ansorSec/blasSec)
+		}
+	}
+	fprintf(w, "(conv layers weighted by occurrence; pooling/FC excluded)\n")
+}
+
+func shortName(n string) string {
+	if n == "Phytium 2000+" {
+		return "Phytium"
+	}
+	return n
+}

@@ -1,0 +1,455 @@
+package bench
+
+import (
+	"fmt"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/fft"
+	"ndirect/internal/hw"
+	"ndirect/internal/im2col"
+	"ndirect/internal/xsmm"
+)
+
+// Table2 prints the qualitative comparison of approaches (Table 2 of
+// the paper).
+func Table2(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Table 2: comparison of convolution approaches\n")
+	fprintf(w, "%-14s %-9s %-18s %-12s %s\n", "Method", "Approach", "Format conversion", "Low memory", "Performance")
+	rows := [][5]string{
+		{"im2col+GEMM", "Library", "not required", "no", "*"},
+		{"XNNPACK", "Library", "not required", "yes", "**"},
+		{"LIBXSMM", "JIT", "required", "yes", "**"},
+		{"Ansor", "Search", "not required", "yes", "**"},
+		{"nDirect", "Library", "not required", "yes", "***"},
+	}
+	for _, r := range rows {
+		fprintf(w, "%-14s %-9s %-18s %-12s %s\n", r[0], r[1], r[2], r[3], r[4])
+	}
+}
+
+// Table3 prints the evaluation platforms.
+func Table3(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Table 3: hardware platforms\n")
+	fprintf(w, "%-22s %8s %10s %8s %12s %8s %8s %8s\n",
+		"Platform", "Cores", "FP32 GF", "GHz", "BW GiB/s", "L1", "L2", "L3")
+	sz := func(c hw.Cache) string {
+		if !c.Exists() {
+			return "None"
+		}
+		if c.SizeBytes >= 1<<20 {
+			return fprintSize(c.SizeBytes>>20, "MB")
+		}
+		return fprintSize(c.SizeBytes>>10, "KB")
+	}
+	for _, p := range hw.Platforms {
+		fprintf(w, "%-22s %8d %10.1f %8.1f %12.2f %8s %8s %8s\n",
+			p.Name, p.Cores, p.PeakGFLOPS, p.FreqGHz, p.BandwidthGiBs,
+			sz(p.L1), sz(p.L2), sz(p.L3))
+	}
+}
+
+func fprintSize(v int, unit string) string { return itoa(v) + " " + unit }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Table4 prints the 28 evaluation layers.
+func Table4(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Table 4: convolution operator configurations\n")
+	fprintf(w, "%3s %6s %6s %6s %5s %4s %4s %10s %12s\n", "ID", "C", "K", "H/W", "R/S", "str", "pad", "net", "GFLOP(N=1)")
+	for _, l := range conv.Table4 {
+		s := l.Shape
+		fprintf(w, "%3d %6d %6d %6d %5d %4d %4d %10s %12.3f\n",
+			l.ID, s.C, s.K, s.H, s.R, s.Str, s.Pad, l.Net, float64(s.FLOPs())/1e9)
+	}
+}
+
+// Fig1a reproduces the runtime-breakdown motivation study: the
+// percentage of time spent in each stage of im2col+GEMM (im2col /
+// packing / micro-kernel) and of LIBXSMM fed framework tensors
+// (format transform / micro-kernel), measured on the host, layers
+// 1–20 with the configured batch.
+func Fig1a(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Figure 1a: runtime breakdown per stage (%% of method total, measured, batch=%d)\n", cfg.Batch)
+	fprintf(w, "%5s | %28s | %25s\n", "", "im2col+GEMM", "LIBXSMM(+transform)")
+	fprintf(w, "%5s | %8s %8s %10s | %12s %12s\n", "layer", "im2col", "packing", "kernel", "transform", "kernel")
+	for _, l := range conv.Layers1to20() {
+		s := l.Shape.WithBatch(cfg.Batch)
+		in, filter := operands(s)
+
+		var gSt im2col.Stats
+		timeIt(cfg.Reps, func() {
+			_, gSt = im2col.Conv2D(s, in, filter, im2col.Options{Threads: cfg.Threads, CollectStats: true})
+		})
+		gTot := gSt.Total()
+
+		var xSt xsmm.Stats
+		timeIt(cfg.Reps, func() {
+			_, xSt = xsmm.Conv2D(s, in, filter, xsmm.Options{Threads: cfg.Threads})
+		})
+		xTot := xSt.Total()
+
+		fprintf(w, "%5d | %7.1f%% %7.1f%% %9.1f%% | %11.1f%% %11.1f%%\n",
+			l.ID,
+			100*gSt.Im2colSec/gTot, 100*gSt.PackSec/gTot, 100*gSt.KernelSec/gTot,
+			100*xSt.ConvertSec()/xTot, 100*xSt.KernelSec/xTot)
+	}
+}
+
+// Fig1b reproduces the motivation performance study: % of the 64-core
+// Phytium 2000+ peak for six prior methods (modeled), layers 1–20,
+// batch = 64.
+func Fig1b(cfg Config) {
+	cfg.setDefaults()
+	cfg.Platform = hw.Phytium2000
+	w := cfg.Out
+	methods := []Method{MXSMM, MIm2col, MXNN, MACLGEMM, MACLDirect, MAnsor}
+	fprintf(w, "Figure 1b: %% of peak on Phytium 2000+ (64 cores, N=64, modeled)\n")
+	fprintf(w, "%5s", "layer")
+	for _, m := range methods {
+		fprintf(w, " %12s", m)
+	}
+	fprintf(w, "\n")
+	geo := map[Method][]float64{}
+	for _, l := range conv.Layers1to20() {
+		s := l.Shape.WithBatch(cfg.Platform.Cores)
+		fprintf(w, "%5d", l.ID)
+		for _, m := range methods {
+			r := ModelLayer(cfg, m, s)
+			fprintf(w, " %11.1f%%", r.PctPeak*100)
+			geo[m] = append(geo[m], r.PctPeak*100)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "%5s", "Geo")
+	for _, m := range methods {
+		fprintf(w, " %11.1f%%", Geomean(geo[m]))
+	}
+	fprintf(w, "\n")
+}
+
+// Fig4 reproduces the main multi-core comparison: GFLOPS for
+// im2col+GEMM, XNNPACK, LIBXSMM and NDIRECT over all 28 layers, plus
+// nDirect's efficiency line — modeled for the configured platform
+// with N = cores. Measured mode (host) available via Fig4Measured.
+func Fig4(cfg Config) {
+	cfg.setDefaults()
+	p := cfg.Platform
+	w := cfg.Out
+	methods := []Method{MIm2col, MXNN, MXSMM, MNDirect}
+	fprintf(w, "Figure 4: conv GFLOPS on %s (%d cores, N=%d, modeled)\n", p.Name, p.Cores, p.Cores)
+	fprintf(w, "%5s %14s %14s %14s %14s %12s\n",
+		"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT", "NDIRECT %peak")
+	geo := map[Method][]float64{}
+	for _, l := range conv.Table4 {
+		s := l.Shape.WithBatch(p.Cores)
+		fprintf(w, "%5d", l.ID)
+		var nd Result
+		for _, m := range methods {
+			r := ModelLayer(cfg, m, s)
+			fprintf(w, " %14.1f", r.GFLOPS)
+			geo[m] = append(geo[m], r.GFLOPS)
+			if m == MNDirect {
+				nd = r
+			}
+		}
+		fprintf(w, " %11.1f%%\n", nd.PctPeak*100)
+	}
+	fprintf(w, "%5s", "Geo")
+	for _, m := range methods {
+		fprintf(w, " %14.1f", Geomean(geo[m]))
+	}
+	nd := Geomean(geo[MNDirect])
+	best := 0.0
+	for _, m := range methods[:3] {
+		if g := Geomean(geo[m]); g > best {
+			best = g
+		}
+	}
+	fprintf(w, "\n-> nDirect vs best baseline: %.2fx\n", nd/best)
+}
+
+// Fig4Measured is the measured-mode companion of Fig4: host wall
+// clock, same methods and layers (batch from cfg).
+func Fig4Measured(cfg Config, layers []conv.Layer) {
+	cfg.setDefaults()
+	w := cfg.Out
+	methods := []Method{MIm2col, MXNN, MXSMM, MNDirect}
+	fprintf(w, "Figure 4 (measured on host): conv GFLOPS, batch=%d, threads=%d\n", cfg.Batch, cfg.Threads)
+	fprintf(w, "%5s %14s %14s %14s %14s\n", "layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT")
+	geo := map[Method][]float64{}
+	for _, l := range layers {
+		s := l.Shape.WithBatch(cfg.Batch)
+		fprintf(w, "%5d", l.ID)
+		for _, m := range methods {
+			r := MeasureLayer(cfg, m, s)
+			fprintf(w, " %14.2f", r.GFLOPS)
+			geo[m] = append(geo[m], r.GFLOPS)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "%5s", "Geo")
+	for _, m := range methods {
+		fprintf(w, " %14.2f", Geomean(geo[m]))
+	}
+	fprintf(w, "\n")
+}
+
+// Fig5 reproduces the packing-overlap ablation on the VGG layers
+// (24–28): nDirect with the overlapped packing micro-kernel vs
+// sequential packing — modeled on the three HPC platforms and
+// measured on the host.
+func Fig5(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Figure 5: packing optimisation (GFLOPS; '+packing' = overlapped §5.3)\n")
+	for _, p := range []hw.Platform{hw.Phytium2000, hw.KP920, hw.ThunderX2} {
+		c := cfg
+		c.Platform = p
+		fprintf(w, "-- %s (modeled, N=%d) --\n", p.Name, p.Cores)
+		fprintf(w, "%5s %16s %16s %8s\n", "layer", "micro-kernel", "+packing", "gain")
+		for _, l := range conv.VGGLayers() {
+			s := l.Shape.WithBatch(p.Cores)
+			seq := ModelLayer(c, MNDirectSeqPack, s)
+			over := ModelLayer(c, MNDirect, s)
+			fprintf(w, "%5d %16.1f %16.1f %7.1f%%\n",
+				l.ID, seq.GFLOPS, over.GFLOPS, 100*(over.GFLOPS/seq.GFLOPS-1))
+		}
+	}
+	fprintf(w, "-- host (measured, batch=%d, threads=%d) --\n", cfg.Batch, cfg.Threads)
+	fprintf(w, "%5s %16s %16s %8s\n", "layer", "micro-kernel", "+packing", "gain")
+	for _, l := range conv.VGGLayers() {
+		s := l.Shape.WithBatch(cfg.Batch)
+		seq := MeasureLayer(cfg, MNDirectSeqPack, s)
+		over := MeasureLayer(cfg, MNDirect, s)
+		fprintf(w, "%5d %16.2f %16.2f %7.1f%%\n",
+			l.ID, seq.GFLOPS, over.GFLOPS, 100*(over.GFLOPS/seq.GFLOPS-1))
+	}
+}
+
+// Fig6 reproduces the per-layer comparison against Ansor: nDirect's
+// speedup over the tuned schedule, layers 1–20, three HPC platforms
+// (modeled) plus the host (measured, including a real evolutionary
+// search per layer).
+func Fig6(cfg Config, measured bool) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Figure 6: nDirect speedup over Ansor (layers 1-20)\n")
+	plats := []hw.Platform{hw.Phytium2000, hw.KP920, hw.ThunderX2}
+	fprintf(w, "%5s %16s %16s %16s", "layer", "Phytium 2000+", "KP920", "ThunderX2")
+	if measured {
+		fprintf(w, " %16s", "host(measured)")
+	}
+	fprintf(w, "\n")
+	geos := make([][]float64, len(plats)+1)
+	for _, l := range conv.Layers1to20() {
+		fprintf(w, "%5d", l.ID)
+		for pi, p := range plats {
+			c := cfg
+			c.Platform = p
+			s := l.Shape.WithBatch(p.Cores)
+			nd := ModelLayer(c, MNDirect, s)
+			an := ModelLayer(c, MAnsor, s)
+			sp := nd.GFLOPS / an.GFLOPS
+			geos[pi] = append(geos[pi], sp)
+			fprintf(w, " %15.2fx", sp)
+		}
+		if measured {
+			s := l.Shape.WithBatch(cfg.Batch)
+			nd := MeasureLayer(cfg, MNDirect, s)
+			an := MeasureLayer(cfg, MAnsor, s)
+			sp := nd.GFLOPS / an.GFLOPS
+			geos[len(plats)] = append(geos[len(plats)], sp)
+			fprintf(w, " %15.2fx", sp)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "%5s", "Geo")
+	for pi := range plats {
+		fprintf(w, " %15.2fx", Geomean(geos[pi]))
+	}
+	if measured {
+		fprintf(w, " %15.2fx", Geomean(geos[len(plats)]))
+	}
+	fprintf(w, "\n")
+}
+
+// Fig8 reproduces the embedded-platform study: single-core (a) and
+// 4-core (b) GFLOPS on the RPi 4 for the four methods, layers 1–20
+// (modeled; the host-measured single-core comparison is Fig4Measured
+// with threads=1).
+func Fig8(cfg Config) {
+	cfg.setDefaults()
+	cfg.Platform = hw.RPi4
+	w := cfg.Out
+	methods := []Method{MIm2col, MXNN, MXSMM, MNDirect}
+	for _, part := range []struct {
+		label   string
+		threads int
+		batch   int
+	}{{"(a) single-core", 1, 1}, {"(b) 4-core", 4, 4}} {
+		fprintf(w, "Figure 8%s on RPi 4 (modeled, N=%d)\n", part.label, part.batch)
+		fprintf(w, "%5s %14s %14s %14s %14s\n", "layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT")
+		geo := map[Method][]float64{}
+		for _, l := range conv.Layers1to20() {
+			s := l.Shape.WithBatch(part.batch)
+			fprintf(w, "%5d", l.ID)
+			for _, m := range methods {
+				r := ModelLayerThreads(cfg, m, s, part.threads)
+				fprintf(w, " %14.2f", r.GFLOPS)
+				geo[m] = append(geo[m], r.GFLOPS)
+			}
+			fprintf(w, "\n")
+		}
+		fprintf(w, "%5s", "avg")
+		for _, m := range methods {
+			fprintf(w, " %14.2f", Geomean(geo[m]))
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// Fig9 reproduces the hyper-threading study: ThunderX2 with SMT4
+// enabled (128 logical threads, N=128), four methods, layers 1–20
+// (modeled).
+func Fig9(cfg Config) {
+	cfg.setDefaults()
+	cfg.Platform = hw.ThunderX2
+	w := cfg.Out
+	logical := hw.ThunderX2.LogicalCores()
+	methods := []Method{MIm2col, MXNN, MXSMM, MNDirect}
+	fprintf(w, "Figure 9: ThunderX2 with hyper-threading (SMT4, %d threads, N=%d, modeled)\n", logical, logical)
+	fprintf(w, "%5s %14s %14s %14s %14s\n", "layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT")
+	geo := map[Method][]float64{}
+	for _, l := range conv.Layers1to20() {
+		s := l.Shape.WithBatch(logical)
+		fprintf(w, "%5d", l.ID)
+		for _, m := range methods {
+			r := ModelLayerThreads(cfg, m, s, logical)
+			fprintf(w, " %14.1f", r.GFLOPS)
+			geo[m] = append(geo[m], r.GFLOPS)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "%5s", "avg")
+	for _, m := range methods {
+		fprintf(w, " %14.1f", Geomean(geo[m]))
+	}
+	nd := Geomean(geo[MNDirect])
+	best := 0.0
+	for _, m := range methods[:3] {
+		if g := Geomean(geo[m]); g > best {
+			best = g
+		}
+	}
+	fprintf(w, "\n-> nDirect vs best baseline under SMT: %.2fx\n", nd/best)
+}
+
+// ExtraWinograd compares nDirect against the Winograd F(2×2, 3×3)
+// fast algorithm on the 3×3 stride-1 layers — the comparison the
+// paper's §2.1 declines to run because of Winograd's restricted
+// domain. Measured on the host.
+func ExtraWinograd(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Extra: Winograd F(2x2,3x3) vs NDIRECT (measured, batch=%d, threads=%d)\n", cfg.Batch, cfg.Threads)
+	fprintf(w, "%5s %14s %14s %10s\n", "layer", "Winograd", "NDIRECT", "ratio")
+	for _, l := range conv.Table4 {
+		s := l.Shape
+		if !(s.R == 3 && s.S == 3 && s.Str == 1) {
+			continue
+		}
+		s = s.WithBatch(cfg.Batch)
+		wg := MeasureLayer(cfg, MWinograd, s)
+		nd := MeasureLayer(cfg, MNDirect, s)
+		fprintf(w, "%5d %14.2f %14.2f %9.2fx\n", l.ID, wg.GFLOPS, nd.GFLOPS, nd.GFLOPS/wg.GFLOPS)
+	}
+	fprintf(w, "(Winograd counts direct-convolution FLOPs for comparability; it executes ~2.25x fewer)\n")
+}
+
+// ExtraFFT compares nDirect against FFT-based convolution — the other
+// fast algorithm §2.1 excludes — and prints the spectral memory
+// footprint that motivates the exclusion. Measured on the host at
+// small scale.
+func ExtraFFT(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Extra: FFT convolution vs NDIRECT (measured, batch=%d, threads=%d)\n", cfg.Batch, cfg.Threads)
+	fprintf(w, "%-28s %12s %12s %16s %16s\n", "shape", "FFT GF", "NDIRECT GF", "FFT footprint", "direct footprint")
+	for _, s := range []conv.Shape{
+		{N: 1, C: 16, H: 28, W: 28, K: 16, R: 3, S: 3, Str: 1, Pad: 1},
+		{N: 1, C: 16, H: 28, W: 28, K: 16, R: 7, S: 7, Str: 1, Pad: 3},
+		{N: 1, C: 16, H: 28, W: 28, K: 16, R: 3, S: 3, Str: 2, Pad: 1},
+	} {
+		s = s.WithBatch(cfg.Batch)
+		in, filter := operands(s)
+		fftSec := timeIt(cfg.Reps, func() { fft.Conv2D(s, in, filter, fft.Options{Threads: cfg.Threads}) })
+		nd := MeasureLayer(cfg, MNDirect, s)
+		fprintf(w, "%-28s %12.2f %12.2f %13.1f MB %13.3f MB\n",
+			fmt.Sprintf("C%d K%d %dx%d %dx%d s%d", s.C, s.K, s.H, s.W, s.R, s.S, s.Str),
+			float64(s.FLOPs())/fftSec/1e9, nd.GFLOPS,
+			float64(fft.FootprintBytes(s))/(1<<20),
+			float64(s.InputBytes()+s.FilterBytes()+s.OutputBytes())/(1<<20))
+	}
+	fprintf(w, "(FFT GFLOPS count direct-convolution FLOPs; larger kernels amortise the transforms)\n")
+}
+
+// Variance reproduces the §7.4 methodology check: "We run each
+// experiment 20 times and report the geometric mean GFLOPS. We found
+// the variances across different runs to be minor, less than 5%."
+// Runs nDirect 20 times on a layer and reports the geomean and the
+// max deviation from it.
+func Variance(cfg Config, layerID int) {
+	cfg.setDefaults()
+	w := cfg.Out
+	l, ok := conv.LayerByID(layerID)
+	if !ok {
+		fprintf(w, "no Table 4 layer %d\n", layerID)
+		return
+	}
+	s := l.Shape.WithBatch(cfg.Batch)
+	in, filter := operands(s)
+	plan := newNDPlan(s, cfg)
+	out := s.NewOutput()
+	plan.Execute(in, filter, out) // warm-up
+
+	const runs = 20
+	gf := make([]float64, runs)
+	for i := range gf {
+		sec := timeIt(1, func() { plan.Execute(in, filter, out) })
+		gf[i] = float64(s.FLOPs()) / sec / 1e9
+	}
+	geo := Geomean(gf)
+	var maxDev float64
+	for _, v := range gf {
+		d := v/geo - 1
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	fprintf(w, "§7.4 methodology: layer %d, %d runs (batch=%d, threads=%d)\n", l.ID, runs, cfg.Batch, cfg.Threads)
+	fprintf(w, "geomean %.2f GFLOPS, max deviation %.1f%% (paper: <5%% on the dedicated testbed)\n",
+		geo, 100*maxDev)
+}

@@ -1,0 +1,218 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (see DESIGN.md §3), in two
+// modes:
+//
+//   - measured: real wall-clock runs of the Go implementations on the
+//     host (relative kernel quality, the Figure 8a-style single-core
+//     comparisons);
+//   - modeled: simarch projections onto the paper's ARM platforms
+//     (the multi-core, multi-platform series — the documented
+//     substitute for the testbed).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"ndirect/internal/acl"
+	"ndirect/internal/autotune"
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/hw"
+	"ndirect/internal/im2col"
+	"ndirect/internal/simarch"
+	"ndirect/internal/tensor"
+	"ndirect/internal/winograd"
+	"ndirect/internal/xnn"
+	"ndirect/internal/xsmm"
+)
+
+// Method identifies one convolution implementation under test.
+type Method string
+
+const (
+	MNDirect        Method = "NDIRECT"
+	MNDirectSeqPack Method = "NDIRECT(seq-pack)"
+	MIm2col         Method = "im2col+GEMM"
+	MXSMM           Method = "LIBXSMM"
+	MXNN            Method = "XNNPACK"
+	MACLDirect      Method = "ACL_DIRECT"
+	MACLGEMM        Method = "ACL_GEMM"
+	MAnsor          Method = "Ansor"
+	// MWinograd is the F(2x2,3x3) fast algorithm the paper's SS2.1
+	// excludes from its comparison (3x3 stride-1 only, lower
+	// accuracy); measured-mode extra.
+	MWinograd Method = "Winograd"
+)
+
+// Config controls a harness run.
+type Config struct {
+	Platform hw.Platform // modeled-mode target (and tile models)
+	Threads  int         // measured-mode workers
+	Batch    int         // measured-mode batch size (paper: core count)
+	Reps     int         // repetitions; minimum time is reported
+	// TuneTrials bounds the Ansor substitute's measured search per
+	// layer (Figure 6); 0 uses a small default.
+	TuneTrials int
+	Out        io.Writer
+}
+
+func (c *Config) setDefaults() {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 2
+	}
+	if c.TuneTrials <= 0 {
+		c.TuneTrials = 24
+	}
+	if c.Platform.Name == "" {
+		c.Platform = hw.Phytium2000
+	}
+}
+
+// Result is one measured or modeled data point.
+type Result struct {
+	Method  Method
+	LayerID int
+	GFLOPS  float64
+	PctPeak float64 // modeled mode only
+	Seconds float64
+}
+
+// operands builds deterministic inputs for a layer.
+func operands(s conv.Shape) (in, filter *tensor.Tensor) {
+	in = s.NewInput()
+	in.FillRandom(int64(s.C*31 + s.K))
+	filter = s.NewFilter()
+	filter.FillRandom(int64(s.K*17 + s.R))
+	return in, filter
+}
+
+// timeIt runs f reps times and returns the minimum duration in
+// seconds.
+func timeIt(reps int, f func()) float64 {
+	best := math.Inf(1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MeasureLayer times one method on one layer on the host and returns
+// its throughput. The methodology follows §7.4: LIBXSMM is timed on
+// pre-converted operands (kernel only), XNNPACK runs natively on
+// NHWC, nDirect includes its on-the-fly transforms.
+func MeasureLayer(cfg Config, m Method, s conv.Shape) Result {
+	cfg.setDefaults()
+	in, filter := operands(s)
+	var sec float64
+	switch m {
+	case MNDirect, MNDirectSeqPack:
+		plan := core.NewPlan(s, core.Options{
+			Threads:        cfg.Threads,
+			Platform:       &cfg.Platform,
+			SequentialPack: m == MNDirectSeqPack,
+		})
+		out := s.NewOutput()
+		sec = timeIt(cfg.Reps, func() { plan.Execute(in, filter, out) })
+	case MIm2col:
+		sec = timeIt(cfg.Reps, func() { im2col.Conv2D(s, in, filter, im2col.Options{Threads: cfg.Threads}) })
+	case MXSMM:
+		inB := tensor.NCHWToNCHWc(in, xsmm.BlockC)
+		fB := tensor.KCRSToCRSKc(filter, xsmm.BlockC, xsmm.BlockK)
+		outB := xsmm.NewBlockedOutput(s)
+		sec = timeIt(cfg.Reps, func() { xsmm.Conv2DBlocked(s, inB, fB, outB, xsmm.Options{Threads: cfg.Threads}) })
+	case MXNN:
+		inNHWC := tensor.NCHWToNHWC(in)
+		sec = timeIt(cfg.Reps, func() { xnn.Conv2DNHWC(s, inNHWC, filter, xnn.Options{Threads: cfg.Threads}) })
+	case MACLDirect:
+		sec = timeIt(cfg.Reps, func() { acl.DirectConv2D(s, in, filter, acl.Options{Threads: cfg.Threads}) })
+	case MACLGEMM:
+		sec = timeIt(cfg.Reps, func() { acl.GEMMConv2D(s, in, filter, acl.Options{Threads: cfg.Threads}) })
+	case MWinograd:
+		if !winograd.Supported(s) {
+			return Result{Method: m} // zero GFLOPS marks "unsupported"
+		}
+		sec = timeIt(cfg.Reps, func() { winograd.Conv2D(s, in, filter, winograd.Options{Threads: cfg.Threads}) })
+	case MAnsor:
+		res := autotune.Tune(s, autotune.TuneOptions{
+			Trials: cfg.TuneTrials, Population: 8, Generations: 3,
+			Threads: cfg.Threads, Seed: 1, MeasureBatch: min(s.N, 2),
+		})
+		out := s.NewOutput()
+		sch := autotune.ClampFor(res.Best, s)
+		sec = timeIt(cfg.Reps, func() { autotune.Execute(s, sch, in, filter, out, cfg.Threads) })
+	default:
+		panic("bench: unknown method " + string(m))
+	}
+	return Result{Method: m, GFLOPS: float64(s.FLOPs()) / sec / 1e9, Seconds: sec}
+}
+
+// ModelLayer projects one method on one layer onto the configured
+// platform with the machine model, using all platform cores.
+func ModelLayer(cfg Config, m Method, s conv.Shape) Result {
+	cfg.setDefaults()
+	return ModelLayerThreads(cfg, m, s, cfg.Platform.Cores)
+}
+
+// ModelLayerThreads is ModelLayer with an explicit thread count
+// (Figures 8a and 9).
+func ModelLayerThreads(cfg Config, m Method, s conv.Shape, threads int) Result {
+	cfg.setDefaults()
+	p := cfg.Platform
+	var prof simarch.Profile
+	switch m {
+	case MNDirect:
+		prof = simarch.ProfileNDirect(s, p, threads, false)
+	case MNDirectSeqPack:
+		prof = simarch.ProfileNDirect(s, p, threads, true)
+	case MIm2col:
+		prof = simarch.ProfileIm2colGEMM(s, p, threads)
+	case MACLGEMM:
+		prof = simarch.ProfileACLGEMM(s, p, threads)
+	case MXSMM:
+		prof = simarch.ProfileXSMM(s, p, threads, false)
+	case MXNN:
+		prof = simarch.ProfileXNN(s, p, threads)
+	case MACLDirect:
+		prof = simarch.ProfileACLDirect(s, p, threads)
+	case MAnsor:
+		prof = simarch.ProfileAnsor(s, p, threads)
+	default:
+		panic("bench: unknown method " + string(m))
+	}
+	proj := simarch.Estimate(p, threads, prof)
+	return Result{Method: m, GFLOPS: proj.GFLOPS, PctPeak: proj.PctPeak, Seconds: proj.Seconds}
+}
+
+// Geomean returns the geometric mean of positive values.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range vals {
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}
+
+// newNDPlan builds the standard measured-mode nDirect plan.
+func newNDPlan(s conv.Shape, cfg Config) *core.Plan {
+	return core.NewPlan(s, core.Options{Threads: cfg.Threads, Platform: &cfg.Platform})
+}

@@ -1,0 +1,286 @@
+package conv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/tensor"
+)
+
+func TestOutputGeometry(t *testing.T) {
+	// ResNet-50 conv1: 224x224, 7x7, stride 2, pad 3 -> 112x112.
+	s := Shape{N: 1, C: 3, H: 224, W: 224, K: 64, R: 7, S: 7, Str: 2, Pad: 3}
+	if s.P() != 112 || s.Q() != 112 {
+		t.Fatalf("P,Q = %d,%d want 112,112", s.P(), s.Q())
+	}
+	// 3x3 stride 1 pad 1 preserves the size.
+	s = Shape{N: 1, C: 8, H: 56, W: 56, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	if s.P() != 56 || s.Q() != 56 {
+		t.Fatalf("P,Q = %d,%d want 56,56", s.P(), s.Q())
+	}
+	// 1x1 stride 2 halves (rounding up).
+	s = Shape{N: 1, C: 8, H: 56, W: 56, K: 8, R: 1, S: 1, Str: 2, Pad: 0}
+	if s.P() != 28 || s.Q() != 28 {
+		t.Fatalf("P,Q = %d,%d want 28,28", s.P(), s.Q())
+	}
+}
+
+func TestValid(t *testing.T) {
+	good := Shape{N: 1, C: 1, H: 3, W: 3, K: 1, R: 3, S: 3, Str: 1, Pad: 0}
+	if !good.Valid() {
+		t.Fatal("good shape rejected")
+	}
+	bad := good
+	bad.R = 5 // kernel larger than padded input
+	if bad.Valid() {
+		t.Fatal("kernel larger than input accepted")
+	}
+	bad = good
+	bad.Str = 0
+	if bad.Valid() {
+		t.Fatal("zero stride accepted")
+	}
+	bad = good
+	bad.Pad = -1
+	if bad.Valid() {
+		t.Fatal("negative padding accepted")
+	}
+}
+
+func TestFLOPs(t *testing.T) {
+	s := Shape{N: 2, C: 3, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 1, Pad: 1}
+	// 2 * N*K*P*Q*C*R*S = 2*2*4*8*8*3*3*3
+	want := int64(2 * 2 * 4 * 8 * 8 * 3 * 3 * 3)
+	if s.FLOPs() != want {
+		t.Fatalf("FLOPs = %d, want %d", s.FLOPs(), want)
+	}
+}
+
+func TestByteCountsAndIntensity(t *testing.T) {
+	s := Shape{N: 1, C: 2, H: 4, W: 4, K: 2, R: 1, S: 1, Str: 1, Pad: 0}
+	if s.InputBytes() != 4*32 || s.FilterBytes() != 4*4 || s.OutputBytes() != 4*32 {
+		t.Fatalf("bytes: in=%d f=%d out=%d", s.InputBytes(), s.FilterBytes(), s.OutputBytes())
+	}
+	if s.ArithmeticIntensity() <= 0 {
+		t.Fatal("intensity must be positive")
+	}
+}
+
+func TestWithBatch(t *testing.T) {
+	s := Table4[0].Shape.WithBatch(64)
+	if s.N != 64 || Table4[0].Shape.N != 1 {
+		t.Fatal("WithBatch must copy, not mutate")
+	}
+}
+
+// Reference cross-check against an independently hand-computed tiny
+// example: 1x1x3x3 input, 1x1x2x2 filter, stride 1, no padding.
+func TestReferenceHandComputed(t *testing.T) {
+	s := Shape{N: 1, C: 1, H: 3, W: 3, K: 1, R: 2, S: 2, Str: 1, Pad: 0}
+	in := s.NewInput()
+	copy(in.Data, []float32{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f := s.NewFilter()
+	copy(f.Data, []float32{1, 0, 0, 1}) // identity-ish: out = a + d of each 2x2 patch
+	out := Reference(s, in, f)
+	want := []float32{1 + 5, 2 + 6, 4 + 8, 5 + 9}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestReferencePaddingZeros(t *testing.T) {
+	// All-ones input and filter: with pad 1, corner outputs see only
+	// 4 of the 9 taps.
+	s := Shape{N: 1, C: 1, H: 3, W: 3, K: 1, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.Fill(1)
+	f := s.NewFilter()
+	f.Fill(1)
+	out := Reference(s, in, f)
+	if out.At(0, 0, 0, 0) != 4 {
+		t.Fatalf("corner = %v, want 4", out.At(0, 0, 0, 0))
+	}
+	if out.At(0, 0, 1, 1) != 9 {
+		t.Fatalf("centre = %v, want 9", out.At(0, 0, 1, 1))
+	}
+	if out.At(0, 0, 0, 1) != 6 {
+		t.Fatalf("edge = %v, want 6", out.At(0, 0, 0, 1))
+	}
+}
+
+func TestReferenceStride2(t *testing.T) {
+	s := Shape{N: 1, C: 1, H: 4, W: 4, K: 1, R: 1, S: 1, Str: 2, Pad: 0}
+	in := s.NewInput()
+	in.FillSequence() // 0..15
+	f := s.NewFilter()
+	f.Fill(2)
+	out := Reference(s, in, f)
+	want := []float32{0, 4, 16, 20} // 2 * elements (0,0),(0,2),(2,0),(2,2)
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestReferenceMultiChannelAccumulates(t *testing.T) {
+	s := Shape{N: 1, C: 3, H: 2, W: 2, K: 2, R: 1, S: 1, Str: 1, Pad: 0}
+	in := s.NewInput()
+	in.Fill(1)
+	f := s.NewFilter()
+	f.Fill(1)
+	out := Reference(s, in, f)
+	for _, v := range out.Data {
+		if v != 3 { // sum over 3 channels
+			t.Fatalf("out = %v, want all 3", out.Data)
+		}
+	}
+}
+
+// Property: convolution is linear in the input — Reference(a*x) ==
+// a*Reference(x) for scalar a (exact for power-of-two scalars).
+func TestReferenceLinearityProperty(t *testing.T) {
+	s := Shape{N: 1, C: 2, H: 6, W: 6, K: 2, R: 3, S: 3, Str: 1, Pad: 1}
+	f := s.NewFilter()
+	f.FillRandom(3)
+	check := func(seed int64) bool {
+		in := s.NewInput()
+		in.FillRandom(seed)
+		out1 := Reference(s, in, f)
+		for i := range in.Data {
+			in.Data[i] *= 4
+		}
+		out4 := Reference(s, in, f)
+		for i := range out1.Data {
+			if out1.Data[i]*4 != out4.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckOperandsPanics(t *testing.T) {
+	s := Shape{N: 1, C: 2, H: 4, W: 4, K: 2, R: 3, S: 3, Str: 1, Pad: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched input dims")
+		}
+	}()
+	CheckOperands(s, tensor.New(1, 3, 4, 4), s.NewFilter())
+}
+
+func TestTable4Complete(t *testing.T) {
+	if len(Table4) != 28 {
+		t.Fatalf("Table4 has %d rows, want 28", len(Table4))
+	}
+	for i, l := range Table4 {
+		if l.ID != i+1 {
+			t.Fatalf("row %d has ID %d", i, l.ID)
+		}
+		if !l.Shape.Valid() {
+			t.Fatalf("layer %d invalid: %v", l.ID, l.Shape)
+		}
+	}
+	// ResNet vs VGG split.
+	for _, l := range Table4[:23] {
+		if l.Net != "ResNet-50" {
+			t.Fatalf("layer %d net = %s", l.ID, l.Net)
+		}
+	}
+	for _, l := range Table4[23:] {
+		if l.Net != "VGG-16" {
+			t.Fatalf("layer %d net = %s", l.ID, l.Net)
+		}
+	}
+}
+
+func TestTable4GeometryConsistency(t *testing.T) {
+	// Every ResNet layer must produce one of the network's canonical
+	// feature map sizes; VGG layers preserve their input size.
+	canonical := map[int]bool{112: true, 56: true, 28: true, 14: true, 7: true}
+	for _, l := range Table4[:23] {
+		if !canonical[l.Shape.P()] {
+			t.Errorf("layer %d output %d not a ResNet-50 feature size", l.ID, l.Shape.P())
+		}
+	}
+	for _, l := range VGGLayers() {
+		if l.Shape.P() != l.Shape.H {
+			t.Errorf("VGG layer %d must preserve spatial size", l.ID)
+		}
+	}
+}
+
+func TestLayerByID(t *testing.T) {
+	l, ok := LayerByID(17)
+	if !ok || l.Shape.C != 1024 || l.Shape.K != 2048 {
+		t.Fatalf("layer 17 = %+v", l)
+	}
+	if _, ok := LayerByID(0); ok {
+		t.Fatal("ID 0 must not resolve")
+	}
+	if _, ok := LayerByID(29); ok {
+		t.Fatal("ID 29 must not resolve")
+	}
+}
+
+func TestLayerSubsets(t *testing.T) {
+	if got := Layers1to20(); len(got) != 20 || got[19].ID != 20 {
+		t.Fatal("Layers1to20 wrong")
+	}
+	if got := VGGLayers(); len(got) != 5 || got[0].ID != 24 {
+		t.Fatal("VGGLayers wrong")
+	}
+}
+
+// Property: translation equivariance — for stride 1 and no padding,
+// shifting the input one column right shifts the output one column
+// right (interior columns).
+func TestReferenceTranslationEquivariance(t *testing.T) {
+	s := Shape{N: 1, C: 3, H: 8, W: 10, K: 2, R: 3, S: 3, Str: 1, Pad: 0}
+	f := s.NewFilter()
+	f.FillRandom(1)
+	in := s.NewInput()
+	in.FillRandom(2)
+	shifted := s.NewInput()
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 1; w < s.W; w++ {
+					shifted.Set(in.At(n, c, h, w-1), n, c, h, w)
+				}
+			}
+		}
+	}
+	a := Reference(s, in, f)
+	b := Reference(s, shifted, f)
+	p, q := s.P(), s.Q()
+	for k := 0; k < s.K; k++ {
+		for oj := 0; oj < p; oj++ {
+			for oi := 1; oi < q; oi++ {
+				if a.At(0, k, oj, oi-1) != b.At(0, k, oj, oi) {
+					t.Fatalf("equivariance broken at k=%d oj=%d oi=%d", k, oj, oi)
+				}
+			}
+		}
+	}
+}
+
+// Property: a delta filter (1 at centre tap, zero elsewhere) makes
+// the convolution an identity on each channel-summed input.
+func TestReferenceDeltaFilterIdentity(t *testing.T) {
+	s := Shape{N: 1, C: 1, H: 6, W: 6, K: 1, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(3)
+	f := s.NewFilter()
+	f.Set(1, 0, 0, 1, 1) // centre tap
+	out := Reference(s, in, f)
+	if tensor.MaxAbsDiff(in, out.Reshape(1, 1, 6, 6)) != 0 {
+		t.Fatal("delta filter must reproduce the input")
+	}
+}

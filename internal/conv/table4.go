@@ -1,0 +1,93 @@
+package conv
+
+// Table 4 of the paper: the 28 convolution operator configurations
+// drawn from ResNet-50 (IDs 1–23) and VGG-16 (IDs 24–28). The batch
+// size N is set per-experiment to the core count of the platform
+// (§7.2), so the shapes here carry N=1 and callers use WithBatch.
+//
+// The paper's table omits padding; the values below are the standard
+// paddings of the source networks (7×7 stride-2 → pad 3, 3×3 → pad 1,
+// 1×1 → pad 0), which the layer geometry requires for the published
+// output sizes. Two rows of the accepted-manuscript table lose a
+// column to typesetting (IDs 15–16 omit K, ID 21 prints H/W as 3);
+// they are restored from the ResNet-50 architecture (ID 15: K=512,
+// ID 16: K=256, ID 21: H/W=7).
+
+// Layer pairs a Table 4 row ID with its convolution shape.
+type Layer struct {
+	ID    int
+	Shape Shape
+	Net   string // source network: "ResNet-50" or "VGG-16"
+}
+
+// layer builds a Table 4 row; pad is derived from the kernel: R=S=7 →
+// 3, R=S=3 → 1, R=S=1 → 0 (the source networks' "same" padding).
+func layer(id, c, k, hw, rs, str int, net string) Layer {
+	pad := 0
+	switch rs {
+	case 7:
+		pad = 3
+	case 3:
+		pad = 1
+	}
+	return Layer{
+		ID:  id,
+		Net: net,
+		Shape: Shape{
+			N: 1, C: c, H: hw, W: hw,
+			K: k, R: rs, S: rs, Str: str, Pad: pad,
+		},
+	}
+}
+
+// Table4 lists all 28 evaluation layers in paper order.
+var Table4 = []Layer{
+	layer(1, 3, 64, 224, 7, 2, "ResNet-50"),
+	layer(2, 128, 128, 56, 3, 2, "ResNet-50"),
+	layer(3, 64, 64, 56, 3, 1, "ResNet-50"),
+	layer(4, 256, 512, 56, 1, 2, "ResNet-50"),
+	layer(5, 64, 64, 56, 1, 1, "ResNet-50"),
+	layer(6, 64, 256, 56, 1, 1, "ResNet-50"),
+	layer(7, 256, 64, 56, 1, 1, "ResNet-50"),
+	layer(8, 256, 128, 56, 1, 1, "ResNet-50"),
+	layer(9, 256, 256, 28, 3, 2, "ResNet-50"),
+	layer(10, 128, 128, 28, 3, 1, "ResNet-50"),
+	layer(11, 512, 1024, 28, 1, 2, "ResNet-50"),
+	layer(12, 512, 256, 28, 1, 1, "ResNet-50"),
+	layer(13, 512, 128, 28, 1, 1, "ResNet-50"),
+	layer(14, 128, 512, 28, 1, 1, "ResNet-50"),
+	layer(15, 512, 512, 14, 3, 2, "ResNet-50"),
+	layer(16, 256, 256, 14, 3, 1, "ResNet-50"),
+	layer(17, 1024, 2048, 14, 1, 2, "ResNet-50"),
+	layer(18, 256, 1024, 14, 1, 1, "ResNet-50"),
+	layer(19, 1024, 512, 14, 1, 1, "ResNet-50"),
+	layer(20, 1024, 256, 14, 1, 1, "ResNet-50"),
+	layer(21, 512, 512, 7, 3, 1, "ResNet-50"),
+	layer(22, 512, 2048, 7, 1, 1, "ResNet-50"),
+	layer(23, 2048, 512, 7, 1, 1, "ResNet-50"),
+	layer(24, 64, 64, 224, 3, 1, "VGG-16"),
+	layer(25, 128, 128, 112, 3, 1, "VGG-16"),
+	layer(26, 256, 256, 56, 3, 1, "VGG-16"),
+	layer(27, 512, 512, 28, 3, 1, "VGG-16"),
+	layer(28, 512, 512, 14, 3, 1, "VGG-16"),
+}
+
+// LayerByID returns the Table 4 row with the given ID (1-based).
+func LayerByID(id int) (Layer, bool) {
+	if id >= 1 && id <= len(Table4) && Table4[id-1].ID == id {
+		return Table4[id-1], true
+	}
+	for _, l := range Table4 {
+		if l.ID == id {
+			return l, true
+		}
+	}
+	return Layer{}, false
+}
+
+// Layers1to20 returns the ResNet-50 subset used by Figures 1, 6, 8
+// and 9.
+func Layers1to20() []Layer { return Table4[:20] }
+
+// VGGLayers returns IDs 24–28, used by Figure 5.
+func VGGLayers() []Layer { return Table4[23:] }

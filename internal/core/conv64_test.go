@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ndirect/internal/conv"
+)
+
+func randSlice64(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*2 - 1
+	}
+	return out
+}
+
+func checkConv64(t *testing.T, s conv.Shape) {
+	t.Helper()
+	in := randSlice64(s.N*s.C*s.H*s.W, int64(s.C))
+	filter := randSlice64(s.K*s.C*s.R*s.S, int64(s.K))
+	want := Reference64(s, in, filter)
+	got := Conv2D64(s, in, filter, Options{Threads: 2})
+	var maxDiff float64
+	for i := range want {
+		if d := math.Abs(want[i] - got[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-10 {
+		t.Fatalf("%v: fp64 max diff %g", s, maxDiff)
+	}
+}
+
+func TestConv2D64MatchesReference(t *testing.T) {
+	checkConv64(t, conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv64(t, conv.Shape{N: 2, C: 4, H: 10, W: 10, K: 8, R: 1, S: 1, Str: 1, Pad: 0})
+	checkConv64(t, conv.Shape{N: 1, C: 4, H: 14, W: 14, K: 8, R: 3, S: 3, Str: 2, Pad: 1})
+	checkConv64(t, conv.Shape{N: 1, C: 3, H: 16, W: 16, K: 8, R: 7, S: 7, Str: 2, Pad: 3})
+}
+
+func TestConv2D64RaggedDims(t *testing.T) {
+	checkConv64(t, conv.Shape{N: 1, C: 5, H: 7, W: 9, K: 7, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv64(t, conv.Shape{N: 1, C: 130, H: 6, W: 6, K: 3, R: 3, S: 3, Str: 1, Pad: 1})
+}
+
+func TestConv2D64ThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in := randSlice64(s.N*s.C*s.H*s.W, 1)
+	filter := randSlice64(s.K*s.C*s.R*s.S, 2)
+	a := Conv2D64(s, in, filter, Options{Threads: 1})
+	b := Conv2D64(s, in, filter, Options{Threads: 8})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fp64 threading changed result")
+		}
+	}
+}
+
+func TestConv2D64Validation(t *testing.T) {
+	s := conv.Shape{N: 1, C: 2, H: 4, W: 4, K: 2, R: 3, S: 3, Str: 1, Pad: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short input")
+		}
+	}()
+	Conv2D64(s, make([]float64, 3), make([]float64, s.K*s.C*9), Options{})
+}
+
+// FP64 precision property: with inputs exactly representable in
+// float64, nDirect64's tiled accumulation differs from the naive
+// order by strictly less than FP32 epsilon-scale errors.
+func TestConv2D64PrecisionBeatsFP32(t *testing.T) {
+	s := conv.Shape{N: 1, C: 64, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in64 := randSlice64(s.N*s.C*s.H*s.W, 5)
+	f64 := randSlice64(s.K*s.C*s.R*s.S, 6)
+	want := Reference64(s, in64, f64)
+	got64 := Conv2D64(s, in64, f64, Options{Threads: 1})
+
+	in32 := s.NewInput()
+	f32 := s.NewFilter()
+	for i := range in64 {
+		in32.Data[i] = float32(in64[i])
+	}
+	for i := range f64 {
+		f32.Data[i] = float32(f64[i])
+	}
+	got32 := Conv2D(s, in32, f32, Options{Threads: 1})
+
+	var err64, err32 float64
+	for i := range want {
+		if d := math.Abs(want[i] - got64[i]); d > err64 {
+			err64 = d
+		}
+		if d := math.Abs(want[i] - float64(got32.Data[i])); d > err32 {
+			err32 = d
+		}
+	}
+	if err64 >= err32 {
+		t.Fatalf("fp64 error (%g) should beat fp32 error (%g)", err64, err32)
+	}
+}

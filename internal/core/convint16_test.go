@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+)
+
+func randInt16(n int, seed int64, bound int16) []int16 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(rng.Intn(int(2*bound+1))) - bound
+	}
+	return out
+}
+
+func checkInt16(t *testing.T, s conv.Shape) {
+	t.Helper()
+	in := randInt16(s.N*s.C*s.H*s.W, int64(s.C), 127)
+	filter := randInt16(s.K*s.C*s.R*s.S, int64(s.K), 127)
+	want := ReferenceInt16(s, in, filter)
+	got := Conv2DInt16(s, in, filter, Options{Threads: 2})
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%v: mismatch at %d: %d vs %d", s, i, got[i], want[i])
+		}
+	}
+}
+
+func TestConv2DInt16BitExact(t *testing.T) {
+	// Integer addition is associative: the tiled kernel must be
+	// bit-identical to the naive oracle.
+	checkInt16(t, conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1})
+	checkInt16(t, conv.Shape{N: 2, C: 4, H: 10, W: 10, K: 8, R: 1, S: 1, Str: 1, Pad: 0})
+	checkInt16(t, conv.Shape{N: 1, C: 4, H: 14, W: 14, K: 8, R: 3, S: 3, Str: 2, Pad: 1})
+	checkInt16(t, conv.Shape{N: 1, C: 3, H: 16, W: 16, K: 8, R: 7, S: 7, Str: 2, Pad: 3})
+	checkInt16(t, conv.Shape{N: 1, C: 5, H: 7, W: 9, K: 11, R: 3, S: 3, Str: 1, Pad: 1})
+}
+
+func TestConv2DInt16RegisterTileGeometry(t *testing.T) {
+	// The 8-lane int16 geometry must produce a lane-aligned tile
+	// within budget.
+	rt := int16Geometry.SolveRegisterTile(3, 1)
+	if rt.Vw%8 != 0 || rt.Vk%8 != 0 || rt.Registers > 32 {
+		t.Fatalf("int16 tile %v invalid", rt)
+	}
+}
+
+func TestConv2DInt16ThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in := randInt16(s.N*s.C*s.H*s.W, 1, 100)
+	filter := randInt16(s.K*s.C*s.R*s.S, 2, 100)
+	a := Conv2DInt16(s, in, filter, Options{Threads: 1})
+	b := Conv2DInt16(s, in, filter, Options{Threads: 8})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("int16 threading changed result")
+		}
+	}
+}
+
+func TestConv2DInt16Validation(t *testing.T) {
+	s := conv.Shape{N: 1, C: 2, H: 4, W: 4, K: 2, R: 3, S: 3, Str: 1, Pad: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short filter")
+		}
+	}()
+	Conv2DInt16(s, make([]int16, s.N*s.C*s.H*s.W), make([]int16, 3), Options{})
+}
+
+// Property: exactness over random quantised draws (the int32 contract
+// |x|,|w| ≤ 127 with C·R·S ≤ 2¹⁵ keeps accumulators far from wrap).
+func TestConv2DInt16RandomProperty(t *testing.T) {
+	f := func(cRaw, kRaw, hRaw uint8, seed int64) bool {
+		s := conv.Shape{
+			N: 1, C: int(cRaw)%9 + 1,
+			H: int(hRaw)%8 + 4, W: int(hRaw)%10 + 4,
+			K: int(kRaw)%17 + 1, R: 3, S: 3, Str: 1, Pad: 1,
+		}
+		in := randInt16(s.N*s.C*s.H*s.W, seed, 127)
+		filter := randInt16(s.K*s.C*s.R*s.S, seed+1, 127)
+		want := ReferenceInt16(s, in, filter)
+		got := Conv2DInt16(s, in, filter, Options{Threads: 2})
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package core implements nDirect, the paper's direct convolution
+// algorithm for ARM multi-cores (Algorithm 2).
+//
+// nDirect preserves the framework-native NCHW/NHWC activation layouts
+// and KCRS filter layout. It tiles the loop nest at two levels — cache
+// tiles T_c/T_k/T_h from the Equation 1–2 analytical model, register
+// tiles V_w × V_k from the Equation 3–4 model — transforms the filter
+// block to a vector-friendly blocking on the fly (line 5 of
+// Algorithm 2), packs the input micro-panel into a linear buffer
+// overlapped with the first compute pass (§5.3), and runs an
+// outer-product micro-kernel (Algorithm 3) built on scalar-vector FMA.
+// Parallelisation follows §6: a PT_k × PT_n static thread grid over
+// the K and N/H/W dimensions, never over the reduction dimensions.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+	"ndirect/internal/model"
+	"ndirect/internal/parallel"
+	"ndirect/internal/tensor"
+)
+
+// Epilogue selects the fused post-processing applied when the last
+// input-channel tile is stored (the library-level equivalent of the
+// operator fusion discussion in §8.3).
+type Epilogue int
+
+const (
+	// EpilogueNone stores the raw convolution result.
+	EpilogueNone Epilogue = iota
+	// EpilogueBias adds a per-output-channel bias.
+	EpilogueBias
+	// EpilogueReLU applies max(x, 0).
+	EpilogueReLU
+	// EpilogueBiasReLU adds bias then applies ReLU.
+	EpilogueBiasReLU
+)
+
+// Options configure plan construction. The zero value asks for the
+// paper's defaults: analytically derived tile sizes for the given
+// platform, overlapped packing, and one worker per available core.
+type Options struct {
+	// Threads is the worker count PT. 0 means parallel.DefaultThreads.
+	Threads int
+	// Platform supplies cache geometry and α for the analytical
+	// models. Nil selects a generic profile (64 KiB L1 / 512 KiB L2 /
+	// 1 MiB LLC share, α=2), suitable for unknown hosts.
+	Platform *hw.Platform
+	// SequentialPack disables the §5.3 packing/compute overlap and
+	// packs each micro-panel in a separate pass before computing —
+	// the baseline ablated in Figure 5.
+	SequentialPack bool
+	// ForceVw/ForceVk override the register-tile solver (ablation).
+	// Both must be multiples of 4 and fit the Equation 3 budget.
+	ForceVw, ForceVk int
+	// ForceTc/ForceTk/ForceTh override the cache-tile solver
+	// (auto-tuning hooks; 0 keeps the analytical value).
+	ForceTc, ForceTk, ForceTh int
+	// Epilogue selects fused bias/ReLU handling; Bias supplies the
+	// per-channel bias for the bias epilogues (length K).
+	Epilogue Epilogue
+	Bias     []float32
+	// CollectStats makes Execute accumulate per-stage wall time in
+	// Plan.Stats (filter transform, packing, kernel, store).
+	CollectStats bool
+	// ForceGenericKernel disables the specialised micro-kernels —
+	// the kernel-specialisation ablation of DESIGN.md §4.
+	ForceGenericKernel bool
+	// UnrolledKernels selects the fully S-unrolled Algorithm 3 body
+	// for 3×3 stride-1 layers. That form needs the full 32-vector-
+	// register file the paper's NEON target has; under Go on hosts
+	// with 16 SIMD registers it spills and loses to the looped form
+	// (measured in BenchmarkMicroKernelBodies), so the default is the
+	// looped kernel and the faithful transcription is opt-in.
+	UnrolledKernels bool
+}
+
+// kernelKind selects the main micro-kernel implementation.
+type kernelKind int
+
+const (
+	kindGeneric kernelKind = iota // any (V_w, V_k), slice accumulators
+	kind12x8                      // V_k=8 fixed-register file, looped S
+	kind12x8S3                    // 3×3 stride-1, S fully unrolled (Alg. 3)
+	kind12x8S1                    // 1×1 stride-1 pointwise
+)
+
+// genericPlatform is the tile-model profile used when no platform is
+// given.
+var genericPlatform = hw.Platform{
+	Name:       "generic",
+	Cores:      1,
+	FreqGHz:    2.0,
+	PeakGFLOPS: 16,
+	L1:         hw.Cache{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 4},
+	L2:         hw.Cache{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 14},
+	L3:         hw.Cache{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, LatencyCycles: 40},
+	FMAPipes:   2, FMALatency: 4, LoadPipes: 2, MemLatencyCycles: 160,
+	Alpha: 2.0,
+}
+
+// Plan is a prepared nDirect convolution: shape-specialised tile
+// sizes, thread mapping and scratch-space geometry. A Plan is
+// immutable after construction and safe for concurrent Execute calls
+// (each call allocates its own worker scratch).
+type Plan struct {
+	Shape conv.Shape
+	RT    model.RegTile
+	CT    model.CacheTiles
+	TM    model.ThreadMapping
+
+	opts     Options
+	platform hw.Platform
+	threads  int
+	kind     kernelKind
+	scratch  sync.Pool // *workerScratch, reused across Execute calls
+
+	// Stats holds the per-stage times of the most recent Execute when
+	// Options.CollectStats is set. Not synchronised across concurrent
+	// Execute calls.
+	Stats Stats
+}
+
+// Stats aggregates per-stage wall time across workers (total CPU
+// seconds, not elapsed).
+type Stats struct {
+	TransformSec float64 // filter layout transform (Alg. 2 line 5)
+	PackSec      float64 // input packing micro-kernel (line 8)
+	KernelSec    float64 // main micro-kernel (line 10)
+	StoreSec     float64 // output register tile store
+}
+
+func (s Stats) total() float64 { return s.TransformSec + s.PackSec + s.KernelSec + s.StoreSec }
+
+// Fractions returns each stage's share of the total stage time.
+func (s Stats) Fractions() (transform, pack, kernel, store float64) {
+	t := s.total()
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	return s.TransformSec / t, s.PackSec / t, s.KernelSec / t, s.StoreSec / t
+}
+
+// NewPlan derives an execution plan for the shape. It panics on an
+// invalid shape or inconsistent options (a plan is built once per
+// layer; configuration errors are programming errors).
+func NewPlan(s conv.Shape, opt Options) *Plan {
+	if !s.Valid() {
+		panic(fmt.Sprintf("core: invalid shape %v", s))
+	}
+	p := &Plan{Shape: s, opts: opt}
+	p.platform = genericPlatform
+	if opt.Platform != nil {
+		p.platform = *opt.Platform
+	}
+	p.threads = opt.Threads
+	if p.threads <= 0 {
+		p.threads = parallel.DefaultThreads()
+	}
+
+	p.RT = model.SolveRegisterTile(s.S, s.Str)
+	if opt.ForceVw != 0 || opt.ForceVk != 0 {
+		vw, vk := opt.ForceVw, opt.ForceVk
+		if vw == 0 {
+			vw = p.RT.Vw
+		}
+		if vk == 0 {
+			vk = p.RT.Vk
+		}
+		if vw%4 != 0 || vk%4 != 0 || vw <= 0 || vk <= 0 || vk > 32 {
+			panic(fmt.Sprintf("core: forced register tile %dx%d not 4-aligned (or Vk > 32)", vw, vk))
+		}
+		p.RT = model.RegTile{Vw: vw, Vk: vk,
+			Registers: model.RegistersUsed(vw, vk, s.S),
+			FAI:       model.FAI(vw, vk, s.S, s.Str)}
+	}
+
+	p.CT = model.SolveCacheTiles(p.platform, s, p.RT)
+	if opt.ForceTc > 0 {
+		p.CT.Tc = min(opt.ForceTc, s.C)
+	}
+	if opt.ForceTk > 0 {
+		p.CT.Tk = max(p.RT.Vk, opt.ForceTk/p.RT.Vk*p.RT.Vk)
+	}
+	if opt.ForceTh > 0 {
+		p.CT.Th = min(opt.ForceTh, s.P())
+	}
+
+	p.TM = model.SolveThreadMapping(s, p.platform.Alpha, p.threads, p.RT.Vk)
+
+	// Micro-kernel dispatch: the hand-unrolled bodies cover the
+	// analytical-optimum 12×8 register file on the common layer
+	// families; everything else takes the V_k=8 looped kernel or the
+	// fully generic one.
+	switch {
+	case opt.ForceGenericKernel || p.RT.Vk != 8 || p.RT.Vw > maxVw:
+		p.kind = kindGeneric
+	case s.S == 3 && s.Str == 1 && opt.UnrolledKernels:
+		p.kind = kind12x8S3
+	case s.R == 1 && s.S == 1 && s.Str == 1:
+		p.kind = kind12x8S1
+	default:
+		p.kind = kind12x8
+	}
+
+	switch opt.Epilogue {
+	case EpilogueBias, EpilogueBiasReLU:
+		if len(opt.Bias) != s.K {
+			panic(fmt.Sprintf("core: bias length %d does not match K=%d", len(opt.Bias), s.K))
+		}
+	}
+	p.scratch.New = func() any { return p.newScratch() }
+	return p
+}
+
+// Conv2D runs a one-shot nDirect convolution on NCHW input and KCRS
+// filter, returning a fresh NKPQ output tensor.
+func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	p := NewPlan(s, opt)
+	out := s.NewOutput()
+	p.Execute(in, filter, out)
+	return out
+}
+
+// Conv2DNHWC runs nDirect on an NHWC input and KCRS filter, producing
+// an NPQK (NHWC) output — the other framework layout nDirect
+// supports natively, without converting the activation tensors.
+func Conv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	p := NewPlan(s, opt)
+	out := tensor.New(s.N, s.P(), s.Q(), s.K)
+	p.ExecuteNHWC(in, filter, out)
+	return out
+}

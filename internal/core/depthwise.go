@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/parallel"
+	"ndirect/internal/simd"
+	"ndirect/internal/tensor"
+)
+
+// Depthwise separable convolution support (§10.2). DSC = depthwise
+// convolution (per-channel spatial filter, no C reduction) followed by
+// pointwise convolution (1×1 standard convolution). The paper notes
+// nDirect computes the pointwise part directly, and the depthwise
+// part by "removing the reduction operations of dimension C in
+// micro-kernels" — which is what depthwiseKernel below does: the
+// register tile vectorises over the output columns instead of output
+// channels, because each output channel depends on exactly one input
+// channel.
+
+// DepthwiseConv2D computes out[n][c][p][q] = Σ_{r,s} in[n][c][·][·] ·
+// filter[c][r][s] on NCHW input with a [C,R,S] filter. The Shape's K
+// is ignored (output channels equal input channels).
+func DepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	if len(filter.Dims) != 3 || filter.Dims[0] != s.C || filter.Dims[1] != s.R || filter.Dims[2] != s.S {
+		panic(fmt.Sprintf("core: depthwise filter dims %v, want [%d %d %d]", filter.Dims, s.C, s.R, s.S))
+	}
+	chk := s
+	chk.K = 1
+	if !chk.Valid() {
+		panic(fmt.Sprintf("core: invalid depthwise shape %v", s))
+	}
+	p, q := s.P(), s.Q()
+	out := tensor.New(s.N, s.C, p, q)
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	// Parallelise over the N×C planes: depthwise has no reduction
+	// over C, so every (n, c) plane is independent.
+	parallel.For(s.N*s.C, threads, func(nc int) {
+		n, c := nc/s.C, nc%s.C
+		inPlane := in.Data[(n*s.C+c)*s.H*s.W : (n*s.C+c+1)*s.H*s.W]
+		outPlane := out.Data[(n*s.C+c)*p*q : (n*s.C+c+1)*p*q]
+		fPlane := filter.Data[c*s.R*s.S : (c+1)*s.R*s.S]
+		depthwisePlane(s, inPlane, fPlane, outPlane)
+	})
+	return out
+}
+
+// depthwisePlane convolves one (n, c) plane. The inner loop
+// vectorises over 4 adjacent output columns for stride 1 (the common
+// MobileNet case) and falls back to scalars otherwise.
+func depthwisePlane(s conv.Shape, in, filter, out []float32) {
+	p, q := s.P(), s.Q()
+	for oh := 0; oh < p; oh++ {
+		ihBase := oh*s.Str - s.Pad
+		ow := 0
+		if s.Str == 1 {
+			for ; ow+simd.Width <= q; ow += simd.Width {
+				iwBase := ow - s.Pad
+				acc := simd.Zero()
+				for r := 0; r < s.R; r++ {
+					ih := ihBase + r
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					row := in[ih*s.W : (ih+1)*s.W]
+					for ss := 0; ss < s.S; ss++ {
+						iw := iwBase + ss
+						f := filter[r*s.S+ss]
+						// All four lanes in range: vector load.
+						if iw >= 0 && iw+simd.Width <= s.W {
+							acc = acc.FMAScalar(simd.Load(row[iw:]), f)
+							continue
+						}
+						// Halo: per-lane guard.
+						var v simd.Vec4
+						for lane := 0; lane < simd.Width; lane++ {
+							if x := iw + lane; x >= 0 && x < s.W {
+								v[lane] = row[x]
+							}
+						}
+						acc = acc.FMAScalar(v, f)
+					}
+				}
+				acc.Store(out[oh*q+ow:])
+			}
+		}
+		for ; ow < q; ow++ {
+			iwBase := ow*s.Str - s.Pad
+			var acc float32
+			for r := 0; r < s.R; r++ {
+				ih := ihBase + r
+				if ih < 0 || ih >= s.H {
+					continue
+				}
+				for ss := 0; ss < s.S; ss++ {
+					iw := iwBase + ss
+					if iw < 0 || iw >= s.W {
+						continue
+					}
+					acc += in[ih*s.W+iw] * filter[r*s.S+ss]
+				}
+			}
+			out[oh*q+ow] = acc
+		}
+	}
+}
+
+// PointwiseConv2D is the 1×1 convolution of a depthwise-separable
+// block, dispatched straight to the standard nDirect path (§10.2:
+// "nDirect can be directly called to compute the Pointwise
+// Convolution").
+func PointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	s := conv.Shape{N: n, C: c, H: h, W: w, K: k, R: 1, S: 1, Str: 1, Pad: 0}
+	return Conv2D(s, in, filter, opt)
+}
+
+// Shape3D describes a 3-D convolution: input [N,C,D,H,W], filter
+// [K,C,T,R,S], output [N,K,Dout,P,Q].
+type Shape3D struct {
+	conv.Shape     // the 2-D cross-section (N,C,H,W,K,R,S,Str,Pad)
+	D, T       int // input depth and kernel depth
+	StrD, PadD int // depth stride and padding
+}
+
+// DOut returns the output depth.
+func (s Shape3D) DOut() int { return (s.D+2*s.PadD-s.T)/s.StrD + 1 }
+
+// Conv3D computes a 3-D convolution by decomposing it into 2-D
+// nDirect convolutions summed over the kernel depth (§10.2: "3D
+// Convolution can be seen as 2D Convolution with additional reduction
+// dimensions, so we can directly use the micro-kernels of nDirect").
+// Each (d, t) pair convolves input depth-slice d·strD−padD+t with
+// filter depth-slice t, accumulating into output slice d.
+func Conv3D(s Shape3D, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	dOut := s.DOut()
+	if dOut < 1 {
+		panic(fmt.Sprintf("core: invalid 3-D depth geometry D=%d T=%d", s.D, s.T))
+	}
+	wantIn := []int{s.N, s.C, s.D, s.H, s.W}
+	for i, d := range wantIn {
+		if in.Dims[i] != d {
+			panic(fmt.Sprintf("core: 3-D input dims %v, want %v", in.Dims, wantIn))
+		}
+	}
+	p, q := s.P(), s.Q()
+	out := tensor.New(s.N, s.K, dOut, p, q)
+	plan := NewPlan(s.Shape, opt)
+
+	// Views: slicing depth d of the input requires a gather because D
+	// is interior to the NCDHW layout; build per-slice NCHW tensors.
+	inSlice := tensor.New(s.N, s.C, s.H, s.W)
+	fSlice := tensor.New(s.K, s.C, s.R, s.S)
+	outSlice := tensor.New(s.N, s.K, p, q)
+	hw2 := s.H * s.W
+	rs := s.R * s.S
+	for d := 0; d < dOut; d++ {
+		outSlice.Zero()
+		for t := 0; t < s.T; t++ {
+			id := d*s.StrD - s.PadD + t
+			if id < 0 || id >= s.D {
+				continue
+			}
+			for n := 0; n < s.N; n++ {
+				for c := 0; c < s.C; c++ {
+					src := in.Data[(((n*s.C+c)*s.D + id) * hw2):(((n*s.C+c)*s.D+id)*hw2 + hw2)]
+					copy(inSlice.Data[(n*s.C+c)*hw2:], src)
+				}
+			}
+			for k := 0; k < s.K; k++ {
+				for c := 0; c < s.C; c++ {
+					src := filter.Data[(((k*s.C+c)*s.T + t) * rs):(((k*s.C+c)*s.T+t)*rs + rs)]
+					copy(fSlice.Data[(k*s.C+c)*rs:], src)
+				}
+			}
+			plan.ExecuteAdd(inSlice, fSlice, outSlice)
+		}
+		for n := 0; n < s.N; n++ {
+			for k := 0; k < s.K; k++ {
+				copy(out.Data[(((n*s.K+k)*dOut+d)*p*q):], outSlice.Data[((n*s.K+k)*p*q):((n*s.K+k)+1)*p*q])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/parallel"
+	"ndirect/internal/simd"
+	"ndirect/internal/tensor"
+)
+
+// Execute runs the plan on an NCHW input and KCRS filter, writing the
+// NKPQ output in place (out is fully overwritten; it need not be
+// zeroed).
+func (p *Plan) Execute(in, filter, out *tensor.Tensor) {
+	conv.CheckOperands(p.Shape, in, filter)
+	p.run(in.Data, filter.Data, out.Data, true, false)
+}
+
+// ExecuteNHWC runs the plan on an NHWC input, writing an NPQK output.
+func (p *Plan) ExecuteNHWC(in, filter, out *tensor.Tensor) {
+	s := p.Shape
+	if len(in.Dims) != 4 || in.Dims[0] != s.N || in.Dims[1] != s.H || in.Dims[2] != s.W || in.Dims[3] != s.C {
+		panic("core: NHWC input dims do not match shape")
+	}
+	p.run(in.Data, filter.Data, out.Data, false, false)
+}
+
+// ExecuteAdd accumulates the convolution into out instead of
+// overwriting it (used by the 3-D convolution extension, which sums
+// 2-D slices over the kernel depth).
+func (p *Plan) ExecuteAdd(in, filter, out *tensor.Tensor) {
+	conv.CheckOperands(p.Shape, in, filter)
+	p.run(in.Data, filter.Data, out.Data, true, true)
+}
+
+// workerScratch is the thread-private memory of one worker: the
+// transformed filter block, the packed input buffer, the generic
+// accumulator file, and the per-stage timers.
+type workerScratch struct {
+	tf    []float32
+	buf   []float32
+	accG  []simd.Vec4
+	stats *Stats // always non-nil; only accumulated when timed
+	timed bool
+}
+
+func (p *Plan) newScratch() *workerScratch {
+	s := p.Shape
+	kBlocks := (p.CT.Tk + p.RT.Vk - 1) / p.RT.Vk
+	ws := &workerScratch{
+		tf:  make([]float32, kBlocks*p.RT.Vk*p.CT.Tc*s.R*s.S),
+		buf: make([]float32, p.CT.Tc*s.R*((p.RT.Vw-1)*s.Str+s.S)),
+	}
+	if p.kind == kindGeneric {
+		ws.accG = make([]simd.Vec4, p.RT.Vw*p.RT.Vk/simd.Width)
+	}
+	ws.stats = &Stats{}
+	ws.timed = p.opts.CollectStats
+	return ws
+}
+
+// run launches the §6 thread grid: PT_k workers along the output
+// channels × (PN × PH × PW) workers along batch/rows/column-tiles.
+func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) {
+	s := p.Shape
+	q := s.Q()
+	qTiles := (q + p.RT.Vw - 1) / p.RT.Vw
+
+	kBlocks := (s.K + p.RT.Vk - 1) / p.RT.Vk
+	kRanges := parallel.Split(kBlocks, p.TM.PTk)
+	nRanges := parallel.Split(s.N, p.TM.PN)
+	hRanges := parallel.Split(s.P(), p.TM.PH)
+	wRanges := parallel.Split(qTiles, p.TM.PW)
+
+	workers := make([]*workerScratch, 0, len(kRanges)*len(nRanges)*len(hRanges)*len(wRanges))
+	var wg sync.WaitGroup
+	for _, kr := range kRanges {
+		kLo := kr.Lo * p.RT.Vk
+		kHi := kr.Hi * p.RT.Vk
+		if kHi > s.K {
+			kHi = s.K
+		}
+		for _, nr := range nRanges {
+			for _, hr := range hRanges {
+				for _, wr := range wRanges {
+					ws := p.scratch.Get().(*workerScratch)
+					*ws.stats = Stats{}
+					workers = append(workers, ws)
+					wg.Add(1)
+					go func(kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch) {
+						defer wg.Done()
+						p.worker(in, filter, out, nchw, accumulate, kLo, kHi, nr, hr, wr, ws)
+					}(kLo, kHi, nr, hr, wr, ws)
+				}
+			}
+		}
+	}
+	wg.Wait()
+
+	if p.opts.CollectStats {
+		p.Stats = Stats{}
+		for _, ws := range workers {
+			p.Stats.TransformSec += ws.stats.TransformSec
+			p.Stats.PackSec += ws.stats.PackSec
+			p.Stats.KernelSec += ws.stats.KernelSec
+			p.Stats.StoreSec += ws.stats.StoreSec
+		}
+	}
+	for _, ws := range workers {
+		p.scratch.Put(ws)
+	}
+}
+
+// worker executes Algorithm 2 over its slice of the iteration space.
+// Loop names follow the paper; the filter transform (line 5) is
+// hoisted above the batch/row loops so each worker converts a block
+// once per (ct, kt) pair — the natural amortisation of the paper's
+// "on-the-fly" conversion.
+func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
+	kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch) {
+	s := p.Shape
+	vw, vk := p.RT.Vw, p.RT.Vk
+	tc, tk, th := p.CT.Tc, p.CT.Tk, p.CT.Th
+	q := s.Q()
+	wIn := (vw-1)*s.Str + s.S
+	use12x8 := p.kind != kindGeneric
+	var acc accFile8
+
+	for ct := 0; ct < s.C; ct += tc { // L3
+		tcEff := tc
+		if ct+tcEff > s.C {
+			tcEff = s.C - ct
+		}
+		firstC := ct == 0 && !accumulate
+		lastC := ct+tcEff >= s.C
+
+		for kt := kLo; kt < kHi; kt += tk { // L4
+			tkEff := tk
+			if kt+tkEff > kHi {
+				tkEff = kHi - kt
+			}
+			t0 := now(ws)
+			transformFilter(filter, ws.tf, s.K, s.C, s.R, s.S, kt, tkEff, ct, tcEff, vk)
+			addTime(ws, &ws.stats.TransformSec, t0)
+			kvBlocks := (tkEff + vk - 1) / vk
+
+			for n := nr.Lo; n < nr.Hi; n++ { // L1 (worker slice)
+				for ht := hr.Lo; ht < hr.Hi; ht += th { // L2
+					hEnd := ht + th
+					if hEnd > hr.Hi {
+						hEnd = hr.Hi
+					}
+					for oh := ht; oh < hEnd; oh++ { // L5
+						for qt := wr.Lo; qt < wr.Hi; qt++ { // L6
+							qt0 := qt * vw
+							vwEff := vw
+							if qt0+vwEff > q {
+								vwEff = q - qt0
+							}
+							g := p.geometry(oh, qt0)
+							g.wIn = wIn
+
+							for kb := 0; kb < kvBlocks; kb++ { // L7
+								tfBlock := ws.tf[kb*tcEff*s.R*s.S*vk:]
+								if use12x8 {
+									acc = accFile8{}
+									if kb == 0 {
+										if p.opts.SequentialPack {
+											t0 = now(ws)
+											if nchw {
+												packNCHW(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+											} else {
+												packNHWC(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+											}
+											addTime(ws, &ws.stats.PackSec, t0)
+											t0 = now(ws)
+											p.mainKernel(&acc, ws.buf, tfBlock, tcEff, vwEff, wIn)
+											addTime(ws, &ws.stats.KernelSec, t0)
+										} else {
+											t0 = now(ws)
+											packCompute12x8(&acc, in, ws.buf, tfBlock, g,
+												n, s.C, s.H, s.W, ct, tcEff, s.R, s.S, s.Str, vwEff, nchw)
+											addTime(ws, &ws.stats.KernelSec, t0)
+										}
+									} else {
+										t0 = now(ws)
+										p.mainKernel(&acc, ws.buf, tfBlock, tcEff, vwEff, wIn)
+										addTime(ws, &ws.stats.KernelSec, t0)
+									}
+									t0 = now(ws)
+									p.store(acc[:], out, nchw, n, kt+kb*vk, kHi, oh, qt0, vwEff, firstC, lastC)
+									addTime(ws, &ws.stats.StoreSec, t0)
+								} else {
+									clear(ws.accG)
+									if kb == 0 {
+										t0 = now(ws)
+										if nchw {
+											packNCHW(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+										} else {
+											packNHWC(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+										}
+										addTime(ws, &ws.stats.PackSec, t0)
+									}
+									t0 = now(ws)
+									kernelGeneric(ws.accG, ws.buf, tfBlock, tcEff, s.R, s.S, s.Str, vwEff, wIn, vk)
+									addTime(ws, &ws.stats.KernelSec, t0)
+									t0 = now(ws)
+									p.storeGeneric(ws.accG, out, nchw, n, kt+kb*vk, kHi, oh, qt0, vwEff, firstC, lastC)
+									addTime(ws, &ws.stats.StoreSec, t0)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// mainKernel dispatches the selected V_k=8 micro-kernel variant.
+func (p *Plan) mainKernel(acc *accFile8, buf, tf []float32, tcEff, vwEff, wIn int) {
+	s := p.Shape
+	switch p.kind {
+	case kind12x8S3:
+		kernel12x8S3(acc, buf, tf, tcEff, s.R, vwEff, wIn)
+	case kind12x8S1:
+		kernel12x8S1(acc, buf, tf, tcEff, vwEff, wIn)
+	default:
+		kernel12x8(acc, buf, tf, tcEff, s.R, s.S, s.Str, vwEff, wIn)
+	}
+}
+
+// store writes the V_k=8 accumulator file into the output tensor,
+// handling first-tile assignment vs accumulation, ragged K edges and
+// the fused epilogue on the final channel tile.
+func (p *Plan) store(acc []simd.Vec4, out []float32, nchw bool,
+	n, kBase, kHi, oh, qt0, vwEff int, firstC, lastC bool) {
+	s := p.Shape
+	pp, q := s.P(), s.Q()
+	kEnd := kBase + 8
+	if kEnd > kHi {
+		kEnd = kHi
+	}
+	for k := kBase; k < kEnd; k++ {
+		j, lane := (k-kBase)/simd.Width, (k-kBase)%simd.Width
+		var row []float32
+		var stride int
+		if nchw {
+			row = out[((n*s.K+k)*pp+oh)*q+qt0:]
+			stride = 1
+		} else {
+			row = out[((n*pp+oh)*q+qt0)*s.K+k:]
+			stride = s.K
+		}
+		p.storeLane(row, stride, acc, 2, j, lane, vwEff, k, firstC, lastC)
+	}
+}
+
+// storeGeneric is the arbitrary-V_k variant of store.
+func (p *Plan) storeGeneric(acc []simd.Vec4, out []float32, nchw bool,
+	n, kBase, kHi, oh, qt0, vwEff int, firstC, lastC bool) {
+	s := p.Shape
+	pp, q := s.P(), s.Q()
+	jn := p.RT.Vk / simd.Width
+	kEnd := kBase + p.RT.Vk
+	if kEnd > kHi {
+		kEnd = kHi
+	}
+	for k := kBase; k < kEnd; k++ {
+		j, lane := (k-kBase)/simd.Width, (k-kBase)%simd.Width
+		var row []float32
+		var stride int
+		if nchw {
+			row = out[((n*s.K+k)*pp+oh)*q+qt0:]
+			stride = 1
+		} else {
+			row = out[((n*pp+oh)*q+qt0)*s.K+k:]
+			stride = s.K
+		}
+		p.storeLane(row, stride, acc, jn, j, lane, vwEff, k, firstC, lastC)
+	}
+}
+
+// storeLane writes one output channel's row of the register tile.
+// acc is indexed acc[ow*jn + j][lane].
+func (p *Plan) storeLane(row []float32, stride int, acc []simd.Vec4, jn, j, lane, vwEff, k int, firstC, lastC bool) {
+	var bias float32
+	applyBias := false
+	applyReLU := false
+	if lastC {
+		switch p.opts.Epilogue {
+		case EpilogueBias:
+			bias, applyBias = p.opts.Bias[k], true
+		case EpilogueReLU:
+			applyReLU = true
+		case EpilogueBiasReLU:
+			bias, applyBias = p.opts.Bias[k], true
+			applyReLU = true
+		}
+	}
+	x := 0
+	for ow := 0; ow < vwEff; ow++ {
+		v := acc[ow*jn+j][lane]
+		if !firstC {
+			v += row[x]
+		}
+		if applyBias {
+			v += bias
+		}
+		if applyReLU && v < 0 {
+			v = 0
+		}
+		row[x] = v
+		x += stride
+	}
+}
+
+// now/addTime are the near-zero-cost-when-disabled stage timers.
+func now(ws *workerScratch) time.Time {
+	if !ws.timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func addTime(ws *workerScratch, dst *float64, t0 time.Time) {
+	if !ws.timed {
+		return
+	}
+	*dst += time.Since(t0).Seconds()
+}

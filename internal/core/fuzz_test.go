@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+// Fuzz target: any realisable shape must match the Algorithm 1 oracle
+// within FP32 accumulation tolerance. Run `go test -fuzz FuzzConv2D`
+// for open-ended exploration; the seed corpus runs in every ordinary
+// `go test` invocation.
+func FuzzConv2DAgainstReference(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(10), uint8(1), uint8(1), uint8(0), int64(1))
+	f.Add(uint8(3), uint8(16), uint8(14), uint8(3), uint8(2), uint8(3), int64(2))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), uint8(0), uint8(1), int64(3))
+	f.Add(uint8(64), uint8(13), uint8(7), uint8(2), uint8(1), uint8(2), int64(4))
+	f.Fuzz(func(t *testing.T, cRaw, kRaw, hRaw, rsRaw, strRaw, padRaw uint8, seed int64) {
+		s := conv.Shape{
+			N:   1,
+			C:   int(cRaw)%48 + 1,
+			H:   int(hRaw)%18 + 1,
+			W:   int(hRaw)%22 + 1,
+			K:   int(kRaw)%48 + 1,
+			R:   []int{1, 3, 5, 7}[int(rsRaw)%4],
+			S:   []int{1, 3, 5, 7}[int(rsRaw)%4],
+			Str: int(strRaw)%3 + 1,
+			Pad: int(padRaw) % 4,
+		}
+		if !s.Valid() {
+			t.Skip()
+		}
+		in := s.NewInput()
+		in.FillRandom(seed)
+		fl := s.NewFilter()
+		fl.FillRandom(seed + 1)
+		want := conv.Reference(s, in, fl)
+		got := Conv2D(s, in, fl, Options{Threads: 2})
+		if d := tensor.RelDiff(want, got); d > 5e-5 {
+			t.Fatalf("shape %v: rel diff %g", s, d)
+		}
+	})
+}
+
+// Fuzz target for the NHWC entry point.
+func FuzzConv2DNHWCAgainstReference(f *testing.F) {
+	f.Add(uint8(4), uint8(8), uint8(9), int64(1))
+	f.Add(uint8(16), uint8(3), uint8(12), int64(2))
+	f.Fuzz(func(t *testing.T, cRaw, kRaw, hRaw uint8, seed int64) {
+		s := conv.Shape{
+			N: 1, C: int(cRaw)%24 + 1,
+			H: int(hRaw)%14 + 3, W: int(hRaw)%16 + 3,
+			K: int(kRaw)%24 + 1, R: 3, S: 3, Str: 1, Pad: 1,
+		}
+		in := s.NewInput()
+		in.FillRandom(seed)
+		fl := s.NewFilter()
+		fl.FillRandom(seed + 1)
+		want := conv.Reference(s, in, fl)
+		got := tensor.NHWCToNCHW(Conv2DNHWC(s, tensor.NCHWToNHWC(in), fl, Options{Threads: 2}))
+		if d := tensor.RelDiff(want, got); d > 5e-5 {
+			t.Fatalf("shape %v: rel diff %g", s, d)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/parallel"
+	"ndirect/internal/tensor"
+)
+
+// Grouped convolution: the continuum between the standard convolution
+// (groups=1) and the depthwise convolution of §10.2 (groups=C). Each
+// group convolves C/g input channels into K/g output channels with an
+// independent filter set — the ResNeXt/AlexNet-style building block.
+// nDirect extends naturally: each group is a standard convolution on
+// a channel slice, so the per-group work reuses one shared Plan (same
+// tile geometry for every group) and the driver adds the group loop
+// to the parallel dimensions.
+
+// GroupedConv2D convolves an NCHW input with a [K, C/groups, R, S]
+// filter in `groups` independent channel groups, returning the NKPQ
+// output. groups must divide both C and K. groups=1 degenerates to
+// Conv2D.
+func GroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	if groups < 1 || s.C%groups != 0 || s.K%groups != 0 {
+		panic(fmt.Sprintf("core: groups=%d must divide C=%d and K=%d", groups, s.C, s.K))
+	}
+	cg, kg := s.C/groups, s.K/groups
+	wantF := []int{s.K, cg, s.R, s.S}
+	for i, d := range wantF {
+		if filter.Dims[i] != d {
+			panic(fmt.Sprintf("core: grouped filter dims %v, want %v", filter.Dims, wantF))
+		}
+	}
+	if groups == 1 {
+		return Conv2D(s, in, filter, opt)
+	}
+
+	gs := s // the per-group sub-problem
+	gs.C, gs.K = cg, kg
+	if !gs.Valid() {
+		panic(fmt.Sprintf("core: invalid grouped shape %v / groups=%d", s, groups))
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	p, q := s.P(), s.Q()
+	out := s.NewOutput()
+
+	// One plan shared by every (n, g) sub-problem; the batch/group
+	// product is the outer parallel dimension, the plan runs
+	// single-threaded inside (it already saturates a worker).
+	gOpt := opt
+	gOpt.Threads = 1
+	gs1 := gs.WithBatch(1)
+	plan := NewPlan(gs1, gOpt)
+
+	inSlice := s.C / groups * s.H * s.W
+	outSlice := kg * p * q
+	fSlice := kg * cg * s.R * s.S
+	parallel.For(s.N*groups, threads, func(ng int) {
+		n, g := ng/groups, ng%groups
+		inView := tensor.FromSlice(
+			in.Data[(n*s.C+g*cg)*s.H*s.W:(n*s.C+g*cg)*s.H*s.W+inSlice],
+			1, cg, s.H, s.W)
+		fView := tensor.FromSlice(filter.Data[g*fSlice:(g+1)*fSlice], kg, cg, s.R, s.S)
+		outView := tensor.FromSlice(
+			out.Data[(n*s.K+g*kg)*p*q:(n*s.K+g*kg)*p*q+outSlice],
+			1, kg, p, q)
+		plan.Execute(inView, fView, outView)
+	})
+	return out
+}

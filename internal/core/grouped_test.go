@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+// groupedReference is an independent oracle.
+func groupedReference(s conv.Shape, groups int, in, filter *tensor.Tensor) *tensor.Tensor {
+	cg, kg := s.C/groups, s.K/groups
+	p, q := s.P(), s.Q()
+	out := s.NewOutput()
+	for n := 0; n < s.N; n++ {
+		for k := 0; k < s.K; k++ {
+			g := k / kg
+			for oj := 0; oj < p; oj++ {
+				for oi := 0; oi < q; oi++ {
+					var acc float64
+					for cc := 0; cc < cg; cc++ {
+						c := g*cg + cc
+						for r := 0; r < s.R; r++ {
+							ih := oj*s.Str - s.Pad + r
+							if ih < 0 || ih >= s.H {
+								continue
+							}
+							for ss := 0; ss < s.S; ss++ {
+								iw := oi*s.Str - s.Pad + ss
+								if iw < 0 || iw >= s.W {
+									continue
+								}
+								acc += float64(in.At(n, c, ih, iw)) * float64(filter.At(k, cc, r, ss))
+							}
+						}
+					}
+					out.Set(float32(acc), n, k, oj, oi)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkGrouped(t *testing.T, s conv.Shape, groups int) {
+	t.Helper()
+	in := s.NewInput()
+	in.FillRandom(int64(s.C + groups))
+	f := tensor.New(s.K, s.C/groups, s.R, s.S)
+	f.FillRandom(int64(s.K))
+	want := groupedReference(s, groups, in, f)
+	got := GroupedConv2D(s, groups, in, f, Options{Threads: 2})
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("%v groups=%d: rel diff %g", s, groups, d)
+	}
+}
+
+func TestGroupedConv2DMatchesReference(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	for _, g := range []int{2, 4, 8} {
+		checkGrouped(t, s, g)
+	}
+	// Strided grouped conv.
+	checkGrouped(t, conv.Shape{N: 1, C: 12, H: 12, W: 12, K: 6, R: 3, S: 3, Str: 2, Pad: 1}, 3)
+}
+
+func TestGroupedConv2DGroupsOneEqualsConv2D(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(1)
+	f := s.NewFilter()
+	f.FillRandom(2)
+	a := GroupedConv2D(s, 1, in, f, Options{Threads: 1})
+	b := Conv2D(s, in, f, Options{Threads: 1})
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("groups=1 must equal the standard path")
+	}
+}
+
+func TestGroupedConv2DFullGroupsIsDepthwiseLike(t *testing.T) {
+	// groups == C == K: each output channel sees exactly one input
+	// channel — depthwise semantics through the grouped path.
+	s := conv.Shape{N: 1, C: 6, H: 8, W: 8, K: 6, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(3)
+	fG := tensor.New(s.K, 1, s.R, s.S)
+	fG.FillRandom(4)
+	grouped := GroupedConv2D(s, 6, in, fG, Options{Threads: 1})
+	fD := tensor.FromSlice(fG.Data, s.C, s.R, s.S)
+	dw := DepthwiseConv2D(s, in, fD, Options{Threads: 1})
+	if d := tensor.RelDiff(grouped, dw); d > tol {
+		t.Fatalf("grouped(C)=depthwise mismatch: %g", d)
+	}
+}
+
+func TestGroupedConv2DValidation(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-dividing groups")
+		}
+	}()
+	GroupedConv2D(s, 3, s.NewInput(), tensor.New(8, 2, 3, 3), Options{})
+}
+
+func TestGroupedConv2DThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(5)
+	f := tensor.New(s.K, 2, s.R, s.S)
+	f.FillRandom(6)
+	a := GroupedConv2D(s, 4, in, f, Options{Threads: 1})
+	b := GroupedConv2D(s, 4, in, f, Options{Threads: 8})
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("grouped threading changed result")
+	}
+}

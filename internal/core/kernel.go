@@ -1,0 +1,179 @@
+package core
+
+import "ndirect/internal/simd"
+
+// Main micro-kernel (Algorithm 3). One invocation computes the
+// register tile O[kv:kv+Vk][oh][qt0:qt0+vwEff] contribution of the
+// channel tile [ct, ct+tc):
+//
+//	for cv, r:   load the packed input row        (V2–V5)
+//	  for s:     load the filter vector slice     (V0–V1)
+//	             FMA each input scalar against it (V8–V31)
+//
+// The outer-product form — one input scalar broadcast against a V_k
+// filter vector — is what gives nDirect its higher FAI than the
+// GEMM-style inner-product kernels of LIBXSMM (§5.2): each loaded
+// filter vector is reused V_w times and each input element S·V_k/4
+// times before leaving the registers.
+
+// maxVw bounds the specialised kernel's accumulator file: 12 output
+// columns × 8 output channels = 24 Vec4 accumulators, the Equation 3
+// optimum.
+const maxVw = 12
+
+// accFile8 is the register tile for the V_k=8 kernels: acc[2*ow] and
+// acc[2*ow+1] hold output channels kv..kv+3 and kv+4..kv+7 of output
+// column ow.
+type accFile8 = [2 * maxVw]simd.Vec4
+
+// kernel12x8 is the specialised main micro-kernel for the analytical
+// optimum V_w=12, V_k=8 (any R, S, stride). tf must point at the
+// transformed filter block for this kb (layout [tc][R][S][8]); buf is
+// the packed input [tc][R][wIn].
+func kernel12x8(acc *accFile8, buf, tf []float32, tc, r, s, str, vwEff, wIn int) {
+	for cv := 0; cv < tc; cv++ {
+		for rr := 0; rr < r; rr++ {
+			row := buf[(cv*r+rr)*wIn : (cv*r+rr)*wIn+wIn]
+			fmaRow12x8(acc, row, tf[(cv*r+rr)*s*8:], s, str, vwEff)
+		}
+	}
+}
+
+// fmaRow12x8 applies one packed input row against the S filter
+// vector pairs of a (cv, r) coordinate — the shared inner body of the
+// main micro-kernel and the fused pack+compute micro-kernel (both
+// paths must compile identically and produce bit-identical results).
+func fmaRow12x8(acc *accFile8, row, fTap []float32, s, str, vwEff int) {
+	for ss := 0; ss < s; ss++ {
+		fs := fTap[ss*8 : ss*8+8]
+		f0 := simd.Load(fs)
+		f1 := simd.Load(fs[4:])
+		x := ss
+		for ow := 0; ow < vwEff; ow++ {
+			v := row[x]
+			acc[2*ow] = acc[2*ow].FMAScalar(f0, v)
+			acc[2*ow+1] = acc[2*ow+1].FMAScalar(f1, v)
+			x += str
+		}
+	}
+}
+
+// packCompute12x8 fuses the packing micro-kernel with the first
+// V_k-block computation (§5.3): each packed row is stored to the
+// linear buffer and immediately consumed by the FMA stream, hiding
+// the packing stores behind the compute — the Go analogue of placing
+// st instructions between FMAs for the out-of-order core to overlap.
+// rows outside the image clear the buffer row and skip the FMAs
+// (zero contributions).
+func packCompute12x8(acc *accFile8, in, buf, tf []float32, g packGeometry,
+	n, c, h, w, ct, tc, r, s, str, vwEff int, nchw bool) {
+	for cv := 0; cv < tc; cv++ {
+		for rr := 0; rr < r; rr++ {
+			dst := buf[(cv*r+rr)*g.wIn : (cv*r+rr)*g.wIn+g.wIn]
+			ih := g.ihBase + rr
+			if ih < 0 || ih >= h {
+				clear(dst)
+				continue
+			}
+			if nchw {
+				src := in[((n*c+ct+cv)*h+ih)*w : ((n*c+ct+cv)*h+ih+1)*w]
+				packRow(dst, src, g.iwBase, w)
+			} else {
+				rowBase := ((n*h + ih) * w) * c
+				cc := ct + cv
+				for x := 0; x < g.wIn; x++ {
+					iw := g.iwBase + x
+					if iw < 0 || iw >= w {
+						dst[x] = 0
+					} else {
+						dst[x] = in[rowBase+iw*c+cc]
+					}
+				}
+			}
+			fmaRow12x8(acc, dst, tf[(cv*r+rr)*s*8:], s, str, vwEff)
+		}
+	}
+}
+
+// kernel12x8S3 is the fully specialised main micro-kernel for the
+// paper's working example — 3×3 kernel, stride 1, V_w=12, V_k=8 —
+// with the S loop unrolled exactly as Algorithm 3 lines 5–14: all
+// six filter vectors of a (cv, r) pair are hoisted into registers
+// and each packed input element feeds six FMAs before the next load.
+// This is the Go counterpart of the paper's hand-written NEON body.
+func kernel12x8S3(acc *accFile8, buf, tf []float32, tc, r, vwEff, wIn int) {
+	for cv := 0; cv < tc; cv++ {
+		for rr := 0; rr < r; rr++ {
+			row := buf[(cv*r+rr)*wIn : (cv*r+rr)*wIn+wIn]
+			fb := (cv*r + rr) * 24
+			fs := tf[fb : fb+24]
+			f0 := simd.Load(fs)
+			f1 := simd.Load(fs[4:])
+			f2 := simd.Load(fs[8:])
+			f3 := simd.Load(fs[12:])
+			f4 := simd.Load(fs[16:])
+			f5 := simd.Load(fs[20:])
+			for ow := 0; ow < vwEff; ow++ {
+				x0 := row[ow]
+				x1 := row[ow+1]
+				x2 := row[ow+2]
+				a0 := acc[2*ow]
+				a1 := acc[2*ow+1]
+				a0 = a0.FMAScalar(f0, x0)
+				a1 = a1.FMAScalar(f1, x0)
+				a0 = a0.FMAScalar(f2, x1)
+				a1 = a1.FMAScalar(f3, x1)
+				a0 = a0.FMAScalar(f4, x2)
+				a1 = a1.FMAScalar(f5, x2)
+				acc[2*ow] = a0
+				acc[2*ow+1] = a1
+			}
+		}
+	}
+}
+
+// kernel12x8S1 is the specialised pointwise (1×1, stride 1) kernel:
+// one packed row per channel, two FMAs per output element.
+func kernel12x8S1(acc *accFile8, buf, tf []float32, tc, vwEff, wIn int) {
+	for cv := 0; cv < tc; cv++ {
+		row := buf[cv*wIn : cv*wIn+wIn]
+		fs := tf[cv*8 : cv*8+8]
+		f0 := simd.Load(fs)
+		f1 := simd.Load(fs[4:])
+		for ow := 0; ow < vwEff; ow++ {
+			x := row[ow]
+			acc[2*ow] = acc[2*ow].FMAScalar(f0, x)
+			acc[2*ow+1] = acc[2*ow+1].FMAScalar(f1, x)
+		}
+	}
+}
+
+// kernelGeneric is the fallback main micro-kernel for arbitrary
+// (V_w, V_k) register tiles (V_k a multiple of 4). acc holds
+// vwEff × vk/4 accumulators, column-major per output column:
+// acc[ow*(vk/4)+j].
+func kernelGeneric(acc []simd.Vec4, buf, tf []float32, tc, r, s, str, vwEff, wIn, vk int) {
+	jn := vk / simd.Width
+	var fregs [simd.NumRegs / 4]simd.Vec4 // filter slice registers (jn <= 8 in practice)
+	for cv := 0; cv < tc; cv++ {
+		for rr := 0; rr < r; rr++ {
+			row := buf[(cv*r+rr)*wIn : (cv*r+rr)*wIn+wIn]
+			fb := (cv*r + rr) * s * vk
+			for ss := 0; ss < s; ss++ {
+				fs := tf[fb+ss*vk : fb+(ss+1)*vk]
+				for j := 0; j < jn; j++ {
+					fregs[j] = simd.Load(fs[j*simd.Width:])
+				}
+				x := ss
+				for ow := 0; ow < vwEff; ow++ {
+					v := row[x]
+					base := ow * jn
+					for j := 0; j < jn; j++ {
+						acc[base+j] = acc[base+j].FMAScalar(fregs[j], v)
+					}
+					x += str
+				}
+			}
+		}
+	}
+}

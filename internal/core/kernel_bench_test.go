@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"ndirect/internal/simd"
+)
+
+// Direct micro-kernel A/B: one (tc=32, R=3, S=3) register-tile update
+// per iteration, no loop-nest overhead. Decides the dispatch default
+// on the running host.
+func BenchmarkMicroKernelBodies(b *testing.B) {
+	const tc, r, s, vw, vk, str = 32, 3, 3, 12, 8, 1
+	wIn := (vw-1)*str + s
+	buf := make([]float32, tc*r*wIn)
+	tf := make([]float32, tc*r*s*vk)
+	for i := range buf {
+		buf[i] = float32(i%17) * 0.25
+	}
+	for i := range tf {
+		tf[i] = float32(i%13) * 0.5
+	}
+	flops := float64(2 * tc * r * s * vw * vk)
+
+	b.Run("looped12x8", func(b *testing.B) {
+		var acc accFile8
+		for i := 0; i < b.N; i++ {
+			kernel12x8(&acc, buf, tf, tc, r, s, str, vw, wIn)
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		sinkV = acc[0]
+	})
+	b.Run("unrolledS3", func(b *testing.B) {
+		var acc accFile8
+		for i := 0; i < b.N; i++ {
+			kernel12x8S3(&acc, buf, tf, tc, r, vw, wIn)
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		sinkV = acc[0]
+	})
+	b.Run("generic", func(b *testing.B) {
+		acc := make([]simd.Vec4, vw*vk/4)
+		for i := 0; i < b.N; i++ {
+			kernelGeneric(acc, buf, tf, tc, r, s, str, vw, wIn, vk)
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		sinkV = acc[0]
+	})
+}
+
+var sinkV simd.Vec4

@@ -1,0 +1,40 @@
+package core
+
+// transformFilter converts one cache tile of the KCRS filter into the
+// vector-blocked layout the main micro-kernel consumes:
+//
+//	F[kt:kt+tk][ct:ct+tc][R][S]  →  TF[⌈tk/Vk⌉][tc][R][S][Vk]
+//
+// This is line 5 of Algorithm 2: the T_k·T_c·R·S → ⌈T_k/V_k⌉·T_c·R·S·V_k
+// on-the-fly transform that lets nDirect keep the framework's KCRS
+// weights while the kernel streams unit-stride vector loads. Lanes
+// past K are zero so edge tiles compute harmlessly into padding.
+//
+// dst must have room for ceil(tk/vk)*tc*R*S*vk floats.
+func transformFilter(filter []float32, dst []float32, k, c, r, s int, kt, tk, ct, tc, vk int) {
+	kBlocks := (tk + vk - 1) / vk
+	rs := r * s
+	for kb := 0; kb < kBlocks; kb++ {
+		for cv := 0; cv < tc; cv++ {
+			srcC := ((ct + cv) * rs)
+			dstBase := ((kb*tc + cv) * rs) * vk
+			for x := 0; x < rs; x++ {
+				d := dstBase + x*vk
+				for lane := 0; lane < vk; lane++ {
+					kk := kt + kb*vk + lane
+					if kk < kt+tk {
+						dst[d+lane] = filter[(kk*c*rs)+srcC+x]
+					} else {
+						dst[d+lane] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// tfIndex returns the offset of the (kb, cv, r, s) filter vector in
+// the transformed buffer (the lane dimension is innermost).
+func tfIndex(kb, cv, rr, ss, r, s, tc, vk int) int {
+	return (((kb*tc+cv)*r+rr)*s + ss) * vk
+}

@@ -1,0 +1,189 @@
+// Package fft implements FFT-based convolution — the second fast
+// algorithm §2.1 discusses and excludes ("the two methods can
+// increase the memory pressure and reduce the prediction accuracy",
+// "FFT and Winograd ... have limited applications"). It completes the
+// repository's coverage of the four CONV implementation strategies
+// the paper enumerates (direct, im2col+GEMM, FFT, Winograd).
+//
+// The implementation is the textbook spectral method: pad each input
+// channel and filter to a power-of-two frame, transform with an
+// iterative radix-2 Cooley–Tukey FFT, reduce over channels with
+// pointwise complex multiply (correlation uses the conjugated filter
+// spectrum), inverse-transform, and sample the valid region with the
+// stride. The paper's two criticisms are directly observable here:
+// FootprintBytes quantifies the spectral memory blow-up, and the
+// round trip through the frequency domain carries more FP error than
+// direct summation.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/parallel"
+	"ndirect/internal/tensor"
+)
+
+// FFT1D computes the in-place radix-2 decimation-in-time transform of
+// x (len(x) must be a power of two). inverse selects the inverse
+// transform (including the 1/N scale).
+func FFT1D(x []complex128, inverse bool) {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// FFT2D transforms an h×w row-major frame in place (h, w powers of
+// two): rows first, then columns.
+func FFT2D(x []complex128, h, w int, inverse bool) {
+	for r := 0; r < h; r++ {
+		FFT1D(x[r*w:(r+1)*w], inverse)
+	}
+	col := make([]complex128, h)
+	for c := 0; c < w; c++ {
+		for r := 0; r < h; r++ {
+			col[r] = x[r*w+c]
+		}
+		FFT1D(col, inverse)
+		for r := 0; r < h; r++ {
+			x[r*w+c] = col[r]
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two ≥ v.
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// FrameSize returns the spectral frame dimensions for a shape: the
+// padded input (H+2·Pad, W+2·Pad) rounded up to powers of two (linear
+// correlation needs room for the kernel overhang, which the padding
+// rows already provide; the pow-2 rounding covers the wrap).
+func FrameSize(s conv.Shape) (fh, fw int) {
+	return nextPow2(s.H + 2*s.Pad + s.R), nextPow2(s.W + 2*s.Pad + s.S)
+}
+
+// FootprintBytes returns the spectral working set (complex128 frames)
+// of a convolution: C input spectra + K·C filter spectra + one
+// accumulator frame — the "memory pressure" §2.1 cites. For ResNet-50
+// layer 3 this is ≈ 0.5 GB where the direct working set is ≈ 1.6 MB.
+func FootprintBytes(s conv.Shape) int64 {
+	fh, fw := FrameSize(s)
+	frames := int64(s.C) + int64(s.K)*int64(s.C) + 1
+	return frames * int64(fh) * int64(fw) * 16
+}
+
+// Options configure the baseline.
+type Options struct {
+	Threads int
+}
+
+// Conv2D convolves NCHW input with a KCRS filter through the
+// frequency domain. Any kernel size and stride are supported (stride
+// subsamples the full correlation — the inefficiency that makes FFT
+// unattractive for strided layers, per the paper's citation of Huang
+// et al.).
+func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	conv.CheckOperands(s, in, filter)
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	fh, fw := FrameSize(s)
+	frame := fh * fw
+	p, q := s.P(), s.Q()
+	out := s.NewOutput()
+
+	// Filter spectra F̂[k][c], conjugated for correlation.
+	fSpec := make([]complex128, s.K*s.C*frame)
+	parallel.For(s.K*s.C, threads, func(kc int) {
+		k, c := kc/s.C, kc%s.C
+		buf := fSpec[kc*frame : (kc+1)*frame]
+		for r := 0; r < s.R; r++ {
+			for ss := 0; ss < s.S; ss++ {
+				buf[r*fw+ss] = complex(float64(filter.At(k, c, r, ss)), 0)
+			}
+		}
+		FFT2D(buf, fh, fw, false)
+		for i := range buf {
+			buf[i] = cmplx.Conj(buf[i])
+		}
+	})
+
+	// Per image: input spectra, channel-reduced products, inverse.
+	for n := 0; n < s.N; n++ {
+		inSpec := make([]complex128, s.C*frame)
+		parallel.For(s.C, threads, func(c int) {
+			buf := inSpec[c*frame : (c+1)*frame]
+			for ih := 0; ih < s.H; ih++ {
+				for iw := 0; iw < s.W; iw++ {
+					// Embed at (pad, pad) so output (0,0) aligns with
+					// frame (0,0) after correlation.
+					buf[(ih+s.Pad)*fw+(iw+s.Pad)] = complex(float64(in.At(n, c, ih, iw)), 0)
+				}
+			}
+			FFT2D(buf, fh, fw, false)
+		})
+		parallel.For(s.K, threads, func(k int) {
+			acc := make([]complex128, frame)
+			for c := 0; c < s.C; c++ {
+				is := inSpec[c*frame:]
+				fs := fSpec[(k*s.C+c)*frame:]
+				for i := 0; i < frame; i++ {
+					acc[i] += is[i] * fs[i]
+				}
+			}
+			FFT2D(acc, fh, fw, true)
+			for oj := 0; oj < p; oj++ {
+				for oi := 0; oi < q; oi++ {
+					out.Set(float32(real(acc[(oj*s.Str)*fw+oi*s.Str])), n, k, oj, oi)
+				}
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+func TestFFT1DImpulse(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT1D(x, false)
+	for i, v := range x {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFT1DKnownSine(t *testing.T) {
+	// A pure complex exponential at bin 1 transforms to a single
+	// spike of magnitude N at bin 1.
+	const n = 16
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * float64(i) / n
+		x[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	FFT1D(x, false)
+	for i, v := range x {
+		want := 0.0
+		if i == 1 {
+			want = n
+		}
+		if math.Abs(real(v)-want) > 1e-9 || math.Abs(imag(v)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFT1DNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length 6")
+		}
+	}()
+	FFT1D(make([]complex128, 6), false)
+}
+
+func TestFFT1DRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (uint(rng.Intn(6)) + 1)
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			orig[i] = x[i]
+		}
+		FFT1D(x, false)
+		FFT1D(x, true)
+		for i := range x {
+			if math.Abs(real(x[i])-real(orig[i])) > 1e-10 ||
+				math.Abs(imag(x[i])-imag(orig[i])) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT1DParseval(t *testing.T) {
+	// Energy conservation: Σ|x|² = (1/N)·Σ|x̂|².
+	const n = 32
+	rng := rand.New(rand.NewSource(7))
+	x := make([]complex128, n)
+	var e1 float64
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, 0)
+		e1 += real(x[i]) * real(x[i])
+	}
+	FFT1D(x, false)
+	var e2 float64
+	for _, v := range x {
+		e2 += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(e1-e2/n) > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", e1, e2/n)
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	const h, w = 8, 16
+	rng := rand.New(rand.NewSource(3))
+	x := make([]complex128, h*w)
+	orig := make([]complex128, h*w)
+	for i := range x {
+		x[i] = complex(rng.Float64(), 0)
+		orig[i] = x[i]
+	}
+	FFT2D(x, h, w, false)
+	FFT2D(x, h, w, true)
+	for i := range x {
+		if math.Abs(real(x[i])-real(orig[i])) > 1e-10 {
+			t.Fatalf("round trip broke at %d", i)
+		}
+	}
+}
+
+func TestFrameSizeAndFootprint(t *testing.T) {
+	s := conv.Shape{N: 1, C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1}
+	fh, fw := FrameSize(s)
+	if fh != 64 || fw != 64 {
+		t.Fatalf("frame = %dx%d, want 64x64", fh, fw)
+	}
+	// (C + K*C + 1) * 64*64 * 16 bytes ≈ 0.27 GB: the memory pressure
+	// §2.1 cites, vs ~1.6 MB for the direct working set.
+	fb := FootprintBytes(s)
+	if fb < 250<<20 || fb > 300<<20 {
+		t.Fatalf("footprint = %d bytes", fb)
+	}
+}
+
+const tol = 2e-4
+
+func checkConv(t *testing.T, s conv.Shape) {
+	t.Helper()
+	in := s.NewInput()
+	in.FillRandom(int64(s.C))
+	f := s.NewFilter()
+	f.FillRandom(int64(s.K))
+	want := conv.Reference(s, in, f)
+	got := Conv2D(s, in, f, Options{Threads: 2})
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("%v: rel diff %g", s, d)
+	}
+}
+
+func TestConv2DMatchesReference(t *testing.T) {
+	checkConv(t, conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 2, C: 3, H: 10, W: 10, K: 5, R: 3, S: 3, Str: 1, Pad: 0})
+	checkConv(t, conv.Shape{N: 1, C: 2, H: 9, W: 7, K: 3, R: 5, S: 5, Str: 1, Pad: 2})
+	checkConv(t, conv.Shape{N: 1, C: 2, H: 8, W: 8, K: 2, R: 1, S: 1, Str: 1, Pad: 0})
+}
+
+func TestConv2DStride2(t *testing.T) {
+	// Strided FFT conv subsamples the full correlation.
+	checkConv(t, conv.Shape{N: 1, C: 3, H: 12, W: 12, K: 4, R: 3, S: 3, Str: 2, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 3, H: 14, W: 14, K: 2, R: 7, S: 7, Str: 2, Pad: 3})
+}
+
+func TestConv2DThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(1)
+	f := s.NewFilter()
+	f.FillRandom(2)
+	a := Conv2D(s, in, f, Options{Threads: 1})
+	b := Conv2D(s, in, f, Options{Threads: 8})
+	if tensor.MaxAbsDiff(a, b) > 1e-6 {
+		t.Fatal("threading changed FFT conv result")
+	}
+}

@@ -1,0 +1,150 @@
+// Package gemm is a from-scratch Goto-algorithm single-precision
+// matrix multiply — the OpenBLAS substitute backing the im2col+GEMM
+// convolution baseline and the LIBXSMM-style batch-reduce kernels.
+//
+// Structure follows Goto & van de Geijn ("Anatomy of High-Performance
+// Matrix Multiplication"): the K dimension is blocked by KC, N by NC
+// and M by MC; B panels are packed into KC×NR column strips and A
+// panels into MR×KC row strips; an MR×NR register micro-kernel (8×12,
+// 24 Vec4 accumulators — the same register budget as nDirect's
+// kernel) performs the innermost rank-KC update. The packing stages
+// are separately timed so the harness can reproduce the Figure 1a
+// cost breakdown.
+package gemm
+
+import (
+	"sync"
+	"time"
+
+	"ndirect/internal/parallel"
+)
+
+// Register micro-kernel dimensions: MR rows of C by NR columns.
+const (
+	MR = 8
+	NR = 12
+)
+
+// Cache block sizes (floats): KC×NR B-strips live in L1, MC×KC A
+// panels in L2, KC×NC B panels in the LLC — the classic Goto
+// assignment.
+const (
+	defaultMC = 128
+	defaultKC = 256
+	defaultNC = 3072
+)
+
+// Config controls an SGEMM invocation.
+type Config struct {
+	// Threads is the worker count (0 = one per available core).
+	Threads int
+	// CollectStats records packing vs kernel time into the returned
+	// Stats.
+	CollectStats bool
+	// MC/KC/NC override the cache block sizes (0 keeps defaults).
+	MC, KC, NC int
+}
+
+// Stats reports where SGEMM time went (total across workers).
+type Stats struct {
+	PackASec, PackBSec, KernelSec float64
+}
+
+// PackSec returns the combined packing time.
+func (s Stats) PackSec() float64 { return s.PackASec + s.PackBSec }
+
+// Gemm computes C = alpha·A·B + beta·C for row-major dense matrices:
+// A is m×k with leading dimension lda, B is k×n (ldb), C is m×n (ldc).
+func Gemm(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int,
+	beta float32, c []float32, ldc int, cfg Config) Stats {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return Stats{}
+	}
+	mc, kc, nc := cfg.MC, cfg.KC, cfg.NC
+	if mc <= 0 {
+		mc = defaultMC
+	}
+	if kc <= 0 {
+		kc = defaultKC
+	}
+	if nc <= 0 {
+		nc = defaultNC
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+
+	var mu sync.Mutex
+	var total Stats
+
+	// Loop 5 (jc over N by NC) and loop 4 (pc over K by KC) are
+	// sequential; loop 3 (ic over M by MC) is parallelised, the
+	// standard multi-threaded Goto decomposition: every worker shares
+	// the packed B panel and packs its own A block.
+	for jc := 0; jc < n; jc += nc {
+		ncEff := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kcEff := min(kc, k-pc)
+			betaEff := beta
+			if pc > 0 {
+				betaEff = 1
+			}
+			bPanel := make([]float32, kcEff*roundUp(ncEff, NR))
+			t0 := time.Now()
+			packB(b, bPanel, pc, jc, kcEff, ncEff, ldb)
+			tPackB := time.Since(t0).Seconds()
+
+			mBlocks := (m + mc - 1) / mc
+			var st Stats
+			var stMu sync.Mutex
+			parallel.For(mBlocks, threads, func(ib int) {
+				ic := ib * mc
+				mcEff := min(mc, m-ic)
+				aPanel := make([]float32, kcEff*roundUp(mcEff, MR))
+				t1 := time.Now()
+				packA(a, aPanel, ic, pc, mcEff, kcEff, lda)
+				dPack := time.Since(t1).Seconds()
+				t1 = time.Now()
+				macroKernel(aPanel, bPanel, c, ic, jc, mcEff, ncEff, kcEff, ldc, alpha, betaEff)
+				dKern := time.Since(t1).Seconds()
+				if cfg.CollectStats {
+					stMu.Lock()
+					st.PackASec += dPack
+					st.KernelSec += dKern
+					stMu.Unlock()
+				}
+			})
+			if cfg.CollectStats {
+				mu.Lock()
+				total.PackASec += st.PackASec
+				total.PackBSec += tPackB
+				total.KernelSec += st.KernelSec
+				mu.Unlock()
+			}
+		}
+	}
+	return total
+}
+
+// Multiply is the common case C = A·B (beta = 0) with default blocks.
+func Multiply(m, n, k int, a, b, c []float32, threads int) {
+	Gemm(m, n, k, 1, a, k, b, n, 0, c, n, Config{Threads: threads})
+}
+
+// Naive computes C = A·B with the textbook triple loop — the
+// unoptimised GEMM used by the ACL_GEMM motivation baseline and as a
+// small-case oracle in tests.
+func Naive(m, n, k int, a, b, c []float32) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for p := 0; p < k; p++ {
+				acc += float64(a[i*k+p]) * float64(b[p*n+j])
+			}
+			c[i*n+j] = float32(acc)
+		}
+	}
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }

@@ -1,0 +1,221 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(m, n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, m*n)
+	for i := range out {
+		out[i] = rng.Float32()*2 - 1
+	}
+	return out
+}
+
+func maxDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestGemmMatchesNaiveSquare(t *testing.T) {
+	const n = 64
+	a := randMat(n, n, 1)
+	b := randMat(n, n, 2)
+	want := make([]float32, n*n)
+	Naive(n, n, n, a, b, want)
+	got := make([]float32, n*n)
+	Multiply(n, n, n, a, b, got, 2)
+	if d := maxDiff(want, got); d > 1e-4 {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestGemmRaggedDimensions(t *testing.T) {
+	// Every dimension deliberately non-multiple of the block sizes.
+	for _, dims := range [][3]int{{7, 5, 3}, {13, 29, 17}, {1, 1, 1}, {9, 130, 11}, {130, 9, 260}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randMat(m, k, int64(m))
+		b := randMat(k, n, int64(n))
+		want := make([]float32, m*n)
+		Naive(m, n, k, a, b, want)
+		got := make([]float32, m*n)
+		Multiply(m, n, k, a, b, got, 3)
+		if d := maxDiff(want, got); d > 1e-3 {
+			t.Fatalf("dims %v: diff %g", dims, d)
+		}
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	const m, n, k = 16, 24, 8
+	a := randMat(m, k, 5)
+	b := randMat(k, n, 6)
+	c0 := randMat(m, n, 7)
+
+	ab := make([]float32, m*n)
+	Naive(m, n, k, a, b, ab)
+	want := make([]float32, m*n)
+	for i := range want {
+		want[i] = 2*ab[i] + 0.5*c0[i]
+	}
+	got := append([]float32(nil), c0...)
+	Gemm(m, n, k, 2, a, k, b, n, 0.5, got, n, Config{Threads: 1})
+	if d := maxDiff(want, got); d > 1e-4 {
+		t.Fatalf("alpha/beta diff %g", d)
+	}
+}
+
+func TestGemmBetaZeroIgnoresGarbage(t *testing.T) {
+	const m, n, k = 20, 20, 20
+	a := randMat(m, k, 8)
+	b := randMat(k, n, 9)
+	want := make([]float32, m*n)
+	Naive(m, n, k, a, b, want)
+	got := make([]float32, m*n)
+	for i := range got {
+		got[i] = float32(math.NaN()) // beta=0 must not read C
+	}
+	Gemm(m, n, k, 1, a, k, b, n, 0, got, n, Config{Threads: 1})
+	if d := maxDiff(want, got); d > 1e-4 || math.IsNaN(float64(got[0])) {
+		t.Fatalf("beta=0 read old C (diff %g)", d)
+	}
+}
+
+func TestGemmLeadingDimensions(t *testing.T) {
+	// Operate on sub-matrices embedded in larger buffers.
+	const m, n, k, lda, ldb, ldc = 8, 8, 8, 12, 13, 14
+	a := randMat(m, lda, 10)
+	b := randMat(k, ldb, 11)
+	c := make([]float32, m*ldc)
+	aSub := make([]float32, m*k)
+	bSub := make([]float32, k*n)
+	for i := 0; i < m; i++ {
+		copy(aSub[i*k:], a[i*lda:i*lda+k])
+	}
+	for i := 0; i < k; i++ {
+		copy(bSub[i*n:], b[i*ldb:i*ldb+n])
+	}
+	want := make([]float32, m*n)
+	Naive(m, n, k, aSub, bSub, want)
+	Gemm(m, n, k, 1, a, lda, b, ldb, 0, c, ldc, Config{Threads: 1})
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(float64(c[i*ldc+j] - want[i*n+j])); d > 1e-4 {
+				t.Fatalf("(%d,%d) diff %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestGemmSmallBlocksMultiPanel(t *testing.T) {
+	// Tiny cache blocks force the KC/MC/NC loops to iterate.
+	const m, n, k = 40, 50, 60
+	a := randMat(m, k, 12)
+	b := randMat(k, n, 13)
+	want := make([]float32, m*n)
+	Naive(m, n, k, a, b, want)
+	got := make([]float32, m*n)
+	Gemm(m, n, k, 1, a, k, b, n, 0, got, n, Config{Threads: 2, MC: 16, KC: 8, NC: 24})
+	if d := maxDiff(want, got); d > 1e-3 {
+		t.Fatalf("multi-panel diff %g", d)
+	}
+}
+
+func TestGemmThreadCountInvariant(t *testing.T) {
+	const m, n, k = 64, 48, 32
+	a := randMat(m, k, 14)
+	b := randMat(k, n, 15)
+	one := make([]float32, m*n)
+	Multiply(m, n, k, a, b, one, 1)
+	eight := make([]float32, m*n)
+	Multiply(m, n, k, a, b, eight, 8)
+	if d := maxDiff(one, eight); d != 0 {
+		t.Fatalf("threading changed result by %g", d)
+	}
+}
+
+func TestGemmStats(t *testing.T) {
+	const m, n, k = 64, 64, 64
+	a := randMat(m, k, 16)
+	b := randMat(k, n, 17)
+	c := make([]float32, m*n)
+	st := Gemm(m, n, k, 1, a, k, b, n, 0, c, n, Config{Threads: 1, CollectStats: true})
+	if st.KernelSec <= 0 || st.PackSec() <= 0 {
+		t.Fatalf("stats not collected: %+v", st)
+	}
+}
+
+func TestGemmDegenerate(t *testing.T) {
+	st := Gemm(0, 4, 4, 1, nil, 1, nil, 4, 0, nil, 4, Config{})
+	if st != (Stats{}) {
+		t.Fatal("degenerate gemm must be a no-op")
+	}
+}
+
+// Property: (A·B)·e_j column extraction matches naive per random
+// rectangular sizes.
+func TestGemmRandomShapesProperty(t *testing.T) {
+	f := func(mRaw, nRaw, kRaw uint8, seed int64) bool {
+		m, n, k := int(mRaw)%30+1, int(nRaw)%30+1, int(kRaw)%30+1
+		a := randMat(m, k, seed)
+		b := randMat(k, n, seed+1)
+		want := make([]float32, m*n)
+		Naive(m, n, k, a, b, want)
+		got := make([]float32, m*n)
+		Multiply(m, n, k, a, b, got, 2)
+		return maxDiff(want, got) <= 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiplying by the identity leaves the matrix unchanged.
+func TestGemmIdentityProperty(t *testing.T) {
+	f := func(mRaw, nRaw uint8, seed int64) bool {
+		m, n := int(mRaw)%20+1, int(nRaw)%20+1
+		a := randMat(m, n, seed)
+		id := make([]float32, n*n)
+		for i := 0; i < n; i++ {
+			id[i*n+i] = 1
+		}
+		got := make([]float32, m*n)
+		Multiply(m, n, n, a, id, got, 1)
+		return maxDiff(a, got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)·C == A·(B·C) within FP32 tolerance.
+func TestGemmAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 12
+		a := randMat(n, n, seed)
+		b := randMat(n, n, seed+1)
+		c := randMat(n, n, seed+2)
+		ab := make([]float32, n*n)
+		Multiply(n, n, n, a, b, ab, 1)
+		abc1 := make([]float32, n*n)
+		Multiply(n, n, n, ab, c, abc1, 1)
+		bc := make([]float32, n*n)
+		Multiply(n, n, n, b, c, bc, 1)
+		abc2 := make([]float32, n*n)
+		Multiply(n, n, n, a, bc, abc2, 1)
+		return maxDiff(abc1, abc2) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package gemm
+
+import "ndirect/internal/simd"
+
+// packA copies the mc×kc block of A starting at (ic, pc) into MR-row
+// panels: aPanel[panel][kk][i] with i the row within the panel. Rows
+// past m are zero so the micro-kernel can always run full MR.
+func packA(a, aPanel []float32, ic, pc, mc, kc, lda int) {
+	panels := (mc + MR - 1) / MR
+	for pnl := 0; pnl < panels; pnl++ {
+		base := pnl * MR * kc
+		for kk := 0; kk < kc; kk++ {
+			for i := 0; i < MR; i++ {
+				row := pnl*MR + i
+				var v float32
+				if row < mc {
+					v = a[(ic+row)*lda+pc+kk]
+				}
+				aPanel[base+kk*MR+i] = v
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc block of B starting at (pc, jc) into NR-col
+// strips: bPanel[strip][kk][j]. Columns past n are zero.
+func packB(b, bPanel []float32, pc, jc, kc, nc, ldb int) {
+	strips := (nc + NR - 1) / NR
+	for st := 0; st < strips; st++ {
+		base := st * NR * kc
+		j0 := st * NR
+		width := min(NR, nc-j0)
+		for kk := 0; kk < kc; kk++ {
+			src := b[(pc+kk)*ldb+jc+j0:]
+			dst := bPanel[base+kk*NR : base+kk*NR+NR]
+			for j := 0; j < width; j++ {
+				dst[j] = src[j]
+			}
+			for j := width; j < NR; j++ {
+				dst[j] = 0
+			}
+		}
+	}
+}
+
+// macroKernel runs the micro-kernel over every MR×NR tile of the
+// mc×nc C block.
+func macroKernel(aPanel, bPanel, c []float32, ic, jc, mc, nc, kc, ldc int, alpha, beta float32) {
+	mPanels := (mc + MR - 1) / MR
+	nStrips := (nc + NR - 1) / NR
+	for st := 0; st < nStrips; st++ {
+		bStrip := bPanel[st*NR*kc:]
+		j0 := jc + st*NR
+		nEff := min(NR, nc-st*NR)
+		for pnl := 0; pnl < mPanels; pnl++ {
+			aStrip := aPanel[pnl*MR*kc:]
+			i0 := ic + pnl*MR
+			mEff := min(MR, mc-pnl*MR)
+			microKernel(aStrip, bStrip, c, i0, j0, mEff, nEff, kc, ldc, alpha, beta)
+		}
+	}
+}
+
+// microKernel computes the rank-kc update of one MR×NR C tile:
+// 24 Vec4 accumulators (8 rows × 12 columns), three B vector loads
+// and eight A scalar broadcasts per k step — the GEMM counterpart of
+// nDirect's Algorithm 3 register tile.
+func microKernel(aStrip, bStrip, c []float32, i0, j0, mEff, nEff, kc, ldc int, alpha, beta float32) {
+	var acc [MR * NR / simd.Width]simd.Vec4
+	for kk := 0; kk < kc; kk++ {
+		bRow := bStrip[kk*NR : kk*NR+NR]
+		b0 := simd.Load(bRow)
+		b1 := simd.Load(bRow[4:])
+		b2 := simd.Load(bRow[8:])
+		aRow := aStrip[kk*MR : kk*MR+MR]
+		for i := 0; i < MR; i++ {
+			v := aRow[i]
+			acc[3*i] = acc[3*i].FMAScalar(b0, v)
+			acc[3*i+1] = acc[3*i+1].FMAScalar(b1, v)
+			acc[3*i+2] = acc[3*i+2].FMAScalar(b2, v)
+		}
+	}
+	for i := 0; i < mEff; i++ {
+		row := c[(i0+i)*ldc+j0:]
+		for j := 0; j < nEff; j++ {
+			v := alpha * acc[3*i+j/simd.Width][j%simd.Width]
+			if beta != 0 {
+				v += beta * row[j]
+			}
+			row[j] = v
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package hw
+
+import "time"
+
+// MeasureAlpha runs the §6.2 microbenchmark on the host: it times a
+// streaming pass (unit-stride) and a non-streaming pass (large-stride,
+// cache-line hopping) over the same number of loaded elements and
+// returns the cost ratio α = t_nonstream / t_stream.
+//
+// The paper determines α offline per platform the same way; the value
+// feeds the thread-mapping model (Equation 5). The returned value is
+// clamped to [1, 16] to keep the model well-behaved on noisy hosts.
+func MeasureAlpha() float64 {
+	const elems = 1 << 22 // 16 MiB of float32, larger than typical LLC shares
+	buf := make([]float32, elems)
+	for i := range buf {
+		buf[i] = float32(i&1023) * 0.5
+	}
+
+	stream := func() float64 {
+		start := time.Now()
+		var s float32
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < elems; i++ {
+				s += buf[i]
+			}
+		}
+		sink = s
+		return time.Since(start).Seconds()
+	}
+
+	// Non-streaming: stride of one cache line plus an odd offset so
+	// consecutive accesses hit different lines and defeat the
+	// hardware prefetcher's unit-stride detection.
+	nonStream := func() float64 {
+		const stride = 16 + 1 // floats: one 64-byte line + 4 bytes
+		start := time.Now()
+		var s float32
+		idx := 0
+		for n := 0; n < 4*elems; n++ {
+			s += buf[idx]
+			idx += stride
+			if idx >= elems {
+				idx -= elems
+			}
+		}
+		sink = s
+		return time.Since(start).Seconds()
+	}
+
+	// Warm both paths once, then measure.
+	stream()
+	nonStream()
+	ts := stream()
+	tn := nonStream()
+	alpha := tn / ts
+	if alpha < 1 {
+		alpha = 1
+	}
+	if alpha > 16 {
+		alpha = 16
+	}
+	return alpha
+}
+
+// sink defeats dead-code elimination of the microbenchmark loops.
+var sink float32

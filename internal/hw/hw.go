@@ -1,0 +1,223 @@
+// Package hw describes the hardware platforms of the paper's
+// evaluation (Table 3) and provides the α microbenchmark of §6.2 that
+// calibrates the streaming vs non-streaming memory access cost ratio
+// used by the thread-mapping model.
+//
+// The four ARM platforms cannot be executed on directly in this
+// reproduction; their specifications parameterise the analytical
+// models (internal/model) and the machine model (internal/simarch)
+// that regenerate the paper's multi-platform figures.
+package hw
+
+import "fmt"
+
+// ReplacementPolicy is the cache line replacement policy. The paper's
+// Figure 5 discussion attributes the differing benefit of the packing
+// optimisation across platforms to Phytium 2000+'s pseudo-random
+// replacement vs LRU on KP920/ThunderX2.
+type ReplacementPolicy int
+
+const (
+	LRU ReplacementPolicy = iota
+	PseudoRandom
+)
+
+func (p ReplacementPolicy) String() string {
+	if p == PseudoRandom {
+		return "pseudo-random"
+	}
+	return "LRU"
+}
+
+// Cache describes one level of a cache hierarchy.
+type Cache struct {
+	SizeBytes int  // total capacity; 0 means the level does not exist
+	LineBytes int  // cache line size
+	Ways      int  // associativity
+	Shared    bool // shared between cores (vs private per core)
+	SharedBy  int  // number of cores sharing it when Shared
+	Policy    ReplacementPolicy
+	// LatencyCycles is the load-to-use latency of a hit in this level,
+	// used by the machine model.
+	LatencyCycles int
+}
+
+// Exists reports whether the cache level is present.
+func (c Cache) Exists() bool { return c.SizeBytes > 0 }
+
+// Platform describes one evaluation machine (one column of Table 3),
+// plus the micro-architectural parameters the machine model needs.
+type Platform struct {
+	Name           string
+	Cores          int
+	ThreadsPerCore int     // >1 when SMT/hyper-threading is available (§8.5)
+	FreqGHz        float64 // core clock
+	PeakGFLOPS     float64 // FP32, all cores (Table 3)
+	BandwidthGiBs  float64 // max memory bandwidth (Table 3)
+	L1, L2, L3     Cache
+
+	// FMAPipes is the number of 128-bit FMA pipelines per core; with
+	// 4 FP32 lanes and 2 FLOPs per FMA, per-core peak is
+	// FreqGHz * FMAPipes * 8 GFLOPS.
+	FMAPipes int
+	// FMALatency is the FMA result latency in cycles (accumulation
+	// chains shorter than FMAPipes*FMALatency stall the pipes).
+	FMALatency int
+	// LoadPipes is the number of 128-bit load units per core.
+	LoadPipes int
+	// MemLatencyCycles is the main-memory load-to-use latency.
+	MemLatencyCycles int
+	// Alpha is the calibrated non-streaming/streaming access cost
+	// ratio of §6.2 (measured offline on the real machine in the
+	// paper; fixed representative values here, re-measurable with
+	// MeasureAlpha on the host).
+	Alpha float64
+}
+
+// PerCorePeakGFLOPS returns the single-core FP32 peak.
+func (p Platform) PerCorePeakGFLOPS() float64 {
+	return p.PeakGFLOPS / float64(p.Cores)
+}
+
+// LogicalCores returns cores × threads-per-core.
+func (p Platform) LogicalCores() int {
+	t := p.ThreadsPerCore
+	if t < 1 {
+		t = 1
+	}
+	return p.Cores * t
+}
+
+func (p Platform) String() string {
+	return fmt.Sprintf("%s (%d cores @ %.1f GHz, %.1f GFLOPS FP32 peak)", p.Name, p.Cores, p.FreqGHz, p.PeakGFLOPS)
+}
+
+// The four evaluation platforms of Table 3. Cache organisation notes
+// from §7.1: Phytium 2000+'s L2 is shared per 4-core cluster; KP920
+// and ThunderX2 have private L2 and a shared L3; RPi 4 (Cortex-A72)
+// has a shared 1 MB L2 and no L3.
+var (
+	Phytium2000 = Platform{
+		Name:             "Phytium 2000+",
+		Cores:            64,
+		ThreadsPerCore:   1,
+		FreqGHz:          2.2,
+		PeakGFLOPS:       1126.4,
+		BandwidthGiBs:    143.1,
+		L1:               Cache{SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, Policy: PseudoRandom, LatencyCycles: 4},
+		L2:               Cache{SizeBytes: 2 << 20, LineBytes: 64, Ways: 16, Shared: true, SharedBy: 4, Policy: PseudoRandom, LatencyCycles: 20},
+		L3:               Cache{}, // none
+		FMAPipes:         1,       // 1126.4 GFLOPS / 64 cores / 2.2 GHz = 8 FLOPs/cycle = one 4-lane FMA pipe
+		FMALatency:       4,
+		LoadPipes:        1,
+		MemLatencyCycles: 160,
+		Alpha:            2.0,
+	}
+
+	KP920 = Platform{
+		Name:             "KP920",
+		Cores:            64,
+		ThreadsPerCore:   1,
+		FreqGHz:          2.6,
+		PeakGFLOPS:       2662.4,
+		BandwidthGiBs:    190.7,
+		L1:               Cache{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4, Policy: LRU, LatencyCycles: 4},
+		L2:               Cache{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8, Policy: LRU, LatencyCycles: 14},
+		L3:               Cache{SizeBytes: 64 << 20, LineBytes: 64, Ways: 16, Shared: true, SharedBy: 64, Policy: LRU, LatencyCycles: 45},
+		FMAPipes:         2,
+		FMALatency:       4,
+		LoadPipes:        2,
+		MemLatencyCycles: 180,
+		Alpha:            1.8,
+	}
+
+	ThunderX2 = Platform{
+		Name:             "ThunderX2",
+		Cores:            32,
+		ThreadsPerCore:   4, // SMT4, disabled except in the Fig. 9 experiment
+		FreqGHz:          2.5,
+		PeakGFLOPS:       1279.7,
+		BandwidthGiBs:    158.95,
+		L1:               Cache{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Policy: LRU, LatencyCycles: 4},
+		L2:               Cache{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, Policy: LRU, LatencyCycles: 12},
+		L3:               Cache{SizeBytes: 32 << 20, LineBytes: 64, Ways: 16, Shared: true, SharedBy: 32, Policy: LRU, LatencyCycles: 40},
+		FMAPipes:         2,
+		FMALatency:       5,
+		LoadPipes:        2,
+		MemLatencyCycles: 170,
+		Alpha:            2.2,
+	}
+
+	RPi4 = Platform{
+		Name:             "RPi 4",
+		Cores:            4,
+		ThreadsPerCore:   1,
+		FreqGHz:          1.8,
+		PeakGFLOPS:       56.8,
+		BandwidthGiBs:    16.8,
+		L1:               Cache{SizeBytes: 32 << 10, LineBytes: 64, Ways: 2, Policy: LRU, LatencyCycles: 4},
+		L2:               Cache{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, Shared: true, SharedBy: 4, Policy: LRU, LatencyCycles: 21},
+		L3:               Cache{},
+		FMAPipes:         1,
+		FMALatency:       7,
+		LoadPipes:        1,
+		MemLatencyCycles: 140,
+		Alpha:            2.5,
+	}
+)
+
+// Platforms lists the evaluation machines in Table 3 column order.
+var Platforms = []Platform{Phytium2000, KP920, ThunderX2, RPi4}
+
+// ByName returns the platform with the given name (case-sensitive
+// match on Name, or the short aliases phytium/kp920/tx2/rpi4).
+func ByName(name string) (Platform, bool) {
+	switch name {
+	case "phytium", "Phytium 2000+", "phytium2000+":
+		return Phytium2000, true
+	case "kp920", "KP920":
+		return KP920, true
+	case "tx2", "thunderx2", "ThunderX2":
+		return ThunderX2, true
+	case "rpi4", "RPi 4", "rpi":
+		return RPi4, true
+	}
+	for _, p := range Platforms {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Platform{}, false
+}
+
+// EffectiveL2Bytes returns the L2 capacity available to one core,
+// accounting for sharing (Phytium's cluster-shared L2 gives each of
+// the 4 sharing cores a quarter of the capacity under full load).
+func (p Platform) EffectiveL2Bytes() int {
+	if !p.L2.Exists() {
+		return 0
+	}
+	if p.L2.Shared && p.L2.SharedBy > 1 {
+		return p.L2.SizeBytes / p.L2.SharedBy
+	}
+	return p.L2.SizeBytes
+}
+
+// EffectiveL3Bytes returns the per-core share of the last-level cache.
+func (p Platform) EffectiveL3Bytes() int {
+	if !p.L3.Exists() {
+		return 0
+	}
+	if p.L3.Shared && p.L3.SharedBy > 1 {
+		return p.L3.SizeBytes / p.L3.SharedBy
+	}
+	return p.L3.SizeBytes
+}
+
+// LLC returns the last-level cache of the platform.
+func (p Platform) LLC() Cache {
+	if p.L3.Exists() {
+		return p.L3
+	}
+	return p.L2
+}

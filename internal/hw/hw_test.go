@@ -1,0 +1,122 @@
+package hw
+
+import "testing"
+
+func TestTable3Values(t *testing.T) {
+	// Spot-check the Table 3 entries the analytical models depend on.
+	if Phytium2000.Cores != 64 || Phytium2000.PeakGFLOPS != 1126.4 {
+		t.Fatal("Phytium 2000+ specs wrong")
+	}
+	if Phytium2000.L3.Exists() {
+		t.Fatal("Phytium 2000+ has no L3")
+	}
+	if KP920.L1.SizeBytes != 64<<10 || KP920.L2.SizeBytes != 512<<10 || KP920.L3.SizeBytes != 64<<20 {
+		t.Fatal("KP920 cache sizes wrong")
+	}
+	if ThunderX2.Cores != 32 || ThunderX2.ThreadsPerCore != 4 {
+		t.Fatal("ThunderX2 core/SMT config wrong")
+	}
+	if RPi4.PeakGFLOPS != 56.8 || RPi4.L3.Exists() {
+		t.Fatal("RPi 4 specs wrong")
+	}
+}
+
+func TestPerCorePeak(t *testing.T) {
+	got := Phytium2000.PerCorePeakGFLOPS()
+	if got < 17.5 || got > 17.7 { // 1126.4 / 64 = 17.6
+		t.Fatalf("per-core peak = %v, want 17.6", got)
+	}
+	// Per-core peak must be consistent with the pipe model:
+	// freq * pipes * 4 lanes * 2 flops.
+	model := Phytium2000.FreqGHz * float64(Phytium2000.FMAPipes) * 8
+	if model < 17.59 || model > 17.61 {
+		t.Fatalf("pipe model per-core peak = %v, want 17.6", model)
+	}
+}
+
+func TestPipeModelMatchesTable3(t *testing.T) {
+	// For every platform the (pipes × lanes × 2 × freq × cores)
+	// product must reproduce the Table 3 peak within 2% (RPi 4's
+	// published 56.8 is slightly below the 57.6 pipe product).
+	for _, p := range Platforms {
+		model := p.FreqGHz * float64(p.FMAPipes) * 8 * float64(p.Cores)
+		ratio := model / p.PeakGFLOPS
+		if ratio < 0.98 || ratio > 1.02 {
+			t.Errorf("%s: pipe-model peak %.1f vs Table 3 %.1f", p.Name, model, p.PeakGFLOPS)
+		}
+	}
+}
+
+func TestLogicalCores(t *testing.T) {
+	if ThunderX2.LogicalCores() != 128 {
+		t.Fatalf("TX2 logical cores = %d, want 128", ThunderX2.LogicalCores())
+	}
+	if Phytium2000.LogicalCores() != 64 {
+		t.Fatal("Phytium logical cores wrong")
+	}
+	p := Platform{Cores: 2} // ThreadsPerCore unset → treated as 1
+	if p.LogicalCores() != 2 {
+		t.Fatal("unset ThreadsPerCore must default to 1")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"phytium", "Phytium 2000+", "kp920", "tx2", "thunderx2", "rpi4"} {
+		if _, ok := ByName(alias); !ok {
+			t.Fatalf("alias %q not resolved", alias)
+		}
+	}
+	if _, ok := ByName("x86"); ok {
+		t.Fatal("unknown platform must not resolve")
+	}
+	p, _ := ByName("KP920")
+	if p.Name != "KP920" {
+		t.Fatal("wrong platform for KP920")
+	}
+}
+
+func TestEffectiveCaches(t *testing.T) {
+	// Phytium's 2MB L2 is shared by a 4-core cluster -> 512KB/core.
+	if got := Phytium2000.EffectiveL2Bytes(); got != 512<<10 {
+		t.Fatalf("Phytium effective L2 = %d, want 512KiB", got)
+	}
+	// KP920's L2 is private.
+	if got := KP920.EffectiveL2Bytes(); got != 512<<10 {
+		t.Fatalf("KP920 effective L2 = %d", got)
+	}
+	// KP920's 64MB L3 shared by 64 cores -> 1MB/core.
+	if got := KP920.EffectiveL3Bytes(); got != 1<<20 {
+		t.Fatalf("KP920 effective L3 = %d", got)
+	}
+	if Phytium2000.EffectiveL3Bytes() != 0 {
+		t.Fatal("Phytium has no L3")
+	}
+}
+
+func TestLLC(t *testing.T) {
+	if Phytium2000.LLC().SizeBytes != 2<<20 {
+		t.Fatal("Phytium LLC should be its L2")
+	}
+	if KP920.LLC().SizeBytes != 64<<20 {
+		t.Fatal("KP920 LLC should be its L3")
+	}
+}
+
+func TestReplacementPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || PseudoRandom.String() != "pseudo-random" {
+		t.Fatal("policy strings")
+	}
+	if Phytium2000.L1.Policy != PseudoRandom {
+		t.Fatal("Phytium caches are pseudo-random replacement (paper §8.1)")
+	}
+}
+
+func TestMeasureAlpha(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alpha microbenchmark is timing-based")
+	}
+	a := MeasureAlpha()
+	if a < 1 || a > 16 {
+		t.Fatalf("alpha = %v outside clamp range", a)
+	}
+}

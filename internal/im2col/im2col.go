@@ -1,0 +1,156 @@
+// Package im2col implements the im2col+GEMM convolution baseline
+// (§2.2): each image is lowered to a [C·R·S, P·Q] column matrix and
+// multiplied by the [K, C·R·S] filter matrix using the Goto SGEMM
+// substrate — the MXNet + OpenBLAS configuration of the paper's
+// evaluation.
+//
+// The per-stage timers (lowering, GEMM packing, GEMM micro-kernel)
+// feed the Figure 1a runtime-breakdown experiment, which shows the
+// im2col data duplication and the sequential packing costing up to
+// 40% of some layers' time.
+package im2col
+
+import (
+	"sync"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/gemm"
+	"ndirect/internal/parallel"
+	"ndirect/internal/tensor"
+)
+
+// Options configure the baseline.
+type Options struct {
+	// Threads is the total worker count; the batch dimension is
+	// parallelised first (one image per worker, the large-batch
+	// inference configuration), remaining workers split the GEMM.
+	Threads int
+	// CollectStats records the per-stage times.
+	CollectStats bool
+}
+
+// Stats is the Figure 1a cost breakdown of one convolution.
+type Stats struct {
+	Im2colSec float64 // tensor-to-matrix lowering (data duplication)
+	PackSec   float64 // GEMM operand packing
+	KernelSec float64 // GEMM micro-kernel
+}
+
+// Total returns the summed stage time.
+func (s Stats) Total() float64 { return s.Im2colSec + s.PackSec + s.KernelSec }
+
+// Lower writes the im2col matrix of image n into dst, which must hold
+// (C·R·S)·(P·Q) floats: dst[(c·R+r)·S+s][oj·Q+oi] =
+// I[n][c][oj·str−pad+r][oi·str−pad+s], zero outside the image.
+func Lower(s conv.Shape, in *tensor.Tensor, n int, dst []float32) {
+	p, q := s.P(), s.Q()
+	pq := p * q
+	for c := 0; c < s.C; c++ {
+		chanBase := (n*s.C + c) * s.H * s.W
+		for r := 0; r < s.R; r++ {
+			for ss := 0; ss < s.S; ss++ {
+				row := dst[((c*s.R+r)*s.S+ss)*pq : ((c*s.R+r)*s.S+ss+1)*pq]
+				for oj := 0; oj < p; oj++ {
+					ih := oj*s.Str - s.Pad + r
+					dRow := row[oj*q : (oj+1)*q]
+					if ih < 0 || ih >= s.H {
+						clear(dRow)
+						continue
+					}
+					src := in.Data[chanBase+ih*s.W : chanBase+(ih+1)*s.W]
+					if s.Str == 1 {
+						packShifted(dRow, src, ss-s.Pad, s.W)
+					} else {
+						for oi := 0; oi < q; oi++ {
+							iw := oi*s.Str - s.Pad + ss
+							if iw < 0 || iw >= s.W {
+								dRow[oi] = 0
+							} else {
+								dRow[oi] = src[iw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// packShifted copies src shifted by off into dst with zero halos
+// (stride-1 fast path).
+func packShifted(dst, src []float32, off, w int) {
+	x := 0
+	for ; x < len(dst) && off+x < 0; x++ {
+		dst[x] = 0
+	}
+	end := len(dst)
+	if off+end > w {
+		end = w - off
+	}
+	if end > x {
+		copy(dst[x:end], src[off+x:off+end])
+		x = end
+	}
+	for ; x < len(dst); x++ {
+		dst[x] = 0
+	}
+}
+
+// NeedsLowering reports whether the shape requires an explicit im2col
+// transform. 1×1 stride-1 unpadded convolutions multiply the input
+// directly (the paper's layers 19–20, where "GEMM methods achieve
+// close to 50% of the peak").
+func NeedsLowering(s conv.Shape) bool {
+	return !(s.R == 1 && s.S == 1 && s.Str == 1 && s.Pad == 0)
+}
+
+// Conv2D runs the im2col+GEMM convolution on NCHW input and KCRS
+// filter, returning the NKPQ output and the stage breakdown.
+func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, Stats) {
+	conv.CheckOperands(s, in, filter)
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	p, q := s.P(), s.Q()
+	pq := p * q
+	crs := s.C * s.R * s.S
+	out := s.NewOutput()
+
+	// One image per worker across the batch; GEMM threads inside an
+	// image only when the batch cannot fill the workers.
+	gemmThreads := max(1, threads/min(threads, s.N))
+
+	var mu sync.Mutex
+	var total Stats
+	parallel.For(s.N, threads, func(n int) {
+		var st Stats
+		cOut := out.Data[n*s.K*pq : (n+1)*s.K*pq]
+		if !NeedsLowering(s) {
+			// Direct GEMM on the input plane: [K,C] × [C,H·W].
+			g := gemm.Gemm(s.K, pq, crs, 1, filter.Data, crs,
+				in.Data[n*s.C*s.H*s.W:(n+1)*s.C*s.H*s.W], pq,
+				0, cOut, pq, gemm.Config{Threads: gemmThreads, CollectStats: opt.CollectStats})
+			st.PackSec = g.PackSec()
+			st.KernelSec = g.KernelSec
+		} else {
+			cols := make([]float32, crs*pq)
+			t0 := time.Now()
+			Lower(s, in, n, cols)
+			st.Im2colSec = time.Since(t0).Seconds()
+			g := gemm.Gemm(s.K, pq, crs, 1, filter.Data, crs, cols, pq,
+				0, cOut, pq, gemm.Config{Threads: gemmThreads, CollectStats: opt.CollectStats})
+			st.PackSec = g.PackSec()
+			st.KernelSec = g.KernelSec
+		}
+		if opt.CollectStats {
+			mu.Lock()
+			total.Im2colSec += st.Im2colSec
+			total.PackSec += st.PackSec
+			total.KernelSec += st.KernelSec
+			mu.Unlock()
+		}
+	})
+	return out, total
+}

@@ -1,0 +1,176 @@
+package im2col
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+const tol = 2e-5
+
+func TestNeedsLowering(t *testing.T) {
+	oneByOne := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 4, R: 1, S: 1, Str: 1, Pad: 0}
+	if NeedsLowering(oneByOne) {
+		t.Fatal("1x1 s1 p0 must skip lowering")
+	}
+	for _, s := range []conv.Shape{
+		{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 1, Pad: 1},
+		{N: 1, C: 4, H: 8, W: 8, K: 4, R: 1, S: 1, Str: 2, Pad: 0},
+	} {
+		if !NeedsLowering(s) {
+			t.Fatalf("%v must need lowering", s)
+		}
+	}
+}
+
+func TestLowerIdentity1x1Stride1(t *testing.T) {
+	// For a 1x1 stride-1 kernel the lowered matrix equals the input
+	// plane.
+	s := conv.Shape{N: 1, C: 3, H: 4, W: 4, K: 1, R: 1, S: 1, Str: 1, Pad: 0}
+	in := s.NewInput()
+	in.FillSequence()
+	dst := make([]float32, s.C*s.H*s.W)
+	Lower(s, in, 0, dst)
+	for i := range dst {
+		if dst[i] != in.Data[i] {
+			t.Fatalf("identity lowering broken at %d", i)
+		}
+	}
+}
+
+func TestLowerKnownPatch(t *testing.T) {
+	// 3x3 input, 2x2 kernel, stride 1, no pad: column (0,0) must be
+	// the top-left 2x2 patch in (r,s) order.
+	s := conv.Shape{N: 1, C: 1, H: 3, W: 3, K: 1, R: 2, S: 2, Str: 1, Pad: 0}
+	in := s.NewInput()
+	copy(in.Data, []float32{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pq := s.P() * s.Q() // 4
+	dst := make([]float32, 4*pq)
+	Lower(s, in, 0, dst)
+	// Rows are (r,s) = (0,0),(0,1),(1,0),(1,1); first column is output (0,0).
+	wantFirstCol := []float32{1, 2, 4, 5}
+	for row, w := range wantFirstCol {
+		if dst[row*pq] != w {
+			t.Fatalf("row %d first col = %v, want %v", row, dst[row*pq], w)
+		}
+	}
+}
+
+func TestLowerPaddingZeros(t *testing.T) {
+	s := conv.Shape{N: 1, C: 1, H: 2, W: 2, K: 1, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.Fill(1)
+	pq := s.P() * s.Q()
+	dst := make([]float32, 9*pq)
+	Lower(s, in, 0, dst)
+	// Row (r=0,s=0), output (0,0) reads input (-1,-1) -> 0.
+	if dst[0] != 0 {
+		t.Fatal("padding position must be zero")
+	}
+	// Row (r=1,s=1), output (0,0) reads input (0,0) -> 1.
+	if dst[4*pq] != 1 {
+		t.Fatal("centre tap must read the image")
+	}
+}
+
+func checkConv(t *testing.T, s conv.Shape) {
+	t.Helper()
+	in := s.NewInput()
+	in.FillRandom(int64(s.C + s.K))
+	f := s.NewFilter()
+	f.FillRandom(int64(s.R))
+	want := conv.Reference(s, in, f)
+	got, _ := Conv2D(s, in, f, Options{Threads: 2})
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("%v: rel diff %g", s, d)
+	}
+}
+
+func TestConv2DMatchesReference(t *testing.T) {
+	checkConv(t, conv.Shape{N: 2, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 8, R: 1, S: 1, Str: 1, Pad: 0})
+	checkConv(t, conv.Shape{N: 1, C: 4, H: 16, W: 16, K: 8, R: 3, S: 3, Str: 2, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 3, H: 20, W: 20, K: 8, R: 7, S: 7, Str: 2, Pad: 3})
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 9, W: 9, K: 8, R: 1, S: 1, Str: 2, Pad: 0})
+}
+
+func TestConv2DStats(t *testing.T) {
+	s := conv.Shape{N: 1, C: 8, H: 14, W: 14, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(1)
+	f := s.NewFilter()
+	f.FillRandom(2)
+	_, st := Conv2D(s, in, f, Options{Threads: 1, CollectStats: true})
+	if st.Im2colSec <= 0 || st.KernelSec <= 0 {
+		t.Fatalf("stats missing: %+v", st)
+	}
+	if st.Total() != st.Im2colSec+st.PackSec+st.KernelSec {
+		t.Fatal("Total inconsistent")
+	}
+	// 1x1 path must not report lowering time.
+	s1 := conv.Shape{N: 1, C: 8, H: 14, W: 14, K: 16, R: 1, S: 1, Str: 1, Pad: 0}
+	f1 := s1.NewFilter()
+	f1.FillRandom(3)
+	_, st1 := Conv2D(s1, in, f1, Options{Threads: 1, CollectStats: true})
+	if st1.Im2colSec != 0 {
+		t.Fatal("1x1 path must skip lowering")
+	}
+}
+
+// Property: im2col+GEMM agrees with the reference on random shapes.
+func TestConv2DRandomProperty(t *testing.T) {
+	f := func(cRaw, kRaw, hRaw uint8, strRaw bool, seed int64) bool {
+		str := 1
+		if strRaw {
+			str = 2
+		}
+		s := conv.Shape{
+			N: 1, C: int(cRaw)%9 + 1,
+			H: int(hRaw)%10 + 5, W: int(hRaw)%12 + 5,
+			K: int(kRaw)%17 + 1, R: 3, S: 3, Str: str, Pad: 1,
+		}
+		in := s.NewInput()
+		in.FillRandom(seed)
+		fl := s.NewFilter()
+		fl.FillRandom(seed + 1)
+		want := conv.Reference(s, in, fl)
+		got, _ := Conv2D(s, in, fl, Options{Threads: 2})
+		return tensor.RelDiff(want, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every column of the lowered matrix is one receptive
+// field — so summing a column equals the convolution of that output
+// position with an all-ones filter.
+func TestLowerColumnSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := conv.Shape{N: 1, C: 3, H: 7, W: 7, K: 1, R: 3, S: 3, Str: 1, Pad: 1}
+		in := s.NewInput()
+		in.FillRandom(seed)
+		pq := s.P() * s.Q()
+		crs := s.C * s.R * s.S
+		cols := make([]float32, crs*pq)
+		Lower(s, in, 0, cols)
+		ones := s.NewFilter()
+		ones.Fill(1)
+		want := conv.Reference(s, in, ones)
+		for col := 0; col < pq; col++ {
+			var sum float64
+			for row := 0; row < crs; row++ {
+				sum += float64(cols[row*pq+col])
+			}
+			if d := sum - float64(want.Data[col]); d > 1e-3 || d < -1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package model implements the paper's analytical models:
+//
+//   - §5.2 register-tile selection: choose the micro-kernel vector
+//     parameters (V_w, V_k) that maximise floating-point arithmetic
+//     intensity (FAI, Equation 4) subject to the NEON register budget
+//     (Equation 3). The paper solves the continuous relaxation with
+//     Lagrange multipliers; the feasible set is small and integral, so
+//     this package enumerates it exactly.
+//   - §4.2 cache-tile selection: derive T_c, T_k (Equations 1–2) and
+//     T_h from the platform's cache capacities.
+//   - §6 thread mapping: split PT worker threads into PT_k × PT_n
+//     (Equations 5–6) using the calibrated α streaming/non-streaming
+//     cost ratio, and assign PT_n across the N, H, W dimensions with
+//     the paper's N → H → W priority.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+	"ndirect/internal/parallel"
+	"ndirect/internal/simd"
+)
+
+// RegTile is a register-level micro-kernel tile: V_w output columns ×
+// V_k output channels held in vector registers.
+type RegTile struct {
+	Vw, Vk    int
+	Registers int     // vector registers the tile occupies (Eq. 3 LHS)
+	FAI       float64 // Equation 4 value
+}
+
+func (t RegTile) String() string {
+	return fmt.Sprintf("Vw=%d Vk=%d (%d regs, FAI %.2f)", t.Vw, t.Vk, t.Registers, t.FAI)
+}
+
+// RegistersUsed evaluates the left-hand side of Equation 3: input rows
+// need ⌈(V_w+S−1)/4⌉ registers, the filter slice V_k/4, and the output
+// tile V_w·V_k/4.
+func RegistersUsed(vw, vk, s int) int {
+	in := (vw + s - 1 + simd.Width - 1) / simd.Width
+	return in + vk/simd.Width + vw*vk/simd.Width
+}
+
+// FAI evaluates Equation 4 generalised to any kernel width S and
+// stride: one iteration of loop L9 loads V_w+S−1 input elements and
+// S·V_k filter elements and performs 2·S·(V_w/str)·V_k FLOPs (§8.1:
+// with stride 2 the same loads feed half the computation).
+func FAI(vw, vk, s, str int) float64 {
+	flops := 2.0 * float64(s) * float64(vw) / float64(str) * float64(vk)
+	loads := float64(vw+s-1) + float64(s*vk)
+	return flops / loads
+}
+
+// SolveRegisterTile enumerates the feasible (V_w, V_k) set of
+// Equation 3 and returns the FAI-maximal tile for kernel width S and
+// the given stride. Constraints beyond Eq. 3: V_k ≡ 0 (mod 4) so the
+// filter slice fills whole registers (paper), and V_w ≡ 0 (mod 4) so
+// output rows store with whole st1 instructions. Ties on FAI prefer
+// fewer occupied registers (leaving scratch registers for addressing,
+// as the paper's kernel does: V6–V7 stay free), then larger V_w.
+//
+// For the paper's working example (S=3, stride 1) this yields
+// V_w=12, V_k=8 — the values §5.2.3 reports for the evaluation
+// platforms.
+func SolveRegisterTile(s, str int) RegTile {
+	best := RegTile{}
+	for vk := simd.Width; vk <= simd.NumRegs*simd.Width; vk += simd.Width {
+		for vw := simd.Width; vw <= simd.NumRegs*simd.Width; vw += simd.Width {
+			regs := RegistersUsed(vw, vk, s)
+			if regs > simd.NumRegs {
+				continue
+			}
+			cand := RegTile{Vw: vw, Vk: vk, Registers: regs, FAI: FAI(vw, vk, s, str)}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+func better(a, b RegTile) bool {
+	const eps = 1e-9
+	switch {
+	case b.Vk == 0: // b unset
+		return true
+	case a.FAI > b.FAI+eps:
+		return true
+	case a.FAI < b.FAI-eps:
+		return false
+	case a.Registers != b.Registers:
+		return a.Registers < b.Registers
+	default:
+		return a.Vw > b.Vw
+	}
+}
+
+// CacheTiles are the loop tile sizes of Algorithm 2: T_c input
+// channels, T_k output channels, T_h output rows.
+type CacheTiles struct {
+	Tc, Tk, Th int
+}
+
+func (t CacheTiles) String() string {
+	return fmt.Sprintf("Tc=%d Tk=%d Th=%d", t.Tc, t.Tk, t.Th)
+}
+
+// SolveCacheTiles applies Equations 1 and 2 (and the L3 analogue for
+// T_h) to the platform's cache capacities.
+//
+// Equation 1 (L1): R·T_c·(V_w+S−1) + 2·V_k·T_c·R·S < C_L1.
+// Equation 2 (L2): T_k·T_c·R·S + 2·R·T_c·(V_w+S−1) < C_L2.
+//
+// The input-row width accounts for stride: a register tile of V_w
+// outputs consumes (V_w−1)·str + S input columns. T_k is rounded down
+// to a multiple of V_k (the filter transform blocks K by V_k) and all
+// tiles are clamped to the problem size.
+func SolveCacheTiles(p hw.Platform, s conv.Shape, rt RegTile) CacheTiles {
+	wIn := (rt.Vw-1)*s.Str + s.S
+	l1Floats := p.L1.SizeBytes / 4
+	l2Floats := p.EffectiveL2Bytes() / 4
+
+	// Eq. 1 -> T_c.
+	denom1 := s.R*wIn + 2*rt.Vk*s.R*s.S
+	tc := l1Floats / denom1
+	tc = clamp(tc, 1, s.C)
+
+	// Eq. 2 -> T_k. The paper reserves L2 space for instructions and
+	// output elements; we reserve the output register tile spill area
+	// plus a 1/8 instruction share, matching the "< C_L2" slack.
+	budget2 := l2Floats - l2Floats/8 - 2*s.R*tc*wIn
+	tk := 0
+	if tcRS := tc * s.R * s.S; tcRS > 0 && budget2 > 0 {
+		tk = budget2 / tcRS
+	}
+	tk = tk / rt.Vk * rt.Vk // multiple of V_k
+	kCap := (s.K + rt.Vk - 1) / rt.Vk * rt.Vk
+	tk = clamp(tk, rt.Vk, kCap)
+
+	// L3 analogue -> T_h (output rows). The LLC share should hold the
+	// T_c × input-rows × W slab plus the T_k filter block. Platforms
+	// without an L3 (Phytium 2000+, RPi 4) fall back to the whole
+	// image: their L2 already bounds the working set via Eq. 2.
+	th := s.P()
+	if p.L3.Exists() {
+		l3Floats := p.EffectiveL3Bytes() / 4
+		filterBlock := tk * tc * s.R * s.S
+		rowFloats := tc * s.Str * s.W // one more output row costs str input rows
+		if rowFloats > 0 {
+			th = (l3Floats - filterBlock) / rowFloats
+		}
+		th = clamp(th, 1, s.P())
+	}
+	return CacheTiles{Tc: tc, Tk: tk, Th: th}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ThreadMapping is the §6 parallelisation plan: PT_k workers along K
+// and PT_n workers along the batch/spatial dimensions, with PT_n
+// decomposed over N, H, W in that priority order.
+type ThreadMapping struct {
+	PTk, PTn   int
+	PN, PH, PW int     // PN·PH·PW == PTn
+	FAI        float64 // Equation 5 value of the chosen split
+}
+
+func (m ThreadMapping) String() string {
+	return fmt.Sprintf("PTk=%d PTn=%d (N:%d H:%d W:%d, FAI %.2f)", m.PTk, m.PTn, m.PN, m.PH, m.PW, m.FAI)
+}
+
+// ThreadFAI evaluates Equation 5: the per-thread floating-point
+// arithmetic intensity for a given PT_n (with PT_k = PT/PT_n),
+// FAI = 1 / (PT_n·str²/(N·H·W) + α/(K·R·S·PT_n)).
+func ThreadFAI(s conv.Shape, alpha float64, ptn int) float64 {
+	nhw := float64(s.N) * float64(s.H) * float64(s.W)
+	krs := float64(s.K) * float64(s.R) * float64(s.S)
+	d := float64(ptn)*float64(s.Str*s.Str)/nhw + alpha/(krs*float64(ptn))
+	return 1 / d
+}
+
+// OptimalPTn returns the unconstrained Equation 6 optimum
+// ⌈sqrt(α·N·H·W / (K·R·S·str²))⌉.
+func OptimalPTn(s conv.Shape, alpha float64) int {
+	nhw := float64(s.N) * float64(s.H) * float64(s.W)
+	krs := float64(s.K) * float64(s.R) * float64(s.S)
+	v := math.Sqrt(alpha * nhw / (krs * float64(s.Str*s.Str)))
+	return int(math.Ceil(v))
+}
+
+// SolveThreadMapping picks the PT_k × PT_n factorisation of pt that
+// maximises Equation 5 — the integral version of the paper's AM–GM
+// argument (Equation 6) — then decomposes PT_n over N, H(=P), W(=Q)
+// with the paper's priority. PT_k is capped at the number of V_k
+// blocks of K so no K-worker is idle.
+func SolveThreadMapping(s conv.Shape, alpha float64, pt, vk int) ThreadMapping {
+	if pt < 1 {
+		pt = 1
+	}
+	kBlocks := (s.K + vk - 1) / vk
+	best := ThreadMapping{}
+	found := false
+	for _, fp := range parallel.Factorize(pt) {
+		ptk, ptn := fp[0], fp[1]
+		if ptk > kBlocks {
+			continue
+		}
+		pn, ph, pw, ok := decomposePTn(ptn, s.N, s.P(), s.Q())
+		if !ok {
+			continue
+		}
+		fai := ThreadFAI(s, alpha, ptn)
+		if !found || fai > best.FAI {
+			best = ThreadMapping{PTk: ptk, PTn: ptn, PN: pn, PH: ph, PW: pw, FAI: fai}
+			found = true
+		}
+	}
+	if !found {
+		// Degenerate problem (tiny shape): serial fallback.
+		return ThreadMapping{PTk: 1, PTn: 1, PN: 1, PH: 1, PW: 1, FAI: ThreadFAI(s, alpha, 1)}
+	}
+	return best
+}
+
+// decomposePTn factorises ptn into pn·ph·pw with pn ≤ n, ph ≤ h,
+// pw ≤ w, preferring to spend workers on N first, then H, then W
+// (§6.2: "the priority of parallelization is N, H and W"). ok is
+// false when no such factorisation exists (e.g. a prime ptn larger
+// than every dimension).
+func decomposePTn(ptn, n, h, w int) (pn, ph, pw int, ok bool) {
+	for _, f1 := range parallel.Factorize(ptn) {
+		a, rest := f1[0], f1[1]
+		if a > n {
+			continue
+		}
+		for _, f2 := range parallel.Factorize(rest) {
+			b, c := f2[0], f2[1]
+			if b > h || c > w {
+				continue
+			}
+			if !ok || a > pn || (a == pn && b > ph) {
+				pn, ph, pw = a, b, c
+				ok = true
+			}
+		}
+	}
+	return pn, ph, pw, ok
+}
+
+// ContinuousOptimum solves the §5.2.3 continuous relaxation the paper
+// attacks with Lagrange multipliers: maximise the Equation 4 FAI over
+// real-valued (V_w, V_k) on the Equation 3 budget surface
+// ⌈(V_w+S−1)/4⌉ + V_k/4 + V_w·V_k/4 = 32 (ceilings dropped). On the
+// surface V_k = (128 − V_w − S + 1)/(1 + V_w), leaving a 1-D concave
+// problem solved here by golden-section search. The integer solver
+// (SolveRegisterTile) must always sit at or below this bound — a
+// relationship the tests pin down.
+func ContinuousOptimum(s, str int) (vw, vk, fai float64) {
+	objective := func(w float64) float64 {
+		k := (128.0 - w - float64(s) + 1) / (1 + w)
+		if k <= 0 {
+			return -1
+		}
+		flops := 2 * float64(s) * w * k / float64(str)
+		loads := w + float64(s) - 1 + float64(s)*k
+		return flops / loads
+	}
+	// Golden-section search on (1, 120).
+	const phi = 0.6180339887498949
+	lo, hi := 1.0, 120.0
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := objective(x1), objective(x2)
+	for i := 0; i < 200; i++ {
+		if f1 < f2 {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = objective(x2)
+		} else {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = objective(x1)
+		}
+	}
+	vw = (lo + hi) / 2
+	vk = (128.0 - vw - float64(s) + 1) / (1 + vw)
+	fai = objective(vw)
+	return vw, vk, fai
+}

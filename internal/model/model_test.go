@@ -1,0 +1,253 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+	"ndirect/internal/simd"
+)
+
+func TestRegistersUsedPaperExample(t *testing.T) {
+	// §5.1/Alg. 3 for a 3×3 kernel: 4 input regs (V2–V5), 2 filter
+	// regs (V0–V1), 24 output regs (V8–V31) = 30.
+	if got := RegistersUsed(12, 8, 3); got != 30 {
+		t.Fatalf("RegistersUsed(12,8,3) = %d, want 30", got)
+	}
+	if got := RegistersUsed(12, 8, 1); got != 29 {
+		t.Fatalf("RegistersUsed(12,8,1) = %d, want 29", got)
+	}
+}
+
+func TestFAIEquation4(t *testing.T) {
+	// Equation 4 with S=3, Vw=12, Vk=8: 2*3*12*8 / (12+3-1 + 3*8)
+	// = 576/38.
+	got := FAI(12, 8, 3, 1)
+	want := 576.0 / 38.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("FAI = %v, want %v", got, want)
+	}
+	// Stride 2 halves the FLOPs for the same loads (§8.1).
+	if FAI(12, 8, 3, 2) != got/2 {
+		t.Fatal("stride-2 FAI must be half of stride-1")
+	}
+}
+
+func TestSolveRegisterTilePaperOptimum(t *testing.T) {
+	// §5.2.3: the optimal values are V_k=8 and V_w=12 on the
+	// evaluation platforms (3×3 working example).
+	rt := SolveRegisterTile(3, 1)
+	if rt.Vw != 12 || rt.Vk != 8 {
+		t.Fatalf("S=3 tile = %v, want Vw=12 Vk=8", rt)
+	}
+	if rt.Registers != 30 {
+		t.Fatalf("S=3 registers = %d, want 30", rt.Registers)
+	}
+	// 1×1 kernels keep the same tile (ties broken to larger V_w).
+	rt1 := SolveRegisterTile(1, 1)
+	if rt1.Vw != 12 || rt1.Vk != 8 {
+		t.Fatalf("S=1 tile = %v, want Vw=12 Vk=8", rt1)
+	}
+}
+
+func TestSolveRegisterTileRespectsBudget(t *testing.T) {
+	for s := 1; s <= 11; s += 2 {
+		for _, str := range []int{1, 2} {
+			rt := SolveRegisterTile(s, str)
+			if rt.Registers > simd.NumRegs {
+				t.Fatalf("S=%d str=%d uses %d regs", s, str, rt.Registers)
+			}
+			if rt.Vw%4 != 0 || rt.Vk%4 != 0 {
+				t.Fatalf("S=%d tile %v not register aligned", s, rt)
+			}
+			if rt.FAI <= 0 {
+				t.Fatalf("S=%d non-positive FAI", s)
+			}
+		}
+	}
+}
+
+// Property: the solver's tile is FAI-optimal over the feasible set.
+func TestSolveRegisterTileOptimalProperty(t *testing.T) {
+	f := func(sRaw, strRaw uint8) bool {
+		s := int(sRaw)%7 + 1
+		str := int(strRaw)%2 + 1
+		best := SolveRegisterTile(s, str)
+		for vk := 4; vk <= 128; vk += 4 {
+			for vw := 4; vw <= 128; vw += 4 {
+				if RegistersUsed(vw, vk, s) > simd.NumRegs {
+					continue
+				}
+				if FAI(vw, vk, s, str) > best.FAI+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func layer3Shape(n int) conv.Shape {
+	l, _ := conv.LayerByID(3) // 64x56x56, K=64, 3x3 s1
+	return l.Shape.WithBatch(n)
+}
+
+func TestSolveCacheTilesSatisfyEquations(t *testing.T) {
+	rt := SolveRegisterTile(3, 1)
+	for _, p := range hw.Platforms {
+		s := layer3Shape(p.Cores)
+		ct := SolveCacheTiles(p, s, rt)
+		if ct.Tc < 1 || ct.Tc > s.C {
+			t.Fatalf("%s: Tc=%d out of range", p.Name, ct.Tc)
+		}
+		if ct.Tk < rt.Vk || ct.Tk%rt.Vk != 0 {
+			t.Fatalf("%s: Tk=%d not a positive multiple of Vk", p.Name, ct.Tk)
+		}
+		if ct.Th < 1 || ct.Th > s.P() {
+			t.Fatalf("%s: Th=%d out of range", p.Name, ct.Th)
+		}
+		// Equation 1 must hold when Tc is not clamped to C.
+		wIn := (rt.Vw-1)*s.Str + s.S
+		lhs1 := s.R*ct.Tc*wIn + 2*rt.Vk*ct.Tc*s.R*s.S
+		if ct.Tc < s.C && lhs1 >= p.L1.SizeBytes/4 {
+			t.Fatalf("%s: Equation 1 violated: %d >= %d", p.Name, lhs1, p.L1.SizeBytes/4)
+		}
+	}
+}
+
+func TestSolveCacheTilesLargerL1GivesLargerTc(t *testing.T) {
+	rt := SolveRegisterTile(3, 1)
+	s := conv.Shape{N: 1, C: 4096, H: 56, W: 56, K: 4096, R: 3, S: 3, Str: 1, Pad: 1}
+	small := SolveCacheTiles(hw.Phytium2000, s, rt) // 32 KB L1
+	big := SolveCacheTiles(hw.KP920, s, rt)         // 64 KB L1
+	if big.Tc <= small.Tc {
+		t.Fatalf("KP920 Tc=%d should exceed Phytium Tc=%d", big.Tc, small.Tc)
+	}
+}
+
+func TestThreadFAIMatchesEquation5(t *testing.T) {
+	s := conv.Shape{N: 64, C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1}
+	alpha := 2.0
+	ptn := 8
+	nhw := float64(64 * 56 * 56)
+	krs := float64(64 * 3 * 3)
+	want := 1 / (float64(ptn)/nhw + alpha/(krs*float64(ptn)))
+	got := ThreadFAI(s, alpha, ptn)
+	if d := got/want - 1; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("ThreadFAI = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalPTnEquation6(t *testing.T) {
+	// PTn* = ceil(sqrt(alpha*N*H*W/(K*R*S*str^2))).
+	s := conv.Shape{N: 64, C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1}
+	got := OptimalPTn(s, 2.0)
+	// sqrt(2*64*56*56 / 576) = sqrt(696.9) = 26.4 -> 27.
+	if got != 27 {
+		t.Fatalf("OptimalPTn = %d, want 27", got)
+	}
+}
+
+func TestSolveThreadMappingProducesValidGrid(t *testing.T) {
+	for _, p := range hw.Platforms {
+		for _, l := range conv.Table4 {
+			s := l.Shape.WithBatch(p.Cores)
+			m := SolveThreadMapping(s, p.Alpha, p.Cores, 8)
+			if m.PTk*m.PTn > p.Cores {
+				t.Fatalf("%s layer %d: PTk*PTn=%d exceeds PT=%d", p.Name, l.ID, m.PTk*m.PTn, p.Cores)
+			}
+			if m.PN*m.PH*m.PW != m.PTn {
+				t.Fatalf("%s layer %d: PN*PH*PW=%d != PTn=%d", p.Name, l.ID, m.PN*m.PH*m.PW, m.PTn)
+			}
+			if m.PN > s.N || m.PH > s.P() || m.PW > s.Q() {
+				t.Fatalf("%s layer %d: decomposition %v exceeds dims", p.Name, l.ID, m)
+			}
+			kBlocks := (s.K + 7) / 8
+			if m.PTk > kBlocks {
+				t.Fatalf("%s layer %d: PTk=%d exceeds K blocks %d", p.Name, l.ID, m.PTk, kBlocks)
+			}
+		}
+	}
+}
+
+func TestSolveThreadMappingPrefersBatchParallelism(t *testing.T) {
+	// Large batch, small K: Equation 6 pushes workers to PT_n and the
+	// decomposition should saturate N first.
+	s := conv.Shape{N: 64, C: 64, H: 56, W: 56, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	m := SolveThreadMapping(s, 2.0, 64, 8)
+	if m.PTn < 32 {
+		t.Fatalf("expected PTn-heavy mapping, got %v", m)
+	}
+	if m.PN < m.PH || m.PN < m.PW {
+		t.Fatalf("N must have priority: %v", m)
+	}
+}
+
+func TestSolveThreadMappingSmallK(t *testing.T) {
+	// K=8, Vk=8 -> only one K block; PTk must be 1.
+	s := conv.Shape{N: 4, C: 16, H: 32, W: 32, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	m := SolveThreadMapping(s, 2.0, 4, 8)
+	if m.PTk != 1 {
+		t.Fatalf("PTk = %d, want 1", m.PTk)
+	}
+}
+
+func TestSolveThreadMappingDegenerate(t *testing.T) {
+	s := conv.Shape{N: 1, C: 1, H: 1, W: 1, K: 1, R: 1, S: 1, Str: 1, Pad: 0}
+	m := SolveThreadMapping(s, 2.0, 64, 8)
+	if m.PTk*m.PTn < 1 || m.PN*m.PH*m.PW != m.PTn {
+		t.Fatalf("degenerate mapping invalid: %v", m)
+	}
+}
+
+func TestSolveThreadMappingMaximisesEquation5(t *testing.T) {
+	s := layer3Shape(64)
+	m := SolveThreadMapping(s, 2.0, 64, 8)
+	// No other feasible factorisation may beat the chosen FAI.
+	for ptn := 1; ptn <= 64; ptn++ {
+		if 64%ptn != 0 {
+			continue
+		}
+		ptk := 64 / ptn
+		if ptk > (s.K+7)/8 {
+			continue
+		}
+		if _, _, _, ok := func() (int, int, int, bool) { return decomposePTn(ptn, s.N, s.P(), s.Q()) }(); !ok {
+			continue
+		}
+		if ThreadFAI(s, 2.0, ptn) > m.FAI+1e-9 {
+			t.Fatalf("factorisation PTn=%d beats solver (%v)", ptn, m)
+		}
+	}
+}
+
+func TestContinuousOptimumBoundsIntegerSolver(t *testing.T) {
+	// The §5.2.3 Lagrangian relaxation upper-bounds every feasible
+	// integer tile, and the integer optimum sits close to it.
+	for _, s := range []int{1, 3, 5, 7} {
+		vw, vk, fai := ContinuousOptimum(s, 1)
+		if vw <= 0 || vk <= 0 {
+			t.Fatalf("S=%d: degenerate continuous optimum", s)
+		}
+		integer := SolveRegisterTile(s, 1)
+		if integer.FAI > fai+1e-6 {
+			t.Fatalf("S=%d: integer FAI %.3f exceeds continuous bound %.3f", s, integer.FAI, fai)
+		}
+		if integer.FAI < 0.65*fai {
+			t.Fatalf("S=%d: integer FAI %.3f too far below bound %.3f", s, integer.FAI, fai)
+		}
+	}
+}
+
+func TestContinuousOptimumS3Neighbourhood(t *testing.T) {
+	// For the paper's 3x3 working example the continuous stationary
+	// point sits near the reported 12x8 integer tile.
+	vw, vk, _ := ContinuousOptimum(3, 1)
+	if vw < 6 || vw > 24 || vk < 4 || vk > 16 {
+		t.Fatalf("continuous optimum (%.1f, %.1f) far from the 12x8 region", vw, vk)
+	}
+}

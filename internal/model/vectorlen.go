@@ -1,0 +1,62 @@
+package model
+
+import "ndirect/internal/simd"
+
+// §10.1 (architecture portability) and §3.3 (other data types): the
+// register-tile model generalised over the vector geometry. The ARM
+// Scalable Vector Extension allows 128–2048-bit registers; FP64
+// halves the lanes per 128-bit register; AVX-512 offers 16 FP32 lanes.
+// All of these change only two model inputs — lanes per register and
+// register count — so the Equation 3–4 machinery is re-derived here
+// with both as parameters. The fixed-geometry functions in model.go
+// delegate to these with the NEON FP32 values (4 lanes, 32 registers).
+
+// VectorGeometry describes the SIMD register file the kernel targets.
+type VectorGeometry struct {
+	Lanes   int // elements per vector register
+	NumRegs int // architectural vector registers
+}
+
+// NEONFP32 is the paper's target geometry: 128-bit registers, FP32.
+var NEONFP32 = VectorGeometry{Lanes: simd.Width, NumRegs: simd.NumRegs}
+
+// NEONFP64 is 128-bit registers holding 2 FP64 lanes (§3.3).
+var NEONFP64 = VectorGeometry{Lanes: 2, NumRegs: simd.NumRegs}
+
+// SVE512FP32 models a 512-bit SVE implementation (e.g. Fujitsu
+// A64FX): 16 FP32 lanes, 32 registers.
+var SVE512FP32 = VectorGeometry{Lanes: 16, NumRegs: 32}
+
+// AVX512FP32 models x86 AVX-512: 16 FP32 lanes, 32 registers (§10.1
+// "our techniques are also applicable to ... Intel AVX-512").
+var AVX512FP32 = VectorGeometry{Lanes: 16, NumRegs: 32}
+
+// RegistersUsedVL evaluates the Equation 3 left-hand side for an
+// arbitrary geometry: ⌈(V_w+S−1)/L⌉ input registers + V_k/L filter
+// registers + V_w·V_k/L output registers.
+func (g VectorGeometry) RegistersUsedVL(vw, vk, s int) int {
+	in := (vw + s - 1 + g.Lanes - 1) / g.Lanes
+	return in + vk/g.Lanes + vw*vk/g.Lanes
+}
+
+// SolveRegisterTile enumerates the feasible register tiles for the
+// geometry (V_w and V_k multiples of the lane count, Equation 3
+// budget) and returns the FAI-maximal one with the same tie-breaking
+// as the NEON solver: fewer occupied registers, then larger V_w.
+func (g VectorGeometry) SolveRegisterTile(s, str int) RegTile {
+	best := RegTile{}
+	maxDim := g.NumRegs * g.Lanes
+	for vk := g.Lanes; vk <= maxDim; vk += g.Lanes {
+		for vw := g.Lanes; vw <= maxDim; vw += g.Lanes {
+			regs := g.RegistersUsedVL(vw, vk, s)
+			if regs > g.NumRegs {
+				continue
+			}
+			cand := RegTile{Vw: vw, Vk: vk, Registers: regs, FAI: FAI(vw, vk, s, str)}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNEONFP32GeometryMatchesFixedSolver(t *testing.T) {
+	for _, s := range []int{1, 3, 5, 7} {
+		for _, str := range []int{1, 2} {
+			fixed := SolveRegisterTile(s, str)
+			generic := NEONFP32.SolveRegisterTile(s, str)
+			if fixed != generic {
+				t.Fatalf("S=%d str=%d: fixed %v vs generic %v", s, str, fixed, generic)
+			}
+		}
+	}
+}
+
+func TestRegistersUsedVLMatchesFixed(t *testing.T) {
+	if NEONFP32.RegistersUsedVL(12, 8, 3) != RegistersUsed(12, 8, 3) {
+		t.Fatal("VL register count diverges from fixed-geometry count")
+	}
+}
+
+func TestFP64TileSmaller(t *testing.T) {
+	// With 2 lanes per register, the same 32-register budget holds a
+	// smaller output tile; the solver must still fit and stay
+	// lane-aligned.
+	rt := NEONFP64.SolveRegisterTile(3, 1)
+	if rt.Registers > 32 {
+		t.Fatalf("FP64 tile busts the budget: %v", rt)
+	}
+	if rt.Vw%2 != 0 || rt.Vk%2 != 0 {
+		t.Fatalf("FP64 tile not lane aligned: %v", rt)
+	}
+	fp32 := NEONFP32.SolveRegisterTile(3, 1)
+	if rt.Vw*rt.Vk >= fp32.Vw*fp32.Vk {
+		t.Fatalf("FP64 output tile (%dx%d) should hold fewer elements than FP32 (%dx%d)",
+			rt.Vw, rt.Vk, fp32.Vw, fp32.Vk)
+	}
+}
+
+func TestSVE512TileLarger(t *testing.T) {
+	// §10.1: wider vectors -> larger tiles and higher FAI.
+	sve := SVE512FP32.SolveRegisterTile(3, 1)
+	neon := NEONFP32.SolveRegisterTile(3, 1)
+	if sve.Registers > 32 {
+		t.Fatalf("SVE tile busts the budget: %v", sve)
+	}
+	if sve.FAI <= neon.FAI {
+		t.Fatalf("512-bit FAI (%.2f) should exceed 128-bit FAI (%.2f)", sve.FAI, neon.FAI)
+	}
+	if sve.Vw%16 != 0 || sve.Vk%16 != 0 {
+		t.Fatalf("SVE tile not lane aligned: %v", sve)
+	}
+}
+
+func TestAVX512MatchesSVE512(t *testing.T) {
+	// Same geometry, same model output (the model is ISA-agnostic).
+	if AVX512FP32.SolveRegisterTile(3, 1) != SVE512FP32.SolveRegisterTile(3, 1) {
+		t.Fatal("identical geometries must give identical tiles")
+	}
+}
+
+// Property: for every geometry and kernel width, the chosen tile is
+// feasible and FAI-optimal over the lane-aligned feasible set.
+func TestGeometrySolverOptimalProperty(t *testing.T) {
+	geoms := []VectorGeometry{NEONFP32, NEONFP64, SVE512FP32, {Lanes: 8, NumRegs: 16}}
+	f := func(sRaw, gRaw uint8) bool {
+		s := int(sRaw)%7 + 1
+		g := geoms[int(gRaw)%len(geoms)]
+		best := g.SolveRegisterTile(s, 1)
+		if best.Registers > g.NumRegs {
+			return false
+		}
+		for vk := g.Lanes; vk <= g.NumRegs*g.Lanes; vk += g.Lanes {
+			for vw := g.Lanes; vw <= g.NumRegs*g.Lanes; vw += g.Lanes {
+				if g.RegistersUsedVL(vw, vk, s) > g.NumRegs {
+					continue
+				}
+				if FAI(vw, vk, s, 1) > best.FAI+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

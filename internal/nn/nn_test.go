@@ -1,0 +1,394 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ndirect/internal/autotune"
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+func builderForTest() *builder {
+	return &builder{rng: rand.New(rand.NewSource(99))}
+}
+
+func TestConvUnitBackendsAgree(t *testing.T) {
+	u := mkUnit(t, true, true)
+	x := tensor.New(2, 4, 8, 8)
+	x.FillRandom(1)
+	ref := (&Engine{Algo: AlgoNDirect, Threads: 2}).runUnit(u, x)
+	for _, algo := range []Algo{AlgoIm2col, AlgoAnsor, AlgoXSMM, AlgoXNN} {
+		got := (&Engine{Algo: algo, Threads: 2}).runUnit(u, x)
+		if d := tensor.RelDiff(ref, got); d > 1e-4 {
+			t.Fatalf("%v disagrees with ndirect: %g", algo, d)
+		}
+	}
+}
+
+func (eng *Engine) runUnit(u *ConvUnit, x *tensor.Tensor) *tensor.Tensor {
+	return u.Forward(eng, x)
+}
+
+func mkUnit(t *testing.T, withBN, relu bool) *ConvUnit {
+	t.Helper()
+	b := builderForTest()
+	u := b.convUnit("test", 4, 8, 8, 3, 1, 1, relu, withBN)
+	// Non-identity BN so folding is actually exercised.
+	if withBN {
+		for k := range u.BN.Gamma {
+			u.BN.Gamma[k] = 1 + 0.1*float32(k)
+			u.BN.Beta[k] = 0.05 * float32(k)
+			u.BN.Mean[k] = 0.01 * float32(k)
+			u.BN.Var[k] = 1 + 0.2*float32(k)
+		}
+	}
+	return u
+}
+
+func TestFusedMatchesUnfused(t *testing.T) {
+	u := mkUnit(t, true, true)
+	x := tensor.New(1, 4, 8, 8)
+	x.FillRandom(3)
+	plain := u.Forward(&Engine{Algo: AlgoNDirect, Threads: 1}, x)
+	uf := mkUnit(t, true, true)
+	fused := uf.Forward(&Engine{Algo: AlgoNDirect, Threads: 1, Fuse: true}, x)
+	if d := tensor.RelDiff(plain, fused); d > 1e-4 {
+		t.Fatalf("fused BN/ReLU path differs: %g", d)
+	}
+	// Ansor fused epilogue too.
+	ua := mkUnit(t, true, true)
+	fusedA := ua.Forward(&Engine{Algo: AlgoAnsor, Threads: 1, Fuse: true}, x)
+	if d := tensor.RelDiff(plain, fusedA); d > 1e-4 {
+		t.Fatalf("ansor fused path differs: %g", d)
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	eng := &Engine{Threads: 1}
+	x := tensor.New(1, 1, 4, 4)
+	copy(x.Data, []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	})
+	mp := &MaxPool{K: 2, Str: 2}
+	y := mp.Forward(eng, x)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("maxpool = %v, want %v", y.Data, want)
+		}
+	}
+	// Padded 3x3 stride 2 (the ResNet stem pool): output 2x2.
+	mp2 := &MaxPool{K: 3, Str: 2, Pad: 1}
+	y2 := mp2.Forward(eng, x)
+	if y2.Dims[2] != 2 || y2.Dims[3] != 2 {
+		t.Fatalf("padded pool dims %v", y2.Dims)
+	}
+	if y2.Data[0] != 6 || y2.Data[3] != 16 {
+		t.Fatalf("padded pool values %v", y2.Data)
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	eng := &Engine{Threads: 1}
+	x := tensor.New(1, 2, 2, 2)
+	copy(x.Data, []float32{1, 2, 3, 4, 10, 20, 30, 40})
+	y := GlobalAvgPool{}.Forward(eng, x)
+	if y.Data[0] != 2.5 || y.Data[1] != 25 {
+		t.Fatalf("gap = %v", y.Data)
+	}
+}
+
+func TestFC(t *testing.T) {
+	eng := &Engine{Threads: 1}
+	w := tensor.New(2, 3)
+	copy(w.Data, []float32{1, 0, 0, 0, 1, 1})
+	fc := &FC{LayerName: "fc", In: 3, Out: 2, W: w, B: []float32{0.5, -10}, ReLU: true}
+	x := tensor.New(1, 3)
+	copy(x.Data, []float32{2, 3, 4})
+	y := fc.Forward(eng, x)
+	// out0 = 2 + 0.5 = 2.5; out1 = 3+4-10 = -3 -> ReLU 0.
+	if y.Data[0] != 2.5 || y.Data[1] != 0 {
+		t.Fatalf("fc = %v", y.Data)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	eng := &Engine{Threads: 1}
+	x := tensor.New(1, 3)
+	copy(x.Data, []float32{1, 2, 3})
+	y := Softmax{}.Forward(eng, x)
+	var sum float64
+	for _, v := range y.Data {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	if !(y.Data[2] > y.Data[1] && y.Data[1] > y.Data[0]) {
+		t.Fatalf("softmax ordering broken: %v", y.Data)
+	}
+}
+
+func TestResNet50Structure(t *testing.T) {
+	net := ResNet50()
+	shapes := net.ConvShapes()
+	// ResNet-50 has 1+4 stage geometries worth of distinct conv
+	// shapes; every Table 4 ResNet layer must appear among them.
+	keys := map[string]bool{}
+	for _, s := range shapes {
+		keys[shapeKey(s)] = true
+	}
+	missing := 0
+	for _, l := range conv.Table4[:23] {
+		if !keys[shapeKey(l.Shape)] {
+			missing++
+			t.Errorf("Table 4 layer %d (%v) not found in ResNet-50 graph", l.ID, l.Shape)
+		}
+	}
+	_ = missing
+	// 53 conv units in ResNet-50 (1 stem + 16 blocks×3 + 4 projections).
+	count := 0
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch v := l.(type) {
+			case *ConvUnit:
+				count++
+			case *Bottleneck:
+				walk(v.sublayers())
+			}
+		}
+	}
+	walk(net.Layers)
+	if count != 53 {
+		t.Fatalf("ResNet-50 has %d conv units, want 53", count)
+	}
+}
+
+func TestResNet101Depth(t *testing.T) {
+	net := ResNet101()
+	count := 0
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch v := l.(type) {
+			case *ConvUnit:
+				count++
+			case *Bottleneck:
+				walk(v.sublayers())
+			}
+		}
+	}
+	walk(net.Layers)
+	if count != 104 { // 1 + 33 blocks×3 + 4 projections
+		t.Fatalf("ResNet-101 has %d conv units, want 104", count)
+	}
+}
+
+func TestVGGStructure(t *testing.T) {
+	keys := map[string]bool{}
+	for _, s := range VGG16().ConvShapes() {
+		keys[shapeKey(s)] = true
+	}
+	for _, l := range conv.VGGLayers() {
+		if !keys[shapeKey(l.Shape)] {
+			t.Errorf("Table 4 layer %d (%v) not in VGG-16 graph", l.ID, l.Shape)
+		}
+	}
+	if len(VGG19().Layers) != len(VGG16().Layers)+3 {
+		t.Fatal("VGG-19 must have three more conv layers than VGG-16")
+	}
+}
+
+func TestResNet50ForwardRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full forward pass is slow")
+	}
+	net := ResNet50()
+	eng := &Engine{Algo: AlgoNDirect, Threads: 4}
+	x := tensor.New(1, 3, 224, 224)
+	x.FillRandom(7)
+	y := net.Forward(eng, x)
+	if y.Dims[0] != 1 || y.Dims[1] != 1000 {
+		t.Fatalf("output dims %v", y.Dims)
+	}
+	var sum float64
+	for _, v := range y.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite probability")
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestEndToEndBackendsAgreeSmallNet(t *testing.T) {
+	// A small custom net exercises cross-backend agreement end to end.
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		&MaxPool{K: 2, Str: 2},
+		b.convUnit("c2", 8, 16, 8, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+		b.fc("fc", 16, 10, false),
+		Softmax{},
+	}}
+	x := tensor.New(2, 3, 16, 16)
+	x.FillRandom(11)
+	ref := net.Forward(&Engine{Algo: AlgoNDirect, Threads: 2}, x)
+	for _, algo := range []Algo{AlgoIm2col, AlgoAnsor, AlgoXSMM, AlgoXNN} {
+		got := net.Forward(&Engine{Algo: algo, Threads: 2}, x)
+		if d := tensor.RelDiff(ref, got); d > 1e-3 {
+			t.Fatalf("%v end-to-end disagrees: %g", algo, d)
+		}
+	}
+	// Fused nDirect and fused Ansor agree with unfused reference.
+	fused := net.Forward(&Engine{Algo: AlgoNDirect, Threads: 2, Fuse: true}, x)
+	if d := tensor.RelDiff(ref, fused); d > 1e-3 {
+		t.Fatalf("fusion changed the result: %g", d)
+	}
+}
+
+func TestEngineTuneFillsSchedules(t *testing.T) {
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 4, 8, 8, 3, 1, 1, true, true),
+	}}
+	eng := &Engine{Algo: AlgoAnsor, Threads: 1}
+	eng.Tune(net, autotune.TuneOptions{Population: 4, Generations: 1, Trials: 4, Seed: 5})
+	if len(eng.Schedules) != 1 {
+		t.Fatalf("expected 1 tuned schedule, got %d", len(eng.Schedules))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"resnet50", "resnet101", "vgg16", "vgg19"} {
+		if _, ok := ByName(name); !ok {
+			t.Fatalf("%s not resolved", name)
+		}
+	}
+	if _, ok := ByName("alexnet"); ok {
+		t.Fatal("unknown model resolved")
+	}
+}
+
+func TestMobileNetV1Structure(t *testing.T) {
+	net := MobileNetV1()
+	// 1 stem + 13 pointwise units reachable through the DSC blocks.
+	units := net.ConvUnits()
+	if len(units) != 14 {
+		t.Fatalf("MobileNet-v1 has %d conv units, want 14", len(units))
+	}
+	// Geometry chain: last pointwise is 1024 -> 1024 at 7x7.
+	last := units[len(units)-1].Shape
+	if last.C != 1024 || last.K != 1024 || last.H != 7 {
+		t.Fatalf("last pointwise shape %v", last)
+	}
+	if _, ok := ByName("mobilenet"); !ok {
+		t.Fatal("mobilenet not resolvable by name")
+	}
+}
+
+func TestMobileNetV1ForwardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MobileNet forward is slow")
+	}
+	net := MobileNetV1()
+	eng := &Engine{Algo: AlgoNDirect, Threads: 4}
+	x := tensor.New(1, 3, 224, 224)
+	x.FillRandom(5)
+	y := net.Forward(eng, x)
+	if y.Dims[1] != 1000 {
+		t.Fatalf("output dims %v", y.Dims)
+	}
+	var sum float64
+	for _, v := range y.Data {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestDepthwiseSeparableBlockShapes(t *testing.T) {
+	b := builderForTest()
+	blk := b.dsc("t", 8, 16, 16, 2)
+	eng := &Engine{Algo: AlgoNDirect, Threads: 1}
+	x := tensor.New(2, 8, 16, 16)
+	x.FillRandom(1)
+	y := blk.Forward(eng, x)
+	want := []int{2, 16, 8, 8} // stride-2 depthwise halves, pointwise expands
+	for i, d := range want {
+		if y.Dims[i] != d {
+			t.Fatalf("dims %v, want %v", y.Dims, want)
+		}
+	}
+}
+
+func TestForwardProfiled(t *testing.T) {
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 12, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+		b.fc("fc", 8, 4, false),
+		Softmax{},
+	}}
+	eng := &Engine{Algo: AlgoNDirect, Threads: 1}
+	x := tensor.New(1, 3, 12, 12)
+	x.FillRandom(1)
+	y, times := net.ForwardProfiled(eng, x)
+	if len(times) != 4 {
+		t.Fatalf("expected 4 layer timings, got %d", len(times))
+	}
+	if times[0].Name != "c1" || times[0].Seconds <= 0 {
+		t.Fatalf("bad first timing: %+v", times[0])
+	}
+	if times[3].OutDims[1] != 4 || y.Dims[1] != 4 {
+		t.Fatal("profiled output dims wrong")
+	}
+	// Profiled and plain forward agree.
+	plain := net.Forward(eng, x)
+	if d := tensor.RelDiff(plain, y); d > 1e-6 {
+		t.Fatalf("profiled forward changed the result: %g", d)
+	}
+}
+
+func TestResNet18And34Structure(t *testing.T) {
+	count := func(net *Network) int { return len(net.ConvUnits()) }
+	// ResNet-18: 1 stem + 8 blocks×2 + 3 projections = 20.
+	if got := count(ResNet18()); got != 20 {
+		t.Fatalf("ResNet-18 has %d conv units, want 20", got)
+	}
+	// ResNet-34: 1 + 16×2 + 3 = 36.
+	if got := count(ResNet34()); got != 36 {
+		t.Fatalf("ResNet-34 has %d conv units, want 36", got)
+	}
+}
+
+func TestResNet18ForwardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full forward pass is slow")
+	}
+	net := ResNet18()
+	eng := &Engine{Algo: AlgoNDirect, Threads: 4}
+	x := tensor.New(1, 3, 224, 224)
+	x.FillRandom(3)
+	y := net.Forward(eng, x)
+	if y.Dims[1] != 1000 {
+		t.Fatalf("output dims %v", y.Dims)
+	}
+	var sum float64
+	for _, v := range y.Data {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}

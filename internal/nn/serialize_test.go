@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ndirect/internal/tensor"
+)
+
+func tinyNet() *Network {
+	b := builderForTest()
+	return &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 12, 3, 1, 1, true, true),
+		b.dsc("d1", 8, 16, 12, 1),
+		GlobalAvgPool{},
+		b.fc("fc", 16, 4, false),
+		Softmax{},
+	}}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	src := tinyNet()
+	// Make the source distinctive.
+	for _, s := range src.paramSlices() {
+		for i := range s {
+			s[i] += 0.001 * float32(i%7)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.WriteWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := tinyNet() // same architecture, different weights
+	if err := dst.ReadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs must now be identical.
+	eng := &Engine{Algo: AlgoNDirect, Threads: 1}
+	x := tensor.New(1, 3, 12, 12)
+	x.FillRandom(9)
+	a := src.Forward(eng, x)
+	b := dst.Forward(eng, x)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("weights round trip changed outputs")
+	}
+}
+
+func TestReadWeightsInvalidatesFoldedCache(t *testing.T) {
+	net := tinyNet()
+	eng := &Engine{Algo: AlgoNDirect, Threads: 1, Fuse: true}
+	x := tensor.New(1, 3, 12, 12)
+	x.FillRandom(9)
+	before := net.Forward(eng, x) // populates folded-weight caches
+
+	// Re-load different weights; fused outputs must change.
+	other := tinyNet()
+	for _, s := range other.paramSlices() {
+		for i := range s {
+			s[i] *= 1.5
+		}
+	}
+	var buf bytes.Buffer
+	if err := other.WriteWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ReadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after := net.Forward(eng, x)
+	if tensor.MaxAbsDiff(before, after) == 0 {
+		t.Fatal("fused caches not invalidated on weight load")
+	}
+}
+
+func TestReadWeightsRejectsBadMagic(t *testing.T) {
+	net := tinyNet()
+	err := net.ReadWeights(strings.NewReader("WRONGHEADER........."))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("expected magic error, got %v", err)
+	}
+}
+
+func TestReadWeightsRejectsWrongArchitecture(t *testing.T) {
+	src := tinyNet()
+	var buf bytes.Buffer
+	if err := src.WriteWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := builderForTest()
+	other := &Network{Name: "different", Layers: []Layer{
+		b.convUnit("c1", 3, 4, 12, 3, 1, 1, true, true),
+	}}
+	if err := other.ReadWeights(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected architecture mismatch error")
+	}
+}
+
+func TestReadWeightsTruncatedFileLeavesNetworkIntact(t *testing.T) {
+	src := tinyNet()
+	var buf bytes.Buffer
+	if err := src.WriteWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := tinyNet()
+	beforeSum := paramSum(dst)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := dst.ReadWeights(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated file")
+	}
+	if paramSum(dst) != beforeSum {
+		t.Fatal("truncated load must not mutate the network")
+	}
+}
+
+func paramSum(n *Network) float64 {
+	var sum float64
+	for _, s := range n.paramSlices() {
+		for _, v := range s {
+			sum += float64(v)
+		}
+	}
+	return sum
+}

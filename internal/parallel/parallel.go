@@ -1,0 +1,155 @@
+// Package parallel provides the OpenMP-style static work partitioning
+// the paper uses (§6): a fixed pool of PT workers, static chunking of
+// loop ranges, and the two-dimensional PTk × PTn thread grid that
+// nDirect maps onto the K and N/H/W convolution dimensions.
+//
+// The paper spawns one OpenMP thread per physical core. Here workers
+// are goroutines; on a multi-core host they execute concurrently, on a
+// single-core host they interleave (the harness uses the machine model
+// for multi-core projections either way).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultThreads returns the worker count matching the paper's policy
+// of one thread per available core.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split statically partitions [0, n) into at most p near-equal
+// contiguous chunks (OpenMP schedule(static)). The first n%p chunks
+// are one element longer. Fewer than p chunks are returned when n < p.
+func Split(n, p int) []Range {
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	chunks := make([]Range, 0, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		chunks = append(chunks, Range{lo, lo + size})
+		lo += size
+	}
+	return chunks
+}
+
+// For runs body(i) for every i in [0, n) across p workers with static
+// partitioning. body must not panic; workers share nothing but the
+// index range, matching the paper's write-conflict-free mapping (no
+// parallelisation over the reduction dimensions C, R, S).
+func For(n, p int, body func(i int)) {
+	chunks := Split(n, p)
+	if len(chunks) <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(chunks) - 1)
+	for _, c := range chunks[1:] {
+		go func(c Range) {
+			defer wg.Done()
+			for i := c.Lo; i < c.Hi; i++ {
+				body(i)
+			}
+		}(c)
+	}
+	for i := chunks[0].Lo; i < chunks[0].Hi; i++ {
+		body(i)
+	}
+	wg.Wait()
+}
+
+// ForRange runs body(lo, hi) once per worker chunk — used when the
+// body wants to amortise per-chunk setup (thread-private packing
+// buffers, filter transform scratch) across its whole range, as the
+// nDirect driver does.
+func ForRange(n, p int, body func(worker int, r Range)) {
+	chunks := Split(n, p)
+	if len(chunks) == 0 {
+		return
+	}
+	if len(chunks) == 1 {
+		body(0, chunks[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(chunks) - 1)
+	for w, c := range chunks[1:] {
+		go func(w int, c Range) {
+			defer wg.Done()
+			body(w, c)
+		}(w+1, c)
+	}
+	body(0, chunks[0])
+	wg.Wait()
+}
+
+// Grid2D describes the two-level thread grid of §6.1: PTk workers
+// along the output-channel dimension times PTn workers along the
+// batch/spatial dimensions, PTk*PTn = PT.
+type Grid2D struct {
+	PTk, PTn int
+}
+
+// Workers returns the total worker count of the grid.
+func (g Grid2D) Workers() int { return g.PTk * g.PTn }
+
+// ForGrid runs body(kWorker, nWorker) for every cell of the grid
+// concurrently. The body typically slices K by kWorker and N×H×W by
+// nWorker.
+func (g Grid2D) ForGrid(body func(kWorker, nWorker int)) {
+	total := g.Workers()
+	if total <= 1 {
+		body(0, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(total - 1)
+	first := true
+	for k := 0; k < g.PTk; k++ {
+		for n := 0; n < g.PTn; n++ {
+			if first {
+				first = false
+				continue
+			}
+			go func(k, n int) {
+				defer wg.Done()
+				body(k, n)
+			}(k, n)
+		}
+	}
+	body(0, 0)
+	wg.Wait()
+}
+
+// Factorize returns all (a, b) pairs with a*b == p, a ascending. Used
+// by the thread-mapping solver to enumerate PTk × PTn candidates.
+func Factorize(p int) [][2]int {
+	var out [][2]int
+	for a := 1; a <= p; a++ {
+		if p%a == 0 {
+			out = append(out, [2]int{a, p / a})
+		}
+	}
+	return out
+}

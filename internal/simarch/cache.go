@@ -1,0 +1,232 @@
+// Package simarch is the machine model that substitutes for the
+// paper's four ARM testbeds (see DESIGN.md §1): it projects a
+// convolution algorithm's execution onto an hw.Platform and returns
+// modeled GFLOPS / %-of-peak figures.
+//
+// The model has two parts:
+//
+//   - a trace-driven set-associative cache simulator (this file),
+//     which replays a representative window of the algorithm's memory
+//     access stream through the platform's L1/L2/L3 hierarchy with
+//     the platform's replacement policy (LRU or pseudo-random — the
+//     distinction the paper uses to explain Figure 5's cross-platform
+//     differences), yielding per-level miss counts;
+//   - an analytical cycle estimator (project.go) in the ECM/roofline
+//     family, combining FMA/load issue pressure, the simulated cache
+//     stalls, accumulator-chain latency limits, memory bandwidth and
+//     each algorithm's parallelisation shape.
+package simarch
+
+import "ndirect/internal/hw"
+
+// CacheSim is one set-associative cache level with LRU or
+// pseudo-random replacement (deterministic xorshift so projections
+// are reproducible).
+type CacheSim struct {
+	sets      int
+	ways      int
+	lineShift uint
+	policy    hw.ReplacementPolicy
+
+	tags  []uint64 // sets × ways; 0 = empty (tags are shifted-up addrs, never 0 for real lines)
+	stamp []uint64 // LRU timestamps
+	clock uint64
+	rng   uint64
+
+	Hits, Misses int64
+}
+
+// NewCacheSim builds a simulator for the given cache geometry. A
+// zero-size cache returns nil (missing level).
+func NewCacheSim(c hw.Cache) *CacheSim {
+	if !c.Exists() {
+		return nil
+	}
+	line := c.LineBytes
+	if line == 0 {
+		line = 64
+	}
+	ways := c.Ways
+	if ways <= 0 {
+		ways = 8
+	}
+	sets := c.SizeBytes / line / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for fast indexing.
+	for sets&(sets-1) != 0 {
+		sets &^= sets & -sets
+	}
+	shift := uint(0)
+	for 1<<shift < line {
+		shift++
+	}
+	return &CacheSim{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		policy:    c.Policy,
+		tags:      make([]uint64, sets*ways),
+		stamp:     make([]uint64, sets*ways),
+		rng:       0x9e3779b97f4a7c15,
+	}
+}
+
+// Access touches addr; returns true on hit. On miss the line is
+// filled, evicting per the policy.
+func (c *CacheSim) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	tag := line + 1 // +1 so tag 0 means "empty"
+	base := set * c.ways
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			c.Hits++
+			c.stamp[base+w] = c.clock
+			return true
+		}
+	}
+	c.Misses++
+	// Choose a victim: empty way first, else policy.
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		if c.policy == hw.PseudoRandom {
+			c.rng ^= c.rng << 13
+			c.rng ^= c.rng >> 7
+			c.rng ^= c.rng << 17
+			victim = int(c.rng % uint64(c.ways))
+		} else { // LRU
+			oldest := c.stamp[base]
+			victim = 0
+			for w := 1; w < c.ways; w++ {
+				if c.stamp[base+w] < oldest {
+					oldest = c.stamp[base+w]
+					victim = w
+				}
+			}
+		}
+	}
+	c.tags[base+victim] = tag
+	c.stamp[base+victim] = c.clock
+	return false
+}
+
+// MissRatio returns misses / accesses.
+func (c *CacheSim) MissRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Hierarchy chains the per-core view of a platform's cache levels:
+// shared levels are shrunk to the per-core share, modelling steady
+// state under full-machine load.
+type Hierarchy struct {
+	L1, L2, L3 *CacheSim
+	// Per-level service counts (an access is serviced by the first
+	// level that hits; Mem counts DRAM accesses).
+	L1Hits, L2Hits, L3Hits, Mem int64
+	// SeqL2/SeqL3/SeqMem count the subset of the above misses that
+	// continue a unit-stride line stream within one address region —
+	// the pattern the hardware stride prefetcher hides. The
+	// estimator prices these at a fraction of the demand-miss
+	// penalty.
+	SeqL2, SeqL3, SeqMem int64
+
+	lastLine map[uint64]uint64
+}
+
+// NewHierarchy builds the per-core hierarchy for a platform.
+func NewHierarchy(p hw.Platform) *Hierarchy {
+	l2 := p.L2
+	if l2.Shared && l2.SharedBy > 1 {
+		l2.SizeBytes /= l2.SharedBy
+	}
+	l3 := p.L3
+	if l3.Exists() && l3.Shared && l3.SharedBy > 1 {
+		l3.SizeBytes /= l3.SharedBy
+	}
+	return &Hierarchy{
+		L1:       NewCacheSim(p.L1),
+		L2:       NewCacheSim(l2),
+		L3:       NewCacheSim(l3),
+		lastLine: make(map[uint64]uint64),
+	}
+}
+
+// Access replays one load; returns the level that serviced it
+// (1, 2, 3, or 4 for memory).
+func (h *Hierarchy) Access(addr uint64) int {
+	return h.touch(addr, false)
+}
+
+// Write replays one store. Stores allocate and update the cache state
+// but are not charged as stalls by the estimator: store buffers and
+// write-combining hide their miss latency from the pipeline.
+func (h *Hierarchy) Write(addr uint64) {
+	h.touch(addr, true)
+}
+
+func (h *Hierarchy) touch(addr uint64, write bool) int {
+	line := addr >> 6
+	region := addr >> 44
+	prev, seen := h.lastLine[region]
+	seq := seen && (line == prev+1 || line == prev)
+	h.lastLine[region] = line
+
+	if h.L1.Access(addr) {
+		h.L1Hits++
+		return 1
+	}
+	if h.L2 != nil && h.L2.Access(addr) {
+		if write {
+			return 2
+		}
+		h.L2Hits++
+		if seq {
+			h.SeqL2++
+		}
+		return 2
+	}
+	if h.L3 != nil {
+		if h.L3.Access(addr) {
+			if write {
+				return 3
+			}
+			h.L3Hits++
+			if seq {
+				h.SeqL3++
+			}
+			return 3
+		}
+		if !write {
+			h.Mem++
+			if seq {
+				h.SeqMem++
+			}
+		}
+		return 4
+	}
+	if !write {
+		h.Mem++
+		if seq {
+			h.SeqMem++
+		}
+	}
+	return 4
+}
+
+// Accesses returns the total replayed accesses.
+func (h *Hierarchy) Accesses() int64 {
+	return h.L1Hits + h.L2Hits + h.L3Hits + h.Mem
+}

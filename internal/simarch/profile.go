@@ -1,0 +1,300 @@
+package simarch
+
+import (
+	"ndirect/internal/conv"
+	"ndirect/internal/hw"
+	"ndirect/internal/model"
+)
+
+// Address-space bases keep the traced regions (input, filters, packed
+// buffers, output, lowered matrix) from aliasing in the cache
+// simulator.
+const (
+	baseInput    = 0x0000_0000_0000
+	baseFilter   = 0x1000_0000_0000
+	basePackBuf  = 0x2000_0000_0000
+	baseTFilter  = 0x3000_0000_0000
+	baseOutput   = 0x4000_0000_0000
+	baseMatrix   = 0x5000_0000_0000
+	baseIndirect = 0x6000_0000_0000
+)
+
+const vecBytes = 16 // one 128-bit vector access
+
+// Profile captures everything the estimator needs about one
+// (algorithm, layer, platform) combination: aggregate instruction
+// counts, DRAM traffic, parallelisation shape and a representative
+// memory trace window.
+type Profile struct {
+	Name  string
+	Shape conv.Shape
+	Flops int64
+
+	VecFMAs   int64 // 4-lane FMA instructions
+	VecLoads  int64 // L1 vector loads in the steady-state kernel
+	VecStores int64
+	// SerialVecOps are memory operations of stages that do not
+	// overlap compute (im2col lowering, sequential packing, layout
+	// conversions when charged).
+	SerialVecOps int64
+	// ChainAccs is the number of independent accumulator registers —
+	// the FMA-latency-hiding depth of the kernel.
+	ChainAccs int
+
+	MemBytes int64 // DRAM traffic (analytical, whole problem)
+
+	// Tasks is the number of independent parallel work items the
+	// algorithm's strategy exposes (its thread-grid capacity).
+	Tasks int
+
+	// Trace replays a representative window of the kernel's memory
+	// accesses; TraceFlops is the FLOP count that window represents.
+	Trace      func(h *Hierarchy)
+	TraceFlops int64
+}
+
+// loadBalance returns the utilisation of `threads` workers over
+// `tasks` equal work items under static partitioning.
+func loadBalance(tasks, threads int) float64 {
+	if tasks <= 0 || threads <= 0 {
+		return 1
+	}
+	if tasks < threads {
+		return float64(tasks) / float64(threads)
+	}
+	chunks := (tasks + threads - 1) / threads
+	return float64(tasks) / float64(chunks*threads)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ProfileNDirect models the nDirect plan on the platform: Equation
+// 3–4 register tile, Equation 1–2 cache tiles, §6 thread mapping.
+// seqPack charges the packing micro-kernel as a serial stage
+// (Figure 5's ablated baseline) instead of overlapping it.
+func ProfileNDirect(s conv.Shape, p hw.Platform, threads int, seqPack bool) Profile {
+	rt := model.SolveRegisterTile(s.S, s.Str)
+	ct := model.SolveCacheTiles(p, s, rt)
+	tm := model.SolveThreadMapping(s, p.Alpha, threads, rt.Vk)
+	flops := s.FLOPs()
+	wIn := (rt.Vw-1)*s.Str + s.S
+
+	// One L9 iteration: ceil((wIn)/4) input + S·Vk/4 filter vector
+	// loads feed S·Vw·Vk/4 vector FMAs.
+	inLoads := int64(ceilDiv(wIn, 4))
+	fLoads := int64(s.S * rt.Vk / 4)
+	vecFMAs := flops / 8
+	iters := flops / int64(2*s.S*rt.Vw*rt.Vk/s.Str)
+	if iters < 1 {
+		iters = 1
+	}
+	cPasses := ceilDiv(s.C, ct.Tc)
+	// Output register tile store (and reload on later channel passes).
+	outVecs := s.OutputBytes() / vecBytes
+	vecStores := outVecs * int64(cPasses)
+	vecLoads := iters*(inLoads+fLoads) + outVecs*int64(cPasses-1)
+
+	// Packing ops: each packed element written once per (ct, kt) pass
+	// of each tile. Overlapped mode hides them in the FMA stream;
+	// sequential mode issues them as a separate pass (read + write).
+	kPerWorker := ceilDiv(ceilDiv(s.K, tm.PTk), rt.Vk) * rt.Vk
+	ktPasses := ceilDiv(kPerWorker, ct.Tk)
+	packedFloats := int64(s.N) * int64(s.P()) * int64(ceilDiv(s.Q(), rt.Vw)) *
+		int64(ct.Tc*s.R*wIn) * int64(cPasses*ktPasses)
+	var serialOps int64
+	if seqPack {
+		serialOps = 2 * packedFloats / 4
+	}
+
+	// DRAM traffic: input re-read per kt pass; filter duplicated per
+	// PTn worker; output read+written per channel pass.
+	mem := s.InputBytes()*int64(ktPasses) +
+		s.FilterBytes()*int64(tm.PTn) +
+		s.OutputBytes()*int64(2*cPasses-1)
+
+	return Profile{
+		Name:         "nDirect",
+		Shape:        s,
+		Flops:        flops,
+		VecFMAs:      vecFMAs,
+		VecLoads:     vecLoads,
+		VecStores:    vecStores,
+		SerialVecOps: serialOps,
+		ChainAccs:    rt.Vw * rt.Vk / 4,
+		MemBytes:     mem,
+		Tasks:        tm.PTk * tm.PTn,
+		Trace:        traceNDirect(s, rt, ct),
+		TraceFlops:   traceNDirectFlops(s, rt, ct),
+	}
+}
+
+// ProfileIm2colGEMM models the im2col+OpenBLAS baseline: the lowering
+// pass duplicates the input R·S-fold in memory, the packing stages
+// stream it again, and the 8×12 GEMM micro-kernel runs at its own
+// intensity.
+func ProfileIm2colGEMM(s conv.Shape, p hw.Platform, threads int) Profile {
+	flops := s.FLOPs()
+	vecFMAs := flops / 8
+	// Per k-step of one 8×12 tile: 3 B-vec + 2 A-vec loads for 24
+	// vector FMAs.
+	vecLoads := vecFMAs * 5 / 24
+	matrixBytes := int64(0)
+	var serialOps int64
+	if im2colNeeded(s) {
+		matrixBytes = 4 * int64(s.N) * int64(s.C*s.R*s.S) * int64(s.P()*s.Q())
+		// Lowering: read input, write matrix. GEMM packing re-reads
+		// the matrix and filter and writes panels.
+		serialOps = (s.InputBytes() + 2*matrixBytes + s.FilterBytes()) / vecBytes
+	} else {
+		serialOps = (s.InputBytes() + s.FilterBytes()) / vecBytes
+	}
+	mem := s.InputBytes() + 2*matrixBytes + s.FilterBytes()*int64(threads/max(1, min(s.N, threads))+1) + s.OutputBytes()
+	return Profile{
+		Name:         "im2col+GEMM",
+		Shape:        s,
+		Flops:        flops,
+		VecFMAs:      vecFMAs,
+		VecLoads:     vecLoads,
+		VecStores:    s.OutputBytes() / vecBytes,
+		SerialVecOps: serialOps,
+		ChainAccs:    24,
+		MemBytes:     mem,
+		Tasks:        threads, // batch + intra-GEMM splitting composes freely
+		Trace:        traceGEMM(s),
+		TraceFlops:   traceGEMMFlops(s),
+	}
+}
+
+// ProfileXSMM models the LIBXSMM-style BRGEMM kernel (layout
+// conversions excluded, the Figure 4 configuration; pass
+// includeConvert for the Figure 1a configuration).
+func ProfileXSMM(s conv.Shape, p hw.Platform, threads int, includeConvert bool) Profile {
+	flops := s.FLOPs()
+	vecFMAs := flops / 8
+	// Per output column per channel lane: 2 filter vector loads are
+	// re-issued (the "sequential load" pattern §3.2 critiques) plus
+	// the input scalar — 2.25 vector-equivalent loads per 2 vector
+	// FMAs.
+	vecLoads := vecFMAs * 9 / 8
+	var serialOps int64
+	mem := s.InputBytes() + s.FilterBytes() + s.OutputBytes()
+	if includeConvert {
+		serialOps = (2*s.InputBytes() + 2*s.FilterBytes() + 2*s.OutputBytes()) / vecBytes
+		mem += 2*s.InputBytes() + s.FilterBytes() + s.OutputBytes()
+	}
+	kBlocks := ceilDiv(s.K, 8)
+	return Profile{
+		Name:         "LIBXSMM",
+		Shape:        s,
+		Flops:        flops,
+		VecFMAs:      vecFMAs,
+		VecLoads:     vecLoads,
+		VecStores:    s.OutputBytes() / vecBytes,
+		SerialVecOps: serialOps,
+		ChainAccs:    12,
+		MemBytes:     mem,
+		Tasks:        s.N * kBlocks,
+		Trace:        traceXSMM(s),
+		TraceFlops:   traceXSMMFlops(s),
+	}
+}
+
+// ProfileXNN models the XNNPACK indirect convolution.
+func ProfileXNN(s conv.Shape, p hw.Platform, threads int) Profile {
+	flops := s.FLOPs()
+	vecFMAs := flops / 8
+	// Per channel per tap per 4-pixel tile: 2 filter vecs + 1
+	// vec-equivalent of gathered scalars per 8 vector FMAs, plus the
+	// indirection pointer loads.
+	vecLoads := vecFMAs*3/8 + int64(s.N*s.P()*s.Q()*s.R*s.S)/4
+	return Profile{
+		Name:       "XNNPACK",
+		Shape:      s,
+		Flops:      flops,
+		VecFMAs:    vecFMAs,
+		VecLoads:   vecLoads,
+		VecStores:  s.OutputBytes() / vecBytes,
+		ChainAccs:  8,
+		MemBytes:   s.InputBytes() + s.FilterBytes() + s.OutputBytes(),
+		Tasks:      s.N * s.P(),
+		Trace:      traceXNN(s),
+		TraceFlops: traceXNNFlops(s),
+	}
+}
+
+// ProfileACLDirect models the motivation baseline: K-only
+// parallelism, serial batch loop, single accumulator chain, no
+// blocking — each output channel re-reads the whole input.
+func ProfileACLDirect(s conv.Shape, p hw.Platform, threads int) Profile {
+	flops := s.FLOPs()
+	return Profile{
+		Name:       "ACL_DIRECT",
+		Shape:      s,
+		Flops:      flops,
+		VecFMAs:    flops / 8,
+		VecLoads:   flops / 8 * 5 / 4, // one input vec + scalar filter per vec FMA, plus reload churn
+		VecStores:  s.OutputBytes() / vecBytes,
+		ChainAccs:  1, // the latency-bound chain
+		MemBytes:   s.InputBytes()*int64(min(s.K, 16)) + s.FilterBytes() + s.OutputBytes(),
+		Tasks:      min(s.K, threads), // batch is serial: K is the only axis
+		Trace:      traceACL(s),
+		TraceFlops: traceACLFlops(s),
+	}
+}
+
+// ProfileAnsor models the tuned TVM-style schedule: vectorised over
+// output columns with a two-row unrolled register tile (the depth a
+// converged search finds), but no packing — input reads stay strided
+// NCHW — and no filter re-blocking, the structural gap Figure 6
+// measures.
+func ProfileAnsor(s conv.Shape, p hw.Platform, threads int) Profile {
+	flops := s.FLOPs()
+	vecFMAs := flops / 8
+	if s.R == 1 && s.S == 1 {
+		// A tuned 1×1 convolution schedule is effectively a GEMM
+		// (the paper's layers 19/20 observation applies to the
+		// compiler too) — but over unpacked, strided operands, which
+		// costs roughly one extra load per FMA relative to the
+		// packed-panel Goto kernel.
+		prof := ProfileIm2colGEMM(s, p, threads)
+		prof.Name = "Ansor"
+		prof.SerialVecOps = 0 // no lowering stage, fused pipeline
+		prof.ChainAccs = 8
+		prof.VecLoads = vecFMAs * 4 / 3
+		return prof
+	}
+	// Per tap per 12-wide column group: 3 input vector loads + 1
+	// scalar filter load for 3 vector FMAs.
+	vecLoads := vecFMAs * 4 / 3
+	return Profile{
+		Name:       "Ansor",
+		Shape:      s,
+		Flops:      flops,
+		VecFMAs:    vecFMAs,
+		VecLoads:   vecLoads,
+		VecStores:  s.OutputBytes() / vecBytes * int64(ceilDiv(s.C, 16)),
+		ChainAccs:  8,
+		MemBytes:   s.InputBytes() + s.FilterBytes()*int64(min(threads, 8)) + 2*s.OutputBytes(),
+		Tasks:      threads,
+		Trace:      traceAnsor(s),
+		TraceFlops: traceAnsorFlops(s),
+	}
+}
+
+// ProfileACLGEMM models the ACL_GEMM motivation baseline: im2col
+// lowering feeding an unblocked scalar GEMM parallelised over K only.
+func ProfileACLGEMM(s conv.Shape, p hw.Platform, threads int) Profile {
+	prof := ProfileIm2colGEMM(s, p, threads)
+	prof.Name = "ACL_GEMM"
+	// Scalar triple loop: one FLOP pair per scalar FMA — an 8×
+	// vector-width handicap expressed as extra FMA issue slots.
+	prof.VecFMAs = prof.Flops / 2
+	prof.VecLoads = prof.Flops // two scalar loads per scalar FMA
+	prof.ChainAccs = 1
+	prof.Tasks = min(s.K, threads)
+	return prof
+}
+
+func im2colNeeded(s conv.Shape) bool {
+	return !(s.R == 1 && s.S == 1 && s.Str == 1 && s.Pad == 0)
+}

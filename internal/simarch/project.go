@@ -1,0 +1,180 @@
+package simarch
+
+import (
+	"fmt"
+
+	"ndirect/internal/hw"
+)
+
+// bwEff is the achievable fraction of the Table-3 nominal memory
+// bandwidth under a full-machine streaming workload (the usual
+// STREAM-vs-datasheet ratio).
+const bwEff = 0.6
+
+// mlpOverlap returns the fraction of cache-miss latency the core's
+// out-of-order window hides. Aggressive OoO server cores (KP920's
+// TaiShan V110, ThunderX2's Vulcan) hide most of it; Phytium 2000+'s
+// simpler FTC662 core and the RPi 4's Cortex-A72 hide less.
+func mlpOverlap(p hw.Platform) float64 {
+	switch p.Name {
+	case "KP920", "ThunderX2":
+		return 0.8
+	case "Phytium 2000+":
+		return 0.5
+	case "RPi 4":
+		return 0.6
+	}
+	return 0.7
+}
+
+// Projection is the machine model's estimate of one algorithm's
+// performance on one platform.
+type Projection struct {
+	Name    string
+	Seconds float64
+	GFLOPS  float64
+	PctPeak float64
+	// Bound names the limiting resource: "fma", "load", "latency",
+	// "memory" or "serial".
+	Bound string
+	// StallCyclesPerFlop is the simulated cache-stall density.
+	StallCyclesPerFlop float64
+	// L1MissRatio is the traced L1 miss ratio.
+	L1MissRatio float64
+}
+
+func (pr Projection) String() string {
+	return fmt.Sprintf("%s: %.1f GFLOPS (%.0f%% of peak, %s-bound)",
+		pr.Name, pr.GFLOPS, pr.PctPeak*100, pr.Bound)
+}
+
+// Estimate projects the profile onto the platform with `threads`
+// worker threads. The model composes:
+//
+//   - issue pressure: vector FMAs through the FMA pipes vs memory
+//     instructions through the load pipes (whichever is larger), with
+//     the FMA stream stretched when the accumulator chain is shorter
+//     than FMAPipes × FMALatency (the register-tile depth argument of
+//     §5.2);
+//   - cache stalls: the traced window's per-level miss counts priced
+//     at the level-to-level latency deltas, discounted by the core's
+//     latency-hiding factor, and scaled from the window to the whole
+//     problem;
+//   - serial stages: non-overlapped memory passes (im2col lowering,
+//     sequential packing, layout conversions) charged at the load
+//     pipes plus their own streaming-bandwidth floor;
+//   - parallel shape: each algorithm's task grid and its static
+//     load balance over the requested threads;
+//   - bandwidth roof: total DRAM traffic against the achievable
+//     machine bandwidth.
+func Estimate(p hw.Platform, threads int, prof Profile) Projection {
+	freqHz := p.FreqGHz * 1e9
+	if threads <= 0 {
+		threads = p.Cores
+	}
+
+	// Parallel shape. Compute throughput cannot exceed the physical
+	// cores; SMT threads (threads > Cores, the Figure 9 experiment)
+	// add latency hiding, not issue slots.
+	workers := min(threads, max(1, prof.Tasks))
+	physWorkers := min(workers, p.Cores)
+	smtWays := (workers + p.Cores - 1) / p.Cores
+	balance := loadBalance(prof.Tasks, workers)
+	issueSpeedup := float64(physWorkers) * balance
+	stallSpeedup := float64(workers) * balance
+	if issueSpeedup < 1 {
+		issueSpeedup = 1
+	}
+	if stallSpeedup < 1 {
+		stallSpeedup = 1
+	}
+
+	// Issue model. SMT co-resident threads interleave independent
+	// accumulator chains, multiplying the effective chain depth.
+	chainNeed := p.FMAPipes * p.FMALatency
+	chainEff := 1.0
+	if prof.ChainAccs > 0 && prof.ChainAccs*smtWays < chainNeed {
+		chainEff = float64(prof.ChainAccs*smtWays) / float64(chainNeed)
+	}
+	fmaCycles := float64(prof.VecFMAs) / float64(p.FMAPipes) / chainEff
+	ldCycles := float64(prof.VecLoads+prof.VecStores) / float64(p.LoadPipes)
+	issueCycles := fmaCycles
+	bound := "fma"
+	if ldCycles > issueCycles {
+		issueCycles = ldCycles
+		bound = "load"
+	}
+	if chainEff < 1 && fmaCycles >= ldCycles {
+		bound = "latency"
+	}
+
+	// Cache-stall model from the trace window.
+	var stallPerFlop, l1Miss float64
+	if prof.Trace != nil && prof.TraceFlops > 0 {
+		h := NewHierarchy(p)
+		prof.Trace(h) // warm-up pass fills the caches
+		h2 := NewHierarchy(p)
+		prof.Trace(h2)
+		h = h2
+		l1Lat := float64(p.L1.LatencyCycles)
+		l2Pen := float64(p.L2.LatencyCycles) - l1Lat
+		lastLat := float64(p.L2.LatencyCycles)
+		l3Pen := 0.0
+		if p.L3.Exists() {
+			l3Pen = float64(p.L3.LatencyCycles) - float64(p.L2.LatencyCycles)
+			lastLat = float64(p.L3.LatencyCycles)
+		}
+		_ = lastLat
+		// Stride-prefetched stream misses cost a fraction of the
+		// demand penalty; the remainder are demand misses at the full
+		// level-to-level latency delta.
+		const prefetchResidual = 0.15
+		weight := func(total, seq int64) float64 {
+			return float64(total-seq) + float64(seq)*prefetchResidual
+		}
+		raw := weight(h.L2Hits, h.SeqL2)*l2Pen +
+			weight(h.L3Hits, h.SeqL3)*(l2Pen+l3Pen) +
+			weight(h.Mem, h.SeqMem)*(float64(p.MemLatencyCycles)-l1Lat)
+		stallPerFlop = raw * (1 - mlpOverlap(p)) / float64(prof.TraceFlops)
+		if h.L1 != nil {
+			l1Miss = h.L1.MissRatio()
+		}
+	}
+	stallCycles := stallPerFlop * float64(prof.Flops)
+
+	kernelSec := issueCycles/freqHz/issueSpeedup + stallCycles/freqHz/stallSpeedup
+
+	// Kernel-phase bandwidth roof.
+	bwBytes := p.BandwidthGiBs * bwEff * (1 << 30)
+	memSec := float64(prof.MemBytes) / bwBytes
+	if memSec > kernelSec {
+		kernelSec = memSec
+		bound = "memory"
+	}
+
+	// Serial stages (issue-side and bandwidth-side floors).
+	serialSec := 0.0
+	if prof.SerialVecOps > 0 {
+		issueSide := float64(prof.SerialVecOps) / float64(p.LoadPipes) / freqHz / float64(threads)
+		bwSide := float64(prof.SerialVecOps) * vecBytes / bwBytes
+		serialSec = issueSide
+		if bwSide > serialSec {
+			serialSec = bwSide
+		}
+		if serialSec > kernelSec {
+			bound = "serial"
+		}
+	}
+
+	total := kernelSec + serialSec
+	gflops := float64(prof.Flops) / total / 1e9
+	return Projection{
+		Name:               prof.Name,
+		Seconds:            total,
+		GFLOPS:             gflops,
+		PctPeak:            gflops / p.PeakGFLOPS,
+		Bound:              bound,
+		StallCyclesPerFlop: stallPerFlop,
+		L1MissRatio:        l1Miss,
+	}
+}

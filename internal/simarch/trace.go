@@ -1,0 +1,263 @@
+package simarch
+
+import (
+	"ndirect/internal/conv"
+	"ndirect/internal/model"
+)
+
+// Trace generators. Each replays a representative steady-state window
+// of the algorithm's memory access stream — a few register tiles with
+// the real address arithmetic of the real layouts — through the cache
+// hierarchy. The estimator scales the observed per-level stall cycles
+// by TraceFlops to the whole problem.
+//
+// Windows are deliberately small (≲10^5 accesses) so projections are
+// instant; they capture the reuse structure (packed buffers and
+// transformed filters re-hit in L1, strided raw-input reads conflict,
+// pseudo-random replacement keeps hot lines less reliably than LRU),
+// which is what differentiates the algorithms and platforms.
+
+// Window clamps.
+const (
+	winRows   = 2 // output rows per window
+	winTiles  = 3 // register tiles per row
+	winBlocks = 4 // max V_k/K blocks
+	winChans  = 32
+)
+
+func addr4(base uint64, floatIndex int) uint64 { return base + uint64(floatIndex)*4 }
+
+// vecRange emits vector loads covering floats [lo, lo+n) of a region.
+func vecRange(h *Hierarchy, base uint64, lo, n int) {
+	for x := 0; x < n; x += 4 {
+		h.Access(addr4(base, lo+x))
+	}
+}
+
+// vecRangeW emits vector stores covering floats [lo, lo+n).
+func vecRangeW(h *Hierarchy, base uint64, lo, n int) {
+	for x := 0; x < n; x += 4 {
+		h.Write(addr4(base, lo+x))
+	}
+}
+
+// --- nDirect ---
+
+func ndirectWindow(s conv.Shape, rt model.RegTile, ct model.CacheTiles) (tc, kvBlocks int) {
+	tc = min(ct.Tc, min(s.C, winChans))
+	kvBlocks = min(winBlocks, ceilDiv(min(s.K, ct.Tk), rt.Vk))
+	return tc, kvBlocks
+}
+
+func traceNDirect(s conv.Shape, rt model.RegTile, ct model.CacheTiles) func(h *Hierarchy) {
+	return func(h *Hierarchy) {
+		tc, kvBlocks := ndirectWindow(s, rt, ct)
+		wIn := (rt.Vw-1)*s.Str + s.S
+		for oh := 0; oh < winRows; oh++ {
+			for qt := 0; qt < winTiles; qt++ {
+				qt0 := qt * rt.Vw
+				// Packing pass: read the raw input rows (strided NCHW
+				// addresses), write the linear buffer.
+				for cv := 0; cv < tc; cv++ {
+					for r := 0; r < s.R; r++ {
+						ih := oh*s.Str + r
+						rowBase := (cv*s.H + ih) * s.W
+						vecRange(h, baseInput, rowBase+qt0*s.Str, wIn)
+						vecRangeW(h, basePackBuf, (cv*s.R+r)*wIn, wIn)
+					}
+				}
+				// L7: V_k blocks over the packed buffer + transformed
+				// filter.
+				for kb := 0; kb < kvBlocks; kb++ {
+					for cv := 0; cv < tc; cv++ {
+						for r := 0; r < s.R; r++ {
+							vecRange(h, basePackBuf, (cv*s.R+r)*wIn, wIn)
+							fBase := (((kb*tc+cv)*s.R + r) * s.S) * rt.Vk
+							vecRange(h, baseTFilter, fBase, s.S*rt.Vk)
+						}
+					}
+					// Store the register tile.
+					for lane := 0; lane < rt.Vk; lane++ {
+						out := ((kb*rt.Vk+lane)*s.P() + oh) * s.Q()
+						vecRangeW(h, baseOutput, out+qt0, rt.Vw)
+					}
+				}
+			}
+		}
+	}
+}
+
+func traceNDirectFlops(s conv.Shape, rt model.RegTile, ct model.CacheTiles) int64 {
+	tc, kvBlocks := ndirectWindow(s, rt, ct)
+	return int64(winRows*winTiles*kvBlocks) * int64(2*tc*s.R*s.S*rt.Vw*rt.Vk)
+}
+
+// --- im2col + GEMM ---
+
+func traceGEMM(s conv.Shape) func(h *Hierarchy) {
+	kc := min(256, s.C*s.R*s.S)
+	return func(h *Hierarchy) {
+		for tile := 0; tile < winTiles*2; tile++ {
+			// One 8×12 micro-kernel: packed A and B panels stream
+			// unit-stride.
+			aBase := tile % 2 * kc * 8 // two A panels alternate
+			bBase := tile * kc * 12
+			for kk := 0; kk < kc; kk++ {
+				vecRange(h, baseMatrix, bBase+kk*12, 12)
+				vecRange(h, baseFilter, aBase+kk*8, 8)
+			}
+			for i := 0; i < 8; i++ {
+				vecRangeW(h, baseOutput, tile*96+i*12, 12)
+			}
+		}
+	}
+}
+
+func traceGEMMFlops(s conv.Shape) int64 {
+	kc := min(256, s.C*s.R*s.S)
+	return int64(winTiles*2) * int64(kc) * 192
+}
+
+// --- LIBXSMM ---
+
+func traceXSMM(s conv.Shape) func(h *Hierarchy) {
+	cBlocks := min(ceilDiv(s.C, 8), winChans/8+1)
+	return func(h *Hierarchy) {
+		for oh := 0; oh < winRows; oh++ {
+			for tile := 0; tile < winTiles; tile++ {
+				ow0 := tile * 6
+				for cb := 0; cb < cBlocks; cb++ {
+					for r := 0; r < s.R; r++ {
+						ih := oh*s.Str + r
+						for ss := 0; ss < s.S; ss++ {
+							fBase := ((cb*s.R+r)*s.S + ss) * 64
+							for i := 0; i < 6; i++ {
+								iw := (ow0+i)*s.Str + ss
+								inBase := ((cb*s.H+ih)*s.W + iw) * 8
+								vecRange(h, baseInput, inBase, 8)
+								// The filter panel is re-walked per
+								// output column — LIBXSMM's sequential
+								// load stream.
+								vecRange(h, baseFilter, fBase, 64)
+							}
+						}
+					}
+				}
+				for i := 0; i < 6; i++ {
+					vecRangeW(h, baseOutput, (oh*s.Q()+ow0+i)*8, 8)
+				}
+			}
+		}
+	}
+}
+
+func traceXSMMFlops(s conv.Shape) int64 {
+	cBlocks := min(ceilDiv(s.C, 8), winChans/8+1)
+	return int64(winRows*winTiles) * int64(cBlocks*s.R*s.S) * int64(2*6*8*8)
+}
+
+// --- XNNPACK ---
+
+func traceXNN(s conv.Shape) func(h *Hierarchy) {
+	c := min(s.C, winChans*2)
+	return func(h *Hierarchy) {
+		for oh := 0; oh < winRows; oh++ {
+			for tile := 0; tile < winTiles; tile++ {
+				ow0 := tile * 4
+				for r := 0; r < s.R; r++ {
+					for ss := 0; ss < s.S; ss++ {
+						// Indirection entries for the 4 pixels.
+						h.Access(addr4(baseIndirect, ((oh*s.Q()+ow0)*s.R*s.S+r*s.S+ss)&^3))
+						for cc := 0; cc < c; cc += 4 {
+							fBase := (((r*s.S + ss) * s.C) + cc) * 8
+							vecRange(h, baseFilter, fBase, 8)
+							for i := 0; i < 4; i++ {
+								ih := oh*s.Str + r
+								iw := (ow0+i)*s.Str + ss
+								// NHWC row gather: contiguous in c.
+								h.Access(addr4(baseInput, ((ih*s.W+iw)*s.C)+cc))
+							}
+						}
+					}
+				}
+				for i := 0; i < 4; i++ {
+					vecRangeW(h, baseOutput, (oh*s.Q()+ow0+i)*s.K, min(s.K, 8))
+				}
+			}
+		}
+	}
+}
+
+func traceXNNFlops(s conv.Shape) int64 {
+	c := min(s.C, winChans*2)
+	return int64(winRows*winTiles) * int64(s.R*s.S) * int64(ceilDiv(c, 4)) * int64(2*4*4*8)
+}
+
+// --- ACL direct ---
+
+// kReps replays the per-output-channel input re-read of the
+// unblocked schedules (ACL, Ansor): in steady state consecutive
+// output channels re-walk the same input rows, so later passes hit
+// the cache.
+const kReps = 4
+
+func traceACL(s conv.Shape) func(h *Hierarchy) {
+	c := min(s.C, winChans)
+	return func(h *Hierarchy) {
+		for oh := 0; oh < winRows; oh++ {
+			for ow0 := 0; ow0 < winTiles*4; ow0 += 4 {
+				for kk := 0; kk < kReps; kk++ {
+					for cc := 0; cc < c; cc++ {
+						for r := 0; r < s.R; r++ {
+							ih := oh*s.Str + r
+							rowBase := (cc*s.H + ih) * s.W
+							for ss := 0; ss < s.S; ss++ {
+								h.Access(addr4(baseInput, rowBase+ow0*s.Str+ss))
+								h.Access(addr4(baseFilter, ((kk*s.C+cc)*s.R+r)*s.S+ss))
+							}
+						}
+					}
+					vecRangeW(h, baseOutput, (kk*s.P()+oh)*s.Q()+ow0, 4)
+				}
+			}
+		}
+	}
+}
+
+func traceACLFlops(s conv.Shape) int64 {
+	c := min(s.C, winChans)
+	return int64(winRows*winTiles*kReps) * int64(c*s.R*s.S) * int64(2*4)
+}
+
+// --- Ansor (tuned TVM schedule) ---
+
+func traceAnsor(s conv.Shape) func(h *Hierarchy) {
+	c := min(s.C, winChans)
+	return func(h *Hierarchy) {
+		for oh := 0; oh < winRows; oh++ {
+			for tile := 0; tile < winTiles; tile++ {
+				ow0 := tile * 12
+				for kk := 0; kk < kReps; kk++ {
+					for cc := 0; cc < c; cc++ {
+						inBase := (cc*s.H+oh*s.Str)*s.W + ow0*s.Str
+						for r := 0; r < s.R; r++ {
+							for ss := 0; ss < s.S; ss++ {
+								// Unpacked strided input: three vector
+								// loads straight from NCHW.
+								vecRange(h, baseInput, inBase+r*s.W+ss, 12)
+								h.Access(addr4(baseFilter, ((kk*s.C+cc)*s.R+r)*s.S+ss))
+							}
+						}
+					}
+					vecRange(h, baseOutput, (kk*s.P()+oh)*s.Q()+ow0, 12)
+					vecRangeW(h, baseOutput, (kk*s.P()+oh)*s.Q()+ow0, 12)
+				}
+			}
+		}
+	}
+}
+
+func traceAnsorFlops(s conv.Shape) int64 {
+	c := min(s.C, winChans)
+	return int64(winRows*winTiles*kReps) * int64(c*s.R*s.S) * int64(2*12)
+}

@@ -1,0 +1,154 @@
+// Package simd models the ARMv8 NEON execution resources the paper's
+// micro-kernels are written against: 32 architectural vector registers
+// (V0–V31), each 128 bits wide holding 4 FP32 lanes, and the fused
+// multiply-accumulate (FMLA) instruction family.
+//
+// The paper's kernels are hand-written NEON assembly; Go has no vector
+// intrinsics, so this package substitutes a 4-lane value type (Vec4)
+// whose operations correspond 1:1 to the NEON instructions the paper
+// uses:
+//
+//	NEON                    simd
+//	----                    ----
+//	ld1 {v.4s}, [x]         Load
+//	st1 {v.4s}, [x]         v.Store
+//	dup v.4s, w             Broadcast
+//	fmla v.4s, a.4s, b.4s   v.FMA (vector × vector)
+//	fmla v.4s, a.4s, b.s[i] v.FMALane (vector × scalar lane)
+//
+// Micro-kernels in internal/core keep their working set within the
+// 32-register budget so that the register-allocation constraint
+// (Equation 3 of the paper) is honoured structurally, not just on
+// paper. The Go compiler keeps Vec4 values in machine registers on
+// amd64/arm64 for kernels written in this style.
+package simd
+
+// Width is the number of FP32 lanes per vector register (128-bit NEON).
+const Width = 4
+
+// NumRegs is the architectural vector register count on ARMv8.
+const NumRegs = 32
+
+// Vec4 is one 128-bit NEON register holding 4 float32 lanes.
+type Vec4 [Width]float32
+
+// Zero returns an all-zero vector (movi v.4s, #0).
+func Zero() Vec4 { return Vec4{} }
+
+// Broadcast returns a vector with x in every lane (dup v.4s, w).
+func Broadcast(x float32) Vec4 { return Vec4{x, x, x, x} }
+
+// Load reads 4 contiguous floats from s (ld1 {v.4s}).
+// s must have at least 4 elements.
+func Load(s []float32) Vec4 {
+	_ = s[3]
+	return Vec4{s[0], s[1], s[2], s[3]}
+}
+
+// LoadPartial reads up to 4 floats, zero-filling missing lanes. Used at
+// ragged tile edges where NEON code would use masked/element loads.
+func LoadPartial(s []float32) Vec4 {
+	var v Vec4
+	n := len(s)
+	if n > Width {
+		n = Width
+	}
+	for i := 0; i < n; i++ {
+		v[i] = s[i]
+	}
+	return v
+}
+
+// Store writes the 4 lanes to s (st1 {v.4s}).
+func (v Vec4) Store(s []float32) {
+	_ = s[3]
+	s[0], s[1], s[2], s[3] = v[0], v[1], v[2], v[3]
+}
+
+// StorePartial writes min(len(s), 4) lanes.
+func (v Vec4) StorePartial(s []float32) {
+	n := len(s)
+	if n > Width {
+		n = Width
+	}
+	for i := 0; i < n; i++ {
+		s[i] = v[i]
+	}
+}
+
+// Add returns v + b lane-wise (fadd).
+func (v Vec4) Add(b Vec4) Vec4 {
+	return Vec4{v[0] + b[0], v[1] + b[1], v[2] + b[2], v[3] + b[3]}
+}
+
+// Sub returns v - b lane-wise (fsub).
+func (v Vec4) Sub(b Vec4) Vec4 {
+	return Vec4{v[0] - b[0], v[1] - b[1], v[2] - b[2], v[3] - b[3]}
+}
+
+// Mul returns v * b lane-wise (fmul).
+func (v Vec4) Mul(b Vec4) Vec4 {
+	return Vec4{v[0] * b[0], v[1] * b[1], v[2] * b[2], v[3] * b[3]}
+}
+
+// FMA returns v + a*b lane-wise (fmla v, a, b — vector by vector).
+func (v Vec4) FMA(a, b Vec4) Vec4 {
+	return Vec4{v[0] + a[0]*b[0], v[1] + a[1]*b[1], v[2] + a[2]*b[2], v[3] + a[3]*b[3]}
+}
+
+// FMAScalar returns v + a*s lane-wise, the scalar-vector multiply the
+// nDirect main micro-kernel is built from (fmla v.4s, a.4s, b.s[i]).
+func (v Vec4) FMAScalar(a Vec4, s float32) Vec4 {
+	return Vec4{v[0] + a[0]*s, v[1] + a[1]*s, v[2] + a[2]*s, v[3] + a[3]*s}
+}
+
+// Lane returns lane i (mov w, v.s[i]).
+func (v Vec4) Lane(i int) float32 { return v[i] }
+
+// Max returns the lane-wise maximum of v and b (fmax) — used by fused
+// ReLU epilogues.
+func (v Vec4) Max(b Vec4) Vec4 {
+	r := v
+	for i := 0; i < Width; i++ {
+		if b[i] > r[i] {
+			r[i] = b[i]
+		}
+	}
+	return r
+}
+
+// HSum returns the horizontal sum of the 4 lanes (faddp tree).
+func (v Vec4) HSum() float32 {
+	return (v[0] + v[1]) + (v[2] + v[3])
+}
+
+// WidthF64 is the number of FP64 lanes per 128-bit register (§3.3:
+// the techniques apply to FP64 with the lane count halved).
+const WidthF64 = 2
+
+// Vec2D is one 128-bit NEON register holding 2 float64 lanes
+// (fmla v.2d).
+type Vec2D [WidthF64]float64
+
+// Load2D reads 2 contiguous float64s (ld1 {v.2d}).
+func Load2D(s []float64) Vec2D {
+	_ = s[1]
+	return Vec2D{s[0], s[1]}
+}
+
+// Store writes the 2 lanes (st1 {v.2d}).
+func (v Vec2D) Store(s []float64) {
+	_ = s[1]
+	s[0], s[1] = v[0], v[1]
+}
+
+// FMAScalar returns v + a*x lane-wise (fmla v.2d, a.2d, b.d[i]).
+func (v Vec2D) FMAScalar(a Vec2D, x float64) Vec2D {
+	return Vec2D{v[0] + a[0]*x, v[1] + a[1]*x}
+}
+
+// Add returns v + b lane-wise.
+func (v Vec2D) Add(b Vec2D) Vec2D { return Vec2D{v[0] + b[0], v[1] + b[1]} }
+
+// Lane returns lane i.
+func (v Vec2D) Lane(i int) float64 { return v[i] }

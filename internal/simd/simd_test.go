@@ -1,0 +1,114 @@
+package simd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroAndBroadcast(t *testing.T) {
+	if Zero() != (Vec4{}) {
+		t.Fatal("Zero not zero")
+	}
+	v := Broadcast(2.5)
+	for i := 0; i < Width; i++ {
+		if v.Lane(i) != 2.5 {
+			t.Fatalf("lane %d = %v", i, v.Lane(i))
+		}
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	src := []float32{1, 2, 3, 4, 5}
+	v := Load(src)
+	dst := make([]float32, 4)
+	v.Store(dst)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("lane %d: %v != %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestLoadPartialZeroFills(t *testing.T) {
+	v := LoadPartial([]float32{7, 8})
+	want := Vec4{7, 8, 0, 0}
+	if v != want {
+		t.Fatalf("got %v, want %v", v, want)
+	}
+	// Longer-than-width input only reads 4 lanes.
+	v = LoadPartial([]float32{1, 2, 3, 4, 5, 6})
+	if v != (Vec4{1, 2, 3, 4}) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestStorePartial(t *testing.T) {
+	v := Vec4{1, 2, 3, 4}
+	dst := []float32{9, 9, 9}
+	v.StorePartial(dst)
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("dst = %v", dst)
+	}
+	long := make([]float32, 6)
+	v.StorePartial(long)
+	if long[3] != 4 || long[4] != 0 {
+		t.Fatalf("long = %v", long)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := Vec4{1, 2, 3, 4}
+	b := Vec4{10, 20, 30, 40}
+	if a.Add(b) != (Vec4{11, 22, 33, 44}) {
+		t.Fatal("Add")
+	}
+	if b.Sub(a) != (Vec4{9, 18, 27, 36}) {
+		t.Fatal("Sub")
+	}
+	if a.Mul(b) != (Vec4{10, 40, 90, 160}) {
+		t.Fatal("Mul")
+	}
+}
+
+func TestFMA(t *testing.T) {
+	acc := Vec4{1, 1, 1, 1}
+	a := Vec4{2, 3, 4, 5}
+	b := Vec4{10, 10, 10, 10}
+	if acc.FMA(a, b) != (Vec4{21, 31, 41, 51}) {
+		t.Fatal("FMA")
+	}
+	if acc.FMAScalar(a, 10) != (Vec4{21, 31, 41, 51}) {
+		t.Fatal("FMAScalar")
+	}
+}
+
+func TestMaxAndHSum(t *testing.T) {
+	a := Vec4{-1, 5, -3, 7}
+	if a.Max(Zero()) != (Vec4{0, 5, 0, 7}) {
+		t.Fatal("Max (ReLU)")
+	}
+	if got := (Vec4{1, 2, 3, 4}).HSum(); got != 10 {
+		t.Fatalf("HSum = %v", got)
+	}
+}
+
+// Property: FMAScalar(a, s) == FMA(a, Broadcast(s)) for all inputs —
+// the two NEON encodings compute the same thing.
+func TestFMAScalarEquivalenceProperty(t *testing.T) {
+	f := func(acc, a Vec4, s float32) bool {
+		return acc.FMAScalar(a, s) == acc.FMA(a, Broadcast(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and Zero is its identity.
+func TestAddAlgebraProperty(t *testing.T) {
+	f := func(a, b Vec4) bool {
+		return a.Add(b) == b.Add(a) && a.Add(Zero()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package tensor
+
+import "fmt"
+
+// Layout identifies the dimension ordering of a convolution tensor.
+// nDirect operates natively on NCHW/NHWC inputs and KCRS filters; the
+// remaining layouts are used by baselines and cost the paper's "format
+// conversion" stage when entering/leaving them (Figure 1a).
+type Layout int
+
+const (
+	NCHW  Layout = iota // [batch, channels, height, width] — framework default
+	NHWC                // [batch, height, width, channels] — TensorFlow/XNNPACK
+	NCHWc               // [batch, channels/c, height, width, c] — LIBXSMM blocked
+	KCRS                // [out-ch, in-ch, kernel-h, kernel-w] — framework filters
+	KRSC                // [out-ch, kernel-h, kernel-w, in-ch] — XNNPACK filters
+	KRSCk               // [out-ch/k, kernel-h, kernel-w, in-ch, k] — blocked filters
+)
+
+func (l Layout) String() string {
+	switch l {
+	case NCHW:
+		return "NCHW"
+	case NHWC:
+		return "NHWC"
+	case NCHWc:
+		return "NCHWc"
+	case KCRS:
+		return "KCRS"
+	case KRSC:
+		return "KRSC"
+	case KRSCk:
+		return "KRSCk"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// NCHWToNHWC converts an activation tensor between the two framework
+// layouts. src has dims [N,C,H,W]; the result has dims [N,H,W,C].
+func NCHWToNHWC(src *Tensor) *Tensor {
+	n, c, h, w := src.Dims[0], src.Dims[1], src.Dims[2], src.Dims[3]
+	dst := New(n, h, w, c)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			sBase := (in*c + ic) * h * w
+			for ih := 0; ih < h; ih++ {
+				sRow := sBase + ih*w
+				dRow := ((in*h+ih)*w)*c + ic
+				for iw := 0; iw < w; iw++ {
+					dst.Data[dRow+iw*c] = src.Data[sRow+iw]
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// NHWCToNCHW converts [N,H,W,C] back to [N,C,H,W].
+func NHWCToNCHW(src *Tensor) *Tensor {
+	n, h, w, c := src.Dims[0], src.Dims[1], src.Dims[2], src.Dims[3]
+	dst := New(n, c, h, w)
+	for in := 0; in < n; in++ {
+		for ih := 0; ih < h; ih++ {
+			for iw := 0; iw < w; iw++ {
+				sBase := ((in*h+ih)*w + iw) * c
+				for ic := 0; ic < c; ic++ {
+					dst.Data[((in*c+ic)*h+ih)*w+iw] = src.Data[sBase+ic]
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// NCHWToNCHWc blocks the channel dimension by cb (LIBXSMM's layout:
+// [N, C/cb, H, W, cb]). C must not need padding to keep the comparison
+// with the paper honest: callers pass cb dividing C, or the function
+// zero-pads the channel remainder, matching LIBXSMM's handling.
+func NCHWToNCHWc(src *Tensor, cb int) *Tensor {
+	n, c, h, w := src.Dims[0], src.Dims[1], src.Dims[2], src.Dims[3]
+	cBlocks := (c + cb - 1) / cb
+	dst := New(n, cBlocks, h, w, cb)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			cb0, cb1 := ic/cb, ic%cb
+			sBase := (in*c + ic) * h * w
+			dBase := (((in*cBlocks+cb0)*h)*w)*cb + cb1
+			for ih := 0; ih < h; ih++ {
+				sRow := sBase + ih*w
+				dRow := dBase + ih*w*cb
+				for iw := 0; iw < w; iw++ {
+					dst.Data[dRow+iw*cb] = src.Data[sRow+iw]
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// NCHWcToNCHW undoes NCHWToNCHWc; c gives the true channel count
+// (the blocked tensor may carry zero padding).
+func NCHWcToNCHW(src *Tensor, c int) *Tensor {
+	n, cBlocks, h, w, cb := src.Dims[0], src.Dims[1], src.Dims[2], src.Dims[3], src.Dims[4]
+	dst := New(n, c, h, w)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			cb0, cb1 := ic/cb, ic%cb
+			if cb0 >= cBlocks {
+				continue
+			}
+			dBase := (in*c + ic) * h * w
+			sBase := (((in*cBlocks+cb0)*h)*w)*cb + cb1
+			for ih := 0; ih < h; ih++ {
+				dRow := dBase + ih*w
+				sRow := sBase + ih*w*cb
+				for iw := 0; iw < w; iw++ {
+					dst.Data[dRow+iw] = src.Data[sRow+iw*cb]
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// KCRSToKRSC converts framework filters [K,C,R,S] to XNNPACK's
+// [K,R,S,C].
+func KCRSToKRSC(src *Tensor) *Tensor {
+	k, c, r, s := src.Dims[0], src.Dims[1], src.Dims[2], src.Dims[3]
+	dst := New(k, r, s, c)
+	for ik := 0; ik < k; ik++ {
+		for ic := 0; ic < c; ic++ {
+			for ir := 0; ir < r; ir++ {
+				for is := 0; is < s; is++ {
+					dst.Data[((ik*r+ir)*s+is)*c+ic] = src.Data[((ik*c+ic)*r+ir)*s+is]
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// KCRSToKRSCk converts filters [K,C,R,S] to the output-channel-blocked
+// layout [K/kb, R, S, C, kb] used by blocked direct convolutions
+// (LIBXSMM-style; nDirect builds an equivalent blocking on the fly).
+// The K remainder is zero padded.
+func KCRSToKRSCk(src *Tensor, kb int) *Tensor {
+	k, c, r, s := src.Dims[0], src.Dims[1], src.Dims[2], src.Dims[3]
+	kBlocks := (k + kb - 1) / kb
+	dst := New(kBlocks, r, s, c, kb)
+	for ik := 0; ik < k; ik++ {
+		kb0, kb1 := ik/kb, ik%kb
+		for ic := 0; ic < c; ic++ {
+			for ir := 0; ir < r; ir++ {
+				for is := 0; is < s; is++ {
+					dst.Data[(((kb0*r+ir)*s+is)*c+ic)*kb+kb1] = src.Data[((ik*c+ic)*r+ir)*s+is]
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// KCRSToCRSKc converts filters [K,C,R,S] to LIBXSMM's BRGEMM filter
+// blocking [K/kb, C/cb, R, S, cb, kb]: for each (r,s) the innermost
+// (cb, kb) panel is a small column-major matrix ready for a
+// batch-reduce GEMM micro-kernel. Remainders in K and C are zero
+// padded.
+func KCRSToCRSKc(src *Tensor, cb, kb int) *Tensor {
+	k, c, r, s := src.Dims[0], src.Dims[1], src.Dims[2], src.Dims[3]
+	kBlocks := (k + kb - 1) / kb
+	cBlocks := (c + cb - 1) / cb
+	dst := New(kBlocks, cBlocks, r, s, cb, kb)
+	for ik := 0; ik < k; ik++ {
+		kb0, kb1 := ik/kb, ik%kb
+		for ic := 0; ic < c; ic++ {
+			cb0, cb1 := ic/cb, ic%cb
+			for ir := 0; ir < r; ir++ {
+				for is := 0; is < s; is++ {
+					d := ((((kb0*cBlocks+cb0)*r+ir)*s+is)*cb+cb1)*kb + kb1
+					dst.Data[d] = src.Data[((ik*c+ic)*r+ir)*s+is]
+				}
+			}
+		}
+	}
+	return dst
+}

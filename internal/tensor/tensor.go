@@ -1,0 +1,197 @@
+// Package tensor provides dense FP32 tensors and the data layouts used
+// by the nDirect reproduction: the framework-native layouts NCHW, NHWC
+// and KCRS that nDirect preserves, plus the specialised layouts used by
+// the baselines (NCHWc for LIBXSMM-style convolution, KRSC for
+// XNNPACK-style indirect convolution, and KRSCk blocked filters).
+//
+// A Tensor is a flat float32 buffer plus a shape; the layout is carried
+// by convention in the shape ordering, exactly as in the deep-learning
+// frameworks the paper targets (MXNet, TensorFlow). Helper constructors
+// and conversion routines translate between layouts and are used both
+// by the baselines and by the harness when reproducing the layout
+// transformation costs of Figure 1a.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense float32 tensor. Data is stored row-major with the
+// last dimension contiguous (the C convention used by NCHW frameworks).
+type Tensor struct {
+	Dims []int     // shape, outermost first
+	Data []float32 // len == product(Dims)
+}
+
+// New allocates a zero-filled tensor with the given dimensions.
+func New(dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in %v", d, dims))
+		}
+		n *= d
+	}
+	return &Tensor{Dims: append([]int(nil), dims...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps an existing buffer. The buffer length must match the
+// product of dims; the tensor shares the backing storage.
+func FromSlice(data []float32, dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: buffer length %d does not match shape %v (want %d)", len(data), dims, n))
+	}
+	return &Tensor{Dims: append([]int(nil), dims...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Dims[i] }
+
+// Strides returns the row-major strides of the tensor.
+func (t *Tensor) Strides() []int {
+	s := make([]int, len(t.Dims))
+	stride := 1
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		s[i] = stride
+		stride *= t.Dims[i]
+	}
+	return s
+}
+
+// At returns the element at the given multi-index. Intended for tests
+// and examples, not hot loops.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Dims) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.Dims)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Dims[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Dims))
+		}
+		off = off*t.Dims[i] + x
+	}
+	return off
+}
+
+// Reshape returns a tensor sharing this tensor's storage with a new
+// shape; the element count must be unchanged.
+func (t *Tensor) Reshape(dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Dims, dims))
+	}
+	return &Tensor{Dims: append([]int(nil), dims...), Data: t.Data}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Dims...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero resets all elements to zero.
+func (t *Tensor) Zero() {
+	clear(t.Data)
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// FillRandom fills the tensor with deterministic pseudo-random values
+// in [-1, 1) drawn from the given seed. Deterministic so experiments
+// are reproducible run-to-run.
+func (t *Tensor) FillRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.Data {
+		t.Data[i] = rng.Float32()*2 - 1
+	}
+}
+
+// FillSequence fills with a small repeating ramp, handy for debugging
+// layout conversions (value identifies the flat source index mod 251).
+func (t *Tensor) FillSequence() {
+	for i := range t.Data {
+		t.Data[i] = float32(i % 251)
+	}
+}
+
+// MaxAbsDiff returns the maximum elementwise |a-b|. Panics if shapes
+// differ.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Dims, b.Dims))
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RelDiff returns max |a-b| / (max |a| + eps), a scale-free error
+// measure used by the correctness tests (FP32 accumulation order
+// differs between algorithms).
+func RelDiff(a, b *Tensor) float64 {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Dims, b.Dims))
+	}
+	var maxAbs, maxDiff float64
+	for i := range a.Data {
+		av := math.Abs(float64(a.Data[i]))
+		if av > maxAbs {
+			maxAbs = av
+		}
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff / (maxAbs + 1e-30)
+}
+
+// SameShape reports whether a and b have identical dimensions.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.Dims)
+}

@@ -1,0 +1,329 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tt.Len())
+	}
+	if tt.Dim(0) != 2 || tt.Dim(1) != 3 || tt.Dim(2) != 4 {
+		t.Fatalf("dims = %v", tt.Dims)
+	}
+	for _, v := range tt.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestStrides(t *testing.T) {
+	tt := New(2, 3, 4)
+	s := tt.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("strides = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(2, 3, 4)
+	tt.Set(7.5, 1, 2, 3)
+	if got := tt.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if tt.Data[1*12+2*4+3] != 7.5 {
+		t.Fatal("Set wrote to the wrong flat offset")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	buf := make([]float32, 6)
+	tt := FromSlice(buf, 2, 3)
+	tt.Set(5, 1, 1)
+	if buf[4] != 5 {
+		t.Fatal("FromSlice must share storage")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice(make([]float32, 5), 2, 3)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(4)
+	a.FillRandom(1)
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] == 99 {
+		t.Fatal("Clone must copy data")
+	}
+	if !SameShape(a, b) {
+		t.Fatal("Clone must preserve shape")
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	a := New(8)
+	a.Fill(3)
+	for _, v := range a.Data {
+		if v != 3 {
+			t.Fatal("Fill failed")
+		}
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a, b := New(100), New(100)
+	a.FillRandom(42)
+	b.FillRandom(42)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("FillRandom must be deterministic per seed")
+	}
+	c := New(100)
+	c.FillRandom(43)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestMaxAbsDiffAndRelDiff(t *testing.T) {
+	a, b := New(3), New(3)
+	a.Data = []float32{1, 2, 3}
+	b.Data = []float32{1, 2.5, 3}
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	rd := RelDiff(a, b)
+	if rd < 0.16 || rd > 0.17 {
+		t.Fatalf("RelDiff = %v, want ~0.1667", rd)
+	}
+}
+
+func TestLayoutStrings(t *testing.T) {
+	cases := map[Layout]string{NCHW: "NCHW", NHWC: "NHWC", NCHWc: "NCHWc", KCRS: "KCRS", KRSC: "KRSC", KRSCk: "KRSCk"}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Fatalf("Layout %d String = %q, want %q", int(l), l.String(), want)
+		}
+	}
+	if Layout(99).String() != "Layout(99)" {
+		t.Fatal("unknown layout should print numerically")
+	}
+}
+
+func TestNCHWNHWCRoundTrip(t *testing.T) {
+	src := New(2, 3, 4, 5)
+	src.FillRandom(7)
+	back := NHWCToNCHW(NCHWToNHWC(src))
+	if MaxAbsDiff(src, back) != 0 {
+		t.Fatal("NCHW->NHWC->NCHW must round-trip exactly")
+	}
+}
+
+func TestNCHWToNHWCElementMapping(t *testing.T) {
+	src := New(1, 2, 2, 2)
+	src.FillSequence()
+	dst := NCHWToNHWC(src)
+	// NCHW (0,c,h,w) must land at NHWC (0,h,w,c).
+	for c := 0; c < 2; c++ {
+		for h := 0; h < 2; h++ {
+			for w := 0; w < 2; w++ {
+				if src.At(0, c, h, w) != dst.At(0, h, w, c) {
+					t.Fatalf("mismatch at c=%d h=%d w=%d", c, h, w)
+				}
+			}
+		}
+	}
+}
+
+func TestNCHWcRoundTripDividing(t *testing.T) {
+	src := New(2, 8, 3, 3)
+	src.FillRandom(9)
+	blocked := NCHWToNCHWc(src, 4)
+	wantDims := []int{2, 2, 3, 3, 4}
+	for i, d := range wantDims {
+		if blocked.Dims[i] != d {
+			t.Fatalf("blocked dims %v, want %v", blocked.Dims, wantDims)
+		}
+	}
+	back := NCHWcToNCHW(blocked, 8)
+	if MaxAbsDiff(src, back) != 0 {
+		t.Fatal("NCHWc round trip failed")
+	}
+}
+
+func TestNCHWcRoundTripPadded(t *testing.T) {
+	src := New(1, 6, 2, 2) // 6 channels, block 4 -> padded to 8
+	src.FillRandom(11)
+	blocked := NCHWToNCHWc(src, 4)
+	if blocked.Dims[1] != 2 {
+		t.Fatalf("expected 2 channel blocks, got %d", blocked.Dims[1])
+	}
+	back := NCHWcToNCHW(blocked, 6)
+	if MaxAbsDiff(src, back) != 0 {
+		t.Fatal("padded NCHWc round trip failed")
+	}
+	// Padding lanes must be zero.
+	for ih := 0; ih < 2; ih++ {
+		for iw := 0; iw < 2; iw++ {
+			for lane := 2; lane < 4; lane++ {
+				if blocked.At(0, 1, ih, iw, lane) != 0 {
+					t.Fatal("channel padding must be zero")
+				}
+			}
+		}
+	}
+}
+
+func TestKCRSToKRSCMapping(t *testing.T) {
+	src := New(2, 3, 2, 2)
+	src.FillSequence()
+	dst := KCRSToKRSC(src)
+	for k := 0; k < 2; k++ {
+		for c := 0; c < 3; c++ {
+			for r := 0; r < 2; r++ {
+				for s := 0; s < 2; s++ {
+					if src.At(k, c, r, s) != dst.At(k, r, s, c) {
+						t.Fatalf("mismatch at k=%d c=%d r=%d s=%d", k, c, r, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKCRSToKRSCkMappingAndPadding(t *testing.T) {
+	src := New(5, 2, 3, 3) // K=5, block 4 -> 2 blocks, 3 padded lanes
+	src.FillRandom(3)
+	dst := KCRSToKRSCk(src, 4)
+	if dst.Dims[0] != 2 || dst.Dims[4] != 4 {
+		t.Fatalf("dims = %v", dst.Dims)
+	}
+	for k := 0; k < 5; k++ {
+		for c := 0; c < 2; c++ {
+			for r := 0; r < 3; r++ {
+				for s := 0; s < 3; s++ {
+					if src.At(k, c, r, s) != dst.At(k/4, r, s, c, k%4) {
+						t.Fatalf("mismatch at k=%d c=%d r=%d s=%d", k, c, r, s)
+					}
+				}
+			}
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if dst.At(1, 0, 0, c, 3) != 0 {
+			t.Fatal("K padding must be zero")
+		}
+	}
+}
+
+func TestKCRSToCRSKcMapping(t *testing.T) {
+	src := New(8, 6, 3, 3)
+	src.FillRandom(5)
+	dst := KCRSToCRSKc(src, 4, 4)
+	if dst.Dims[0] != 2 || dst.Dims[1] != 2 || dst.Dims[4] != 4 || dst.Dims[5] != 4 {
+		t.Fatalf("dims = %v", dst.Dims)
+	}
+	for k := 0; k < 8; k++ {
+		for c := 0; c < 6; c++ {
+			for r := 0; r < 3; r++ {
+				for s := 0; s < 3; s++ {
+					if src.At(k, c, r, s) != dst.At(k/4, c/4, r, s, c%4, k%4) {
+						t.Fatalf("mismatch at k=%d c=%d r=%d s=%d", k, c, r, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: layout conversions are bijections on the stored elements —
+// sum of elements is preserved by every conversion (padding adds only
+// zeros).
+func TestLayoutConversionsPreserveSumProperty(t *testing.T) {
+	sum := func(tt *Tensor) float64 {
+		var s float64
+		for _, v := range tt.Data {
+			s += float64(v)
+		}
+		return s
+	}
+	// Summation order differs between layouts, so allow float64
+	// rounding slack.
+	close := func(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+	f := func(seed int64) bool {
+		src := New(2, 6, 4, 4)
+		src.FillRandom(seed)
+		filt := New(6, 6, 3, 3)
+		filt.FillRandom(seed + 1)
+		if !close(sum(NCHWToNHWC(src)), sum(src)) {
+			return false
+		}
+		if !close(sum(NCHWToNCHWc(src, 4)), sum(src)) {
+			return false
+		}
+		if !close(sum(KCRSToKRSC(filt)), sum(filt)) {
+			return false
+		}
+		if !close(sum(KCRSToKRSCk(filt, 4)), sum(filt)) {
+			return false
+		}
+		if !close(sum(KCRSToCRSKc(filt, 4, 4)), sum(filt)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a := New(2, 6)
+	a.FillSequence()
+	b := a.Reshape(3, 4)
+	if b.Dims[0] != 3 || b.Dims[1] != 4 {
+		t.Fatalf("dims = %v", b.Dims)
+	}
+	b.Data[0] = 42
+	if a.Data[0] != 42 {
+		t.Fatal("Reshape must share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on element count mismatch")
+		}
+	}()
+	a.Reshape(5, 5)
+}

@@ -1,0 +1,205 @@
+// Package winograd implements the F(2×2, 3×3) Winograd convolution —
+// one of the two fast algorithms §2.1 discusses (with FFT) and
+// excludes from the paper's comparison because of its restricted
+// applicability (3×3 stride-1 kernels only) and reduced numerical
+// accuracy. It is provided here to complete the prior-implementations
+// inventory and to let the harness demonstrate both of those
+// limitations empirically: Conv2D rejects unsupported shapes, and the
+// tests document the FP32 error inflation relative to direct
+// convolution.
+//
+// The implementation uses the standard batched-GEMM formulation
+// (Lavin & Gray, CVPR'16): input tiles and filters are transformed
+// into the Winograd domain (V = BᵀdB, U = GgGᵀ), the 16 per-position
+// channel reductions run as GEMMs on the Goto substrate, and the
+// 2×2 outputs come back through the inverse transform (AᵀMA).
+package winograd
+
+import (
+	"fmt"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/gemm"
+	"ndirect/internal/parallel"
+	"ndirect/internal/tensor"
+)
+
+// Options configure the algorithm.
+type Options struct {
+	Threads int
+}
+
+// Supported reports whether the shape is in Winograd F(2×2, 3×3)'s
+// domain: 3×3 kernel, stride 1.
+func Supported(s conv.Shape) bool {
+	return s.R == 3 && s.S == 3 && s.Str == 1
+}
+
+// Conv2D convolves NCHW input with a KCRS 3×3 stride-1 filter using
+// Winograd F(2×2, 3×3). Returns an error for unsupported shapes (the
+// "limited applications" the paper cites).
+func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	if !Supported(s) {
+		return nil, fmt.Errorf("winograd: unsupported shape %v (need R=S=3, stride 1)", s)
+	}
+	conv.CheckOperands(s, in, filter)
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	p, q := s.P(), s.Q()
+	tilesH := (p + 1) / 2
+	tilesW := (q + 1) / 2
+	tiles := tilesH * tilesW
+
+	// U[16][K][C]: transformed filters.
+	u := transformFilters(s, filter)
+
+	out := s.NewOutput()
+	// Per image: scatter-transform the input, 16 GEMMs, inverse
+	// transform. Images are independent; parallelise the batch and
+	// let the GEMMs use the leftover workers.
+	gemmThreads := max(1, threads/min(threads, s.N))
+	parallel.For(s.N, threads, func(n int) {
+		convImage(s, in, u, out, n, tilesH, tilesW, tiles, gemmThreads)
+	})
+	return out, nil
+}
+
+// transformFilters computes U = G·g·Gᵀ for every (k, c) and lays the
+// result out as 16 K×C matrices (position-major for the batched
+// GEMMs).
+func transformFilters(s conv.Shape, filter *tensor.Tensor) []float32 {
+	kc := s.K * s.C
+	u := make([]float32, 16*kc)
+	for k := 0; k < s.K; k++ {
+		for c := 0; c < s.C; c++ {
+			g := filter.Data[(k*s.C+c)*9 : (k*s.C+c)*9+9]
+			// Gg: 4×3.
+			var gg [4][3]float32
+			for col := 0; col < 3; col++ {
+				g0, g1, g2 := g[col], g[3+col], g[6+col]
+				gg[0][col] = g0
+				gg[1][col] = 0.5 * (g0 + g1 + g2)
+				gg[2][col] = 0.5 * (g0 - g1 + g2)
+				gg[3][col] = g2
+			}
+			// (Gg)Gᵀ: 4×4.
+			for row := 0; row < 4; row++ {
+				a, b, cc := gg[row][0], gg[row][1], gg[row][2]
+				v := [4]float32{a, 0.5 * (a + b + cc), 0.5 * (a - b + cc), cc}
+				for col := 0; col < 4; col++ {
+					u[(row*4+col)*kc+k*s.C+c] = v[col]
+				}
+			}
+		}
+	}
+	return u
+}
+
+// inputTransform computes V = Bᵀ·d·B for one 4×4 patch d.
+func inputTransform(d *[4][4]float32, v *[4][4]float32) {
+	// Bᵀd: rows.
+	var t [4][4]float32
+	for col := 0; col < 4; col++ {
+		d0, d1, d2, d3 := d[0][col], d[1][col], d[2][col], d[3][col]
+		t[0][col] = d0 - d2
+		t[1][col] = d1 + d2
+		t[2][col] = d2 - d1
+		t[3][col] = d1 - d3
+	}
+	// (Bᵀd)B: columns.
+	for row := 0; row < 4; row++ {
+		t0, t1, t2, t3 := t[row][0], t[row][1], t[row][2], t[row][3]
+		v[row][0] = t0 - t2
+		v[row][1] = t1 + t2
+		v[row][2] = t2 - t1
+		v[row][3] = t1 - t3
+	}
+}
+
+// convImage processes one batch image.
+func convImage(s conv.Shape, in *tensor.Tensor, u []float32, out *tensor.Tensor,
+	n, tilesH, tilesW, tiles, gemmThreads int) {
+	kc := s.K * s.C
+	p, q := s.P(), s.Q()
+
+	// V[16][C][tiles].
+	v := make([]float32, 16*s.C*tiles)
+	var d, vt [4][4]float32
+	for c := 0; c < s.C; c++ {
+		plane := in.Data[(n*s.C+c)*s.H*s.W:]
+		for th := 0; th < tilesH; th++ {
+			for tw := 0; tw < tilesW; tw++ {
+				// Gather the 4×4 patch at (2th−pad, 2tw−pad).
+				ih0 := 2*th - s.Pad
+				iw0 := 2*tw - s.Pad
+				for r := 0; r < 4; r++ {
+					ih := ih0 + r
+					for cc := 0; cc < 4; cc++ {
+						iw := iw0 + cc
+						if ih < 0 || ih >= s.H || iw < 0 || iw >= s.W {
+							d[r][cc] = 0
+						} else {
+							d[r][cc] = plane[ih*s.W+iw]
+						}
+					}
+				}
+				inputTransform(&d, &vt)
+				tile := th*tilesW + tw
+				for pos := 0; pos < 16; pos++ {
+					v[(pos*s.C+c)*tiles+tile] = vt[pos/4][pos%4]
+				}
+			}
+		}
+	}
+
+	// M[16][K][tiles] = U[pos]·V[pos].
+	m := make([]float32, 16*s.K*tiles)
+	for pos := 0; pos < 16; pos++ {
+		gemm.Gemm(s.K, tiles, s.C, 1,
+			u[pos*kc:], s.C,
+			v[pos*s.C*tiles:], tiles,
+			0, m[pos*s.K*tiles:], tiles,
+			gemm.Config{Threads: gemmThreads})
+	}
+
+	// Inverse transform: out tile = Aᵀ·M·A (2×2 from 4×4).
+	for k := 0; k < s.K; k++ {
+		outPlane := out.Data[(n*s.K+k)*p*q:]
+		for tile := 0; tile < tiles; tile++ {
+			var mm [4][4]float32
+			for pos := 0; pos < 16; pos++ {
+				mm[pos/4][pos%4] = m[(pos*s.K+k)*tiles+tile]
+			}
+			// AᵀM: 2×4.
+			var t [2][4]float32
+			for col := 0; col < 4; col++ {
+				m0, m1, m2, m3 := mm[0][col], mm[1][col], mm[2][col], mm[3][col]
+				t[0][col] = m0 + m1 + m2
+				t[1][col] = m1 - m2 - m3
+			}
+			// (AᵀM)A: 2×2.
+			var y [2][2]float32
+			for row := 0; row < 2; row++ {
+				t0, t1, t2, t3 := t[row][0], t[row][1], t[row][2], t[row][3]
+				y[row][0] = t0 + t1 + t2
+				y[row][1] = t1 - t2 - t3
+			}
+			th, tw := tile/tilesW, tile%tilesW
+			for dy := 0; dy < 2; dy++ {
+				oh := 2*th + dy
+				if oh >= p {
+					continue
+				}
+				for dx := 0; dx < 2; dx++ {
+					ow := 2*tw + dx
+					if ow >= q {
+						continue
+					}
+					outPlane[oh*q+ow] = y[dy][dx]
+				}
+			}
+		}
+	}
+}

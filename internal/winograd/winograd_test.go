@@ -1,0 +1,117 @@
+package winograd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/tensor"
+)
+
+// Winograd trades accuracy for FLOPs: tolerate more FP32 error than
+// the direct algorithms (the §2.1 "reduce the prediction accuracy"
+// point).
+const tol = 2e-4
+
+func checkConv(t *testing.T, s conv.Shape) {
+	t.Helper()
+	in := s.NewInput()
+	in.FillRandom(int64(s.C))
+	f := s.NewFilter()
+	f.FillRandom(int64(s.K))
+	want := conv.Reference(s, in, f)
+	got, err := Conv2D(s, in, f, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("%v: rel diff %g", s, d)
+	}
+}
+
+func TestConv2DMatchesReference(t *testing.T) {
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 2, C: 4, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 4, H: 10, W: 10, K: 4, R: 3, S: 3, Str: 1, Pad: 0})
+}
+
+func TestConv2DOddOutputSizes(t *testing.T) {
+	// P, Q odd: the last tile row/column is ragged.
+	checkConv(t, conv.Shape{N: 1, C: 4, H: 7, W: 7, K: 4, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 4, H: 9, W: 5, K: 4, R: 3, S: 3, Str: 1, Pad: 1})
+}
+
+func TestUnsupportedShapesRejected(t *testing.T) {
+	for _, s := range []conv.Shape{
+		{N: 1, C: 4, H: 8, W: 8, K: 4, R: 1, S: 1, Str: 1, Pad: 0}, // 1x1
+		{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 2, Pad: 1}, // stride 2
+		{N: 1, C: 4, H: 12, W: 12, K: 4, R: 5, S: 5, Str: 1, Pad: 2},
+	} {
+		if Supported(s) {
+			t.Fatalf("%v must be unsupported", s)
+		}
+		in := s.NewInput()
+		f := s.NewFilter()
+		if _, err := Conv2D(s, in, f, Options{}); err == nil {
+			t.Fatalf("%v: expected error", s)
+		}
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(3)
+	f := s.NewFilter()
+	f.FillRandom(4)
+	a, _ := Conv2D(s, in, f, Options{Threads: 1})
+	b, _ := Conv2D(s, in, f, Options{Threads: 8})
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("thread count changed result")
+	}
+}
+
+// Empirically document the §2.1 accuracy point: Winograd's error vs
+// the float64 oracle exceeds direct convolution's on the same data.
+func TestAccuracyWorseThanDirect(t *testing.T) {
+	s := conv.Shape{N: 1, C: 64, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(9)
+	f := s.NewFilter()
+	f.FillRandom(10)
+	want := conv.Reference(s, in, f)
+	wg, err := Conv2D(s, in, f, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := core.Conv2D(s, in, f, core.Options{Threads: 1})
+	if tensor.RelDiff(want, wg) <= tensor.RelDiff(want, direct) {
+		t.Skip("Winograd happened to be at least as accurate on this draw (rare but possible)")
+	}
+}
+
+// Property: random supported shapes agree with the reference within
+// the Winograd tolerance.
+func TestRandomShapesProperty(t *testing.T) {
+	f := func(cRaw, kRaw, hRaw uint8, seed int64) bool {
+		s := conv.Shape{
+			N: 1, C: int(cRaw)%9 + 1,
+			H: int(hRaw)%10 + 4, W: int(hRaw)%12 + 4,
+			K: int(kRaw)%9 + 1, R: 3, S: 3, Str: 1, Pad: 1,
+		}
+		in := s.NewInput()
+		in.FillRandom(seed)
+		fl := s.NewFilter()
+		fl.FillRandom(seed + 1)
+		want := conv.Reference(s, in, fl)
+		got, err := Conv2D(s, in, fl, Options{Threads: 2})
+		if err != nil {
+			return false
+		}
+		return tensor.RelDiff(want, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package xnn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+const tol = 2e-5
+
+func checkConv(t *testing.T, s conv.Shape) {
+	t.Helper()
+	in := s.NewInput()
+	in.FillRandom(int64(s.C*3 + s.K))
+	f := s.NewFilter()
+	f.FillRandom(int64(s.S * 17))
+	want := conv.Reference(s, in, f)
+	got, _ := Conv2D(s, in, f, Options{Threads: 2})
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("%v: rel diff %g", s, d)
+	}
+}
+
+func TestConv2DMatchesReference(t *testing.T) {
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 2, C: 16, H: 10, W: 10, K: 8, R: 1, S: 1, Str: 1, Pad: 0})
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 16, W: 16, K: 8, R: 3, S: 3, Str: 2, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 3, H: 18, W: 18, K: 16, R: 7, S: 7, Str: 2, Pad: 3})
+}
+
+func TestConv2DRaggedKAndPixels(t *testing.T) {
+	checkConv(t, conv.Shape{N: 1, C: 4, H: 7, W: 7, K: 11, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 4, H: 5, W: 6, K: 3, R: 3, S: 3, Str: 1, Pad: 1})
+}
+
+func TestIndirectionBuffer(t *testing.T) {
+	s := conv.Shape{N: 1, C: 2, H: 4, W: 4, K: 1, R: 3, S: 3, Str: 1, Pad: 1}
+	indir := buildIndirection(s)
+	rs := 9
+	// Output (0,0), tap (0,0) reads input (-1,-1): padding.
+	if indir[0] != -1 {
+		t.Fatal("corner tap must be padding")
+	}
+	// Output (0,0), tap (1,1) reads input (0,0): offset 0.
+	if indir[4] != 0 {
+		t.Fatalf("centre tap offset = %d, want 0", indir[4])
+	}
+	// Output (1,1), tap (1,1) reads input (1,1): offset (1*4+1)*2.
+	if got := indir[(1*4+1)*rs+4]; got != 10 {
+		t.Fatalf("interior tap offset = %d, want 10", got)
+	}
+	// Buffer is image-relative: size must be P*Q*R*S, batch-free.
+	if len(indir) != 4*4*9 {
+		t.Fatalf("indirection length %d", len(indir))
+	}
+}
+
+func TestConv2DNHWCNative(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 9, W: 9, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(7)
+	f := s.NewFilter()
+	f.FillRandom(8)
+	want := conv.Reference(s, in, f)
+	outNHWC, st := Conv2DNHWC(s, tensor.NCHWToNHWC(in), f, Options{Threads: 2})
+	got := tensor.NHWCToNCHW(outNHWC)
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("NHWC rel diff %g", d)
+	}
+	if st.KernelSec <= 0 || st.WeightPrepSec <= 0 || st.IndirectionSec <= 0 {
+		t.Fatalf("stats missing: %+v", st)
+	}
+	if st.Total() != st.WeightPrepSec+st.IndirectionSec+st.KernelSec {
+		t.Fatal("Total inconsistent")
+	}
+}
+
+func TestConv2DThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 2, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(9)
+	f := s.NewFilter()
+	f.FillRandom(10)
+	a, _ := Conv2D(s, in, f, Options{Threads: 1})
+	b, _ := Conv2D(s, in, f, Options{Threads: 8})
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("thread count changed result")
+	}
+}
+
+func TestConv2DRandomProperty(t *testing.T) {
+	f := func(cRaw, kRaw, hRaw uint8, strRaw bool, seed int64) bool {
+		str := 1
+		if strRaw {
+			str = 2
+		}
+		s := conv.Shape{
+			N: 1, C: int(cRaw)%11 + 1,
+			H: int(hRaw)%9 + 4, W: int(hRaw)%10 + 4,
+			K: int(kRaw)%19 + 1, R: 3, S: 3, Str: str, Pad: 1,
+		}
+		in := s.NewInput()
+		in.FillRandom(seed)
+		fl := s.NewFilter()
+		fl.FillRandom(seed + 1)
+		want := conv.Reference(s, in, fl)
+		got, _ := Conv2D(s, in, fl, Options{Threads: 2})
+		return tensor.RelDiff(want, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package xsmm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+const tol = 2e-5
+
+func checkConv(t *testing.T, s conv.Shape) {
+	t.Helper()
+	in := s.NewInput()
+	in.FillRandom(int64(s.C*7 + s.K))
+	f := s.NewFilter()
+	f.FillRandom(int64(s.R * 13))
+	want := conv.Reference(s, in, f)
+	got, _ := Conv2D(s, in, f, Options{Threads: 2})
+	if d := tensor.RelDiff(want, got); d > tol {
+		t.Fatalf("%v: rel diff %g", s, d)
+	}
+}
+
+func TestConv2DMatchesReference(t *testing.T) {
+	checkConv(t, conv.Shape{N: 1, C: 16, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 24, R: 1, S: 1, Str: 1, Pad: 0})
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 16, W: 16, K: 8, R: 3, S: 3, Str: 2, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 3, H: 20, W: 20, K: 16, R: 7, S: 7, Str: 2, Pad: 3})
+}
+
+func TestConv2DBlockPadding(t *testing.T) {
+	// C and K not multiples of the block sizes: padding lanes must
+	// not pollute the result.
+	checkConv(t, conv.Shape{N: 1, C: 5, H: 9, W: 9, K: 11, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 13, H: 7, W: 7, K: 3, R: 3, S: 3, Str: 1, Pad: 1})
+}
+
+func TestConv2DRaggedRowTiles(t *testing.T) {
+	// Q=7 not a multiple of rowTile=6; Q=5 smaller than one tile.
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 7, W: 7, K: 8, R: 3, S: 3, Str: 1, Pad: 1})
+	checkConv(t, conv.Shape{N: 1, C: 8, H: 5, W: 5, K: 8, R: 3, S: 3, Str: 1, Pad: 1})
+}
+
+func TestConv2DStatsSeparateConversion(t *testing.T) {
+	s := conv.Shape{N: 1, C: 16, H: 14, W: 14, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(1)
+	f := s.NewFilter()
+	f.FillRandom(2)
+	_, st := Conv2D(s, in, f, Options{Threads: 1})
+	if st.ConvertInSec <= 0 || st.ConvertFilterSec <= 0 || st.ConvertOutSec <= 0 || st.KernelSec <= 0 {
+		t.Fatalf("stats missing: %+v", st)
+	}
+	if st.Total() != st.ConvertSec()+st.KernelSec {
+		t.Fatal("Total inconsistent")
+	}
+}
+
+func TestConv2DBlockedKernelOnly(t *testing.T) {
+	// Pre-converted operands: result must match the full pipeline.
+	s := conv.Shape{N: 1, C: 16, H: 10, W: 10, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(3)
+	f := s.NewFilter()
+	f.FillRandom(4)
+	want, _ := Conv2D(s, in, f, Options{Threads: 1})
+
+	inB := tensor.NCHWToNCHWc(in, BlockC)
+	fB := tensor.KCRSToCRSKc(f, BlockC, BlockK)
+	outB := NewBlockedOutput(s)
+	Conv2DBlocked(s, inB, fB, outB, Options{Threads: 1})
+	got := tensor.NCHWcToNCHW(outB, s.K)
+	if tensor.MaxAbsDiff(want, got) != 0 {
+		t.Fatal("blocked-only path differs from pipeline")
+	}
+}
+
+func TestConv2DThreadInvariance(t *testing.T) {
+	s := conv.Shape{N: 2, C: 16, H: 12, W: 12, K: 32, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(5)
+	f := s.NewFilter()
+	f.FillRandom(6)
+	a, _ := Conv2D(s, in, f, Options{Threads: 1})
+	b, _ := Conv2D(s, in, f, Options{Threads: 8})
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("thread count changed result")
+	}
+}
+
+// Property: random small shapes agree with the reference.
+func TestConv2DRandomProperty(t *testing.T) {
+	f := func(cRaw, kRaw, hRaw uint8, strRaw bool, seed int64) bool {
+		str := 1
+		if strRaw {
+			str = 2
+		}
+		s := conv.Shape{
+			N: 1, C: int(cRaw)%19 + 1,
+			H: int(hRaw)%9 + 4, W: int(hRaw)%11 + 4,
+			K: int(kRaw)%23 + 1, R: 3, S: 3, Str: str, Pad: 1,
+		}
+		in := s.NewInput()
+		in.FillRandom(seed)
+		fl := s.NewFilter()
+		fl.FillRandom(seed + 1)
+		want := conv.Reference(s, in, fl)
+		got, _ := Conv2D(s, in, fl, Options{Threads: 2})
+		return tensor.RelDiff(want, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

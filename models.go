@@ -1,0 +1,97 @@
+package ndirect
+
+import (
+	"fmt"
+	"io"
+
+	"ndirect/internal/autotune"
+	"ndirect/internal/nn"
+	"ndirect/internal/tensor"
+)
+
+// Model is a ready-to-run CNN (ResNet-50/101, VGG-16/19 or
+// MobileNet-v1 with deterministic synthetic weights) bound to an execution
+// configuration — the public face of the end-to-end inference engine
+// used by the §8.3 evaluation.
+type Model struct {
+	net *nn.Network
+	eng *nn.Engine
+}
+
+// ModelOptions configure model execution.
+type ModelOptions struct {
+	// Backend selects the convolution implementation:
+	// "ndirect" (default), "im2col+gemm", "ansor", "libxsmm",
+	// "xnnpack".
+	Backend string
+	// Threads is the worker count (0 = all available cores).
+	Threads int
+	// Fuse enables operator fusion (BN folding, fused bias+ReLU) —
+	// supported natively by the ndirect and ansor backends.
+	Fuse bool
+	// Tune pre-tunes the ansor backend's schedules (small measured
+	// evolutionary search per distinct conv shape).
+	Tune bool
+}
+
+// BuildModel constructs one of the evaluation networks — "resnet50",
+// "resnet101", "vgg16", "vgg19" — or "mobilenet" (the §10.2
+// depthwise-separable workload).
+func BuildModel(name string, opt ModelOptions) (*Model, error) {
+	net, ok := nn.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("ndirect: unknown model %q (want resnet50, resnet101, vgg16, vgg19 or mobilenet)", name)
+	}
+	algo := nn.AlgoNDirect
+	switch opt.Backend {
+	case "", "ndirect":
+	case "im2col+gemm", "im2col":
+		algo = nn.AlgoIm2col
+	case "ansor":
+		algo = nn.AlgoAnsor
+	case "libxsmm":
+		algo = nn.AlgoXSMM
+	case "xnnpack":
+		algo = nn.AlgoXNN
+	default:
+		return nil, fmt.Errorf("ndirect: unknown backend %q", opt.Backend)
+	}
+	eng := &nn.Engine{Algo: algo, Threads: opt.Threads, Fuse: opt.Fuse}
+	m := &Model{net: net, eng: eng}
+	if opt.Tune && algo == nn.AlgoAnsor {
+		eng.Tune(net, autotune.TuneOptions{
+			Trials: 24, Population: 8, Generations: 3, Threads: opt.Threads,
+			Seed: 1, MeasureBatch: 1,
+		})
+	}
+	return m, nil
+}
+
+// Name returns the network's name.
+func (m *Model) Name() string { return m.net.Name }
+
+// Infer runs the network on an NCHW input batch [N,3,224,224] and
+// returns the [N,1000] class probabilities.
+func (m *Model) Infer(x *Tensor) *Tensor {
+	return m.net.Forward(m.eng, x)
+}
+
+// ConvShapes lists the distinct convolution shapes of the network
+// (N = 1).
+func (m *Model) ConvShapes() []Shape {
+	return m.net.ConvShapes()
+}
+
+// NewInput allocates an NCHW input batch for the model.
+func (m *Model) NewInput(batch int) *Tensor {
+	return tensor.New(batch, 3, 224, 224)
+}
+
+// SaveWeights serialises the model's parameters to w (a compact
+// binary format; see LoadWeights).
+func (m *Model) SaveWeights(w io.Writer) error { return m.net.WriteWeights(w) }
+
+// LoadWeights replaces the model's parameters with ones previously
+// written by SaveWeights on an identically structured model. The
+// model is left untouched on any error.
+func (m *Model) LoadWeights(r io.Reader) error { return m.net.ReadWeights(r) }

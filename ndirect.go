@@ -1,0 +1,169 @@
+// Package ndirect is a from-scratch Go implementation of nDirect
+// (Wang et al., "Optimizing Direct Convolutions on ARM Multi-Cores",
+// SC'23): a direct convolution library that keeps the framework-
+// native NCHW/NHWC activation and KCRS filter layouts while matching
+// or beating layout-specialised approaches, via analytically derived
+// cache and register tiling (Equations 1–4), an outer-product
+// micro-kernel, packing overlapped with computation (§5.3) and a
+// workload-aware thread mapping (Equations 5–6).
+//
+// Quick start:
+//
+//	s := ndirect.Shape{N: 1, C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1}
+//	in := ndirect.NewTensor(s.N, s.C, s.H, s.W)   // NCHW
+//	w := ndirect.NewTensor(s.K, s.C, s.R, s.S)    // KCRS
+//	out := ndirect.Conv2D(s, in, w, ndirect.Options{})
+//
+// For repeated execution of one layer, build a Plan once:
+//
+//	plan := ndirect.NewPlan(s, ndirect.Options{Threads: 8})
+//	plan.Execute(in, w, out)
+//
+// The internal packages additionally provide the paper's baselines
+// (im2col+GEMM, LIBXSMM-style, XNNPACK-style, ACL-style, an Ansor-
+// substitute autotuner), the machine model used to project results
+// onto the paper's four ARM platforms, and the benchmark harness that
+// regenerates every table and figure (cmd/ndbench).
+package ndirect
+
+import (
+	"fmt"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/hw"
+	"ndirect/internal/tensor"
+)
+
+// Shape describes a convolution in the paper's notation: input
+// I[N][C][H][W], filter F[K][C][R][S], stride Str and symmetric zero
+// padding Pad.
+type Shape = conv.Shape
+
+// Tensor is a dense FP32 tensor (flat buffer + shape, last dimension
+// contiguous).
+type Tensor = tensor.Tensor
+
+// Options configure plan construction; the zero value selects the
+// analytical-model defaults. See core.Options for every knob
+// (thread count, target platform, packing mode, forced tiles, fused
+// epilogues).
+type Options = core.Options
+
+// Plan is a prepared, reusable convolution execution plan.
+type Plan = core.Plan
+
+// Epilogue selects the fused post-processing of the output pass.
+type Epilogue = core.Epilogue
+
+// Fused epilogue kinds.
+const (
+	EpilogueNone     = core.EpilogueNone
+	EpilogueBias     = core.EpilogueBias
+	EpilogueReLU     = core.EpilogueReLU
+	EpilogueBiasReLU = core.EpilogueBiasReLU
+)
+
+// Platform describes a target machine (cache geometry, peak FLOPS,
+// the calibrated α of §6.2). The paper's four evaluation platforms
+// are available via Platforms / PlatformByName.
+type Platform = hw.Platform
+
+// Platforms lists the paper's Table 3 machines.
+var Platforms = hw.Platforms
+
+// PlatformByName resolves "phytium", "kp920", "tx2"/"thunderx2" or
+// "rpi4" (and the full Table 3 names).
+func PlatformByName(name string) (Platform, bool) { return hw.ByName(name) }
+
+// NewTensor allocates a zero tensor with the given dimensions.
+func NewTensor(dims ...int) *Tensor { return tensor.New(dims...) }
+
+// TensorFromSlice wraps an existing float32 buffer (shared storage).
+func TensorFromSlice(data []float32, dims ...int) *Tensor {
+	return tensor.FromSlice(data, dims...)
+}
+
+// NewPlan derives an nDirect execution plan for the shape: register
+// tile from Equations 3–4, cache tiles from Equations 1–2, thread
+// mapping from Equations 5–6.
+func NewPlan(s Shape, opt Options) *Plan { return core.NewPlan(s, opt) }
+
+// Conv2D convolves an NCHW input with a KCRS filter, returning a
+// freshly allocated NKPQ output.
+func Conv2D(s Shape, in, filter *Tensor, opt Options) *Tensor {
+	return core.Conv2D(s, in, filter, opt)
+}
+
+// Conv2DNHWC convolves an NHWC input with a KCRS filter, returning an
+// NPQK (NHWC) output — no activation layout conversion is performed
+// in either direction.
+func Conv2DNHWC(s Shape, in, filter *Tensor, opt Options) *Tensor {
+	return core.Conv2DNHWC(s, in, filter, opt)
+}
+
+// DepthwiseConv2D computes a per-channel (depthwise) convolution:
+// in is NCHW, filter is [C, R, S] (§10.2).
+func DepthwiseConv2D(s Shape, in, filter *Tensor, opt Options) *Tensor {
+	return core.DepthwiseConv2D(s, in, filter, opt)
+}
+
+// PointwiseConv2D computes the 1×1 convolution of a depthwise-
+// separable block through the standard nDirect path.
+func PointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) *Tensor {
+	return core.PointwiseConv2D(n, c, h, w, k, in, filter, opt)
+}
+
+// GroupedConv2D convolves in `groups` independent channel groups
+// (filter [K, C/groups, R, S]); groups=1 is the standard convolution
+// and groups=C the depthwise one — the §10.2 spectrum.
+func GroupedConv2D(s Shape, groups int, in, filter *Tensor, opt Options) *Tensor {
+	return core.GroupedConv2D(s, groups, in, filter, opt)
+}
+
+// Shape3D describes a 3-D convolution (§10.2): input [N,C,D,H,W],
+// filter [K,C,T,R,S].
+type Shape3D = core.Shape3D
+
+// Conv3D computes a 3-D convolution by reducing 2-D nDirect
+// convolutions over the kernel depth.
+func Conv3D(s Shape3D, in, filter *Tensor, opt Options) *Tensor {
+	return core.Conv3D(s, in, filter, opt)
+}
+
+// Conv2D64 is the FP64 variant (§3.3): same algorithm with the
+// 2-lane-per-register geometry plugged into the analytical models.
+// in and filter are flat NCHW/KCRS float64 buffers; the NKPQ result
+// is freshly allocated.
+func Conv2D64(s Shape, in, filter []float64, opt Options) []float64 {
+	return core.Conv2D64(s, in, filter, opt)
+}
+
+// Conv2DInt16 is the quantised variant (§3.3): int16 activations and
+// weights with int32 accumulation (the NEON widening-MAC pattern),
+// returning the raw NKPQ accumulators for the caller to requantise.
+func Conv2DInt16(s Shape, in, filter []int16, opt Options) []int32 {
+	return core.Conv2DInt16(s, in, filter, opt)
+}
+
+// Reference computes the convolution with the naive seven-loop
+// Algorithm 1 — the correctness oracle (float64 accumulation).
+func Reference(s Shape, in, filter *Tensor) *Tensor {
+	return conv.Reference(s, in, filter)
+}
+
+// Layers returns the paper's Table 4 evaluation layers (IDs 1–28,
+// batch 1; use Shape.WithBatch to scale).
+func Layers() []conv.Layer { return conv.Table4 }
+
+// Layer is one Table 4 row.
+type Layer = conv.Layer
+
+// LayerByID returns Table 4 row id (1–28).
+func LayerByID(id int) (Layer, error) {
+	l, ok := conv.LayerByID(id)
+	if !ok {
+		return Layer{}, fmt.Errorf("ndirect: no Table 4 layer with id %d", id)
+	}
+	return l, nil
+}

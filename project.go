@@ -1,0 +1,76 @@
+package ndirect
+
+import (
+	"fmt"
+
+	"ndirect/internal/hw"
+	"ndirect/internal/simarch"
+)
+
+// Projection is the machine model's performance estimate for one
+// algorithm on one platform (see DESIGN.md: this is the reproduction's
+// substitute for the paper's ARM testbed).
+type Projection struct {
+	Algorithm string
+	Platform  string
+	Threads   int
+	Seconds   float64
+	GFLOPS    float64
+	PctPeak   float64
+	Bound     string // limiting resource: fma | load | latency | memory | serial
+}
+
+// Algorithms lists the projectable convolution implementations.
+var Algorithms = []string{
+	"ndirect", "ndirect-seqpack", "im2col+gemm", "libxsmm",
+	"xnnpack", "acl-direct", "acl-gemm", "ansor",
+}
+
+// Project estimates the throughput of the named algorithm on the
+// named platform (see Platforms) for the given layer shape, using
+// `threads` worker threads (0 = all cores). It composes the analytical
+// cycle model with the trace-driven cache simulator.
+//
+//	l, _ := ndirect.LayerByID(3)
+//	pr, _ := ndirect.Project("ndirect", "phytium", l.Shape.WithBatch(64), 0)
+//	fmt.Printf("%.0f GFLOPS (%.0f%% of peak)\n", pr.GFLOPS, pr.PctPeak*100)
+func Project(algorithm, platform string, s Shape, threads int) (Projection, error) {
+	p, ok := hw.ByName(platform)
+	if !ok {
+		return Projection{}, fmt.Errorf("ndirect: unknown platform %q", platform)
+	}
+	if threads <= 0 {
+		threads = p.Cores
+	}
+	var prof simarch.Profile
+	switch algorithm {
+	case "ndirect":
+		prof = simarch.ProfileNDirect(s, p, threads, false)
+	case "ndirect-seqpack":
+		prof = simarch.ProfileNDirect(s, p, threads, true)
+	case "im2col+gemm", "im2col":
+		prof = simarch.ProfileIm2colGEMM(s, p, threads)
+	case "libxsmm":
+		prof = simarch.ProfileXSMM(s, p, threads, false)
+	case "xnnpack":
+		prof = simarch.ProfileXNN(s, p, threads)
+	case "acl-direct":
+		prof = simarch.ProfileACLDirect(s, p, threads)
+	case "acl-gemm":
+		prof = simarch.ProfileACLGEMM(s, p, threads)
+	case "ansor":
+		prof = simarch.ProfileAnsor(s, p, threads)
+	default:
+		return Projection{}, fmt.Errorf("ndirect: unknown algorithm %q (want one of %v)", algorithm, Algorithms)
+	}
+	proj := simarch.Estimate(p, threads, prof)
+	return Projection{
+		Algorithm: algorithm,
+		Platform:  p.Name,
+		Threads:   threads,
+		Seconds:   proj.Seconds,
+		GFLOPS:    proj.GFLOPS,
+		PctPeak:   proj.PctPeak,
+		Bound:     proj.Bound,
+	}, nil
+}
