@@ -1,0 +1,19 @@
+# Convenience targets; the source of truth is scripts/check.sh.
+
+.PHONY: build test check fuzz bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full verification gate: build + vet + race tests + fuzz smoke.
+check:
+	./scripts/check.sh
+
+fuzz:
+	go test -run='^$$' -fuzz=FuzzTryConv2D -fuzztime=30s ./internal/core
+
+bench:
+	go test -run='^$$' -bench=. -benchtime=1x .

@@ -177,7 +177,9 @@ func BenchmarkFig6AnsorTunedSchedule(b *testing.B) {
 	sch := autotune.ClampFor(res.Best, s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		autotune.Execute(s, sch, in, filter, out, 1)
+		if err := autotune.Execute(s, sch, in, filter, out, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 	reportGFLOPS(b, s, b.N)
 }

@@ -2,10 +2,13 @@
 // every convolution implementation in the repository against the
 // naive Algorithm 1 oracle over a battery of shapes (all Table 4
 // geometries at reduced size plus adversarial edge cases). Exits
-// non-zero on any mismatch.
+// non-zero on any mismatch. The nDirect and Ansor rows go through the
+// checked Try* API, so an invalid shape or an execution fault is
+// reported as a verification failure instead of crashing the run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,10 @@ import (
 const tol = 5e-5
 const fftTol = 5e-4 // frequency-domain round trip carries more error
 
+// errSkip marks a shape an implementation does not support (e.g.
+// Winograd outside 3×3 stride 1); it is not a failure.
+var errSkip = errors.New("not applicable")
+
 func main() {
 	threads := flag.Int("threads", 2, "worker threads per run")
 	full := flag.Bool("full", false, "also run the (slow) full-size Table 4 shapes")
@@ -34,47 +41,55 @@ func main() {
 	impls := []struct {
 		name string
 		tol  float64
-		run  func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool)
+		run  func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error)
 	}{
-		{"NDIRECT", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
-			return core.Conv2D(s, in, f, core.Options{Threads: *threads}), true
+		{"NDIRECT", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
+			return core.TryConv2D(s, in, f, core.Options{Threads: *threads})
 		}},
-		{"NDIRECT(seq-pack)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
-			return core.Conv2D(s, in, f, core.Options{Threads: *threads, SequentialPack: true}), true
+		{"NDIRECT(seq-pack)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
+			return core.TryConv2D(s, in, f, core.Options{Threads: *threads, SequentialPack: true})
 		}},
-		{"NDIRECT(NHWC)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
-			out := core.Conv2DNHWC(s, tensor.NCHWToNHWC(in), f, core.Options{Threads: *threads})
-			return tensor.NHWCToNCHW(out), true
+		{"NDIRECT(NHWC)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
+			out, err := core.TryConv2DNHWC(s, tensor.NCHWToNHWC(in), f, core.Options{Threads: *threads})
+			if err != nil {
+				return nil, err
+			}
+			return tensor.NHWCToNCHW(out), nil
 		}},
-		{"im2col+GEMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+		{"im2col+GEMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
 			out, _ := im2col.Conv2D(s, in, f, im2col.Options{Threads: *threads})
-			return out, true
+			return out, nil
 		}},
-		{"LIBXSMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+		{"LIBXSMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
 			out, _ := xsmm.Conv2D(s, in, f, xsmm.Options{Threads: *threads})
-			return out, true
+			return out, nil
 		}},
-		{"XNNPACK", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+		{"XNNPACK", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
 			out, _ := xnn.Conv2D(s, in, f, xnn.Options{Threads: *threads})
-			return out, true
+			return out, nil
 		}},
-		{"ACL_DIRECT", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
-			return acl.DirectConv2D(s, in, f, acl.Options{Threads: *threads}), true
+		{"ACL_DIRECT", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
+			return acl.DirectConv2D(s, in, f, acl.Options{Threads: *threads}), nil
 		}},
-		{"ACL_GEMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
-			return acl.GEMMConv2D(s, in, f, acl.Options{Threads: *threads}), true
+		{"ACL_GEMM", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
+			return acl.GEMMConv2D(s, in, f, acl.Options{Threads: *threads}), nil
 		}},
-		{"Ansor(default)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+		{"Ansor(default)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
 			out := s.NewOutput()
-			autotune.Execute(s, autotune.DefaultSchedule(s), in, f, out, *threads)
-			return out, true
+			if err := autotune.Execute(s, autotune.DefaultSchedule(s), in, f, out, *threads); err != nil {
+				return nil, err
+			}
+			return out, nil
 		}},
-		{"Winograd", 5e-4, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
+		{"Winograd", 5e-4, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
 			out, err := winograd.Conv2D(s, in, f, winograd.Options{Threads: *threads})
-			return out, err == nil
+			if err != nil {
+				return nil, errSkip
+			}
+			return out, nil
 		}},
-		{"FFT", fftTol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, bool) {
-			return fft.Conv2D(s, in, f, fft.Options{Threads: *threads}), true
+		{"FFT", fftTol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
+			return fft.Conv2D(s, in, f, fft.Options{Threads: *threads}), nil
 		}},
 	}
 
@@ -87,11 +102,16 @@ func main() {
 		f.FillRandom(int64(s.R*37 + s.H))
 		want := conv.Reference(s, in, f)
 		for _, impl := range impls {
-			got, applicable := impl.run(s, in, f)
-			if !applicable {
+			got, err := impl.run(s, in, f)
+			if errors.Is(err, errSkip) {
 				continue
 			}
 			checks++
+			if err != nil {
+				failures++
+				fmt.Printf("FAIL %-18s %v: %v\n", impl.name, s, err)
+				continue
+			}
 			if d := tensor.RelDiff(want, got); d > impl.tol {
 				failures++
 				fmt.Printf("FAIL %-18s %v: rel diff %.2e (tol %.0e)\n", impl.name, s, d, impl.tol)

@@ -7,10 +7,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"ndirect"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	layerID := flag.Int("layer", 26, "Table 4 layer id")
@@ -19,7 +25,7 @@ func main() {
 
 	l, err := ndirect.LayerByID(*layerID)
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	s := l.Shape.WithBatch(*batch)
 	in := ndirect.NewTensor(s.N, s.C, s.H, s.W)
@@ -29,10 +35,17 @@ func main() {
 	out := ndirect.NewTensor(s.N, s.K, s.P(), s.Q())
 
 	run := func(label string, opt ndirect.Options) {
-		plan := ndirect.NewPlan(s, opt)
-		plan.Execute(in, w, out) // warm-up
+		plan, err := ndirect.TryNewPlan(s, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.TryExecute(in, w, out); err != nil { // warm-up
+			fatal(err)
+		}
 		t0 := time.Now()
-		plan.Execute(in, w, out)
+		if err := plan.TryExecute(in, w, out); err != nil {
+			fatal(err)
+		}
 		sec := time.Since(t0).Seconds()
 		fmt.Printf("%-34s %8.2f GFLOPS  (tile %dx%d)\n",
 			label, float64(s.FLOPs())/sec/1e9, plan.RT.Vw, plan.RT.Vk)
@@ -50,7 +63,9 @@ func main() {
 	inNHWC := ndirect.NewTensor(s.N, s.H, s.W, s.C)
 	inNHWC.FillRandom(1)
 	t0 := time.Now()
-	ndirect.Conv2DNHWC(s, inNHWC, w, ndirect.Options{})
+	if _, err := ndirect.TryConv2DNHWC(s, inNHWC, w, ndirect.Options{}); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%-34s %8.2f GFLOPS\n", "NHWC entry point",
 		float64(s.FLOPs())/time.Since(t0).Seconds()/1e9)
 
@@ -64,7 +79,10 @@ func main() {
 	w3 := ndirect.NewTensor(16, 8, 3, 3, 3)
 	w3.FillRandom(4)
 	t0 = time.Now()
-	out3 := ndirect.Conv3D(s3, in3, w3, ndirect.Options{})
+	out3, err := ndirect.TryConv3D(s3, in3, w3, ndirect.Options{})
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%-34s output %v in %.3fms\n", "3-D convolution",
 		out3.Dims, time.Since(t0).Seconds()*1e3)
 }

@@ -6,10 +6,21 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"ndirect"
 )
+
+// must unwraps a checked-API result, exiting with the error message on
+// failure (examples keep error handling one-line).
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return v
+}
 
 func main() {
 	const (
@@ -30,8 +41,8 @@ func main() {
 	pwFilter.FillRandom(3)
 
 	t0 := time.Now()
-	mid := ndirect.DepthwiseConv2D(dw, in, dwFilter, ndirect.Options{})
-	out := ndirect.PointwiseConv2D(n, c, h, w, k, mid, pwFilter, ndirect.Options{})
+	mid := must(ndirect.TryDepthwiseConv2D(dw, in, dwFilter, ndirect.Options{}))
+	out := must(ndirect.TryPointwiseConv2D(n, c, h, w, k, mid, pwFilter, ndirect.Options{}))
 	dscTime := time.Since(t0)
 
 	// The standard convolution the DSC block replaces.
@@ -39,7 +50,7 @@ func main() {
 	stdFilter := ndirect.NewTensor(k, c, 3, 3)
 	stdFilter.FillRandom(4)
 	t0 = time.Now()
-	outStd := ndirect.Conv2D(std, in, stdFilter, ndirect.Options{})
+	outStd := must(ndirect.TryConv2D(std, in, stdFilter, ndirect.Options{}))
 	stdTime := time.Since(t0)
 
 	dscFLOPs := int64(2*n*c*h*w*3*3) + int64(2*n*c*k*h*w)

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"ndirect"
 )
@@ -18,7 +19,8 @@ func main() {
 
 	l, err := ndirect.LayerByID(*layerID)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	algos := []string{"ndirect", "libxsmm", "im2col+gemm", "xnnpack", "ansor", "acl-direct"}
@@ -29,7 +31,8 @@ func main() {
 		for _, a := range algos {
 			pr, err := ndirect.Project(a, p.Name, s, 0)
 			if err != nil {
-				panic(err)
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
 			fmt.Printf("  %-14s %10.1f %7.1f%% %10s\n", a, pr.GFLOPS, pr.PctPeak*100, pr.Bound)
 		}

@@ -1,10 +1,11 @@
 // Quickstart: run one nDirect convolution and check it against the
-// naive reference.
+// naive reference, using the checked (error-returning) API.
 package main
 
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"ndirect"
 )
@@ -13,7 +14,8 @@ func main() {
 	// A ResNet-50 3×3 layer (Table 4, layer 3) at batch 1.
 	l, err := ndirect.LayerByID(3)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	s := l.Shape // N=1 C=64 H=W=56 K=64 R=S=3 stride 1 pad 1
 
@@ -23,8 +25,14 @@ func main() {
 	w := ndirect.NewTensor(s.K, s.C, s.R, s.S)
 	w.FillRandom(2)
 
-	// One-shot convolution with the analytical-model defaults.
-	out := ndirect.Conv2D(s, in, w, ndirect.Options{})
+	// One-shot convolution with the analytical-model defaults. The
+	// Try* form returns an error (wrapping ndirect.ErrBadShape,
+	// ErrBadOptions or ErrDimMismatch) instead of panicking.
+	out, err := ndirect.TryConv2D(s, in, w, ndirect.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conv failed:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("conv %v -> output %v\n", s, out.Dims)
 
 	// Validate against Algorithm 1.
@@ -39,10 +47,17 @@ func main() {
 
 	// For repeated execution, build the plan once; it records the
 	// derived tile sizes and thread mapping.
-	plan := ndirect.NewPlan(s, ndirect.Options{})
+	plan, err := ndirect.TryNewPlan(s, ndirect.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plan failed:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("register tile: %v\n", plan.RT)
 	fmt.Printf("cache tiles:   %v\n", plan.CT)
 	fmt.Printf("thread map:    %v\n", plan.TM)
-	plan.Execute(in, w, out)
+	if err := plan.TryExecute(in, w, out); err != nil {
+		fmt.Fprintln(os.Stderr, "execute failed:", err)
+		os.Exit(1)
+	}
 	fmt.Println("plan re-executed OK")
 }

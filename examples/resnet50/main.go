@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"ndirect"
@@ -26,7 +27,8 @@ func main() {
 		Fuse:    *fuse,
 	})
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	x := model.NewInput(*batch)

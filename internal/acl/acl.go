@@ -35,7 +35,7 @@ func DirectConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.
 	p, q := s.P(), s.Q()
 	out := s.NewOutput()
 	for n := 0; n < s.N; n++ { // sequential batch loop (the flaw)
-		parallel.For(s.K, threads, func(k int) {
+		parallel.MustFor(s.K, threads, func(k int) {
 			directPlane(s, in.Data, filter.Data, out.Data, n, k, p, q)
 		})
 	}
@@ -129,7 +129,7 @@ func GEMMConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Te
 			copy(cols, in.Data[n*s.C*s.H*s.W:(n+1)*s.C*s.H*s.W])
 		}
 		cOut := out.Data[n*s.K*pq:]
-		parallel.For(s.K, threads, func(k int) {
+		parallel.MustFor(s.K, threads, func(k int) {
 			gemm.Naive(1, pq, crs, filter.Data[k*crs:(k+1)*crs], cols, cOut[k*pq:(k+1)*pq])
 		})
 	}

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +24,9 @@ func checkSchedule(t *testing.T, s conv.Shape, sch Schedule) {
 	f.FillRandom(int64(s.K))
 	want := conv.Reference(s, in, f)
 	got := s.NewOutput()
-	Execute(s, sch, in, f, got, 2)
+	if err := Execute(s, sch, in, f, got, 2); err != nil {
+		t.Fatalf("%v / %v: %v", s, sch, err)
+	}
 	if d := tensor.RelDiff(want, got); d > tol {
 		t.Fatalf("%v / %v: rel diff %g", s, sch, d)
 	}
@@ -133,14 +136,18 @@ func TestTuneMeasureBatchReduction(t *testing.T) {
 	}
 }
 
-func TestExecuteInvalidSchedulePanics(t *testing.T) {
+func TestExecuteInvalidScheduleError(t *testing.T) {
 	s := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 1, Pad: 1}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Execute(s, Schedule{}, s.NewInput(), s.NewFilter(), s.NewOutput(), 1)
+	err := Execute(s, Schedule{}, s.NewInput(), s.NewFilter(), s.NewOutput(), 1)
+	if !errors.Is(err, ErrBadSchedule) {
+		t.Fatalf("err = %v, want ErrBadSchedule", err)
+	}
+	// The tuner must skip such a candidate rather than abort: a
+	// measure() call on it returns the +inf sentinel (exercised via
+	// Tune with a corrupted seed schedule in the faultinject tests).
+	if err := Execute(s, DefaultSchedule(s), s.NewInput(), s.NewFilter(), s.NewOutput(), 1); err != nil {
+		t.Fatalf("default schedule must execute: %v", err)
+	}
 }
 
 func TestCostModelRecoversLinearRelation(t *testing.T) {

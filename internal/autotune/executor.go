@@ -1,19 +1,30 @@
 package autotune
 
 import (
+	"errors"
+	"fmt"
+
 	"ndirect/internal/conv"
+	"ndirect/internal/faultinject"
 	"ndirect/internal/parallel"
 	"ndirect/internal/simd"
 	"ndirect/internal/tensor"
 )
 
+// ErrBadSchedule reports a schedule that is not admissible for the
+// shape it is asked to execute — a tuned schedule applied to the wrong
+// layer, a corrupted cache entry, or a hand-written override outside
+// the knob grid.
+var ErrBadSchedule = errors.New("autotune: bad schedule")
+
 // Execute runs the scheduled direct convolution: the loop nest a TVM
 // back-end would emit for an NCHW conv2d — two-level tiles, the
 // innermost output-column axis vectorised, input read in place (no
 // packing, no filter re-blocking: the structural gap to nDirect that
-// Figure 6 measures).
-func Execute(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int) {
-	ExecuteFused(s, sch, in, filter, out, threads, nil, false)
+// Figure 6 measures). An inadmissible schedule returns ErrBadSchedule;
+// a worker fault surfaces as the parallel runtime's error.
+func Execute(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int) error {
+	return ExecuteFused(s, sch, in, filter, out, threads, nil, false)
 }
 
 // ExecuteFused is Execute with an operator-fusion epilogue: after the
@@ -21,10 +32,20 @@ func Execute(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads
 // ReLU is applied while the tile is still cache-hot — the Relay-style
 // fusion that gives the Ansor configuration its end-to-end edge
 // (§8.3). bias may be nil.
-func ExecuteFused(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int, bias []float32, relu bool) {
-	conv.CheckOperands(s, in, filter)
+func ExecuteFused(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int, bias []float32, relu bool) error {
+	if err := conv.ValidateOperands(s, in, filter); err != nil {
+		return err
+	}
+	if err := conv.ValidateOutput(s, out); err != nil {
+		return err
+	}
+	if faultinject.Enabled() {
+		if _, ok := faultinject.Take(faultinject.ScheduleCorrupt); ok {
+			sch.TileK = -1
+		}
+	}
 	if !sch.Valid(s) {
-		panic("autotune: invalid schedule for shape")
+		return fmt.Errorf("%w: %v for shape %v", ErrBadSchedule, sch, s)
 	}
 	if threads <= 0 {
 		threads = parallel.DefaultThreads()
@@ -34,20 +55,19 @@ func ExecuteFused(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, th
 	kTiles := (s.K + sch.TileK - 1) / sch.TileK
 
 	if sch.ParallelKH {
-		parallel.For(s.N*kTiles, threads, func(nk int) {
+		return parallel.For(s.N*kTiles, threads, func(nk int) {
 			n, kt := nk/kTiles, nk%kTiles
 			k0 := kt * sch.TileK
 			k1 := min(k0+sch.TileK, s.K)
 			execBlock(s, sch, in.Data, filter.Data, out.Data, n, k0, k1, 0, p, bias, relu)
 		})
-	} else {
-		parallel.For(s.N*hTiles, threads, func(nh int) {
-			n, ht := nh/hTiles, nh%hTiles
-			h0 := ht * sch.TileH
-			h1 := min(h0+sch.TileH, p)
-			execBlock(s, sch, in.Data, filter.Data, out.Data, n, 0, s.K, h0, h1, bias, relu)
-		})
 	}
+	return parallel.For(s.N*hTiles, threads, func(nh int) {
+		n, ht := nh/hTiles, nh%hTiles
+		h0 := ht * sch.TileH
+		h1 := min(h0+sch.TileH, p)
+		execBlock(s, sch, in.Data, filter.Data, out.Data, n, 0, s.K, h0, h1, bias, relu)
+	})
 }
 
 // ClampFor adapts a schedule tuned on one shape to another shape with

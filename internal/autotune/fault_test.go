@@ -1,0 +1,43 @@
+package autotune
+
+import (
+	"errors"
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/faultinject"
+)
+
+// An injected schedule corruption must be caught by the admissibility
+// check and surface as ErrBadSchedule — before any kernel runs.
+func TestScheduleCorruptInjection(t *testing.T) {
+	defer faultinject.Reset()
+	s := conv.Shape{N: 1, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in, f, out := s.NewInput(), s.NewFilter(), s.NewOutput()
+	faultinject.Arm(faultinject.ScheduleCorrupt, -1)
+	err := Execute(s, DefaultSchedule(s), in, f, out, 1)
+	if !errors.Is(err, ErrBadSchedule) {
+		t.Fatalf("err = %v, want ErrBadSchedule", err)
+	}
+	// The shot is consumed: the same schedule now executes cleanly.
+	if err := Execute(s, DefaultSchedule(s), in, f, out, 1); err != nil {
+		t.Fatalf("post-injection run must succeed: %v", err)
+	}
+}
+
+// The tuner must skip a corrupted candidate measurement and still
+// finish with a valid, correct best schedule.
+func TestTuneSurvivesScheduleCorruption(t *testing.T) {
+	defer faultinject.Reset()
+	s := conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	faultinject.ArmN(faultinject.ScheduleCorrupt, -1, 2)
+	res := Tune(s, TuneOptions{Population: 4, Generations: 2, Trials: 10, Threads: 1, Seed: 5})
+	if res.BestSec >= 1e30 {
+		t.Fatalf("tuning found no healthy candidate: %+v", res)
+	}
+	if !res.Best.Valid(s) {
+		t.Fatalf("best schedule invalid: %v", res.Best)
+	}
+	faultinject.Reset()
+	checkSchedule(t, s, res.Best)
+}

@@ -97,7 +97,13 @@ func Tune(s conv.Shape, opt TuneOptions) Result {
 		best := 1e30
 		for rep := 0; rep < opt.Repeats; rep++ {
 			t0 := time.Now()
-			Execute(ts, sch, in, filter, out, opt.Threads)
+			if err := Execute(ts, sch, in, filter, out, opt.Threads); err != nil {
+				// Inadmissible or faulting candidate: record it as
+				// unusable so the search never re-measures or breeds
+				// from it, and move on instead of aborting the run.
+				seen[sch] = 1e30
+				return 1e30
+			}
 			if d := time.Since(t0).Seconds(); d < best {
 				best = d
 			}

@@ -152,7 +152,11 @@ func MeasureLayer(cfg Config, m Method, s conv.Shape) Result {
 		})
 		out := s.NewOutput()
 		sch := autotune.ClampFor(res.Best, s)
-		sec = timeIt(cfg.Reps, func() { autotune.Execute(s, sch, in, filter, out, cfg.Threads) })
+		sec = timeIt(cfg.Reps, func() {
+			if err := autotune.Execute(s, sch, in, filter, out, cfg.Threads); err != nil {
+				panic(err)
+			}
+		})
 	default:
 		panic("bench: unknown method " + string(m))
 	}

@@ -36,12 +36,9 @@ func (s Shape) P() int { return (s.H+2*s.Pad-s.R)/s.Str + 1 }
 // Q returns the output width: (W + 2·Pad − S)/Str + 1.
 func (s Shape) Q() int { return (s.W+2*s.Pad-s.S)/s.Str + 1 }
 
-// Valid reports whether the shape describes a realisable convolution.
-func (s Shape) Valid() bool {
-	return s.N > 0 && s.C > 0 && s.H > 0 && s.W > 0 &&
-		s.K > 0 && s.R > 0 && s.S > 0 && s.Str > 0 && s.Pad >= 0 &&
-		s.H+2*s.Pad >= s.R && s.W+2*s.Pad >= s.S
-}
+// Valid reports whether the shape describes a realisable convolution;
+// it is Validate() == nil for callers that only need the predicate.
+func (s Shape) Valid() bool { return s.Validate() == nil }
 
 // FLOPs returns the number of floating point operations of the
 // convolution (2 per multiply-accumulate), the quantity all GFLOPS
@@ -130,24 +127,13 @@ func Reference(s Shape, in, filter *tensor.Tensor) *tensor.Tensor {
 }
 
 func checkOperands(s Shape, in, filter *tensor.Tensor) {
-	if !s.Valid() {
-		panic(fmt.Sprintf("conv: invalid shape %v", s))
-	}
-	wantIn := []int{s.N, s.C, s.H, s.W}
-	wantF := []int{s.K, s.C, s.R, s.S}
-	for i, d := range wantIn {
-		if in.Dims[i] != d {
-			panic(fmt.Sprintf("conv: input dims %v do not match shape %v", in.Dims, s))
-		}
-	}
-	for i, d := range wantF {
-		if filter.Dims[i] != d {
-			panic(fmt.Sprintf("conv: filter dims %v do not match shape %v", filter.Dims, s))
-		}
+	if err := ValidateOperands(s, in, filter); err != nil {
+		panic(err)
 	}
 }
 
 // CheckOperands validates tensor dimensions against the shape,
-// panicking with a descriptive message on mismatch. Exported for the
-// optimised implementations, which all perform the same validation.
+// panicking with a descriptive message on mismatch. It is the
+// panicking wrapper over ValidateOperands, kept for the baseline
+// implementations; new code should prefer the error-returning form.
 func CheckOperands(s Shape, in, filter *tensor.Tensor) { checkOperands(s, in, filter) }

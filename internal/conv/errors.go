@@ -1,0 +1,128 @@
+package conv
+
+import (
+	"errors"
+	"fmt"
+
+	"ndirect/internal/tensor"
+)
+
+// Sentinel errors of the checked validation API. Every validation
+// failure in this package (and the shape/operand failures surfaced by
+// internal/core) wraps one of these, so callers can classify failures
+// with errors.Is while still getting a descriptive message.
+var (
+	// ErrBadShape reports a Shape that does not describe a realisable
+	// convolution (non-positive dimension, kernel larger than the
+	// padded input, or sizes past the implementation limits).
+	ErrBadShape = errors.New("conv: bad shape")
+	// ErrDimMismatch reports an operand tensor whose rank, dimensions
+	// or backing-buffer length do not match the Shape.
+	ErrDimMismatch = errors.New("conv: dimension mismatch")
+)
+
+// Implementation limits enforced by Shape.Validate. They exist so that
+// downstream size arithmetic (offsets, scratch-buffer geometry, FLOP
+// counts) provably stays inside int64 — a shape past these bounds
+// could silently overflow instead of failing loudly.
+const (
+	// MaxDim bounds every individual shape dimension.
+	MaxDim = 1 << 24
+	// MaxElems bounds the element count of any one operand tensor.
+	MaxElems = 1 << 40
+)
+
+// elemCount multiplies dims with overflow protection against the
+// MaxElems budget. ok is false for non-positive dims or a product
+// exceeding MaxElems.
+func elemCount(dims ...int) (int64, bool) {
+	p := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return 0, false
+		}
+		if p > MaxElems/int64(d) {
+			return 0, false
+		}
+		p *= int64(d)
+	}
+	return p, true
+}
+
+// Validate reports whether the shape describes a realisable
+// convolution within the implementation limits; the nil error is the
+// checked-API equivalent of Valid. All arithmetic runs in int64, so
+// adversarial values (e.g. Pad near MaxInt) fail cleanly instead of
+// overflowing in P()/Q().
+func (s Shape) Validate() error {
+	dims := []struct {
+		name string
+		v    int
+	}{
+		{"N", s.N}, {"C", s.C}, {"H", s.H}, {"W", s.W},
+		{"K", s.K}, {"R", s.R}, {"S", s.S}, {"Str", s.Str},
+	}
+	for _, d := range dims {
+		if d.v < 1 || d.v > MaxDim {
+			return fmt.Errorf("%w: %s=%d outside [1, %d]", ErrBadShape, d.name, d.v, MaxDim)
+		}
+	}
+	if s.Pad < 0 || s.Pad > MaxDim {
+		return fmt.Errorf("%w: Pad=%d outside [0, %d]", ErrBadShape, s.Pad, MaxDim)
+	}
+	if int64(s.H)+2*int64(s.Pad) < int64(s.R) || int64(s.W)+2*int64(s.Pad) < int64(s.S) {
+		return fmt.Errorf("%w: kernel %dx%d does not fit the padded %dx%d input (pad %d)",
+			ErrBadShape, s.R, s.S, s.H, s.W, s.Pad)
+	}
+	if _, ok := elemCount(s.N, s.C, s.H, s.W); !ok {
+		return fmt.Errorf("%w: input larger than %d elements", ErrBadShape, int64(MaxElems))
+	}
+	if _, ok := elemCount(s.K, s.C, s.R, s.S); !ok {
+		return fmt.Errorf("%w: filter larger than %d elements", ErrBadShape, int64(MaxElems))
+	}
+	if _, ok := elemCount(s.N, s.K, s.P(), s.Q()); !ok {
+		return fmt.Errorf("%w: output larger than %d elements", ErrBadShape, int64(MaxElems))
+	}
+	return nil
+}
+
+// ValidateTensor checks that t is a non-nil tensor with exactly the
+// wanted dimensions and a backing buffer of matching length. label
+// names the operand in the error message.
+func ValidateTensor(label string, t *tensor.Tensor, want ...int) error {
+	if t == nil {
+		return fmt.Errorf("%w: nil %s tensor", ErrDimMismatch, label)
+	}
+	if len(t.Dims) != len(want) {
+		return fmt.Errorf("%w: %s rank %d, want %d (%v)", ErrDimMismatch, label, len(t.Dims), len(want), want)
+	}
+	n := 1
+	for i, d := range want {
+		if t.Dims[i] != d {
+			return fmt.Errorf("%w: %s dims %v, want %v", ErrDimMismatch, label, t.Dims, want)
+		}
+		n *= d
+	}
+	if len(t.Data) != n {
+		return fmt.Errorf("%w: %s buffer length %d, want %d for dims %v",
+			ErrDimMismatch, label, len(t.Data), n, want)
+	}
+	return nil
+}
+
+// ValidateOperands is the checked form of CheckOperands: shape
+// validity plus NCHW input and KCRS filter dimension/buffer checks.
+func ValidateOperands(s Shape, in, filter *tensor.Tensor) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := ValidateTensor("input", in, s.N, s.C, s.H, s.W); err != nil {
+		return err
+	}
+	return ValidateTensor("filter", filter, s.K, s.C, s.R, s.S)
+}
+
+// ValidateOutput checks the NKPQ output tensor against the shape.
+func ValidateOutput(s Shape, out *tensor.Tensor) error {
+	return ValidateTensor("output", out, s.N, s.K, s.P(), s.Q())
+}

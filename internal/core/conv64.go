@@ -17,19 +17,24 @@ import (
 // loop structure, on-the-fly filter transform and packing follow the
 // FP32 path.
 
-// Conv2D64 convolves a float64 NCHW input with a KCRS filter,
+// TryConv2D64 convolves a float64 NCHW input with a KCRS filter,
 // returning a freshly allocated NKPQ output. Threads follow
 // opt.Threads; the remaining Options knobs (tiles, epilogues) apply
-// only to the FP32 path.
-func Conv2D64(s conv.Shape, in, filter []float64, opt Options) []float64 {
-	if !s.Valid() {
-		panic(fmt.Sprintf("core: invalid shape %v", s))
+// only to the FP32 path. Checked variant: validation failures return
+// errors; a faulting worker is logged and the result recomputed with
+// the Reference64 oracle.
+func TryConv2D64(s conv.Shape, in, filter []float64, opt Options) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
-	if len(in) != s.N*s.C*s.H*s.W {
-		panic("core: fp64 input length mismatch")
+	if opt.Threads > maxThreads {
+		return nil, fmt.Errorf("%w: Threads=%d exceeds %d", ErrBadOptions, opt.Threads, maxThreads)
 	}
-	if len(filter) != s.K*s.C*s.R*s.S {
-		panic("core: fp64 filter length mismatch")
+	if want := s.N * s.C * s.H * s.W; len(in) != want {
+		return nil, fmt.Errorf("%w: fp64 input length %d, want %d", conv.ErrDimMismatch, len(in), want)
+	}
+	if want := s.K * s.C * s.R * s.S; len(filter) != want {
+		return nil, fmt.Errorf("%w: fp64 filter length %d, want %d", conv.ErrDimMismatch, len(filter), want)
 	}
 	threads := opt.Threads
 	if threads <= 0 {
@@ -53,7 +58,7 @@ func Conv2D64(s conv.Shape, in, filter []float64, opt Options) []float64 {
 
 	// Parallelise over (n, output-row) pairs: every worker owns whole
 	// output rows, so no two workers share an accumulation target.
-	parallel.ForRange(s.N*p, threads, func(_ int, rows parallel.Range) {
+	err := parallel.ForRange(s.N*p, threads, func(_ int, rows parallel.Range) {
 		tf := make([]float64, kBlocks*rt.Vk*ct.Tc*s.R*s.S)
 		buf := make([]float64, ct.Tc*s.R*wIn)
 		acc := make([]simd.Vec2D, rt.Vw*rt.Vk/simd.WidthF64)
@@ -75,6 +80,21 @@ func Conv2D64(s conv.Shape, in, filter []float64, opt Options) []float64 {
 			}
 		}
 	})
+	if err != nil {
+		Logf("core: fp64 parallel path faulted on %v; recomputing on reference path: %v", s, err)
+		if err := parallel.Protect(func() { out = Reference64(s, in, filter) }); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExecFault, err)
+		}
+	}
+	return out, nil
+}
+
+// Conv2D64 is the panicking wrapper over TryConv2D64.
+func Conv2D64(s conv.Shape, in, filter []float64, opt Options) []float64 {
+	out, err := TryConv2D64(s, in, filter, opt)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 

@@ -23,18 +23,23 @@ import (
 // int16Geometry is the 128-bit NEON register geometry for int16 data.
 var int16Geometry = model.VectorGeometry{Lanes: 8, NumRegs: 32}
 
-// Conv2DInt16 convolves an int16 NCHW input with an int16 KCRS filter
-// and returns the raw int32 NKPQ accumulators (requantisation is the
-// caller's, as in quantised inference pipelines).
-func Conv2DInt16(s conv.Shape, in, filter []int16, opt Options) []int32 {
-	if !s.Valid() {
-		panic(fmt.Sprintf("core: invalid shape %v", s))
+// TryConv2DInt16 convolves an int16 NCHW input with an int16 KCRS
+// filter and returns the raw int32 NKPQ accumulators (requantisation
+// is the caller's, as in quantised inference pipelines). Checked
+// variant: validation failures return errors; a faulting worker is
+// logged and the result recomputed with the ReferenceInt16 oracle.
+func TryConv2DInt16(s conv.Shape, in, filter []int16, opt Options) ([]int32, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
-	if len(in) != s.N*s.C*s.H*s.W {
-		panic("core: int16 input length mismatch")
+	if opt.Threads > maxThreads {
+		return nil, fmt.Errorf("%w: Threads=%d exceeds %d", ErrBadOptions, opt.Threads, maxThreads)
 	}
-	if len(filter) != s.K*s.C*s.R*s.S {
-		panic("core: int16 filter length mismatch")
+	if want := s.N * s.C * s.H * s.W; len(in) != want {
+		return nil, fmt.Errorf("%w: int16 input length %d, want %d", conv.ErrDimMismatch, len(in), want)
+	}
+	if want := s.K * s.C * s.R * s.S; len(filter) != want {
+		return nil, fmt.Errorf("%w: int16 filter length %d, want %d", conv.ErrDimMismatch, len(filter), want)
 	}
 	threads := opt.Threads
 	if threads <= 0 {
@@ -51,7 +56,7 @@ func Conv2DInt16(s conv.Shape, in, filter []int16, opt Options) []int32 {
 	tc := max(1, (16<<10)/(s.R*wIn+2*rt.Vk*s.R*s.S))
 	tc = min(tc, s.C)
 
-	parallel.ForRange(s.N*p, threads, func(_ int, rows parallel.Range) {
+	err := parallel.ForRange(s.N*p, threads, func(_ int, rows parallel.Range) {
 		tf := make([]int16, kBlocks*rt.Vk*tc*s.R*s.S)
 		buf := make([]int16, tc*s.R*wIn)
 		acc := make([]int32, rt.Vw*rt.Vk)
@@ -73,6 +78,21 @@ func Conv2DInt16(s conv.Shape, in, filter []int16, opt Options) []int32 {
 			}
 		}
 	})
+	if err != nil {
+		Logf("core: int16 parallel path faulted on %v; recomputing on reference path: %v", s, err)
+		if err := parallel.Protect(func() { out = ReferenceInt16(s, in, filter) }); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExecFault, err)
+		}
+	}
+	return out, nil
+}
+
+// Conv2DInt16 is the panicking wrapper over TryConv2DInt16.
+func Conv2DInt16(s conv.Shape, in, filter []int16, opt Options) []int32 {
+	out, err := TryConv2DInt16(s, in, filter, opt)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 

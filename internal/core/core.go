@@ -145,12 +145,55 @@ func (s Stats) Fractions() (transform, pack, kernel, store float64) {
 	return s.TransformSec / t, s.PackSec / t, s.KernelSec / t, s.StoreSec / t
 }
 
-// NewPlan derives an execution plan for the shape. It panics on an
-// invalid shape or inconsistent options (a plan is built once per
-// layer; configuration errors are programming errors).
-func NewPlan(s conv.Shape, opt Options) *Plan {
-	if !s.Valid() {
-		panic(fmt.Sprintf("core: invalid shape %v", s))
+// validateOptions rejects Options values the planner cannot honour.
+// Every failure wraps ErrBadOptions. Threads <= 0 is not an error (it
+// selects the default), but a count past maxThreads is.
+func validateOptions(s conv.Shape, opt Options) error {
+	if opt.Threads > maxThreads {
+		return fmt.Errorf("%w: Threads=%d exceeds %d", ErrBadOptions, opt.Threads, maxThreads)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"ForceVw", opt.ForceVw}, {"ForceVk", opt.ForceVk}} {
+		if f.v != 0 && (f.v < 0 || f.v%4 != 0 || f.v > maxForceTile) {
+			return fmt.Errorf("%w: %s=%d must be a multiple of 4 in [4, %d]",
+				ErrBadOptions, f.name, f.v, maxForceTile)
+		}
+	}
+	if opt.ForceVk > 32 {
+		return fmt.Errorf("%w: ForceVk=%d exceeds the 32-lane register file", ErrBadOptions, opt.ForceVk)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"ForceTc", opt.ForceTc}, {"ForceTk", opt.ForceTk}, {"ForceTh", opt.ForceTh}} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s=%d is negative", ErrBadOptions, f.name, f.v)
+		}
+	}
+	switch opt.Epilogue {
+	case EpilogueNone, EpilogueReLU:
+	case EpilogueBias, EpilogueBiasReLU:
+		if len(opt.Bias) != s.K {
+			return fmt.Errorf("%w: bias length %d does not match K=%d", ErrBadOptions, len(opt.Bias), s.K)
+		}
+	default:
+		return fmt.Errorf("%w: unknown epilogue %d", ErrBadOptions, opt.Epilogue)
+	}
+	return nil
+}
+
+// TryNewPlan derives an execution plan for the shape: register tile
+// from Equations 3–4, cache tiles from Equations 1–2, thread mapping
+// from Equations 5–6. It is the checked, panic-free constructor; the
+// returned errors wrap conv.ErrBadShape or ErrBadOptions.
+func TryNewPlan(s conv.Shape, opt Options) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateOptions(s, opt); err != nil {
+		return nil, err
 	}
 	p := &Plan{Shape: s, opts: opt}
 	p.platform = genericPlatform
@@ -170,9 +213,6 @@ func NewPlan(s conv.Shape, opt Options) *Plan {
 		}
 		if vk == 0 {
 			vk = p.RT.Vk
-		}
-		if vw%4 != 0 || vk%4 != 0 || vw <= 0 || vk <= 0 || vk > 32 {
-			panic(fmt.Sprintf("core: forced register tile %dx%d not 4-aligned (or Vk > 32)", vw, vk))
 		}
 		p.RT = model.RegTile{Vw: vw, Vk: vk,
 			Registers: model.RegistersUsed(vw, vk, s.S),
@@ -206,32 +246,71 @@ func NewPlan(s conv.Shape, opt Options) *Plan {
 	default:
 		p.kind = kind12x8
 	}
-
-	switch opt.Epilogue {
-	case EpilogueBias, EpilogueBiasReLU:
-		if len(opt.Bias) != s.K {
-			panic(fmt.Sprintf("core: bias length %d does not match K=%d", len(opt.Bias), s.K))
-		}
-	}
 	p.scratch.New = func() any { return p.newScratch() }
+	return p, nil
+}
+
+// NewPlan is the panicking wrapper over TryNewPlan, kept for callers
+// that build plans once at startup where a configuration error is a
+// programming error.
+func NewPlan(s conv.Shape, opt Options) *Plan {
+	p, err := TryNewPlan(s, opt)
+	if err != nil {
+		panic(err)
+	}
 	return p
 }
 
-// Conv2D runs a one-shot nDirect convolution on NCHW input and KCRS
-// filter, returning a fresh NKPQ output tensor.
-func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
-	p := NewPlan(s, opt)
+// TryConv2D runs a one-shot nDirect convolution on NCHW input and
+// KCRS filter, returning a fresh NKPQ output tensor. All shape,
+// option and operand problems surface as errors wrapping
+// conv.ErrBadShape, ErrBadOptions or conv.ErrDimMismatch; the
+// function never panics.
+func TryConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	p, err := TryNewPlan(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := conv.ValidateOperands(s, in, filter); err != nil {
+		return nil, err
+	}
 	out := s.NewOutput()
-	p.Execute(in, filter, out)
+	if err := p.TryExecute(in, filter, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Conv2D is the panicking wrapper over TryConv2D.
+func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	out, err := TryConv2D(s, in, filter, opt)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// Conv2DNHWC runs nDirect on an NHWC input and KCRS filter, producing
-// an NPQK (NHWC) output — the other framework layout nDirect
-// supports natively, without converting the activation tensors.
-func Conv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
-	p := NewPlan(s, opt)
+// TryConv2DNHWC runs nDirect on an NHWC input and KCRS filter,
+// producing an NPQK (NHWC) output — the other framework layout
+// nDirect supports natively, without converting the activation
+// tensors. Checked variant: never panics.
+func TryConv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	p, err := TryNewPlan(s, opt)
+	if err != nil {
+		return nil, err
+	}
 	out := tensor.New(s.N, s.P(), s.Q(), s.K)
-	p.ExecuteNHWC(in, filter, out)
+	if err := p.TryExecuteNHWC(in, filter, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Conv2DNHWC is the panicking wrapper over TryConv2DNHWC.
+func Conv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	out, err := TryConv2DNHWC(s, in, filter, opt)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }

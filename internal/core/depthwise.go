@@ -19,17 +19,25 @@ import (
 // channels, because each output channel depends on exactly one input
 // channel.
 
-// DepthwiseConv2D computes out[n][c][p][q] = Σ_{r,s} in[n][c][·][·] ·
-// filter[c][r][s] on NCHW input with a [C,R,S] filter. The Shape's K
-// is ignored (output channels equal input channels).
-func DepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
-	if len(filter.Dims) != 3 || filter.Dims[0] != s.C || filter.Dims[1] != s.R || filter.Dims[2] != s.S {
-		panic(fmt.Sprintf("core: depthwise filter dims %v, want [%d %d %d]", filter.Dims, s.C, s.R, s.S))
-	}
+// TryDepthwiseConv2D computes out[n][c][p][q] = Σ_{r,s} in[n][c][·][·]
+// · filter[c][r][s] on NCHW input with a [C,R,S] filter. The Shape's K
+// is ignored (output channels equal input channels). Checked variant:
+// validation failures return errors; a faulting parallel worker is
+// logged and the result recomputed sequentially.
+func TryDepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
 	chk := s
 	chk.K = 1
-	if !chk.Valid() {
-		panic(fmt.Sprintf("core: invalid depthwise shape %v", s))
+	if err := chk.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Threads > maxThreads {
+		return nil, fmt.Errorf("%w: Threads=%d exceeds %d", ErrBadOptions, opt.Threads, maxThreads)
+	}
+	if err := conv.ValidateTensor("depthwise input", in, s.N, s.C, s.H, s.W); err != nil {
+		return nil, err
+	}
+	if err := conv.ValidateTensor("depthwise filter", filter, s.C, s.R, s.S); err != nil {
+		return nil, err
 	}
 	p, q := s.P(), s.Q()
 	out := tensor.New(s.N, s.C, p, q)
@@ -37,15 +45,34 @@ func DepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tens
 	if threads <= 0 {
 		threads = parallel.DefaultThreads()
 	}
-	// Parallelise over the N×C planes: depthwise has no reduction
-	// over C, so every (n, c) plane is independent.
-	parallel.For(s.N*s.C, threads, func(nc int) {
+	plane := func(nc int) {
 		n, c := nc/s.C, nc%s.C
 		inPlane := in.Data[(n*s.C+c)*s.H*s.W : (n*s.C+c+1)*s.H*s.W]
 		outPlane := out.Data[(n*s.C+c)*p*q : (n*s.C+c+1)*p*q]
 		fPlane := filter.Data[c*s.R*s.S : (c+1)*s.R*s.S]
 		depthwisePlane(s, inPlane, fPlane, outPlane)
-	})
+	}
+	// Parallelise over the N×C planes: depthwise has no reduction
+	// over C, so every (n, c) plane is independent.
+	if err := parallel.For(s.N*s.C, threads, plane); err != nil {
+		Logf("core: depthwise parallel path faulted on %v; recomputing sequentially: %v", s, err)
+		if err := parallel.Protect(func() {
+			for nc := 0; nc < s.N*s.C; nc++ {
+				plane(nc)
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExecFault, err)
+		}
+	}
+	return out, nil
+}
+
+// DepthwiseConv2D is the panicking wrapper over TryDepthwiseConv2D.
+func DepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	out, err := TryDepthwiseConv2D(s, in, filter, opt)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -109,13 +136,22 @@ func depthwisePlane(s conv.Shape, in, filter, out []float32) {
 	}
 }
 
-// PointwiseConv2D is the 1×1 convolution of a depthwise-separable
+// TryPointwiseConv2D is the 1×1 convolution of a depthwise-separable
 // block, dispatched straight to the standard nDirect path (§10.2:
 // "nDirect can be directly called to compute the Pointwise
 // Convolution").
-func PointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+func TryPointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
 	s := conv.Shape{N: n, C: c, H: h, W: w, K: k, R: 1, S: 1, Str: 1, Pad: 0}
-	return Conv2D(s, in, filter, opt)
+	return TryConv2D(s, in, filter, opt)
+}
+
+// PointwiseConv2D is the panicking wrapper over TryPointwiseConv2D.
+func PointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	out, err := TryPointwiseConv2D(n, c, h, w, k, in, filter, opt)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // Shape3D describes a 3-D convolution: input [N,C,D,H,W], filter
@@ -129,26 +165,52 @@ type Shape3D struct {
 // DOut returns the output depth.
 func (s Shape3D) DOut() int { return (s.D+2*s.PadD-s.T)/s.StrD + 1 }
 
-// Conv3D computes a 3-D convolution by decomposing it into 2-D
+// Validate checks the 2-D cross-section (shadowing the promoted
+// conv.Shape method) and then the depth geometry of the 3-D extension.
+func (s Shape3D) Validate() error {
+	if err := s.Shape.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case s.D < 1 || s.D > conv.MaxDim:
+		return fmt.Errorf("%w: 3-D depth D=%d outside [1, %d]", conv.ErrBadShape, s.D, conv.MaxDim)
+	case s.T < 1 || s.T > conv.MaxDim:
+		return fmt.Errorf("%w: 3-D kernel depth T=%d outside [1, %d]", conv.ErrBadShape, s.T, conv.MaxDim)
+	case s.StrD < 1:
+		return fmt.Errorf("%w: 3-D depth stride %d < 1", conv.ErrBadShape, s.StrD)
+	case s.PadD < 0 || s.PadD > conv.MaxDim:
+		return fmt.Errorf("%w: 3-D depth padding %d outside [0, %d]", conv.ErrBadShape, s.PadD, conv.MaxDim)
+	case s.DOut() < 1:
+		return fmt.Errorf("%w: 3-D depth geometry D=%d T=%d strD=%d padD=%d yields no output",
+			conv.ErrBadShape, s.D, s.T, s.StrD, s.PadD)
+	}
+	return nil
+}
+
+// TryConv3D computes a 3-D convolution by decomposing it into 2-D
 // nDirect convolutions summed over the kernel depth (§10.2: "3D
 // Convolution can be seen as 2D Convolution with additional reduction
 // dimensions, so we can directly use the micro-kernels of nDirect").
 // Each (d, t) pair convolves input depth-slice d·strD−padD+t with
-// filter depth-slice t, accumulating into output slice d.
-func Conv3D(s Shape3D, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+// filter depth-slice t, accumulating into output slice d. Checked
+// variant: never panics.
+func TryConv3D(s Shape3D, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := TryNewPlan(s.Shape, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := conv.ValidateTensor("3-D input", in, s.N, s.C, s.D, s.H, s.W); err != nil {
+		return nil, err
+	}
+	if err := conv.ValidateTensor("3-D filter", filter, s.K, s.C, s.T, s.R, s.S); err != nil {
+		return nil, err
+	}
 	dOut := s.DOut()
-	if dOut < 1 {
-		panic(fmt.Sprintf("core: invalid 3-D depth geometry D=%d T=%d", s.D, s.T))
-	}
-	wantIn := []int{s.N, s.C, s.D, s.H, s.W}
-	for i, d := range wantIn {
-		if in.Dims[i] != d {
-			panic(fmt.Sprintf("core: 3-D input dims %v, want %v", in.Dims, wantIn))
-		}
-	}
 	p, q := s.P(), s.Q()
 	out := tensor.New(s.N, s.K, dOut, p, q)
-	plan := NewPlan(s.Shape, opt)
 
 	// Views: slicing depth d of the input requires a gather because D
 	// is interior to the NCDHW layout; build per-slice NCHW tensors.
@@ -176,13 +238,24 @@ func Conv3D(s Shape3D, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
 					copy(fSlice.Data[(k*s.C+c)*rs:], src)
 				}
 			}
-			plan.ExecuteAdd(inSlice, fSlice, outSlice)
+			if err := plan.TryExecuteAdd(inSlice, fSlice, outSlice); err != nil {
+				return nil, err
+			}
 		}
 		for n := 0; n < s.N; n++ {
 			for k := 0; k < s.K; k++ {
 				copy(out.Data[(((n*s.K+k)*dOut+d)*p*q):], outSlice.Data[((n*s.K+k)*p*q):((n*s.K+k)+1)*p*q])
 			}
 		}
+	}
+	return out, nil
+}
+
+// Conv3D is the panicking wrapper over TryConv3D.
+func Conv3D(s Shape3D, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	out, err := TryConv3D(s, in, filter, opt)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"errors"
+	"log"
+)
+
+// Sentinel errors of the checked core API. Shape and operand failures
+// wrap conv.ErrBadShape / conv.ErrDimMismatch; these cover the knobs
+// and faults that only exist at the core layer.
+var (
+	// ErrBadOptions reports an Options value the planner cannot
+	// honour: a misaligned forced register tile, a negative forced
+	// cache tile, an unknown epilogue, a bias of the wrong length, or
+	// a thread count past the implementation limit.
+	ErrBadOptions = errors.New("core: bad options")
+	// ErrExecFault reports that the optimised execution path faulted
+	// (a recovered worker panic or a non-finite output detected under
+	// fault injection). The checked Execute variants normally log it
+	// and fall back to the reference path instead of returning it; the
+	// one exception is an accumulate run that faulted without a prior
+	// snapshot of the output, which cannot be recovered.
+	ErrExecFault = errors.New("core: execution fault")
+)
+
+// maxThreads bounds Options.Threads so the thread-mapping solver's
+// factorisation enumeration stays trivially cheap; no real machine
+// this library targets has more workers.
+const maxThreads = 1 << 12
+
+// maxForceTile bounds the ForceVw/ForceVk ablation knobs so a typo
+// cannot demand a multi-gigabyte accumulator file.
+const maxForceTile = 256
+
+// Logf is the destination of the fault-tolerance log lines (reference
+// fallbacks, skipped schedules). It defaults to the standard logger;
+// tests redirect it to t.Logf.
+var Logf = log.Printf

@@ -1,38 +1,168 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"ndirect/internal/conv"
+	"ndirect/internal/faultinject"
 	"ndirect/internal/parallel"
 	"ndirect/internal/simd"
 	"ndirect/internal/tensor"
 )
 
-// Execute runs the plan on an NCHW input and KCRS filter, writing the
-// NKPQ output in place (out is fully overwritten; it need not be
-// zeroed).
-func (p *Plan) Execute(in, filter, out *tensor.Tensor) {
-	conv.CheckOperands(p.Shape, in, filter)
-	p.run(in.Data, filter.Data, out.Data, true, false)
-}
-
-// ExecuteNHWC runs the plan on an NHWC input, writing an NPQK output.
-func (p *Plan) ExecuteNHWC(in, filter, out *tensor.Tensor) {
-	s := p.Shape
-	if len(in.Dims) != 4 || in.Dims[0] != s.N || in.Dims[1] != s.H || in.Dims[2] != s.W || in.Dims[3] != s.C {
-		panic("core: NHWC input dims do not match shape")
+// TryExecute runs the plan on an NCHW input and KCRS filter, writing
+// the NKPQ output in place (out is fully overwritten; it need not be
+// zeroed). Validation failures return errors wrapping
+// conv.ErrDimMismatch; execution faults (a recovered worker panic, an
+// injected numerical corruption) are logged via Logf and the result is
+// recomputed on the naive reference path — a nil error always means a
+// correct output.
+func (p *Plan) TryExecute(in, filter, out *tensor.Tensor) error {
+	if err := conv.ValidateOperands(p.Shape, in, filter); err != nil {
+		return err
 	}
-	p.run(in.Data, filter.Data, out.Data, false, false)
+	if err := conv.ValidateOutput(p.Shape, out); err != nil {
+		return err
+	}
+	return p.execChecked(in, filter, out, true, false)
 }
 
-// ExecuteAdd accumulates the convolution into out instead of
+// Execute is the panicking wrapper over TryExecute.
+func (p *Plan) Execute(in, filter, out *tensor.Tensor) {
+	if err := p.TryExecute(in, filter, out); err != nil {
+		panic(err)
+	}
+}
+
+// TryExecuteNHWC runs the plan on an NHWC input, writing an NPQK
+// output. Checked variant: validation failures return errors,
+// execution faults fall back to the reference path.
+func (p *Plan) TryExecuteNHWC(in, filter, out *tensor.Tensor) error {
+	s := p.Shape
+	if err := conv.ValidateTensor("input", in, s.N, s.H, s.W, s.C); err != nil {
+		return err
+	}
+	if err := conv.ValidateTensor("filter", filter, s.K, s.C, s.R, s.S); err != nil {
+		return err
+	}
+	if err := conv.ValidateTensor("output", out, s.N, s.P(), s.Q(), s.K); err != nil {
+		return err
+	}
+	return p.execChecked(in, filter, out, false, false)
+}
+
+// ExecuteNHWC is the panicking wrapper over TryExecuteNHWC.
+func (p *Plan) ExecuteNHWC(in, filter, out *tensor.Tensor) {
+	if err := p.TryExecuteNHWC(in, filter, out); err != nil {
+		panic(err)
+	}
+}
+
+// TryExecuteAdd accumulates the convolution into out instead of
 // overwriting it (used by the 3-D convolution extension, which sums
-// 2-D slices over the kernel depth).
+// 2-D slices over the kernel depth). Checked variant of ExecuteAdd.
+func (p *Plan) TryExecuteAdd(in, filter, out *tensor.Tensor) error {
+	if err := conv.ValidateOperands(p.Shape, in, filter); err != nil {
+		return err
+	}
+	if err := conv.ValidateOutput(p.Shape, out); err != nil {
+		return err
+	}
+	return p.execChecked(in, filter, out, true, true)
+}
+
+// ExecuteAdd is the panicking wrapper over TryExecuteAdd.
 func (p *Plan) ExecuteAdd(in, filter, out *tensor.Tensor) {
-	conv.CheckOperands(p.Shape, in, filter)
-	p.run(in.Data, filter.Data, out.Data, true, true)
+	if err := p.TryExecuteAdd(in, filter, out); err != nil {
+		panic(err)
+	}
+}
+
+// execChecked runs the optimised path and degrades to the reference
+// implementation whenever it faults, so the caller always receives a
+// correct result. Accumulate runs snapshot the prior output first: a
+// mid-run fault leaves partially-updated accumulation targets that
+// cannot be reconstructed any other way. The non-finite output scan is
+// only active under fault injection; an always-on guard is future work
+// (see ROADMAP).
+func (p *Plan) execChecked(in, filter, out *tensor.Tensor, nchw, accumulate bool) error {
+	injecting := faultinject.Enabled()
+	var prev []float32
+	if accumulate && injecting {
+		prev = append([]float32(nil), out.Data...)
+	}
+	err := p.run(in.Data, filter.Data, out.Data, nchw, accumulate)
+	if err == nil && injecting {
+		if idx, ok := faultinject.Take(faultinject.NaNPoison); ok && len(out.Data) > 0 {
+			if idx < 0 || idx >= len(out.Data) {
+				idx = 0
+			}
+			out.Data[idx] = float32(math.NaN())
+		}
+		for i, v := range out.Data {
+			if f64 := float64(v); math.IsNaN(f64) || math.IsInf(f64, 0) {
+				err = fmt.Errorf("%w: non-finite output at element %d", ErrExecFault, i)
+				break
+			}
+		}
+	}
+	if err == nil {
+		return nil
+	}
+	if accumulate && prev == nil {
+		// Fault without a snapshot (injection armed mid-run): the
+		// accumulation target may be partially updated and cannot be
+		// recovered. Surface the fault instead of guessing.
+		return fmt.Errorf("%w: %v", ErrExecFault, err)
+	}
+	Logf("core: optimised path faulted on %v; recomputing on reference path: %v", p.Shape, err)
+	p.fallbackReference(in, filter, out, nchw, accumulate, prev)
+	return nil
+}
+
+// fallbackReference recomputes the convolution with conv.Reference and
+// applies the plan's epilogue, reproducing exactly what a fault-free
+// optimised run would have stored.
+func (p *Plan) fallbackReference(in, filter, out *tensor.Tensor, nchw, accumulate bool, prev []float32) {
+	s := p.Shape
+	refIn := in
+	if !nchw {
+		refIn = tensor.NHWCToNCHW(in)
+	}
+	ref := conv.Reference(s, refIn, filter)
+	if !nchw {
+		ref = tensor.NCHWToNHWC(ref) // NKPQ -> NPQK, the NHWC output layout
+	}
+	pp, q := s.P(), s.Q()
+	for i := range out.Data {
+		v := ref.Data[i]
+		if accumulate {
+			v += prev[i]
+		}
+		var k int
+		if nchw {
+			k = (i / (pp * q)) % s.K
+		} else {
+			k = i % s.K
+		}
+		switch p.opts.Epilogue {
+		case EpilogueBias:
+			v += p.opts.Bias[k]
+		case EpilogueReLU:
+			if v < 0 {
+				v = 0
+			}
+		case EpilogueBiasReLU:
+			v += p.opts.Bias[k]
+			if v < 0 {
+				v = 0
+			}
+		}
+		out.Data[i] = v
+	}
 }
 
 // workerScratch is the thread-private memory of one worker: the
@@ -63,7 +193,10 @@ func (p *Plan) newScratch() *workerScratch {
 
 // run launches the §6 thread grid: PT_k workers along the output
 // channels × (PN × PH × PW) workers along batch/rows/column-tiles.
-func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) {
+// Every worker runs inside the parallel runtime's panic-recovery
+// shell; the first fault raises the grid's cooperative stop flag and
+// is returned after the join.
+func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) error {
 	s := p.Shape
 	q := s.Q()
 	qTiles := (q + p.RT.Vw - 1) / p.RT.Vw
@@ -74,8 +207,10 @@ func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) {
 	hRanges := parallel.Split(s.P(), p.TM.PH)
 	wRanges := parallel.Split(qTiles, p.TM.PW)
 
+	var fs parallel.FaultSink
 	workers := make([]*workerScratch, 0, len(kRanges)*len(nRanges)*len(hRanges)*len(wRanges))
 	var wg sync.WaitGroup
+	widx := 0
 	for _, kr := range kRanges {
 		kLo := kr.Lo * p.RT.Vk
 		kHi := kr.Hi * p.RT.Vk
@@ -89,10 +224,14 @@ func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) {
 					*ws.stats = Stats{}
 					workers = append(workers, ws)
 					wg.Add(1)
-					go func(kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch) {
+					go func(w, kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch) {
 						defer wg.Done()
-						p.worker(in, filter, out, nchw, accumulate, kLo, kHi, nr, hr, wr, ws)
-					}(kLo, kHi, nr, hr, wr, ws)
+						fs.Record(parallel.Protect(func() {
+							faultinject.Fire(faultinject.WorkerPanic, w)
+							p.worker(in, filter, out, nchw, accumulate, kLo, kHi, nr, hr, wr, ws, &fs)
+						}))
+					}(widx, kLo, kHi, nr, hr, wr, ws)
+					widx++
 				}
 			}
 		}
@@ -111,15 +250,18 @@ func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) {
 	for _, ws := range workers {
 		p.scratch.Put(ws)
 	}
+	return fs.Err()
 }
 
 // worker executes Algorithm 2 over its slice of the iteration space.
 // Loop names follow the paper; the filter transform (line 5) is
 // hoisted above the batch/row loops so each worker converts a block
 // once per (ct, kt) pair — the natural amortisation of the paper's
-// "on-the-fly" conversion.
+// "on-the-fly" conversion. The fault sink's stop flag is polled at
+// tile granularity so surviving workers cancel promptly after a
+// sibling faults.
 func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
-	kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch) {
+	kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch, fs *parallel.FaultSink) {
 	s := p.Shape
 	vw, vk := p.RT.Vw, p.RT.Vk
 	tc, tk, th := p.CT.Tc, p.CT.Tk, p.CT.Th
@@ -137,6 +279,9 @@ func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
 		lastC := ct+tcEff >= s.C
 
 		for kt := kLo; kt < kHi; kt += tk { // L4
+			if fs.Stopped() {
+				return
+			}
 			tkEff := tk
 			if kt+tkEff > kHi {
 				tkEff = kHi - kt
@@ -153,6 +298,9 @@ func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
 						hEnd = hr.Hi
 					}
 					for oh := ht; oh < hEnd; oh++ { // L5
+						if fs.Stopped() {
+							return
+						}
 						for qt := wr.Lo; qt < wr.Hi; qt++ { // L6
 							qt0 := qt * vw
 							vwEff := vw

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"ndirect/internal/conv"
@@ -39,6 +40,150 @@ func FuzzConv2DAgainstReference(f *testing.F) {
 		got := Conv2D(s, in, fl, Options{Threads: 2})
 		if d := tensor.RelDiff(want, got); d > 5e-5 {
 			t.Fatalf("shape %v: rel diff %g", s, d)
+		}
+	})
+}
+
+// Fuzz target for the checked API's never-panic property: whatever
+// shape, operand tensors and options are thrown at TryConv2D, it must
+// return (result, nil) or (nil, error) — never panic. With sane=true
+// the inputs are constrained to realisable problems and the result is
+// additionally checked against the Algorithm 1 oracle (including the
+// fuzzed epilogue); with sane=false the raw values go in unclamped,
+// including tensors whose buffers disagree with their shapes.
+func FuzzTryConv2D(f *testing.F) {
+	f.Add(true, 8, 8, 10, 10, 8, 3, 3, 1, 1, int8(2), int8(0), int8(0), uint8(0), uint8(3), int64(1))
+	f.Add(true, 1, 1, 1, 1, 1, 1, 1, 1, 0, int8(1), int8(12), int8(8), uint8(3), uint8(1), int64(2))
+	f.Add(false, 0, -3, 5, 1<<30, 7, 3, 3, 0, -1, int8(-5), int8(3), int8(100), uint8(9), uint8(200), int64(3))
+	f.Add(false, 1, 4, 8, 8, 4, 3, 3, 1, 1, int8(2), int8(0), int8(0), uint8(1), uint8(0), int64(4))
+	f.Fuzz(func(t *testing.T, sane bool, n, c, h, w, k, r, ss, str, pad int,
+		threads, forceVw, forceVk int8, epiRaw, biasRaw uint8, seed int64) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("TryConv2D panicked: %v", rec)
+			}
+		}()
+		// mod reduces v into [0, m) without the math.MinInt negation trap.
+		mod := func(v, m int) int {
+			r := v % m
+			if r < 0 {
+				r += m
+			}
+			return r
+		}
+		var s conv.Shape
+		var in, fl *tensor.Tensor
+		opt := Options{Threads: int(threads)}
+		epi := Epilogue(int(epiRaw) % 6) // two values past the defined range
+		if sane {
+			rs := []int{1, 3, 5}[mod(r, 3)]
+			s = conv.Shape{
+				N: mod(n, 2) + 1, C: mod(c, 8) + 1,
+				H: mod(h, 12) + 1, W: mod(w, 12) + 1,
+				K: mod(k, 8) + 1, R: rs, S: rs,
+				Str: mod(str, 2) + 1, Pad: mod(pad, 3),
+			}
+			if !s.Valid() {
+				t.Skip()
+			}
+			in = s.NewInput()
+			in.FillRandom(seed)
+			fl = s.NewFilter()
+			fl.FillRandom(seed + 1)
+			opt.Epilogue = Epilogue(int(epiRaw) % 4)
+			if opt.Epilogue == EpilogueBias || opt.Epilogue == EpilogueBiasReLU {
+				opt.Bias = make([]float32, s.K)
+				for i := range opt.Bias {
+					opt.Bias[i] = float32(i%5) - 2
+				}
+			}
+		} else {
+			s = conv.Shape{N: n, C: c, H: h, W: w, K: k, R: r, S: ss, Str: str, Pad: pad}
+			// Tensors crafted to disagree with the shape: arbitrary
+			// buffer lengths behind arbitrary Dims.
+			in = &tensor.Tensor{Dims: []int{n, c, h, w}, Data: make([]float32, mod(n, 64))}
+			fl = &tensor.Tensor{Dims: []int{k, c, r, ss}, Data: make([]float32, mod(k, 64))}
+			opt.Epilogue = epi
+			opt.ForceVw = int(forceVw)
+			opt.ForceVk = int(forceVk)
+			opt.Bias = make([]float32, int(biasRaw)%32)
+		}
+		out, err := TryConv2D(s, in, fl, opt)
+		if err != nil {
+			if out != nil {
+				t.Fatal("non-nil result alongside an error")
+			}
+			return
+		}
+		if out == nil {
+			t.Fatal("nil result without an error")
+		}
+		if !sane {
+			return
+		}
+		want := conv.Reference(s, in, fl)
+		// Normalise by the pre-epilogue conv magnitude: ReLU clamps can
+		// shrink the output scale arbitrarily, which would amplify
+		// ordinary FP32 accumulation error into a false mismatch.
+		scale := 1e-30
+		for _, v := range want.Data {
+			if a := math.Abs(float64(v)); a > scale {
+				scale = a
+			}
+		}
+		pq := s.P() * s.Q()
+		var maxDiff float64
+		for i, v := range want.Data {
+			switch opt.Epilogue {
+			case EpilogueBias:
+				v += opt.Bias[(i/pq)%s.K]
+			case EpilogueReLU:
+				if v < 0 {
+					v = 0
+				}
+			case EpilogueBiasReLU:
+				v += opt.Bias[(i/pq)%s.K]
+				if v < 0 {
+					v = 0
+				}
+			}
+			if d := math.Abs(float64(v) - float64(out.Data[i])); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff/scale > 5e-5 {
+			t.Fatalf("shape %v opts %+v: rel diff %g", s, opt, maxDiff/scale)
+		}
+	})
+}
+
+// Fuzz target: TryNewPlan must reject (with an error) or plan — never
+// panic — for arbitrary shapes and options, including pathological
+// dimensions near the overflow guards.
+func FuzzTryNewPlan(f *testing.F) {
+	f.Add(1, 64, 56, 56, 64, 3, 3, 1, 1, 8, 0, 0, 0, 0, 0, uint8(0))
+	f.Add(0, -1, 1<<30, 1<<30, 1<<24, -3, 7, 0, -2, 1<<20, -4, 44, -1, 3, 1<<20, uint8(5))
+	f.Add(2, 3, 19, 17, 9, 7, 7, 2, 3, 4097, 12, 8, 16, 32, 4, uint8(1))
+	f.Fuzz(func(t *testing.T, n, c, h, w, k, r, ss, str, pad,
+		threads, forceVw, forceVk, forceTc, forceTk, forceTh int, epiRaw uint8) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("TryNewPlan panicked: %v", rec)
+			}
+		}()
+		s := conv.Shape{N: n, C: c, H: h, W: w, K: k, R: r, S: ss, Str: str, Pad: pad}
+		opt := Options{
+			Threads: threads,
+			ForceVw: forceVw, ForceVk: forceVk,
+			ForceTc: forceTc, ForceTk: forceTk, ForceTh: forceTh,
+			Epilogue: Epilogue(int(epiRaw) % 6),
+		}
+		if opt.Epilogue == EpilogueBias || opt.Epilogue == EpilogueBiasReLU {
+			opt.Bias = make([]float32, int(epiRaw)%16)
+		}
+		plan, err := TryNewPlan(s, opt)
+		if (plan == nil) == (err == nil) {
+			t.Fatalf("exactly one of plan/err must be set: plan=%v err=%v", plan, err)
 		}
 	})
 }

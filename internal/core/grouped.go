@@ -17,36 +17,40 @@ import (
 // tile geometry for every group) and the driver adds the group loop
 // to the parallel dimensions.
 
-// GroupedConv2D convolves an NCHW input with a [K, C/groups, R, S]
+// TryGroupedConv2D convolves an NCHW input with a [K, C/groups, R, S]
 // filter in `groups` independent channel groups, returning the NKPQ
 // output. groups must divide both C and K. groups=1 degenerates to
-// Conv2D.
-func GroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+// Conv2D. Checked variant: validation failures return errors; a fault
+// in the parallel group loop is logged and the groups recomputed
+// sequentially.
+func TryGroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
 	if groups < 1 || s.C%groups != 0 || s.K%groups != 0 {
-		panic(fmt.Sprintf("core: groups=%d must divide C=%d and K=%d", groups, s.C, s.K))
+		return nil, fmt.Errorf("%w: groups=%d must divide C=%d and K=%d", conv.ErrBadShape, groups, s.C, s.K)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	cg, kg := s.C/groups, s.K/groups
-	wantF := []int{s.K, cg, s.R, s.S}
-	for i, d := range wantF {
-		if filter.Dims[i] != d {
-			panic(fmt.Sprintf("core: grouped filter dims %v, want %v", filter.Dims, wantF))
-		}
+	if err := conv.ValidateTensor("grouped input", in, s.N, s.C, s.H, s.W); err != nil {
+		return nil, err
+	}
+	if err := conv.ValidateTensor("grouped filter", filter, s.K, cg, s.R, s.S); err != nil {
+		return nil, err
 	}
 	if groups == 1 {
-		return Conv2D(s, in, filter, opt)
+		return TryConv2D(s, in, filter, opt)
 	}
 
 	gs := s // the per-group sub-problem
 	gs.C, gs.K = cg, kg
-	if !gs.Valid() {
-		panic(fmt.Sprintf("core: invalid grouped shape %v / groups=%d", s, groups))
+	if err := gs.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (per-group sub-problem, groups=%d)", err, groups)
 	}
 	threads := opt.Threads
 	if threads <= 0 {
 		threads = parallel.DefaultThreads()
 	}
 	p, q := s.P(), s.Q()
-	out := s.NewOutput()
 
 	// One plan shared by every (n, g) sub-problem; the batch/group
 	// product is the outer parallel dimension, the plan runs
@@ -54,12 +58,16 @@ func GroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt Opti
 	gOpt := opt
 	gOpt.Threads = 1
 	gs1 := gs.WithBatch(1)
-	plan := NewPlan(gs1, gOpt)
+	plan, err := TryNewPlan(gs1, gOpt)
+	if err != nil {
+		return nil, err
+	}
+	out := s.NewOutput()
 
-	inSlice := s.C / groups * s.H * s.W
+	inSlice := cg * s.H * s.W
 	outSlice := kg * p * q
 	fSlice := kg * cg * s.R * s.S
-	parallel.For(s.N*groups, threads, func(ng int) {
+	group := func(ng int) {
 		n, g := ng/groups, ng%groups
 		inView := tensor.FromSlice(
 			in.Data[(n*s.C+g*cg)*s.H*s.W:(n*s.C+g*cg)*s.H*s.W+inSlice],
@@ -69,6 +77,25 @@ func GroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt Opti
 			out.Data[(n*s.K+g*kg)*p*q:(n*s.K+g*kg)*p*q+outSlice],
 			1, kg, p, q)
 		plan.Execute(inView, fView, outView)
-	})
+	}
+	if err := parallel.For(s.N*groups, threads, group); err != nil {
+		Logf("core: grouped parallel path faulted on %v (groups=%d); recomputing sequentially: %v", s, groups, err)
+		if err := parallel.Protect(func() {
+			for ng := 0; ng < s.N*groups; ng++ {
+				group(ng)
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExecFault, err)
+		}
+	}
+	return out, nil
+}
+
+// GroupedConv2D is the panicking wrapper over TryGroupedConv2D.
+func GroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
+	out, err := TryGroupedConv2D(s, groups, in, filter, opt)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }

@@ -1,0 +1,176 @@
+// Package faultinject provides deterministic fault-injection points
+// for the fault-tolerance layer: tests (or an operator, via the
+// NDIRECT_FAULTS environment variable) arm a named point, and the
+// instrumented code paths fire it at a chosen index — a worker panic
+// in the parallel runtime, a corrupted autotune schedule, or a NaN
+// poisoned into an output buffer.
+//
+// The disabled fast path is a single atomic load, so the hooks are
+// safe to leave in hot code. Points are one-shot by default: a shot
+// count is consumed per firing, which keeps an injected fault from
+// re-triggering inside the very fallback path it is meant to exercise.
+//
+// Environment syntax (parsed once at init):
+//
+//	NDIRECT_FAULTS=point[=arg[:shots]][,point...]
+//
+// e.g. NDIRECT_FAULTS="worker-panic=0,nan-poison=7:2". arg is the
+// index the point fires at (-1, the default, matches any index);
+// shots is the number of firings (default 1, -1 unlimited).
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Injection point names understood by the instrumented packages.
+const (
+	// WorkerPanic makes a parallel worker (internal/parallel chunk or
+	// internal/core thread-grid worker) panic at the armed index.
+	WorkerPanic = "worker-panic"
+	// ScheduleCorrupt corrupts the autotune schedule before its
+	// validation, forcing the ErrBadSchedule path.
+	ScheduleCorrupt = "schedule-corrupt"
+	// NaNPoison writes a NaN into the output buffer at the armed
+	// index after the optimised kernels finish, exercising the
+	// numerical-fault detection and reference fallback.
+	NaNPoison = "nan-poison"
+)
+
+type point struct {
+	arg   int // index to fire at; <0 matches any index
+	shots int // remaining firings; <0 means unlimited
+}
+
+var (
+	mu      sync.Mutex
+	points  = map[string]*point{}
+	enabled atomic.Bool // mirrors len(points) > 0 for the lock-free fast path
+)
+
+func storeEnabled(v bool) { enabled.Store(v) }
+func loadEnabled() bool   { return enabled.Load() }
+
+func init() {
+	if env := os.Getenv("NDIRECT_FAULTS"); env != "" {
+		if err := parse(env); err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring NDIRECT_FAULTS: %v\n", err)
+		}
+	}
+}
+
+// parse arms points from the environment syntax documented above.
+func parse(env string) error {
+	for _, spec := range strings.Split(env, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, rest, hasArg := strings.Cut(spec, "=")
+		arg, shots := -1, 1
+		if hasArg {
+			argStr, shotStr, hasShots := strings.Cut(rest, ":")
+			v, err := strconv.Atoi(argStr)
+			if err != nil {
+				return fmt.Errorf("bad arg in %q: %v", spec, err)
+			}
+			arg = v
+			if hasShots {
+				v, err := strconv.Atoi(shotStr)
+				if err != nil {
+					return fmt.Errorf("bad shot count in %q: %v", spec, err)
+				}
+				shots = v
+			}
+		}
+		ArmN(name, arg, shots)
+	}
+	return nil
+}
+
+// Arm arms the named point for one firing at index arg (arg < 0
+// matches any index).
+func Arm(name string, arg int) { ArmN(name, arg, 1) }
+
+// ArmN arms the named point for shots firings (shots < 0: unlimited).
+func ArmN(name string, arg, shots int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if shots == 0 {
+		delete(points, name)
+	} else {
+		points[name] = &point{arg: arg, shots: shots}
+	}
+	storeEnabled(len(points) > 0)
+}
+
+// Reset disarms every point. Tests defer this after arming.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	clear(points)
+	storeEnabled(false)
+}
+
+// Enabled reports whether any point is armed — the single-atomic-load
+// fast path the hooks check before doing any work.
+func Enabled() bool { return loadEnabled() }
+
+// Should reports whether the named point fires at index i, consuming
+// one shot when it does.
+func Should(name string, i int) bool {
+	if !loadEnabled() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil || (p.arg >= 0 && p.arg != i) {
+		return false
+	}
+	if p.shots > 0 {
+		p.shots--
+		if p.shots == 0 {
+			delete(points, name)
+			storeEnabled(len(points) > 0)
+		}
+	}
+	return true
+}
+
+// Take consumes a shot of the named point regardless of index and
+// returns its armed argument — for points whose argument is a payload
+// (e.g. which output element to poison) rather than a firing index.
+func Take(name string) (arg int, ok bool) {
+	if !loadEnabled() {
+		return 0, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil {
+		return 0, false
+	}
+	if p.shots > 0 {
+		p.shots--
+		if p.shots == 0 {
+			delete(points, name)
+			storeEnabled(len(points) > 0)
+		}
+	}
+	return p.arg, true
+}
+
+// Fire panics if the named point is armed for index i — the
+// convenience hook the parallel runtime and the core thread grid call
+// at worker entry.
+func Fire(name string, i int) {
+	if Should(name, i) {
+		panic(fmt.Sprintf("faultinject: %s fired at index %d", name, i))
+	}
+}

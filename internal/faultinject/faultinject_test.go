@@ -1,0 +1,147 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() must be false with no points armed")
+	}
+	if Should(WorkerPanic, 0) {
+		t.Fatal("disarmed point must never fire")
+	}
+	if _, ok := Take(NaNPoison); ok {
+		t.Fatal("Take on a disarmed point must report !ok")
+	}
+	Fire(WorkerPanic, 0) // must not panic
+}
+
+func TestArmMatchesOnlyItsIndex(t *testing.T) {
+	defer Reset()
+	Arm(WorkerPanic, 3)
+	if !Enabled() {
+		t.Fatal("Enabled() must be true after Arm")
+	}
+	if Should(WorkerPanic, 2) {
+		t.Fatal("index 2 must not fire a point armed at 3")
+	}
+	if !Should(WorkerPanic, 3) {
+		t.Fatal("index 3 must fire")
+	}
+	// One-shot: the firing consumed the point.
+	if Should(WorkerPanic, 3) {
+		t.Fatal("one-shot point fired twice")
+	}
+	if Enabled() {
+		t.Fatal("Enabled() must drop back to false once all shots are spent")
+	}
+}
+
+func TestWildcardArgMatchesAnyIndex(t *testing.T) {
+	defer Reset()
+	Arm(WorkerPanic, -1)
+	if !Should(WorkerPanic, 7) {
+		t.Fatal("wildcard arg must match any index")
+	}
+}
+
+func TestArmNShots(t *testing.T) {
+	defer Reset()
+	ArmN(NaNPoison, 5, 2)
+	for i := 0; i < 2; i++ {
+		if arg, ok := Take(NaNPoison); !ok || arg != 5 {
+			t.Fatalf("shot %d: arg = %d, ok = %v", i, arg, ok)
+		}
+	}
+	if _, ok := Take(NaNPoison); ok {
+		t.Fatal("third Take must miss: only two shots armed")
+	}
+}
+
+func TestArmNUnlimited(t *testing.T) {
+	defer Reset()
+	ArmN(WorkerPanic, -1, -1)
+	for i := 0; i < 10; i++ {
+		if !Should(WorkerPanic, i) {
+			t.Fatalf("unlimited point stopped firing at %d", i)
+		}
+	}
+}
+
+func TestArmNZeroShotsDisarms(t *testing.T) {
+	defer Reset()
+	Arm(WorkerPanic, -1)
+	ArmN(WorkerPanic, -1, 0)
+	if Enabled() || Should(WorkerPanic, 0) {
+		t.Fatal("ArmN with zero shots must disarm the point")
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	defer Reset()
+	Arm(WorkerPanic, -1)
+	Arm(NaNPoison, 4)
+	if !Should(WorkerPanic, 0) {
+		t.Fatal("worker-panic must fire")
+	}
+	if !Enabled() {
+		t.Fatal("nan-poison is still armed")
+	}
+	if arg, ok := Take(NaNPoison); !ok || arg != 4 {
+		t.Fatalf("Take(nan-poison) = %d, %v", arg, ok)
+	}
+}
+
+func TestFirePanicsWithPointName(t *testing.T) {
+	defer Reset()
+	Arm(WorkerPanic, 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Fire on an armed index must panic")
+		}
+		if msg, _ := r.(string); !strings.Contains(msg, WorkerPanic) {
+			t.Fatalf("panic message %q does not name the point", r)
+		}
+	}()
+	Fire(WorkerPanic, 2)
+}
+
+func TestParseEnvSyntax(t *testing.T) {
+	defer Reset()
+	if err := parse("worker-panic=0, nan-poison=7:2 ,schedule-corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if !Should(WorkerPanic, 0) {
+		t.Fatal("worker-panic=0 must fire at index 0")
+	}
+	if arg, ok := Take(NaNPoison); !ok || arg != 7 {
+		t.Fatalf("nan-poison = %d, %v; want 7, true", arg, ok)
+	}
+	if arg, ok := Take(NaNPoison); !ok || arg != 7 {
+		t.Fatalf("second shot: %d, %v", arg, ok)
+	}
+	// Bare name: wildcard arg, one shot.
+	if !Should(ScheduleCorrupt, 99) {
+		t.Fatal("bare point must fire at any index")
+	}
+	if Enabled() {
+		t.Fatal("all shots spent; Enabled() must be false")
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	defer Reset()
+	for _, env := range []string{"worker-panic=x", "worker-panic=1:y"} {
+		if err := parse(env); err == nil {
+			t.Fatalf("parse(%q) must fail", env)
+		}
+	}
+	// Empty segments are tolerated.
+	if err := parse(","); err != nil {
+		t.Fatal(err)
+	}
+}

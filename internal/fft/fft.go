@@ -140,7 +140,7 @@ func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor
 
 	// Filter spectra F̂[k][c], conjugated for correlation.
 	fSpec := make([]complex128, s.K*s.C*frame)
-	parallel.For(s.K*s.C, threads, func(kc int) {
+	parallel.MustFor(s.K*s.C, threads, func(kc int) {
 		k, c := kc/s.C, kc%s.C
 		buf := fSpec[kc*frame : (kc+1)*frame]
 		for r := 0; r < s.R; r++ {
@@ -157,7 +157,7 @@ func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor
 	// Per image: input spectra, channel-reduced products, inverse.
 	for n := 0; n < s.N; n++ {
 		inSpec := make([]complex128, s.C*frame)
-		parallel.For(s.C, threads, func(c int) {
+		parallel.MustFor(s.C, threads, func(c int) {
 			buf := inSpec[c*frame : (c+1)*frame]
 			for ih := 0; ih < s.H; ih++ {
 				for iw := 0; iw < s.W; iw++ {
@@ -168,7 +168,7 @@ func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor
 			}
 			FFT2D(buf, fh, fw, false)
 		})
-		parallel.For(s.K, threads, func(k int) {
+		parallel.MustFor(s.K, threads, func(k int) {
 			acc := make([]complex128, frame)
 			for c := 0; c < s.C; c++ {
 				is := inSpec[c*frame:]

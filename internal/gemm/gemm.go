@@ -98,7 +98,7 @@ func Gemm(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int
 			mBlocks := (m + mc - 1) / mc
 			var st Stats
 			var stMu sync.Mutex
-			parallel.For(mBlocks, threads, func(ib int) {
+			parallel.MustFor(mBlocks, threads, func(ib int) {
 				ic := ib * mc
 				mcEff := min(mc, m-ic)
 				aPanel := make([]float32, kcEff*roundUp(mcEff, MR))

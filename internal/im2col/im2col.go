@@ -124,7 +124,7 @@ func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tenso
 
 	var mu sync.Mutex
 	var total Stats
-	parallel.For(s.N, threads, func(n int) {
+	parallel.MustFor(s.N, threads, func(n int) {
 		var st Stats
 		cOut := out.Data[n*s.K*pq : (n+1)*s.K*pq]
 		if !NeedsLowering(s) {

@@ -79,6 +79,17 @@ func SolveRegisterTile(s, str int) RegTile {
 			}
 		}
 	}
+	if best.Vk == 0 {
+		// No candidate satisfies Equation 3 (a kernel width so large
+		// that even the minimal tile busts the register budget). Fall
+		// back to the minimal lane-aligned tile: the generic kernel
+		// spills, but every downstream division by Vw/Vk stays safe.
+		best = RegTile{
+			Vw: simd.Width, Vk: simd.Width,
+			Registers: RegistersUsed(simd.Width, simd.Width, s),
+			FAI:       FAI(simd.Width, simd.Width, s, str),
+		}
+	}
 	return best
 }
 

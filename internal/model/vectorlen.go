@@ -58,5 +58,15 @@ func (g VectorGeometry) SolveRegisterTile(s, str int) RegTile {
 			}
 		}
 	}
+	if best.Vk == 0 {
+		// Same fallback as the NEON solver: when no tile fits the
+		// register budget, return the minimal lane-aligned tile so
+		// downstream divisions by Vw/Vk never see zero.
+		best = RegTile{
+			Vw: g.Lanes, Vk: g.Lanes,
+			Registers: g.RegistersUsedVL(g.Lanes, g.Lanes, s),
+			FAI:       FAI(g.Lanes, g.Lanes, s, str),
+		}
+	}
 	return best
 }

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ndirect/internal/core"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/tensor"
+)
+
+// A corrupted Ansor schedule must not take a network forward pass
+// down: the layer is logged and rerun on the nDirect backend, and the
+// activations match the healthy nDirect run.
+func TestAnsorBackendDegradesToNDirect(t *testing.T) {
+	defer faultinject.Reset()
+	old := core.Logf
+	var mu sync.Mutex
+	var logs []string
+	core.Logf = func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, format)
+		mu.Unlock()
+		t.Logf("(captured) "+format, args...)
+	}
+	t.Cleanup(func() { core.Logf = old })
+
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		&MaxPool{K: 2, Str: 2},
+		b.convUnit("c2", 8, 16, 8, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+	}}
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(7)
+
+	want := net.Forward(&Engine{Algo: AlgoNDirect, Threads: 2}, x)
+
+	faultinject.ArmN(faultinject.ScheduleCorrupt, -1, -1) // every Ansor layer faults
+	got := net.Forward(&Engine{Algo: AlgoAnsor, Threads: 2}, x)
+	faultinject.Reset()
+
+	if d := tensor.RelDiff(want, got); d > 1e-5 {
+		t.Fatalf("degraded forward pass diverges: rel diff %g", d)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(strings.Join(logs, "\n"), "falling back to ndirect") {
+		t.Fatal("the backend fallback must be logged")
+	}
+}

@@ -234,7 +234,13 @@ func (c *ConvUnit) convPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) *tenso
 		return out
 	case AlgoAnsor:
 		out := s.NewOutput()
-		autotune.Execute(s, eng.schedule(s), x, c.Weights, out, eng.Threads)
+		if err := autotune.Execute(s, eng.schedule(s), x, c.Weights, out, eng.Threads); err != nil {
+			// Graceful degradation: a bad tuned schedule (or a faulting
+			// executor) must not take the network down — rerun the layer
+			// on the nDirect backend.
+			core.Logf("nn: ansor backend failed on %v; falling back to ndirect: %v", s, err)
+			return core.Conv2D(s, x, c.Weights, core.Options{Threads: eng.Threads})
+		}
 		return out
 	case AlgoXSMM:
 		out, _ := xsmm.Conv2D(s, x, c.Weights, xsmm.Options{Threads: eng.Threads})
@@ -261,7 +267,14 @@ func (c *ConvUnit) convFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *ten
 		return core.Conv2D(s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
 	case AlgoAnsor:
 		out := s.NewOutput()
-		autotune.ExecuteFused(s, eng.schedule(s), x, w, out, eng.Threads, b, c.ReLU)
+		if err := autotune.ExecuteFused(s, eng.schedule(s), x, w, out, eng.Threads, b, c.ReLU); err != nil {
+			core.Logf("nn: ansor backend failed on %v; falling back to ndirect: %v", s, err)
+			ep := core.EpilogueBias
+			if c.ReLU {
+				ep = core.EpilogueBiasReLU
+			}
+			return core.Conv2D(s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+		}
 		return out
 	default:
 		out := c.convPlainWith(eng, s, x, w)
@@ -301,7 +314,7 @@ func (eng *Engine) schedule(s conv.Shape) autotune.Schedule {
 func addBias(t *tensor.Tensor, bias []float32, threads int) {
 	n, k := t.Dims[0], t.Dims[1]
 	pq := t.Dims[2] * t.Dims[3]
-	parallel.For(n*k, threads, func(nk int) {
+	parallel.MustFor(n*k, threads, func(nk int) {
 		b := bias[nk%k]
 		row := t.Data[nk*pq : (nk+1)*pq]
 		for i := range row {
@@ -313,7 +326,7 @@ func addBias(t *tensor.Tensor, bias []float32, threads int) {
 func applyBN(t *tensor.Tensor, bn *BNParams, threads int) {
 	n, k := t.Dims[0], t.Dims[1]
 	pq := t.Dims[2] * t.Dims[3]
-	parallel.For(n*k, threads, func(nk int) {
+	parallel.MustFor(n*k, threads, func(nk int) {
 		c := nk % k
 		scale := bn.Gamma[c] / float32(math.Sqrt(float64(bn.Var[c])+float64(bn.Eps)))
 		shift := bn.Beta[c] - bn.Mean[c]*scale
@@ -325,7 +338,7 @@ func applyBN(t *tensor.Tensor, bn *BNParams, threads int) {
 }
 
 func applyReLU(t *tensor.Tensor, threads int) {
-	parallel.ForRange(len(t.Data), threads, func(_ int, r parallel.Range) {
+	parallel.MustForRange(len(t.Data), threads, func(_ int, r parallel.Range) {
 		d := t.Data[r.Lo:r.Hi]
 		for i := range d {
 			if d[i] < 0 {
@@ -358,7 +371,7 @@ func (m *MaxPool) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	p := (h+2*m.Pad-m.K)/m.Str + 1
 	q := (w+2*m.Pad-m.K)/m.Str + 1
 	out := tensor.New(n, c, p, q)
-	parallel.For(n*c, eng.Threads, func(nc int) {
+	parallel.MustFor(n*c, eng.Threads, func(nc int) {
 		src := x.Data[nc*h*w : (nc+1)*h*w]
 		dst := out.Data[nc*p*q : (nc+1)*p*q]
 		for oj := 0; oj < p; oj++ {
@@ -395,7 +408,7 @@ func (GlobalAvgPool) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	n, c := x.Dims[0], x.Dims[1]
 	pq := x.Dims[2] * x.Dims[3]
 	out := tensor.New(n, c, 1, 1)
-	parallel.For(n*c, eng.Threads, func(nc int) {
+	parallel.MustFor(n*c, eng.Threads, func(nc int) {
 		var sum float64
 		for _, v := range x.Data[nc*pq : (nc+1)*pq] {
 			sum += float64(v)
@@ -468,7 +481,7 @@ func (Softmax) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dims[0]
 	k := x.Len() / n
 	out := tensor.New(x.Dims...)
-	parallel.For(n, eng.Threads, func(i int) {
+	parallel.MustFor(n, eng.Threads, func(i int) {
 		row := x.Data[i*k : (i+1)*k]
 		dst := out.Data[i*k : (i+1)*k]
 		maxV := row[0]

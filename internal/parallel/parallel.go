@@ -7,16 +7,87 @@
 // are goroutines; on a multi-core host they execute concurrently, on a
 // single-core host they interleave (the harness uses the machine model
 // for multi-core projections either way).
+//
+// Unlike OpenMP, the runtime is fault tolerant: a panic inside a
+// worker body is recovered, converted into a *PanicError (carrying
+// the panic value and stack) and returned as the loop's error instead
+// of crashing the process. After the first fault, the remaining
+// chunks observe a cooperative stop flag and cancel: For stops
+// between body invocations, ForRange/ForGrid before each not-yet-
+// started chunk. Only the first fault is reported.
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+
+	"ndirect/internal/faultinject"
 )
 
 // DefaultThreads returns the worker count matching the paper's policy
 // of one thread per available core.
 func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// ErrWorkerPanic is the sentinel wrapped by every *PanicError, so
+// callers can classify recovered worker faults with errors.Is.
+var ErrWorkerPanic = errors.New("parallel: worker panicked")
+
+// PanicError is a worker panic recovered by the runtime: the original
+// panic value plus the stack of the panicking goroutine.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap ties every recovered panic to ErrWorkerPanic.
+func (e *PanicError) Unwrap() error { return ErrWorkerPanic }
+
+// Protect runs fn in the calling goroutine, converting a panic into a
+// *PanicError. It is the recovery primitive the loop drivers (and the
+// core thread grid) build on.
+func Protect(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// FaultSink collects the first fault of a worker group and exposes
+// the cooperative stop flag the surviving workers poll.
+type FaultSink struct {
+	stop atomic.Bool
+	once sync.Once
+	err  error
+}
+
+// Record stores err as the group's fault if it is the first, and
+// raises the stop flag. nil errors are ignored.
+func (f *FaultSink) Record(err error) {
+	if err == nil {
+		return
+	}
+	f.once.Do(func() { f.err = err })
+	f.stop.Store(true)
+}
+
+// Stopped reports whether a fault has been recorded (workers poll
+// this between work items).
+func (f *FaultSink) Stopped() bool { return f.stop.Load() }
+
+// Err returns the first recorded fault. Only valid after the worker
+// group has been joined.
+func (f *FaultSink) Err() error { return f.err }
 
 // Range is a half-open index interval [Lo, Hi).
 type Range struct{ Lo, Hi int }
@@ -52,56 +123,101 @@ func Split(n, p int) []Range {
 }
 
 // For runs body(i) for every i in [0, n) across p workers with static
-// partitioning. body must not panic; workers share nothing but the
-// index range, matching the paper's write-conflict-free mapping (no
-// parallelisation over the reduction dimensions C, R, S).
-func For(n, p int, body func(i int)) {
-	chunks := Split(n, p)
-	if len(chunks) <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(chunks) - 1)
-	for _, c := range chunks[1:] {
-		go func(c Range) {
-			defer wg.Done()
-			for i := c.Lo; i < c.Hi; i++ {
-				body(i)
-			}
-		}(c)
-	}
-	for i := chunks[0].Lo; i < chunks[0].Hi; i++ {
-		body(i)
-	}
-	wg.Wait()
-}
-
-// ForRange runs body(lo, hi) once per worker chunk — used when the
-// body wants to amortise per-chunk setup (thread-private packing
-// buffers, filter transform scratch) across its whole range, as the
-// nDirect driver does.
-func ForRange(n, p int, body func(worker int, r Range)) {
+// partitioning. Workers share nothing but the index range, matching
+// the paper's write-conflict-free mapping (no parallelisation over
+// the reduction dimensions C, R, S).
+//
+// A panic inside body is recovered and returned as a *PanicError
+// (wrapping ErrWorkerPanic); the remaining workers stop before their
+// next body invocation, so the caller must treat the output as
+// incomplete whenever the error is non-nil.
+func For(n, p int, body func(i int)) error {
 	chunks := Split(n, p)
 	if len(chunks) == 0 {
-		return
+		return nil
+	}
+	var fs FaultSink
+	runChunk := func(w int, c Range) {
+		fs.Record(Protect(func() {
+			faultinject.Fire(faultinject.WorkerPanic, w)
+			for i := c.Lo; i < c.Hi; i++ {
+				if fs.Stopped() {
+					return
+				}
+				body(i)
+			}
+		}))
 	}
 	if len(chunks) == 1 {
-		body(0, chunks[0])
-		return
+		runChunk(0, chunks[0])
+		return fs.Err()
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(chunks) - 1)
 	for w, c := range chunks[1:] {
 		go func(w int, c Range) {
 			defer wg.Done()
-			body(w, c)
+			runChunk(w, c)
 		}(w+1, c)
 	}
-	body(0, chunks[0])
+	runChunk(0, chunks[0])
 	wg.Wait()
+	return fs.Err()
+}
+
+// ForRange runs body(lo, hi) once per worker chunk — used when the
+// body wants to amortise per-chunk setup (thread-private packing
+// buffers, filter transform scratch) across its whole range, as the
+// nDirect driver does. Panic recovery and error propagation follow
+// For; cancellation is chunk-grained, since the body owns its whole
+// range.
+func ForRange(n, p int, body func(worker int, r Range)) error {
+	chunks := Split(n, p)
+	if len(chunks) == 0 {
+		return nil
+	}
+	var fs FaultSink
+	runChunk := func(w int, c Range) {
+		fs.Record(Protect(func() {
+			faultinject.Fire(faultinject.WorkerPanic, w)
+			if fs.Stopped() {
+				return
+			}
+			body(w, c)
+		}))
+	}
+	if len(chunks) == 1 {
+		runChunk(0, chunks[0])
+		return fs.Err()
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(chunks) - 1)
+	for w, c := range chunks[1:] {
+		go func(w int, c Range) {
+			defer wg.Done()
+			runChunk(w, c)
+		}(w+1, c)
+	}
+	runChunk(0, chunks[0])
+	wg.Wait()
+	return fs.Err()
+}
+
+// MustFor is For for callers that keep the legacy crash-on-fault
+// semantics (reference baselines, elementwise passes): a recovered
+// worker fault is re-raised as a panic in the caller instead of being
+// returned.
+func MustFor(n, p int, body func(i int)) {
+	if err := For(n, p, body); err != nil {
+		panic(err)
+	}
+}
+
+// MustForRange is ForRange with MustFor's crash-on-fault semantics.
+func MustForRange(n, p int, body func(worker int, r Range)) {
+	if err := ForRange(n, p, body); err != nil {
+		panic(err)
+	}
 }
 
 // Grid2D describes the two-level thread grid of §6.1: PTk workers
@@ -116,12 +232,23 @@ func (g Grid2D) Workers() int { return g.PTk * g.PTn }
 
 // ForGrid runs body(kWorker, nWorker) for every cell of the grid
 // concurrently. The body typically slices K by kWorker and N×H×W by
-// nWorker.
-func (g Grid2D) ForGrid(body func(kWorker, nWorker int)) {
+// nWorker. Panic recovery, error propagation and chunk-grained
+// cancellation follow ForRange.
+func (g Grid2D) ForGrid(body func(kWorker, nWorker int)) error {
 	total := g.Workers()
+	var fs FaultSink
+	runCell := func(w, k, n int) {
+		fs.Record(Protect(func() {
+			faultinject.Fire(faultinject.WorkerPanic, w)
+			if fs.Stopped() {
+				return
+			}
+			body(k, n)
+		}))
+	}
 	if total <= 1 {
-		body(0, 0)
-		return
+		runCell(0, 0, 0)
+		return fs.Err()
 	}
 	var wg sync.WaitGroup
 	wg.Add(total - 1)
@@ -132,14 +259,15 @@ func (g Grid2D) ForGrid(body func(kWorker, nWorker int)) {
 				first = false
 				continue
 			}
-			go func(k, n int) {
+			go func(w, k, n int) {
 				defer wg.Done()
-				body(k, n)
-			}(k, n)
+				runCell(w, k, n)
+			}(k*g.PTn+n, k, n)
 		}
 	}
-	body(0, 0)
+	runCell(0, 0, 0)
 	wg.Wait()
+	return fs.Err()
 }
 
 // Factorize returns all (a, b) pairs with a*b == p, a ascending. Used

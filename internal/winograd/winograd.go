@@ -60,7 +60,7 @@ func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tenso
 	// transform. Images are independent; parallelise the batch and
 	// let the GEMMs use the leftover workers.
 	gemmThreads := max(1, threads/min(threads, s.N))
-	parallel.For(s.N, threads, func(n int) {
+	parallel.MustFor(s.N, threads, func(n int) {
 		convImage(s, in, u, out, n, tilesH, tilesW, tiles, gemmThreads)
 	})
 	return out, nil

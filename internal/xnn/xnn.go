@@ -69,7 +69,7 @@ func Conv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.T
 	t0 = time.Now()
 	// Parallelise over batch × output rows, XNNPACK's pthreadpool
 	// scheme.
-	parallel.For(s.N*p, threads, func(np int) {
+	parallel.MustFor(s.N*p, threads, func(np int) {
 		n, oh := np/p, np%p
 		imageBase := n * s.H * s.W * s.C
 		for ow0 := 0; ow0 < q; ow0 += pixelTile {

@@ -105,7 +105,7 @@ func Conv2DBlocked(s conv.Shape, inB, fB, outB *tensor.Tensor, opt Options) {
 	cBlocks := inB.Dims[1]
 	kBlocks := outB.Dims[1]
 	// LIBXSMM's OpenMP scheme: parallelise the N × K-block product.
-	parallel.For(s.N*kBlocks, threads, func(nk int) {
+	parallel.MustFor(s.N*kBlocks, threads, func(nk int) {
 		n, kb := nk/kBlocks, nk%kBlocks
 		convPlane(s, inB.Data, fB.Data, outB.Data, n, kb, cBlocks, kBlocks)
 	})

@@ -29,10 +29,35 @@ package ndirect
 import (
 	"fmt"
 
+	"ndirect/internal/autotune"
 	"ndirect/internal/conv"
 	"ndirect/internal/core"
 	"ndirect/internal/hw"
+	"ndirect/internal/parallel"
 	"ndirect/internal/tensor"
+)
+
+// Sentinel errors of the checked (Try*) API. Every validation failure
+// returned by a Try* function or a (*Plan).Try* method wraps one of
+// these, so callers classify with errors.Is.
+var (
+	// ErrBadShape: a Shape that does not describe a realisable
+	// convolution (non-positive or oversized dimension, kernel larger
+	// than the padded input, tensor sizes past the element limit).
+	ErrBadShape = conv.ErrBadShape
+	// ErrDimMismatch: an operand tensor whose rank, dimensions or
+	// backing-buffer length disagree with the Shape.
+	ErrDimMismatch = conv.ErrDimMismatch
+	// ErrBadOptions: an Options value the planner cannot honour
+	// (misaligned forced tiles, unknown epilogue, wrong bias length,
+	// excessive thread count).
+	ErrBadOptions = core.ErrBadOptions
+	// ErrBadSchedule: an autotuner schedule that is inadmissible for
+	// the shape it is applied to.
+	ErrBadSchedule = autotune.ErrBadSchedule
+	// ErrWorkerPanic: a panic recovered inside a parallel worker and
+	// converted into an error by the fault-tolerant runtime.
+	ErrWorkerPanic = parallel.ErrWorkerPanic
 )
 
 // Shape describes a convolution in the paper's notation: input
@@ -86,13 +111,30 @@ func TensorFromSlice(data []float32, dims ...int) *Tensor {
 
 // NewPlan derives an nDirect execution plan for the shape: register
 // tile from Equations 3–4, cache tiles from Equations 1–2, thread
-// mapping from Equations 5–6.
+// mapping from Equations 5–6. It panics on an invalid shape or
+// options; use TryNewPlan for the checked form.
 func NewPlan(s Shape, opt Options) *Plan { return core.NewPlan(s, opt) }
 
+// TryNewPlan is the checked form of NewPlan: instead of panicking it
+// returns an error wrapping ErrBadShape or ErrBadOptions. The
+// resulting Plan additionally offers the checked execution methods
+// TryExecute, TryExecuteNHWC and TryExecuteAdd.
+func TryNewPlan(s Shape, opt Options) (*Plan, error) { return core.TryNewPlan(s, opt) }
+
 // Conv2D convolves an NCHW input with a KCRS filter, returning a
-// freshly allocated NKPQ output.
+// freshly allocated NKPQ output. It panics on invalid arguments; use
+// TryConv2D for the checked form.
 func Conv2D(s Shape, in, filter *Tensor, opt Options) *Tensor {
 	return core.Conv2D(s, in, filter, opt)
+}
+
+// TryConv2D is the checked form of Conv2D: invalid shapes, options or
+// operand tensors return an error (wrapping ErrBadShape,
+// ErrBadOptions or ErrDimMismatch) instead of panicking, and an
+// execution fault on the optimised path degrades to the reference
+// path — a nil error always comes with a correct output.
+func TryConv2D(s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryConv2D(s, in, filter, opt)
 }
 
 // Conv2DNHWC convolves an NHWC input with a KCRS filter, returning an
@@ -102,10 +144,20 @@ func Conv2DNHWC(s Shape, in, filter *Tensor, opt Options) *Tensor {
 	return core.Conv2DNHWC(s, in, filter, opt)
 }
 
+// TryConv2DNHWC is the checked form of Conv2DNHWC.
+func TryConv2DNHWC(s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryConv2DNHWC(s, in, filter, opt)
+}
+
 // DepthwiseConv2D computes a per-channel (depthwise) convolution:
 // in is NCHW, filter is [C, R, S] (§10.2).
 func DepthwiseConv2D(s Shape, in, filter *Tensor, opt Options) *Tensor {
 	return core.DepthwiseConv2D(s, in, filter, opt)
+}
+
+// TryDepthwiseConv2D is the checked form of DepthwiseConv2D.
+func TryDepthwiseConv2D(s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryDepthwiseConv2D(s, in, filter, opt)
 }
 
 // PointwiseConv2D computes the 1×1 convolution of a depthwise-
@@ -114,11 +166,21 @@ func PointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) *Tensor
 	return core.PointwiseConv2D(n, c, h, w, k, in, filter, opt)
 }
 
+// TryPointwiseConv2D is the checked form of PointwiseConv2D.
+func TryPointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryPointwiseConv2D(n, c, h, w, k, in, filter, opt)
+}
+
 // GroupedConv2D convolves in `groups` independent channel groups
 // (filter [K, C/groups, R, S]); groups=1 is the standard convolution
 // and groups=C the depthwise one — the §10.2 spectrum.
 func GroupedConv2D(s Shape, groups int, in, filter *Tensor, opt Options) *Tensor {
 	return core.GroupedConv2D(s, groups, in, filter, opt)
+}
+
+// TryGroupedConv2D is the checked form of GroupedConv2D.
+func TryGroupedConv2D(s Shape, groups int, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryGroupedConv2D(s, groups, in, filter, opt)
 }
 
 // Shape3D describes a 3-D convolution (§10.2): input [N,C,D,H,W],
@@ -131,6 +193,11 @@ func Conv3D(s Shape3D, in, filter *Tensor, opt Options) *Tensor {
 	return core.Conv3D(s, in, filter, opt)
 }
 
+// TryConv3D is the checked form of Conv3D.
+func TryConv3D(s Shape3D, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryConv3D(s, in, filter, opt)
+}
+
 // Conv2D64 is the FP64 variant (§3.3): same algorithm with the
 // 2-lane-per-register geometry plugged into the analytical models.
 // in and filter are flat NCHW/KCRS float64 buffers; the NKPQ result
@@ -139,11 +206,21 @@ func Conv2D64(s Shape, in, filter []float64, opt Options) []float64 {
 	return core.Conv2D64(s, in, filter, opt)
 }
 
+// TryConv2D64 is the checked form of Conv2D64.
+func TryConv2D64(s Shape, in, filter []float64, opt Options) ([]float64, error) {
+	return core.TryConv2D64(s, in, filter, opt)
+}
+
 // Conv2DInt16 is the quantised variant (§3.3): int16 activations and
 // weights with int32 accumulation (the NEON widening-MAC pattern),
 // returning the raw NKPQ accumulators for the caller to requantise.
 func Conv2DInt16(s Shape, in, filter []int16, opt Options) []int32 {
 	return core.Conv2DInt16(s, in, filter, opt)
+}
+
+// TryConv2DInt16 is the checked form of Conv2DInt16.
+func TryConv2DInt16(s Shape, in, filter []int16, opt Options) ([]int32, error) {
+	return core.TryConv2DInt16(s, in, filter, opt)
 }
 
 // Reference computes the convolution with the naive seven-loop

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full verification gate: build, vet, race-enabled tests, and a short
+# fuzz smoke of the checked API's never-panic property. Run from the
+# repository root (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke: FuzzTryConv2D (10s)"
+go test -run='^$' -fuzz=FuzzTryConv2D -fuzztime=10s ./internal/core
+
+echo "OK: all checks passed"
