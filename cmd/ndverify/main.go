@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,8 +36,18 @@ var errSkip = errors.New("not applicable")
 func main() {
 	threads := flag.Int("threads", 2, "worker threads per run")
 	full := flag.Bool("full", false, "also run the (slow) full-size Table 4 shapes")
+	budget := flag.Duration("budget", 0,
+		"per-run deadline for the NDIRECT and Ansor rows (0 = unbounded); "+
+			"a run past the budget fails the check instead of wedging it")
 	flag.Parse()
 
+	// runCtx returns the per-run context: Background when unbounded.
+	runCtx := func() (context.Context, context.CancelFunc) {
+		if *budget <= 0 {
+			return context.Background(), func() {}
+		}
+		return context.WithTimeout(context.Background(), *budget)
+	}
 	shapes := battery(*full)
 	impls := []struct {
 		name string
@@ -44,13 +55,19 @@ func main() {
 		run  func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error)
 	}{
 		{"NDIRECT", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
-			return core.TryConv2D(s, in, f, core.Options{Threads: *threads})
+			ctx, cancel := runCtx()
+			defer cancel()
+			return core.TryConv2DCtx(ctx, s, in, f, core.Options{Threads: *threads})
 		}},
 		{"NDIRECT(seq-pack)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
-			return core.TryConv2D(s, in, f, core.Options{Threads: *threads, SequentialPack: true})
+			ctx, cancel := runCtx()
+			defer cancel()
+			return core.TryConv2DCtx(ctx, s, in, f, core.Options{Threads: *threads, SequentialPack: true})
 		}},
 		{"NDIRECT(NHWC)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
-			out, err := core.TryConv2DNHWC(s, tensor.NCHWToNHWC(in), f, core.Options{Threads: *threads})
+			ctx, cancel := runCtx()
+			defer cancel()
+			out, err := core.TryConv2DNHWCCtx(ctx, s, tensor.NCHWToNHWC(in), f, core.Options{Threads: *threads})
 			if err != nil {
 				return nil, err
 			}
@@ -76,7 +93,9 @@ func main() {
 		}},
 		{"Ansor(default)", tol, func(s conv.Shape, in, f *tensor.Tensor) (*tensor.Tensor, error) {
 			out := s.NewOutput()
-			if err := autotune.Execute(s, autotune.DefaultSchedule(s), in, f, out, *threads); err != nil {
+			ctx, cancel := runCtx()
+			defer cancel()
+			if err := autotune.ExecuteCtx(ctx, s, autotune.DefaultSchedule(s), in, f, out, *threads); err != nil {
 				return nil, err
 			}
 			return out, nil

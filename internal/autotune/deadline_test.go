@@ -1,0 +1,74 @@
+package autotune
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/parallel"
+)
+
+func waitNoLeakedWorkers(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if parallel.LeakedWorkers() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("leaked workers never drained: %d", parallel.LeakedWorkers())
+}
+
+// ExecuteCtx must abandon a stalled worker at the deadline instead of
+// blocking the caller forever.
+func TestExecuteCtxAbandonsStalledWorker(t *testing.T) {
+	defer faultinject.Reset()
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in, f, out := s.NewInput(), s.NewFilter(), s.NewOutput()
+
+	faultinject.Arm(faultinject.WorkerStall, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := ExecuteCtx(ctx, s, DefaultSchedule(s), in, f, out, 4)
+	if !errors.Is(err, parallel.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	faultinject.Reset()
+	waitNoLeakedWorkers(t)
+}
+
+// A stalled candidate measurement must be skipped — recorded as
+// unusable — and the tuning run must still converge on a healthy best
+// schedule within bounded time.
+func TestTuneSkipsStalledCandidate(t *testing.T) {
+	defer faultinject.Reset()
+	s := conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+
+	faultinject.Arm(faultinject.WorkerStall, 0)
+	done := make(chan Result, 1)
+	go func() {
+		done <- Tune(s, TuneOptions{
+			Population: 4, Generations: 2, Trials: 10, Threads: 2, Seed: 5,
+			CandidateTimeout: 50 * time.Millisecond,
+		})
+	}()
+	var res Result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("tuning run wedged on the stalled candidate")
+	}
+	if res.BestSec >= 1e30 {
+		t.Fatalf("tuning found no healthy candidate: %+v", res)
+	}
+	if !res.Best.Valid(s) {
+		t.Fatalf("best schedule invalid: %v", res.Best)
+	}
+	faultinject.Reset()
+	waitNoLeakedWorkers(t)
+	checkSchedule(t, s, res.Best)
+}

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,7 +25,14 @@ var ErrBadSchedule = errors.New("autotune: bad schedule")
 // Figure 6 measures). An inadmissible schedule returns ErrBadSchedule;
 // a worker fault surfaces as the parallel runtime's error.
 func Execute(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int) error {
-	return ExecuteFused(s, sch, in, filter, out, threads, nil, false)
+	return ExecuteFusedCtx(context.Background(), s, sch, in, filter, out, threads, nil, false)
+}
+
+// ExecuteCtx is Execute bounded by ctx: on expiry the tile loop is
+// abandoned (parallel.ErrCanceled semantics — the output must be
+// treated as incomplete on any non-nil error).
+func ExecuteCtx(ctx context.Context, s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int) error {
+	return ExecuteFusedCtx(ctx, s, sch, in, filter, out, threads, nil, false)
 }
 
 // ExecuteFused is Execute with an operator-fusion epilogue: after the
@@ -33,6 +41,11 @@ func Execute(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads
 // fusion that gives the Ansor configuration its end-to-end edge
 // (§8.3). bias may be nil.
 func ExecuteFused(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int, bias []float32, relu bool) error {
+	return ExecuteFusedCtx(context.Background(), s, sch, in, filter, out, threads, bias, relu)
+}
+
+// ExecuteFusedCtx is ExecuteFused bounded by ctx (see ExecuteCtx).
+func ExecuteFusedCtx(ctx context.Context, s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, threads int, bias []float32, relu bool) error {
 	if err := conv.ValidateOperands(s, in, filter); err != nil {
 		return err
 	}
@@ -55,14 +68,14 @@ func ExecuteFused(s conv.Shape, sch Schedule, in, filter, out *tensor.Tensor, th
 	kTiles := (s.K + sch.TileK - 1) / sch.TileK
 
 	if sch.ParallelKH {
-		return parallel.For(s.N*kTiles, threads, func(nk int) {
+		return parallel.ForCtx(ctx, s.N*kTiles, threads, func(nk int) {
 			n, kt := nk/kTiles, nk%kTiles
 			k0 := kt * sch.TileK
 			k1 := min(k0+sch.TileK, s.K)
 			execBlock(s, sch, in.Data, filter.Data, out.Data, n, k0, k1, 0, p, bias, relu)
 		})
 	}
-	return parallel.For(s.N*hTiles, threads, func(nh int) {
+	return parallel.ForCtx(ctx, s.N*hTiles, threads, func(nh int) {
 		n, ht := nh/hTiles, nh%hTiles
 		h0 := ht * sch.TileH
 		h1 := min(h0+sch.TileH, p)

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -32,6 +33,12 @@ type TuneOptions struct {
 	// PoolFactor is the candidate-to-measurement ratio when the cost
 	// model is active (default 4).
 	PoolFactor int
+	// CandidateTimeout bounds each measured candidate run (0 = no
+	// bound). A candidate that exceeds it — a pathological tile
+	// choice, or a wedged worker — is abandoned and recorded as
+	// unusable (1e30) instead of hanging the whole tuning run; the
+	// search simply moves to the next candidate.
+	CandidateTimeout time.Duration
 }
 
 func (o *TuneOptions) setDefaults() {
@@ -96,11 +103,18 @@ func Tune(s conv.Shape, opt TuneOptions) Result {
 		res.Trials++
 		best := 1e30
 		for rep := 0; rep < opt.Repeats; rep++ {
+			ctx, cancel := context.Background(), func() {}
+			if opt.CandidateTimeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, opt.CandidateTimeout)
+			}
 			t0 := time.Now()
-			if err := Execute(ts, sch, in, filter, out, opt.Threads); err != nil {
-				// Inadmissible or faulting candidate: record it as
-				// unusable so the search never re-measures or breeds
-				// from it, and move on instead of aborting the run.
+			err := ExecuteCtx(ctx, ts, sch, in, filter, out, opt.Threads)
+			cancel()
+			if err != nil {
+				// Inadmissible, faulting, or stalled candidate: record
+				// it as unusable so the search never re-measures or
+				// breeds from it, and move on instead of aborting (or
+				// hanging) the run.
 				seen[sch] = 1e30
 				return 1e30
 			}

@@ -19,6 +19,12 @@ var (
 	// ErrDimMismatch reports an operand tensor whose rank, dimensions
 	// or backing-buffer length do not match the Shape.
 	ErrDimMismatch = errors.New("conv: dimension mismatch")
+	// ErrDeadline reports an execution abandoned because its context
+	// expired or was canceled before the worker grid finished. Errors
+	// wrapping it also wrap the context's cause, so errors.Is against
+	// context.DeadlineExceeded / context.Canceled distinguishes a blown
+	// budget from an explicit cancellation.
+	ErrDeadline = errors.New("conv: execution budget exhausted")
 )
 
 // Implementation limits enforced by Shape.Validate. They exist so that

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ndirect/internal/conv"
@@ -24,6 +25,15 @@ import (
 // errors; a faulting worker is logged and the result recomputed with
 // the Reference64 oracle.
 func TryConv2D64(s conv.Shape, in, filter []float64, opt Options) ([]float64, error) {
+	return TryConv2D64Ctx(context.Background(), s, in, filter, opt)
+}
+
+// TryConv2D64Ctx is the context-bounded form of TryConv2D64 with the
+// deadline semantics of Plan.TryExecuteCtx: on expiry the parallel
+// row loop is abandoned and the error wraps conv.ErrDeadline, unless
+// Options.FallbackBudget grants the Reference64 recompute time to
+// finish (the oracle polls its deadline between output rows).
+func TryConv2D64Ctx(ctx context.Context, s conv.Shape, in, filter []float64, opt Options) ([]float64, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,7 +68,7 @@ func TryConv2D64(s conv.Shape, in, filter []float64, opt Options) ([]float64, er
 
 	// Parallelise over (n, output-row) pairs: every worker owns whole
 	// output rows, so no two workers share an accumulation target.
-	err := parallel.ForRange(s.N*p, threads, func(_ int, rows parallel.Range) {
+	err := parallel.ForRangeCtx(ctx, s.N*p, threads, func(_ int, rows parallel.Range) {
 		tf := make([]float64, kBlocks*rt.Vk*ct.Tc*s.R*s.S)
 		buf := make([]float64, ct.Tc*s.R*wIn)
 		acc := make([]simd.Vec2D, rt.Vw*rt.Vk/simd.WidthF64)
@@ -81,9 +91,18 @@ func TryConv2D64(s conv.Shape, in, filter []float64, opt Options) ([]float64, er
 		}
 	})
 	if err != nil {
+		fctx, cancel, derr := fallbackCtx(ctx, err, opt)
+		if derr != nil {
+			return nil, derr
+		}
+		defer cancel()
 		Logf("core: fp64 parallel path faulted on %v; recomputing on reference path: %v", s, err)
-		if err := parallel.Protect(func() { out = Reference64(s, in, filter) }); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrExecFault, err)
+		var refErr error
+		if perr := parallel.Protect(func() { out, refErr = reference64Ctx(fctx, s, in, filter) }); perr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExecFault, perr)
+		}
+		if refErr != nil {
+			return nil, refErr
 		}
 	}
 	return out, nil
@@ -204,11 +223,25 @@ func store64(acc []simd.Vec2D, out []float64, s conv.Shape, n, kBase, oh, qt0, v
 
 // Reference64 is the float64 naive oracle (Algorithm 1).
 func Reference64(s conv.Shape, in, filter []float64) []float64 {
+	out, err := reference64Ctx(context.Background(), s, in, filter)
+	if err != nil {
+		panic(err) // unreachable: Background never expires
+	}
+	return out
+}
+
+// reference64Ctx is Reference64 bounded by ctx, polled between output
+// rows like conv.ReferenceCtx.
+func reference64Ctx(ctx context.Context, s conv.Shape, in, filter []float64) ([]float64, error) {
 	p, q := s.P(), s.Q()
+	poll := ctx.Done() != nil
 	out := make([]float64, s.N*s.K*p*q)
 	for n := 0; n < s.N; n++ {
 		for k := 0; k < s.K; k++ {
 			for oj := 0; oj < p; oj++ {
+				if poll && ctx.Err() != nil {
+					return nil, deadlineErr(ctx)
+				}
 				for oi := 0; oi < q; oi++ {
 					var acc float64
 					for c := 0; c < s.C; c++ {
@@ -232,5 +265,5 @@ func Reference64(s conv.Shape, in, filter []float64) []float64 {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -14,8 +14,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"ndirect/internal/conv"
 	"ndirect/internal/hw"
@@ -64,8 +66,9 @@ type Options struct {
 	// per-channel bias for the bias epilogues (length K).
 	Epilogue Epilogue
 	Bias     []float32
-	// CollectStats makes Execute accumulate per-stage wall time in
-	// Plan.Stats (filter transform, packing, kernel, store).
+	// CollectStats makes Execute accumulate per-stage wall time,
+	// readable via Plan.LastStats (filter transform, packing,
+	// kernel, store).
 	CollectStats bool
 	// ForceGenericKernel disables the specialised micro-kernels —
 	// the kernel-specialisation ablation of DESIGN.md §4.
@@ -77,6 +80,26 @@ type Options struct {
 	// (measured in BenchmarkMicroKernelBodies), so the default is the
 	// looped kernel and the faithful transcription is opt-in.
 	UnrolledKernels bool
+	// CheckNumerics makes every checked execution scan the output for
+	// NaN/Inf after the optimised path finishes. On a non-finite value
+	// the result is recomputed on the reference path and re-scanned; if
+	// the reference output is non-finite too (a non-finite input, a
+	// genuine overflow), the execution returns an error wrapping
+	// ErrExecFault instead of handing the caller a poisoned tensor.
+	// Costs one pass over the output; off by default. Under fault
+	// injection the scan runs regardless of this knob.
+	CheckNumerics bool
+	// FallbackBudget is the extra wall-clock budget granted to the
+	// reference-path fallback when a context-bounded execution
+	// (TryExecuteCtx and friends) is abandoned on deadline expiry or
+	// cancellation: 0 (the default) disables the fallback — the
+	// deadline error wrapping conv.ErrDeadline is returned as-is —
+	// while a positive value lets the driver spend up to that long
+	// recomputing the result on the naive reference path, returning a
+	// correct output and a nil error when it finishes in time. It does
+	// not affect fault (panic / NaN) fallbacks, which remain unbounded
+	// as in the context-free path.
+	FallbackBudget time.Duration
 }
 
 // kernelKind selects the main micro-kernel implementation.
@@ -119,10 +142,20 @@ type Plan struct {
 	kind     kernelKind
 	scratch  sync.Pool // *workerScratch, reused across Execute calls
 
-	// Stats holds the per-stage times of the most recent Execute when
-	// Options.CollectStats is set. Not synchronised across concurrent
-	// Execute calls.
-	Stats Stats
+	statsMu   sync.Mutex
+	lastStats Stats // most recent completed run, under CollectStats
+}
+
+// LastStats returns the per-stage times of the most recent completed
+// Execute when Options.CollectStats is set. Safe against concurrent
+// Execute calls on the same plan: each run replaces the stored value
+// under a lock once all of its workers have terminated (for a
+// deadline-abandoned run that is when the stragglers finally exit,
+// and the recorded times then cover only the partial work done).
+func (p *Plan) LastStats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.lastStats
 }
 
 // Stats aggregates per-stage wall time across workers (total CPU
@@ -171,6 +204,9 @@ func validateOptions(s conv.Shape, opt Options) error {
 		if f.v < 0 {
 			return fmt.Errorf("%w: %s=%d is negative", ErrBadOptions, f.name, f.v)
 		}
+	}
+	if opt.FallbackBudget < 0 {
+		return fmt.Errorf("%w: FallbackBudget=%v is negative", ErrBadOptions, opt.FallbackBudget)
 	}
 	switch opt.Epilogue {
 	case EpilogueNone, EpilogueReLU:
@@ -281,6 +317,26 @@ func TryConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Te
 	return out, nil
 }
 
+// TryConv2DCtx is TryConv2D bounded by ctx: when the context expires
+// or is canceled before the worker grid finishes, the grid is
+// abandoned and the call returns an error wrapping conv.ErrDeadline
+// and the context's cause — unless Options.FallbackBudget grants the
+// reference path time to recompute the result. See Plan.TryExecuteCtx.
+func TryConv2DCtx(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	p, err := TryNewPlan(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := conv.ValidateOperands(s, in, filter); err != nil {
+		return nil, err
+	}
+	out := s.NewOutput()
+	if err := p.TryExecuteCtx(ctx, in, filter, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Conv2D is the panicking wrapper over TryConv2D.
 func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
 	out, err := TryConv2D(s, in, filter, opt)
@@ -301,6 +357,19 @@ func TryConv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tenso
 	}
 	out := tensor.New(s.N, s.P(), s.Q(), s.K)
 	if err := p.TryExecuteNHWC(in, filter, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TryConv2DNHWCCtx is the context-bounded form of TryConv2DNHWC.
+func TryConv2DNHWCCtx(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	p, err := TryNewPlan(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(s.N, s.P(), s.Q(), s.K)
+	if err := p.TryExecuteNHWCCtx(ctx, in, filter, out); err != nil {
 		return nil, err
 	}
 	return out, nil

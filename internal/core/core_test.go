@@ -259,10 +259,11 @@ func TestStatsCollected(t *testing.T) {
 	p := NewPlan(s, Options{CollectStats: true, SequentialPack: true, Threads: 1})
 	out := s.NewOutput()
 	p.Execute(in, f, out)
-	if p.Stats.KernelSec <= 0 || p.Stats.PackSec <= 0 || p.Stats.TransformSec <= 0 {
-		t.Fatalf("stats not collected: %+v", p.Stats)
+	st0 := p.LastStats()
+	if st0.KernelSec <= 0 || st0.PackSec <= 0 || st0.TransformSec <= 0 {
+		t.Fatalf("stats not collected: %+v", st0)
 	}
-	tr, pk, kn, st := p.Stats.Fractions()
+	tr, pk, kn, st := st0.Fractions()
 	if sum := tr + pk + kn + st; sum < 0.999 || sum > 1.001 {
 		t.Fatalf("fractions sum to %v", sum)
 	}
@@ -277,8 +278,8 @@ func TestStatsOverlappedPackCountsInKernel(t *testing.T) {
 	p := NewPlan(s, Options{CollectStats: true, Threads: 1})
 	out := s.NewOutput()
 	p.Execute(in, f, out)
-	if p.Stats.PackSec != 0 {
-		t.Fatalf("overlapped packing must report no separate pack time, got %v", p.Stats.PackSec)
+	if got := p.LastStats().PackSec; got != 0 {
+		t.Fatalf("overlapped packing must report no separate pack time, got %v", got)
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ndirect/internal/conv"
@@ -25,6 +27,16 @@ import (
 // validation failures return errors; a faulting parallel worker is
 // logged and the result recomputed sequentially.
 func TryDepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	return TryDepthwiseConv2DCtx(context.Background(), s, in, filter, opt)
+}
+
+// TryDepthwiseConv2DCtx is the context-bounded form of
+// TryDepthwiseConv2D: deadline semantics follow Plan.TryExecuteCtx —
+// on context expiry the parallel plane loop is abandoned and the call
+// returns an error wrapping conv.ErrDeadline, unless
+// Options.FallbackBudget grants the sequential recompute time to
+// finish (it polls the fallback deadline between planes).
+func TryDepthwiseConv2DCtx(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
 	chk := s
 	chk.K = 1
 	if err := chk.Validate(); err != nil {
@@ -54,17 +66,48 @@ func TryDepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*
 	}
 	// Parallelise over the N×C planes: depthwise has no reduction
 	// over C, so every (n, c) plane is independent.
-	if err := parallel.For(s.N*s.C, threads, plane); err != nil {
+	if err := parallel.ForCtx(ctx, s.N*s.C, threads, plane); err != nil {
+		fctx, cancel, derr := fallbackCtx(ctx, err, opt)
+		if derr != nil {
+			return nil, derr
+		}
+		defer cancel()
 		Logf("core: depthwise parallel path faulted on %v; recomputing sequentially: %v", s, err)
 		if err := parallel.Protect(func() {
 			for nc := 0; nc < s.N*s.C; nc++ {
+				if fctx.Done() != nil && fctx.Err() != nil {
+					panic(deadlineErr(fctx))
+				}
 				plane(nc)
 			}
 		}); err != nil {
+			var pe *parallel.PanicError
+			if errors.As(err, &pe) {
+				if de, ok := pe.Value.(error); ok && errors.Is(de, conv.ErrDeadline) {
+					return nil, de
+				}
+			}
 			return nil, fmt.Errorf("%w: %v", ErrExecFault, err)
 		}
 	}
 	return out, nil
+}
+
+// fallbackCtx classifies a parallel-loop error for the sibling
+// drivers (depthwise/grouped/fp64/int16): a worker fault keeps the
+// unbounded sequential fallback (fctx is Background), while a context
+// abandonment either returns the conv.ErrDeadline-wrapped error
+// as-is (no FallbackBudget) or grants the fallback that budget. The
+// returned cancel must be deferred when derr is nil.
+func fallbackCtx(ctx context.Context, err error, opt Options) (fctx context.Context, cancel context.CancelFunc, derr error) {
+	if !errors.Is(err, parallel.ErrCanceled) {
+		return context.Background(), func() {}, nil
+	}
+	if opt.FallbackBudget <= 0 {
+		return nil, nil, fmt.Errorf("%w: %w", conv.ErrDeadline, err)
+	}
+	fctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), opt.FallbackBudget)
+	return fctx, cancel, nil
 }
 
 // DepthwiseConv2D is the panicking wrapper over TryDepthwiseConv2D.
@@ -145,6 +188,13 @@ func TryPointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Option
 	return TryConv2D(s, in, filter, opt)
 }
 
+// TryPointwiseConv2DCtx is TryPointwiseConv2D bounded by ctx, with
+// the deadline semantics of TryConv2DCtx.
+func TryPointwiseConv2DCtx(ctx context.Context, n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	s := conv.Shape{N: n, C: c, H: h, W: w, K: k, R: 1, S: 1, Str: 1, Pad: 0}
+	return TryConv2DCtx(ctx, s, in, filter, opt)
+}
+
 // PointwiseConv2D is the panicking wrapper over TryPointwiseConv2D.
 func PointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
 	out, err := TryPointwiseConv2D(n, c, h, w, k, in, filter, opt)
@@ -195,6 +245,14 @@ func (s Shape3D) Validate() error {
 // filter depth-slice t, accumulating into output slice d. Checked
 // variant: never panics.
 func TryConv3D(s Shape3D, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	return TryConv3DCtx(context.Background(), s, in, filter, opt)
+}
+
+// TryConv3DCtx is TryConv3D bounded by ctx: the deadline applies to
+// the whole depth decomposition — each per-slice 2-D execution runs
+// under the same context, so the first slice to hit the deadline
+// aborts the 3-D computation with an error wrapping conv.ErrDeadline.
+func TryConv3DCtx(ctx context.Context, s Shape3D, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -238,7 +296,7 @@ func TryConv3D(s Shape3D, in, filter *tensor.Tensor, opt Options) (*tensor.Tenso
 					copy(fSlice.Data[(k*s.C+c)*rs:], src)
 				}
 			}
-			if err := plan.TryExecuteAdd(inSlice, fSlice, outSlice); err != nil {
+			if err := plan.TryExecuteAddCtx(ctx, inSlice, fSlice, outSlice); err != nil {
 				return nil, err
 			}
 		}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"ndirect/internal/conv"
@@ -21,13 +22,29 @@ import (
 // recomputed on the naive reference path — a nil error always means a
 // correct output.
 func (p *Plan) TryExecute(in, filter, out *tensor.Tensor) error {
+	return p.TryExecuteCtx(context.Background(), in, filter, out)
+}
+
+// TryExecuteCtx is TryExecute bounded by ctx. When the context expires
+// or is canceled before the worker grid finishes, the driver raises
+// the grid's cooperative stop flag, abandons the join (a wedged worker
+// goroutine is leaked deliberately and accounted in
+// parallel.LeakedWorkers until it terminates) and returns an error
+// wrapping conv.ErrDeadline plus the context's cause, so
+// errors.Is(err, context.DeadlineExceeded) classifies a blown budget.
+// With Options.FallbackBudget > 0 the driver instead spends up to that
+// extra budget recomputing the result on the naive reference path,
+// returning a correct output and a nil error when it finishes in time.
+// A context without a deadline or cancellation behaves exactly like
+// TryExecute (same join, no extra goroutines).
+func (p *Plan) TryExecuteCtx(ctx context.Context, in, filter, out *tensor.Tensor) error {
 	if err := conv.ValidateOperands(p.Shape, in, filter); err != nil {
 		return err
 	}
 	if err := conv.ValidateOutput(p.Shape, out); err != nil {
 		return err
 	}
-	return p.execChecked(in, filter, out, true, false)
+	return p.execChecked(ctx, in, filter, out, true, false)
 }
 
 // Execute is the panicking wrapper over TryExecute.
@@ -41,6 +58,12 @@ func (p *Plan) Execute(in, filter, out *tensor.Tensor) {
 // output. Checked variant: validation failures return errors,
 // execution faults fall back to the reference path.
 func (p *Plan) TryExecuteNHWC(in, filter, out *tensor.Tensor) error {
+	return p.TryExecuteNHWCCtx(context.Background(), in, filter, out)
+}
+
+// TryExecuteNHWCCtx is the context-bounded form of TryExecuteNHWC;
+// deadline semantics follow TryExecuteCtx.
+func (p *Plan) TryExecuteNHWCCtx(ctx context.Context, in, filter, out *tensor.Tensor) error {
 	s := p.Shape
 	if err := conv.ValidateTensor("input", in, s.N, s.H, s.W, s.C); err != nil {
 		return err
@@ -51,7 +74,7 @@ func (p *Plan) TryExecuteNHWC(in, filter, out *tensor.Tensor) error {
 	if err := conv.ValidateTensor("output", out, s.N, s.P(), s.Q(), s.K); err != nil {
 		return err
 	}
-	return p.execChecked(in, filter, out, false, false)
+	return p.execChecked(ctx, in, filter, out, false, false)
 }
 
 // ExecuteNHWC is the panicking wrapper over TryExecuteNHWC.
@@ -65,13 +88,19 @@ func (p *Plan) ExecuteNHWC(in, filter, out *tensor.Tensor) {
 // overwriting it (used by the 3-D convolution extension, which sums
 // 2-D slices over the kernel depth). Checked variant of ExecuteAdd.
 func (p *Plan) TryExecuteAdd(in, filter, out *tensor.Tensor) error {
+	return p.TryExecuteAddCtx(context.Background(), in, filter, out)
+}
+
+// TryExecuteAddCtx is the context-bounded form of TryExecuteAdd;
+// deadline semantics follow TryExecuteCtx.
+func (p *Plan) TryExecuteAddCtx(ctx context.Context, in, filter, out *tensor.Tensor) error {
 	if err := conv.ValidateOperands(p.Shape, in, filter); err != nil {
 		return err
 	}
 	if err := conv.ValidateOutput(p.Shape, out); err != nil {
 		return err
 	}
-	return p.execChecked(in, filter, out, true, true)
+	return p.execChecked(ctx, in, filter, out, true, true)
 }
 
 // ExecuteAdd is the panicking wrapper over TryExecuteAdd.
@@ -81,20 +110,45 @@ func (p *Plan) ExecuteAdd(in, filter, out *tensor.Tensor) {
 	}
 }
 
+// deadlineErr wraps a done context's cause in conv.ErrDeadline.
+func deadlineErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", conv.ErrDeadline, context.Cause(ctx))
+}
+
+// scanNonFinite returns the index of the first NaN/Inf in data.
+func scanNonFinite(data []float32) (int, bool) {
+	for i, v := range data {
+		if f64 := float64(v); math.IsNaN(f64) || math.IsInf(f64, 0) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // execChecked runs the optimised path and degrades to the reference
 // implementation whenever it faults, so the caller always receives a
 // correct result. Accumulate runs snapshot the prior output first: a
 // mid-run fault leaves partially-updated accumulation targets that
-// cannot be reconstructed any other way. The non-finite output scan is
-// only active under fault injection; an always-on guard is future work
-// (see ROADMAP).
-func (p *Plan) execChecked(in, filter, out *tensor.Tensor, nchw, accumulate bool) error {
+// cannot be reconstructed any other way. The non-finite output scan
+// runs under fault injection and, for production callers, under
+// Options.CheckNumerics. A context abandonment (deadline expiry,
+// cancellation) is not a fault: the reference fallback then runs only
+// within Options.FallbackBudget, because the caller asked for bounded
+// time, and otherwise the conv.ErrDeadline-wrapped error is returned.
+func (p *Plan) execChecked(ctx context.Context, in, filter, out *tensor.Tensor, nchw, accumulate bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancellable := ctx.Done() != nil
+	if cancellable && ctx.Err() != nil {
+		return deadlineErr(ctx)
+	}
 	injecting := faultinject.Enabled()
 	var prev []float32
-	if accumulate && injecting {
+	if accumulate && (injecting || cancellable || p.opts.CheckNumerics) {
 		prev = append([]float32(nil), out.Data...)
 	}
-	err := p.run(in.Data, filter.Data, out.Data, nchw, accumulate)
+	err := p.run(ctx, in.Data, filter.Data, out.Data, nchw, accumulate)
 	if err == nil && injecting {
 		if idx, ok := faultinject.Take(faultinject.NaNPoison); ok && len(out.Data) > 0 {
 			if idx < 0 || idx >= len(out.Data) {
@@ -102,11 +156,10 @@ func (p *Plan) execChecked(in, filter, out *tensor.Tensor, nchw, accumulate bool
 			}
 			out.Data[idx] = float32(math.NaN())
 		}
-		for i, v := range out.Data {
-			if f64 := float64(v); math.IsNaN(f64) || math.IsInf(f64, 0) {
-				err = fmt.Errorf("%w: non-finite output at element %d", ErrExecFault, i)
-				break
-			}
+	}
+	if err == nil && (injecting || p.opts.CheckNumerics) {
+		if i, bad := scanNonFinite(out.Data); bad {
+			err = fmt.Errorf("%w: non-finite output at element %d", ErrExecFault, i)
 		}
 	}
 	if err == nil {
@@ -118,8 +171,28 @@ func (p *Plan) execChecked(in, filter, out *tensor.Tensor, nchw, accumulate bool
 		// recovered. Surface the fault instead of guessing.
 		return fmt.Errorf("%w: %v", ErrExecFault, err)
 	}
-	Logf("core: optimised path faulted on %v; recomputing on reference path: %v", p.Shape, err)
-	p.fallbackReference(in, filter, out, nchw, accumulate, prev)
+	if errors.Is(err, conv.ErrDeadline) {
+		if p.opts.FallbackBudget <= 0 {
+			return err
+		}
+		fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), p.opts.FallbackBudget)
+		defer cancel()
+		Logf("core: optimised path abandoned on %v; recomputing on reference path within %v: %v",
+			p.Shape, p.opts.FallbackBudget, err)
+		if ferr := p.fallbackReferenceCtx(fctx, in, filter, out, nchw, accumulate, prev); ferr != nil {
+			return err // fallback budget exhausted too: report the original deadline
+		}
+	} else {
+		Logf("core: optimised path faulted on %v; recomputing on reference path: %v", p.Shape, err)
+		p.fallbackReference(in, filter, out, nchw, accumulate, prev)
+	}
+	if p.opts.CheckNumerics {
+		// The reference path cannot repair non-finite inputs or genuine
+		// overflow: surface them instead of returning a poisoned tensor.
+		if i, bad := scanNonFinite(out.Data); bad {
+			return fmt.Errorf("%w: non-finite output at element %d after reference fallback", ErrExecFault, i)
+		}
+	}
 	return nil
 }
 
@@ -127,12 +200,35 @@ func (p *Plan) execChecked(in, filter, out *tensor.Tensor, nchw, accumulate bool
 // applies the plan's epilogue, reproducing exactly what a fault-free
 // optimised run would have stored.
 func (p *Plan) fallbackReference(in, filter, out *tensor.Tensor, nchw, accumulate bool, prev []float32) {
-	s := p.Shape
-	refIn := in
-	if !nchw {
-		refIn = tensor.NHWCToNCHW(in)
+	ref := conv.Reference(p.Shape, p.refInput(in, nchw), filter)
+	p.applyFallback(ref, out, nchw, accumulate, prev)
+}
+
+// fallbackReferenceCtx is fallbackReference bounded by ctx: the
+// cancellable oracle polls the context between output rows, so a
+// deadline-abandoned execution does not trade an unbounded grid join
+// for an unbounded sequential recompute.
+func (p *Plan) fallbackReferenceCtx(ctx context.Context, in, filter, out *tensor.Tensor, nchw, accumulate bool, prev []float32) error {
+	ref, err := conv.ReferenceCtx(ctx, p.Shape, p.refInput(in, nchw), filter)
+	if err != nil {
+		return err
 	}
-	ref := conv.Reference(s, refIn, filter)
+	p.applyFallback(ref, out, nchw, accumulate, prev)
+	return nil
+}
+
+// refInput converts the input to the oracle's NCHW layout if needed.
+func (p *Plan) refInput(in *tensor.Tensor, nchw bool) *tensor.Tensor {
+	if nchw {
+		return in
+	}
+	return tensor.NHWCToNCHW(in)
+}
+
+// applyFallback stores the oracle's NKPQ result into out, replaying
+// accumulation and the plan's fused epilogue.
+func (p *Plan) applyFallback(ref *tensor.Tensor, out *tensor.Tensor, nchw, accumulate bool, prev []float32) {
+	s := p.Shape
 	if !nchw {
 		ref = tensor.NCHWToNHWC(ref) // NKPQ -> NPQK, the NHWC output layout
 	}
@@ -195,8 +291,14 @@ func (p *Plan) newScratch() *workerScratch {
 // channels × (PN × PH × PW) workers along batch/rows/column-tiles.
 // Every worker runs inside the parallel runtime's panic-recovery
 // shell; the first fault raises the grid's cooperative stop flag and
-// is returned after the join.
-func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) error {
+// is returned after the join. The join is bounded by ctx: on expiry
+// the grid is abandoned (stop flag up, stragglers leaked deliberately
+// and accounted in parallel.LeakedWorkers) and the returned error
+// wraps conv.ErrDeadline. Scratch buffers and stats are only
+// reclaimed once every worker — including abandoned ones — has
+// terminated, so a wedged goroutine can never scribble on a reused
+// buffer.
+func (p *Plan) run(ctx context.Context, in, filter, out []float32, nchw, accumulate bool) error {
 	s := p.Shape
 	q := s.Q()
 	qTiles := (q + p.RT.Vw - 1) / p.RT.Vw
@@ -208,8 +310,8 @@ func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) error {
 	wRanges := parallel.Split(qTiles, p.TM.PW)
 
 	var fs parallel.FaultSink
+	var g parallel.Group
 	workers := make([]*workerScratch, 0, len(kRanges)*len(nRanges)*len(hRanges)*len(wRanges))
-	var wg sync.WaitGroup
 	widx := 0
 	for _, kr := range kRanges {
 		kLo := kr.Lo * p.RT.Vk
@@ -223,32 +325,41 @@ func (p *Plan) run(in, filter, out []float32, nchw, accumulate bool) error {
 					ws := p.scratch.Get().(*workerScratch)
 					*ws.stats = Stats{}
 					workers = append(workers, ws)
-					wg.Add(1)
-					go func(w, kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch) {
-						defer wg.Done()
+					w, kLo, kHi, nr, hr, wr, ws := widx, kLo, kHi, nr, hr, wr, ws
+					g.Go(func() {
 						fs.Record(parallel.Protect(func() {
 							faultinject.Fire(faultinject.WorkerPanic, w)
+							faultinject.Stall(faultinject.WorkerStall, w)
 							p.worker(in, filter, out, nchw, accumulate, kLo, kHi, nr, hr, wr, ws, &fs)
 						}))
-					}(widx, kLo, kHi, nr, hr, wr, ws)
+					})
 					widx++
 				}
 			}
 		}
 	}
-	wg.Wait()
-
-	if p.opts.CollectStats {
-		p.Stats = Stats{}
+	// drain runs once every worker has terminated — immediately on a
+	// full join, on the detached monitor after an abandonment.
+	drain := func() {
+		if p.opts.CollectStats {
+			var st Stats
+			for _, ws := range workers {
+				st.TransformSec += ws.stats.TransformSec
+				st.PackSec += ws.stats.PackSec
+				st.KernelSec += ws.stats.KernelSec
+				st.StoreSec += ws.stats.StoreSec
+			}
+			p.statsMu.Lock()
+			p.lastStats = st
+			p.statsMu.Unlock()
+		}
 		for _, ws := range workers {
-			p.Stats.TransformSec += ws.stats.TransformSec
-			p.Stats.PackSec += ws.stats.PackSec
-			p.Stats.KernelSec += ws.stats.KernelSec
-			p.Stats.StoreSec += ws.stats.StoreSec
+			p.scratch.Put(ws)
 		}
 	}
-	for _, ws := range workers {
-		p.scratch.Put(ws)
+	if err := g.WaitCtx(ctx, drain); err != nil {
+		fs.Record(err) // raise the stop flag so surviving workers cancel
+		return fmt.Errorf("%w: %w", conv.ErrDeadline, err)
 	}
 	return fs.Err()
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ndirect/internal/conv"
@@ -24,6 +26,15 @@ import (
 // in the parallel group loop is logged and the groups recomputed
 // sequentially.
 func TryGroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	return TryGroupedConv2DCtx(context.Background(), s, groups, in, filter, opt)
+}
+
+// TryGroupedConv2DCtx is the context-bounded form of TryGroupedConv2D
+// with the deadline semantics of Plan.TryExecuteCtx: on expiry the
+// parallel group loop is abandoned and the error wraps
+// conv.ErrDeadline, unless Options.FallbackBudget grants the
+// sequential recompute time to finish (polled between groups).
+func TryGroupedConv2DCtx(ctx context.Context, s conv.Shape, groups int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
 	if groups < 1 || s.C%groups != 0 || s.K%groups != 0 {
 		return nil, fmt.Errorf("%w: groups=%d must divide C=%d and K=%d", conv.ErrBadShape, groups, s.C, s.K)
 	}
@@ -38,7 +49,7 @@ func TryGroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt O
 		return nil, err
 	}
 	if groups == 1 {
-		return TryConv2D(s, in, filter, opt)
+		return TryConv2DCtx(ctx, s, in, filter, opt)
 	}
 
 	gs := s // the per-group sub-problem
@@ -78,13 +89,27 @@ func TryGroupedConv2D(s conv.Shape, groups int, in, filter *tensor.Tensor, opt O
 			1, kg, p, q)
 		plan.Execute(inView, fView, outView)
 	}
-	if err := parallel.For(s.N*groups, threads, group); err != nil {
+	if err := parallel.ForCtx(ctx, s.N*groups, threads, group); err != nil {
+		fctx, cancel, derr := fallbackCtx(ctx, err, opt)
+		if derr != nil {
+			return nil, derr
+		}
+		defer cancel()
 		Logf("core: grouped parallel path faulted on %v (groups=%d); recomputing sequentially: %v", s, groups, err)
 		if err := parallel.Protect(func() {
 			for ng := 0; ng < s.N*groups; ng++ {
+				if fctx.Done() != nil && fctx.Err() != nil {
+					panic(deadlineErr(fctx))
+				}
 				group(ng)
 			}
 		}); err != nil {
+			var pe *parallel.PanicError
+			if errors.As(err, &pe) {
+				if de, ok := pe.Value.(error); ok && errors.Is(de, conv.ErrDeadline) {
+					return nil, de
+				}
+			}
 			return nil, fmt.Errorf("%w: %v", ErrExecFault, err)
 		}
 	}

@@ -22,6 +22,7 @@ package faultinject
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,7 +41,20 @@ const (
 	// index after the optimised kernels finish, exercising the
 	// numerical-fault detection and reference fallback.
 	NaNPoison = "nan-poison"
+	// WorkerStall blocks a parallel worker indefinitely at the armed
+	// index (until Reset, which tests defer; in production, forever) —
+	// the reproducible wedge behind the deadline/cancellation tests.
+	WorkerStall = "worker-stall"
 )
+
+// knownPoints is the registry parse validates against: arming a name
+// outside this set from the environment is a typo, not a new point.
+var knownPoints = map[string]bool{
+	WorkerPanic:     true,
+	ScheduleCorrupt: true,
+	NaNPoison:       true,
+	WorkerStall:     true,
+}
 
 type point struct {
 	arg   int // index to fire at; <0 matches any index
@@ -51,6 +65,7 @@ var (
 	mu      sync.Mutex
 	points  = map[string]*point{}
 	enabled atomic.Bool // mirrors len(points) > 0 for the lock-free fast path
+	stallC  chan struct{} // gate stalled workers block on; closed by Reset
 )
 
 func storeEnabled(v bool) { enabled.Store(v) }
@@ -64,7 +79,10 @@ func init() {
 	}
 }
 
-// parse arms points from the environment syntax documented above.
+// parse arms points from the environment syntax documented above. A
+// spec naming an unregistered point is a typo that would otherwise
+// create a point that never fires: it is skipped with a warning to
+// stderr instead of being armed, and the remaining specs still apply.
 func parse(env string) error {
 	for _, spec := range strings.Split(env, ",") {
 		spec = strings.TrimSpace(spec)
@@ -72,6 +90,12 @@ func parse(env string) error {
 			continue
 		}
 		name, rest, hasArg := strings.Cut(spec, "=")
+		if !knownPoints[name] {
+			fmt.Fprintf(os.Stderr,
+				"faultinject: skipping unknown point %q in NDIRECT_FAULTS (known: %s)\n",
+				name, strings.Join(KnownPoints(), ", "))
+			continue
+		}
 		arg, shots := -1, 1
 		if hasArg {
 			argStr, shotStr, hasShots := strings.Cut(rest, ":")
@@ -93,6 +117,16 @@ func parse(env string) error {
 	return nil
 }
 
+// KnownPoints returns the registered point names in sorted order.
+func KnownPoints() []string {
+	names := make([]string, 0, len(knownPoints))
+	for n := range knownPoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Arm arms the named point for one firing at index arg (arg < 0
 // matches any index).
 func Arm(name string, arg int) { ArmN(name, arg, 1) }
@@ -109,12 +143,17 @@ func ArmN(name string, arg, shots int) {
 	storeEnabled(len(points) > 0)
 }
 
-// Reset disarms every point. Tests defer this after arming.
+// Reset disarms every point and releases any worker blocked in a
+// worker-stall. Tests defer this after arming.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	clear(points)
 	storeEnabled(false)
+	if stallC != nil {
+		close(stallC)
+		stallC = nil
+	}
 }
 
 // Enabled reports whether any point is armed — the single-atomic-load
@@ -173,4 +212,22 @@ func Fire(name string, i int) {
 	if Should(name, i) {
 		panic(fmt.Sprintf("faultinject: %s fired at index %d", name, i))
 	}
+}
+
+// Stall blocks the calling goroutine if the named point is armed for
+// index i — until Reset releases it (which tests defer), or forever
+// when armed from the environment in a long-running process. It is
+// the reproducible worker wedge behind the deadline tests: the caller
+// is expected to be abandoned by a detached join, not to return.
+func Stall(name string, i int) {
+	if !Should(name, i) {
+		return
+	}
+	mu.Lock()
+	if stallC == nil {
+		stallC = make(chan struct{})
+	}
+	gate := stallC
+	mu.Unlock()
+	<-gate
 }

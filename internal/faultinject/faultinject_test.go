@@ -1,8 +1,10 @@
 package faultinject
 
 import (
+	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDisarmedIsInert(t *testing.T) {
@@ -143,5 +145,74 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 	// Empty segments are tolerated.
 	if err := parse(","); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A spec naming an unregistered point is a typo: it must be skipped
+// (never armed) while the valid specs in the same list still apply.
+func TestParseSkipsUnknownPoints(t *testing.T) {
+	defer Reset()
+	if err := parse("wrker-panic=0,nan-poison=3"); err != nil {
+		t.Fatal(err)
+	}
+	if Should("wrker-panic", 0) {
+		t.Fatal("misspelled point must not be armed")
+	}
+	if arg, ok := Take(NaNPoison); !ok || arg != 3 {
+		t.Fatalf("valid spec after the typo must still arm: %d, %v", arg, ok)
+	}
+}
+
+func TestParseUnknownOnlySpecArmsNothing(t *testing.T) {
+	defer Reset()
+	if err := parse("no-such-point"); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("an unknown-only spec must leave injection disabled")
+	}
+}
+
+func TestKnownPointsSortedAndComplete(t *testing.T) {
+	got := KnownPoints()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("KnownPoints not sorted: %v", got)
+	}
+	want := map[string]bool{WorkerPanic: true, ScheduleCorrupt: true, NaNPoison: true, WorkerStall: true}
+	if len(got) != len(want) {
+		t.Fatalf("KnownPoints = %v, want the %d registered names", got, len(want))
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("unexpected point %q", n)
+		}
+	}
+}
+
+// Stall must block an armed caller until Reset releases it, and must
+// be a no-op when disarmed or armed for a different index.
+func TestStallBlocksUntilReset(t *testing.T) {
+	defer Reset()
+	Stall(WorkerStall, 0) // disarmed: returns immediately
+
+	Arm(WorkerStall, 2)
+	Stall(WorkerStall, 1) // wrong index: returns immediately
+
+	Arm(WorkerStall, 2)
+	released := make(chan struct{})
+	go func() {
+		Stall(WorkerStall, 2)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("stalled goroutine must not run before Reset")
+	case <-time.After(20 * time.Millisecond):
+	}
+	Reset()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Reset must release the stalled goroutine")
 	}
 }

@@ -18,6 +18,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -73,6 +74,22 @@ type Engine struct {
 	// Schedules maps a conv shape key to a tuned Ansor schedule
 	// (filled by Tune; DefaultSchedule otherwise).
 	Schedules map[string]autotune.Schedule
+	// ConvBudget bounds each convolution layer's wall time (0 = no
+	// bound). A layer that exceeds it — a wedged worker, a
+	// pathological schedule — is abandoned and rerun on the nDirect
+	// backend (or, for nDirect itself, recomputed unbounded after the
+	// one-shot fault is consumed), so one stuck layer cannot wedge
+	// the whole forward pass.
+	ConvBudget time.Duration
+}
+
+// convCtx returns the per-layer execution context: Background when no
+// budget is configured (zero overhead), a timeout context otherwise.
+func (eng *Engine) convCtx() (context.Context, context.CancelFunc) {
+	if eng.ConvBudget <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), eng.ConvBudget)
 }
 
 func shapeKey(s conv.Shape) string {
@@ -234,10 +251,14 @@ func (c *ConvUnit) convPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) *tenso
 		return out
 	case AlgoAnsor:
 		out := s.NewOutput()
-		if err := autotune.Execute(s, eng.schedule(s), x, c.Weights, out, eng.Threads); err != nil {
-			// Graceful degradation: a bad tuned schedule (or a faulting
-			// executor) must not take the network down — rerun the layer
-			// on the nDirect backend.
+		ctx, cancel := eng.convCtx()
+		err := autotune.ExecuteCtx(ctx, s, eng.schedule(s), x, c.Weights, out, eng.Threads)
+		cancel()
+		if err != nil {
+			// Graceful degradation: a bad tuned schedule, a faulting
+			// executor, or a stalled worker past ConvBudget must not
+			// take the network down — rerun the layer on the nDirect
+			// backend (unbounded: the injected fault was consumed).
 			core.Logf("nn: ansor backend failed on %v; falling back to ndirect: %v", s, err)
 			return core.Conv2D(s, x, c.Weights, core.Options{Threads: eng.Threads})
 		}
@@ -249,8 +270,27 @@ func (c *ConvUnit) convPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) *tenso
 		out, _ := xnn.Conv2D(s, x, c.Weights, xnn.Options{Threads: eng.Threads})
 		return out
 	default:
-		return core.Conv2D(s, x, c.Weights, core.Options{Threads: eng.Threads})
+		return eng.ndirect(s, x, c.Weights, core.Options{Threads: eng.Threads})
 	}
+}
+
+// ndirect runs the nDirect backend under the engine's ConvBudget: the
+// parallel grid is abandoned on expiry and the layer recomputed
+// unbounded (the wedged goroutines are accounted in
+// parallel.LeakedWorkers; the forward pass itself stays bounded by
+// roughly 2× the layer budget).
+func (eng *Engine) ndirect(s conv.Shape, x, w *tensor.Tensor, opt core.Options) *tensor.Tensor {
+	ctx, cancel := eng.convCtx()
+	defer cancel()
+	if ctx.Done() == nil {
+		return core.Conv2D(s, x, w, opt)
+	}
+	out, err := core.TryConv2DCtx(ctx, s, x, w, opt)
+	if err != nil {
+		core.Logf("nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
+		return core.Conv2D(s, x, w, opt)
+	}
+	return out
 }
 
 // convFused runs conv with bias+ReLU folded into the output pass.
@@ -264,10 +304,13 @@ func (c *ConvUnit) convFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *ten
 		if c.ReLU {
 			ep = core.EpilogueBiasReLU
 		}
-		return core.Conv2D(s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+		return eng.ndirect(s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
 	case AlgoAnsor:
 		out := s.NewOutput()
-		if err := autotune.ExecuteFused(s, eng.schedule(s), x, w, out, eng.Threads, b, c.ReLU); err != nil {
+		ctx, cancel := eng.convCtx()
+		err := autotune.ExecuteFusedCtx(ctx, s, eng.schedule(s), x, w, out, eng.Threads, b, c.ReLU)
+		cancel()
+		if err != nil {
 			core.Logf("nn: ansor backend failed on %v; falling back to ndirect: %v", s, err)
 			ep := core.EpilogueBias
 			if c.ReLU {

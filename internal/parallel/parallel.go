@@ -140,6 +140,7 @@ func For(n, p int, body func(i int)) error {
 	runChunk := func(w int, c Range) {
 		fs.Record(Protect(func() {
 			faultinject.Fire(faultinject.WorkerPanic, w)
+			faultinject.Stall(faultinject.WorkerStall, w)
 			for i := c.Lo; i < c.Hi; i++ {
 				if fs.Stopped() {
 					return
@@ -180,6 +181,7 @@ func ForRange(n, p int, body func(worker int, r Range)) error {
 	runChunk := func(w int, c Range) {
 		fs.Record(Protect(func() {
 			faultinject.Fire(faultinject.WorkerPanic, w)
+			faultinject.Stall(faultinject.WorkerStall, w)
 			if fs.Stopped() {
 				return
 			}
@@ -240,6 +242,7 @@ func (g Grid2D) ForGrid(body func(kWorker, nWorker int)) error {
 	runCell := func(w, k, n int) {
 		fs.Record(Protect(func() {
 			faultinject.Fire(faultinject.WorkerPanic, w)
+			faultinject.Stall(faultinject.WorkerStall, w)
 			if fs.Stopped() {
 				return
 			}

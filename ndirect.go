@@ -27,6 +27,7 @@
 package ndirect
 
 import (
+	"context"
 	"fmt"
 
 	"ndirect/internal/autotune"
@@ -58,7 +59,20 @@ var (
 	// ErrWorkerPanic: a panic recovered inside a parallel worker and
 	// converted into an error by the fault-tolerant runtime.
 	ErrWorkerPanic = parallel.ErrWorkerPanic
+	// ErrDeadline: a *Ctx execution abandoned because its context
+	// expired before the thread grid finished. Errors wrapping it
+	// also wrap the context's cause, so both
+	// errors.Is(err, ErrDeadline) and
+	// errors.Is(err, context.DeadlineExceeded) hold.
+	ErrDeadline = conv.ErrDeadline
+	// ErrCanceled: the parallel runtime's sentinel for a worker group
+	// abandoned on cancellation (wrapped by ErrDeadline errors).
+	ErrCanceled = parallel.ErrCanceled
 )
+
+// LeakedWorkers reports worker goroutines abandoned by expired-context
+// joins that are still running; see parallel.LeakedWorkers.
+func LeakedWorkers() int64 { return parallel.LeakedWorkers() }
 
 // Shape describes a convolution in the paper's notation: input
 // I[N][C][H][W], filter F[K][C][R][S], stride Str and symmetric zero
@@ -137,6 +151,17 @@ func TryConv2D(s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
 	return core.TryConv2D(s, in, filter, opt)
 }
 
+// TryConv2DCtx is TryConv2D bounded by ctx: when the context expires
+// before the thread grid finishes, the run is abandoned (cooperative
+// stop flag plus a detached join — see DESIGN.md §5) and the error
+// wraps both ErrDeadline and the context's cause. With a positive
+// Options.FallbackBudget the result is instead recomputed on the
+// reference path within that budget. A context without a deadline
+// costs nothing.
+func TryConv2DCtx(ctx context.Context, s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryConv2DCtx(ctx, s, in, filter, opt)
+}
+
 // Conv2DNHWC convolves an NHWC input with a KCRS filter, returning an
 // NPQK (NHWC) output — no activation layout conversion is performed
 // in either direction.
@@ -147,6 +172,11 @@ func Conv2DNHWC(s Shape, in, filter *Tensor, opt Options) *Tensor {
 // TryConv2DNHWC is the checked form of Conv2DNHWC.
 func TryConv2DNHWC(s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
 	return core.TryConv2DNHWC(s, in, filter, opt)
+}
+
+// TryConv2DNHWCCtx is TryConv2DNHWC bounded by ctx (see TryConv2DCtx).
+func TryConv2DNHWCCtx(ctx context.Context, s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryConv2DNHWCCtx(ctx, s, in, filter, opt)
 }
 
 // DepthwiseConv2D computes a per-channel (depthwise) convolution:
@@ -160,6 +190,12 @@ func TryDepthwiseConv2D(s Shape, in, filter *Tensor, opt Options) (*Tensor, erro
 	return core.TryDepthwiseConv2D(s, in, filter, opt)
 }
 
+// TryDepthwiseConv2DCtx is TryDepthwiseConv2D bounded by ctx (see
+// TryConv2DCtx).
+func TryDepthwiseConv2DCtx(ctx context.Context, s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryDepthwiseConv2DCtx(ctx, s, in, filter, opt)
+}
+
 // PointwiseConv2D computes the 1×1 convolution of a depthwise-
 // separable block through the standard nDirect path.
 func PointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) *Tensor {
@@ -169,6 +205,12 @@ func PointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) *Tensor
 // TryPointwiseConv2D is the checked form of PointwiseConv2D.
 func TryPointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) (*Tensor, error) {
 	return core.TryPointwiseConv2D(n, c, h, w, k, in, filter, opt)
+}
+
+// TryPointwiseConv2DCtx is TryPointwiseConv2D bounded by ctx (see
+// TryConv2DCtx).
+func TryPointwiseConv2DCtx(ctx context.Context, n, c, h, w, k int, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryPointwiseConv2DCtx(ctx, n, c, h, w, k, in, filter, opt)
 }
 
 // GroupedConv2D convolves in `groups` independent channel groups
@@ -181,6 +223,12 @@ func GroupedConv2D(s Shape, groups int, in, filter *Tensor, opt Options) *Tensor
 // TryGroupedConv2D is the checked form of GroupedConv2D.
 func TryGroupedConv2D(s Shape, groups int, in, filter *Tensor, opt Options) (*Tensor, error) {
 	return core.TryGroupedConv2D(s, groups, in, filter, opt)
+}
+
+// TryGroupedConv2DCtx is TryGroupedConv2D bounded by ctx (see
+// TryConv2DCtx).
+func TryGroupedConv2DCtx(ctx context.Context, s Shape, groups int, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryGroupedConv2DCtx(ctx, s, groups, in, filter, opt)
 }
 
 // Shape3D describes a 3-D convolution (§10.2): input [N,C,D,H,W],
@@ -198,6 +246,11 @@ func TryConv3D(s Shape3D, in, filter *Tensor, opt Options) (*Tensor, error) {
 	return core.TryConv3D(s, in, filter, opt)
 }
 
+// TryConv3DCtx is TryConv3D bounded by ctx (see TryConv2DCtx).
+func TryConv3DCtx(ctx context.Context, s Shape3D, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryConv3DCtx(ctx, s, in, filter, opt)
+}
+
 // Conv2D64 is the FP64 variant (§3.3): same algorithm with the
 // 2-lane-per-register geometry plugged into the analytical models.
 // in and filter are flat NCHW/KCRS float64 buffers; the NKPQ result
@@ -211,6 +264,11 @@ func TryConv2D64(s Shape, in, filter []float64, opt Options) ([]float64, error) 
 	return core.TryConv2D64(s, in, filter, opt)
 }
 
+// TryConv2D64Ctx is TryConv2D64 bounded by ctx (see TryConv2DCtx).
+func TryConv2D64Ctx(ctx context.Context, s Shape, in, filter []float64, opt Options) ([]float64, error) {
+	return core.TryConv2D64Ctx(ctx, s, in, filter, opt)
+}
+
 // Conv2DInt16 is the quantised variant (§3.3): int16 activations and
 // weights with int32 accumulation (the NEON widening-MAC pattern),
 // returning the raw NKPQ accumulators for the caller to requantise.
@@ -221,6 +279,12 @@ func Conv2DInt16(s Shape, in, filter []int16, opt Options) []int32 {
 // TryConv2DInt16 is the checked form of Conv2DInt16.
 func TryConv2DInt16(s Shape, in, filter []int16, opt Options) ([]int32, error) {
 	return core.TryConv2DInt16(s, in, filter, opt)
+}
+
+// TryConv2DInt16Ctx is TryConv2DInt16 bounded by ctx (see
+// TryConv2DCtx).
+func TryConv2DInt16Ctx(ctx context.Context, s Shape, in, filter []int16, opt Options) ([]int32, error) {
+	return core.TryConv2DInt16Ctx(ctx, s, in, filter, opt)
 }
 
 // Reference computes the convolution with the naive seven-loop
