@@ -2,11 +2,13 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"time"
 
 	"ndirect/internal/conv"
+	"ndirect/internal/parallel"
 )
 
 // TuneOptions configure the evolutionary search. The defaults mirror
@@ -115,6 +117,14 @@ func Tune(s conv.Shape, opt TuneOptions) Result {
 				// it as unusable so the search never re-measures or
 				// breeds from it, and move on instead of aborting (or
 				// hanging) the run.
+				if errors.Is(err, parallel.ErrCanceled) {
+					// The timed-out candidate's abandoned workers may
+					// still store into the shared output tensor whenever
+					// they resume; hand subsequent measurements a fresh
+					// one so they never race with (or get skewed by) the
+					// stragglers.
+					out = ts.NewOutput()
+				}
 				seen[sch] = 1e30
 				return 1e30
 			}

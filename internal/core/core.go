@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndirect/internal/conv"
@@ -96,9 +97,14 @@ type Options struct {
 	// deadline error wrapping conv.ErrDeadline is returned as-is —
 	// while a positive value lets the driver spend up to that long
 	// recomputing the result on the naive reference path, returning a
-	// correct output and a nil error when it finishes in time. It does
-	// not affect fault (panic / NaN) fallbacks, which remain unbounded
-	// as in the context-free path.
+	// correct output and a nil error when it finishes in time. The
+	// budget also covers a context that is already expired at the call
+	// boundary. Because the abandoned grid's stragglers may still
+	// store into the output array they captured, the fallback always
+	// publishes through a fresh allocation (the plan entry points swap
+	// it into out.Data; the one-shot drivers return it). It does not
+	// affect fault (panic / NaN) fallbacks, which remain unbounded as
+	// in the context-free path.
 	FallbackBudget time.Duration
 }
 
@@ -142,16 +148,18 @@ type Plan struct {
 	kind     kernelKind
 	scratch  sync.Pool // *workerScratch, reused across Execute calls
 
-	statsMu   sync.Mutex
-	lastStats Stats // most recent completed run, under CollectStats
+	runSeq       atomic.Uint64 // stamps each run for stats ordering
+	statsMu      sync.Mutex
+	lastStats    Stats  // most recent run's stats, under CollectStats
+	lastStatsSeq uint64 // runSeq stamp of lastStats, under statsMu
 }
 
-// LastStats returns the per-stage times of the most recent completed
-// Execute when Options.CollectStats is set. Safe against concurrent
-// Execute calls on the same plan: each run replaces the stored value
-// under a lock once all of its workers have terminated (for a
-// deadline-abandoned run that is when the stragglers finally exit,
-// and the recorded times then cover only the partial work done).
+// LastStats returns the per-stage times of the most recent run when
+// Options.CollectStats is set. Safe against concurrent Execute calls
+// on the same plan: each run replaces the stored value under a lock
+// once all of its workers have terminated, and runs are stamped with a
+// sequence number so a deadline-abandoned run whose stragglers exit
+// late never overwrites the snapshot of a newer completed run.
 func (p *Plan) LastStats() Stats {
 	p.statsMu.Lock()
 	defer p.statsMu.Unlock()

@@ -107,6 +107,155 @@ func TestTryExecuteCtxFallsBackToReferenceWithinBudget(t *testing.T) {
 	waitNoLeakedWorkers(t)
 }
 
+// The deadline fallback must publish its result through a fresh
+// backing array: the abandoned grid's stragglers still hold the old
+// one and may store tiles into it whenever they resume, so reusing it
+// could corrupt a nil-error result.
+func TestDeadlineFallbackPublishesFreshArray(t *testing.T) {
+	captureLog(t)
+	defer faultinject.Reset()
+	s := faultShape()
+	in, filter := faultOperands(s)
+	want := conv.Reference(s, in, filter)
+	plan := NewPlan(s, Options{Threads: 4, FallbackBudget: 10 * time.Second})
+	out := s.NewOutput()
+	old := out.Data
+
+	faultinject.Arm(faultinject.WorkerStall, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := plan.TryExecuteCtx(ctx, in, filter, out); err != nil {
+		t.Fatalf("fallback within budget must succeed: %v", err)
+	}
+	if len(out.Data) > 0 && &out.Data[0] == &old[0] {
+		t.Fatal("fallback reused the abandoned grid's backing array")
+	}
+	if d := tensor.RelDiff(want, out); d > 1e-7 {
+		t.Fatalf("fallback output diverges from reference: rel diff %g", d)
+	}
+	// Release the straggler: whatever it scribbles on the old array,
+	// the returned tensor must stay correct.
+	faultinject.Reset()
+	waitNoLeakedWorkers(t)
+	if d := tensor.RelDiff(want, out); d > 1e-7 {
+		t.Fatalf("resumed straggler corrupted the result: rel diff %g", d)
+	}
+}
+
+// A context that is already expired at the call boundary still gets
+// the documented FallbackBudget recompute instead of a fast-fail
+// error.
+func TestTryExecuteCtxExpiredContextStillFallsBack(t *testing.T) {
+	captureLog(t)
+	s := faultShape()
+	in, filter := faultOperands(s)
+	want := conv.Reference(s, in, filter)
+	plan := NewPlan(s, Options{Threads: 2, FallbackBudget: 10 * time.Second})
+	out := s.NewOutput()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if err := plan.TryExecuteCtx(ctx, in, filter, out); err != nil {
+		t.Fatalf("FallbackBudget must cover the already-expired boundary: %v", err)
+	}
+	if d := tensor.RelDiff(want, out); d > 1e-7 {
+		t.Fatalf("boundary fallback diverges from reference: rel diff %g", d)
+	}
+}
+
+// The depthwise and grouped drivers must run their budgeted sequential
+// fallback on a fresh tensor (the abandoned workers captured the old
+// one) and still return a correct result.
+func TestDepthwiseGroupedFallbackFreshOutput(t *testing.T) {
+	captureLog(t)
+	s := conv.Shape{N: 2, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+
+	t.Run("depthwise", func(t *testing.T) {
+		defer faultinject.Reset()
+		in := s.NewInput()
+		in.FillRandom(1)
+		filter := tensor.New(s.C, s.R, s.S)
+		filter.FillRandom(2)
+		want, err := TryDepthwiseConv2D(s, in, filter, Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Arm(faultinject.WorkerStall, 0)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		got, err := TryDepthwiseConv2DCtx(ctx, s, in, filter,
+			Options{Threads: 4, FallbackBudget: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("bounded depthwise fallback must succeed: %v", err)
+		}
+		faultinject.Reset()
+		waitNoLeakedWorkers(t)
+		if d := tensor.RelDiff(want, got); d > 1e-7 {
+			t.Fatalf("depthwise fallback diverges: rel diff %g", d)
+		}
+	})
+
+	t.Run("grouped", func(t *testing.T) {
+		defer faultinject.Reset()
+		in := s.NewInput()
+		in.FillRandom(3)
+		filter := tensor.New(s.K, s.C/2, s.R, s.S)
+		filter.FillRandom(4)
+		want, err := TryGroupedConv2D(s, 2, in, filter, Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Arm(faultinject.WorkerStall, 0)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		got, err := TryGroupedConv2DCtx(ctx, s, 2, in, filter,
+			Options{Threads: 4, FallbackBudget: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("bounded grouped fallback must succeed: %v", err)
+		}
+		faultinject.Reset()
+		waitNoLeakedWorkers(t)
+		if d := tensor.RelDiff(want, got); d > 1e-7 {
+			t.Fatalf("grouped fallback diverges: rel diff %g", d)
+		}
+	})
+}
+
+// A deadline-abandoned run's stragglers can drain after a newer run
+// already completed; their partial stats must not overwrite the newer
+// run's LastStats snapshot.
+func TestStragglerStatsDoNotOverwriteNewerRun(t *testing.T) {
+	captureLog(t)
+	defer faultinject.Reset()
+	s := faultShape()
+	in, filter := faultOperands(s)
+	plan := NewPlan(s, Options{Threads: 4, CollectStats: true})
+
+	faultinject.Arm(faultinject.WorkerStall, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	out := s.NewOutput()
+	if err := plan.TryExecuteCtx(ctx, in, filter, out); !errors.Is(err, conv.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	// A newer run completes while the abandoned run's straggler is
+	// still stalled.
+	out2 := s.NewOutput()
+	if err := plan.TryExecute(in, filter, out2); err != nil {
+		t.Fatal(err)
+	}
+	snap := plan.LastStats()
+	// Release the straggler: its late drain must not replace the newer
+	// snapshot with the abandoned run's partial stats.
+	faultinject.Reset()
+	waitNoLeakedWorkers(t)
+	time.Sleep(100 * time.Millisecond) // let the detached drain fire
+	if got := plan.LastStats(); got != snap {
+		t.Fatalf("stale straggler stats overwrote the newer run: got %+v, want %+v", got, snap)
+	}
+}
+
 // An exhausted FallbackBudget reports the original deadline error
 // rather than hanging in the sequential oracle.
 func TestTryExecuteCtxFallbackBudgetExhausted(t *testing.T) {

@@ -73,6 +73,14 @@ func TryDepthwiseConv2DCtx(ctx context.Context, s conv.Shape, in, filter *tensor
 		}
 		defer cancel()
 		Logf("core: depthwise parallel path faulted on %v; recomputing sequentially: %v", s, err)
+		if errors.Is(err, parallel.ErrCanceled) {
+			// The abandoned plane workers captured the current out and
+			// may still store into it whenever they resume: recompute
+			// into a fresh tensor they have never seen (plane writes
+			// through the rebound variable) and leave the old
+			// allocation to the stragglers.
+			out = tensor.New(s.N, s.C, p, q)
+		}
 		if err := parallel.Protect(func() {
 			for nc := 0; nc < s.N*s.C; nc++ {
 				if fctx.Done() != nil && fctx.Err() != nil {

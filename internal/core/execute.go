@@ -35,8 +35,12 @@ func (p *Plan) TryExecute(in, filter, out *tensor.Tensor) error {
 // With Options.FallbackBudget > 0 the driver instead spends up to that
 // extra budget recomputing the result on the naive reference path,
 // returning a correct output and a nil error when it finishes in time.
-// A context without a deadline or cancellation behaves exactly like
-// TryExecute (same join, no extra goroutines).
+// Because abandoned workers may still store tiles into the array they
+// captured whenever they resume, the fallback result is published by
+// swapping a freshly allocated array into out.Data — callers holding
+// an alias of the previous backing slice must re-read out.Data after a
+// deadline fallback. A context without a deadline or cancellation
+// behaves exactly like TryExecute (same join, no extra goroutines).
 func (p *Plan) TryExecuteCtx(ctx context.Context, in, filter, out *tensor.Tensor) error {
 	if err := conv.ValidateOperands(p.Shape, in, filter); err != nil {
 		return err
@@ -141,7 +145,17 @@ func (p *Plan) execChecked(ctx context.Context, in, filter, out *tensor.Tensor, 
 	}
 	cancellable := ctx.Done() != nil
 	if cancellable && ctx.Err() != nil {
-		return deadlineErr(ctx)
+		// Fast fail before any work is spawned — but the FallbackBudget
+		// contract still holds at the boundary: a deadline miss grants
+		// the reference path its bounded recompute.
+		if p.opts.FallbackBudget <= 0 {
+			return deadlineErr(ctx)
+		}
+		var prev []float32
+		if accumulate {
+			prev = append([]float32(nil), out.Data...)
+		}
+		return p.deadlineFallback(ctx, in, filter, out, nchw, accumulate, prev, deadlineErr(ctx))
 	}
 	injecting := faultinject.Enabled()
 	var prev []float32
@@ -175,16 +189,34 @@ func (p *Plan) execChecked(ctx context.Context, in, filter, out *tensor.Tensor, 
 		if p.opts.FallbackBudget <= 0 {
 			return err
 		}
-		fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), p.opts.FallbackBudget)
-		defer cancel()
-		Logf("core: optimised path abandoned on %v; recomputing on reference path within %v: %v",
-			p.Shape, p.opts.FallbackBudget, err)
-		if ferr := p.fallbackReferenceCtx(fctx, in, filter, out, nchw, accumulate, prev); ferr != nil {
-			return err // fallback budget exhausted too: report the original deadline
+		return p.deadlineFallback(ctx, in, filter, out, nchw, accumulate, prev, err)
+	}
+	Logf("core: optimised path faulted on %v; recomputing on reference path: %v", p.Shape, err)
+	p.fallbackReference(in, filter, out, nchw, accumulate, prev)
+	if p.opts.CheckNumerics {
+		// The reference path cannot repair non-finite inputs or genuine
+		// overflow: surface them instead of returning a poisoned tensor.
+		if i, bad := scanNonFinite(out.Data); bad {
+			return fmt.Errorf("%w: non-finite output at element %d after reference fallback", ErrExecFault, i)
 		}
-	} else {
-		Logf("core: optimised path faulted on %v; recomputing on reference path: %v", p.Shape, err)
-		p.fallbackReference(in, filter, out, nchw, accumulate, prev)
+	}
+	return nil
+}
+
+// deadlineFallback spends Options.FallbackBudget recomputing the
+// result on the reference path after a blown deadline. On success the
+// caller receives a correct tensor and a nil error; an exhausted
+// budget reports origErr (the original deadline error) instead. The
+// recompute publishes through a fresh backing array (see
+// fallbackReferenceCtx): the abandoned grid may still write the old
+// one.
+func (p *Plan) deadlineFallback(ctx context.Context, in, filter, out *tensor.Tensor, nchw, accumulate bool, prev []float32, origErr error) error {
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), p.opts.FallbackBudget)
+	defer cancel()
+	Logf("core: optimised path abandoned on %v; recomputing on reference path within %v: %v",
+		p.Shape, p.opts.FallbackBudget, origErr)
+	if ferr := p.fallbackReferenceCtx(fctx, in, filter, out, nchw, accumulate, prev); ferr != nil {
+		return origErr
 	}
 	if p.opts.CheckNumerics {
 		// The reference path cannot repair non-finite inputs or genuine
@@ -198,22 +230,30 @@ func (p *Plan) execChecked(ctx context.Context, in, filter, out *tensor.Tensor, 
 
 // fallbackReference recomputes the convolution with conv.Reference and
 // applies the plan's epilogue, reproducing exactly what a fault-free
-// optimised run would have stored.
+// optimised run would have stored. It writes out.Data in place, which
+// is safe only because the fault path joins every worker before the
+// fallback runs.
 func (p *Plan) fallbackReference(in, filter, out *tensor.Tensor, nchw, accumulate bool, prev []float32) {
 	ref := conv.Reference(p.Shape, p.refInput(in, nchw), filter)
-	p.applyFallback(ref, out, nchw, accumulate, prev)
+	p.applyFallback(ref, out.Data, nchw, accumulate, prev)
 }
 
 // fallbackReferenceCtx is fallbackReference bounded by ctx: the
 // cancellable oracle polls the context between output rows, so a
 // deadline-abandoned execution does not trade an unbounded grid join
-// for an unbounded sequential recompute.
+// for an unbounded sequential recompute. Unlike the fault path, the
+// deadline path abandons its grid, and a straggler that resumes can
+// still store tiles into the array it captured — so the result is
+// computed into a fresh allocation swapped into out.Data, leaving the
+// old array to the stragglers and never reading it again.
 func (p *Plan) fallbackReferenceCtx(ctx context.Context, in, filter, out *tensor.Tensor, nchw, accumulate bool, prev []float32) error {
 	ref, err := conv.ReferenceCtx(ctx, p.Shape, p.refInput(in, nchw), filter)
 	if err != nil {
 		return err
 	}
-	p.applyFallback(ref, out, nchw, accumulate, prev)
+	fresh := make([]float32, len(out.Data))
+	p.applyFallback(ref, fresh, nchw, accumulate, prev)
+	out.Data = fresh
 	return nil
 }
 
@@ -225,15 +265,15 @@ func (p *Plan) refInput(in *tensor.Tensor, nchw bool) *tensor.Tensor {
 	return tensor.NHWCToNCHW(in)
 }
 
-// applyFallback stores the oracle's NKPQ result into out, replaying
+// applyFallback stores the oracle's NKPQ result into dst, replaying
 // accumulation and the plan's fused epilogue.
-func (p *Plan) applyFallback(ref *tensor.Tensor, out *tensor.Tensor, nchw, accumulate bool, prev []float32) {
+func (p *Plan) applyFallback(ref *tensor.Tensor, dst []float32, nchw, accumulate bool, prev []float32) {
 	s := p.Shape
 	if !nchw {
 		ref = tensor.NCHWToNHWC(ref) // NKPQ -> NPQK, the NHWC output layout
 	}
 	pp, q := s.P(), s.Q()
-	for i := range out.Data {
+	for i := range dst {
 		v := ref.Data[i]
 		if accumulate {
 			v += prev[i]
@@ -257,7 +297,7 @@ func (p *Plan) applyFallback(ref *tensor.Tensor, out *tensor.Tensor, nchw, accum
 				v = 0
 			}
 		}
-		out.Data[i] = v
+		dst[i] = v
 	}
 }
 
@@ -340,6 +380,7 @@ func (p *Plan) run(ctx context.Context, in, filter, out []float32, nchw, accumul
 	}
 	// drain runs once every worker has terminated — immediately on a
 	// full join, on the detached monitor after an abandonment.
+	seq := p.runSeq.Add(1)
 	drain := func() {
 		if p.opts.CollectStats {
 			var st Stats
@@ -350,7 +391,13 @@ func (p *Plan) run(ctx context.Context, in, filter, out []float32, nchw, accumul
 				st.StoreSec += ws.stats.StoreSec
 			}
 			p.statsMu.Lock()
-			p.lastStats = st
+			// An abandoned run drains only when its stragglers finally
+			// exit, possibly after a newer run already completed: never
+			// let the stale partial stats overwrite the newer snapshot.
+			if seq > p.lastStatsSeq {
+				p.lastStats = st
+				p.lastStatsSeq = seq
+			}
 			p.statsMu.Unlock()
 		}
 		for _, ws := range workers {

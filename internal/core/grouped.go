@@ -96,6 +96,14 @@ func TryGroupedConv2DCtx(ctx context.Context, s conv.Shape, groups int, in, filt
 		}
 		defer cancel()
 		Logf("core: grouped parallel path faulted on %v (groups=%d); recomputing sequentially: %v", s, groups, err)
+		if errors.Is(err, parallel.ErrCanceled) {
+			// The abandoned group workers captured the current out and
+			// may still store into it whenever they resume: recompute
+			// into a fresh tensor they have never seen (group writes
+			// through the rebound variable) and leave the old
+			// allocation to the stragglers.
+			out = s.NewOutput()
+		}
 		if err := parallel.Protect(func() {
 			for ng := 0; ng < s.N*groups; ng++ {
 				if fctx.Done() != nil && fctx.Err() != nil {
