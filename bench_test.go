@@ -17,6 +17,7 @@ import (
 	"ndirect/internal/core"
 	"ndirect/internal/hw"
 	"ndirect/internal/im2col"
+	"ndirect/internal/nn"
 	"ndirect/internal/tensor"
 	"ndirect/internal/xnn"
 	"ndirect/internal/xsmm"
@@ -361,5 +362,52 @@ func BenchmarkPublicDepthwise(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.DepthwiseConv2D(s, in, f, core.Options{Threads: 1})
+	}
+}
+
+// --- Inference serving: the cross-call reuse layer ---
+
+// BenchmarkEngineSteadyState measures repeated nn forwards over a
+// reduced ResNet-style conv stack, with the engine's reuse layer off
+// (the seed path: every call re-solves the Eq. 1–6 plan, re-runs the
+// on-the-fly filter transform and allocates fresh activations) and on
+// (plan cache + pre-transformed weights + activation buffer pool).
+// Outputs are bit-identical; allocs/op and ns/op drop in cached mode.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	unit := func(name string, c, k, hw, rs, str, pad int) *nn.ConvUnit {
+		shape := conv.Shape{N: 1, C: c, H: hw, W: hw, K: k, R: rs, S: rs, Str: str, Pad: pad}
+		w := shape.NewFilter()
+		w.FillRandom(int64(c*100 + k))
+		return &nn.ConvUnit{LayerName: name, Shape: shape, Weights: w, ReLU: true}
+	}
+	// A bottleneck-shaped stack at reduced width (ResNet-50 stage-3
+	// structure: 1x1 reduce -> 3x3 -> 1x1 expand) plus head and pool.
+	net := &nn.Network{Name: "steady", Layers: []nn.Layer{
+		unit("conv1", 3, 16, 56, 3, 2, 1),
+		unit("b_1x1a", 16, 8, 28, 1, 1, 0),
+		unit("b_3x3", 8, 8, 28, 3, 1, 1),
+		unit("b_1x1b", 8, 32, 28, 1, 1, 0),
+		nn.GlobalAvgPool{},
+	}}
+	x := tensor.New(1, 3, 56, 56)
+	x.FillRandom(9)
+
+	for _, mode := range []struct {
+		name  string
+		reuse bool
+	}{{"uncached", false}, {"cached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := &nn.Engine{Algo: nn.AlgoNDirect, Threads: 1, Reuse: mode.reuse}
+			if _, err := net.TryForward(eng, x); err != nil { // warm caches
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.TryForward(eng, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

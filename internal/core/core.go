@@ -106,6 +106,14 @@ type Options struct {
 	// affect fault (panic / NaN) fallbacks, which remain unbounded as
 	// in the context-free path.
 	FallbackBudget time.Duration
+	// PlanCache, when non-nil, makes the one-shot entry points
+	// (TryConv2D and friends, the NHWC/grouped/pointwise forms) fetch
+	// their plan from the cache instead of re-solving the Equation 1–6
+	// analytical models per call — the cross-call amortisation a
+	// serving workload wants. Nil (the default) keeps the seed
+	// behaviour: a fresh plan per call. The field itself is not part
+	// of the cache key.
+	PlanCache *PlanCache
 }
 
 // kernelKind selects the main micro-kernel implementation.
@@ -311,7 +319,7 @@ func NewPlan(s conv.Shape, opt Options) *Plan {
 // conv.ErrBadShape, ErrBadOptions or conv.ErrDimMismatch; the
 // function never panics.
 func TryConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
-	p, err := TryNewPlan(s, opt)
+	p, err := planFor(s, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +339,7 @@ func TryConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Te
 // and the context's cause — unless Options.FallbackBudget grants the
 // reference path time to recompute the result. See Plan.TryExecuteCtx.
 func TryConv2DCtx(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
-	p, err := TryNewPlan(s, opt)
+	p, err := planFor(s, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +367,7 @@ func Conv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tensor.Tensor
 // nDirect supports natively, without converting the activation
 // tensors. Checked variant: never panics.
 func TryConv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
-	p, err := TryNewPlan(s, opt)
+	p, err := planFor(s, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +380,7 @@ func TryConv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tenso
 
 // TryConv2DNHWCCtx is the context-bounded form of TryConv2DNHWC.
 func TryConv2DNHWCCtx(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
-	p, err := TryNewPlan(s, opt)
+	p, err := planFor(s, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -48,7 +48,56 @@ func (p *Plan) TryExecuteCtx(ctx context.Context, in, filter, out *tensor.Tensor
 	if err := conv.ValidateOutput(p.Shape, out); err != nil {
 		return err
 	}
-	return p.execChecked(ctx, in, filter, out, true, false)
+	return p.execChecked(ctx, in, filter, nil, out, true, false)
+}
+
+// TryExecutePacked runs the plan with a pre-transformed filter (see
+// TransformFilter) in place of the on-the-fly transform of Algorithm 2
+// line 5: the worker loop reads the persistent blocked weights
+// directly and Stats.TransformSec is zero. Results are bit-identical
+// to TryExecute with the packed filter's source weights. The packed
+// geometry must match the plan (CompatibleWith); a mismatch returns an
+// error wrapping ErrBadOptions.
+func (p *Plan) TryExecutePacked(in *tensor.Tensor, pf *PackedFilter, out *tensor.Tensor) error {
+	return p.TryExecutePackedCtx(context.Background(), in, pf, out)
+}
+
+// TryExecutePackedCtx is TryExecutePacked bounded by ctx; deadline
+// semantics follow TryExecuteCtx (the reference fallback recomputes
+// from the packed filter's source KCRS weights).
+func (p *Plan) TryExecutePackedCtx(ctx context.Context, in *tensor.Tensor, pf *PackedFilter, out *tensor.Tensor) error {
+	if err := pf.validateFor(p); err != nil {
+		return err
+	}
+	if err := conv.ValidateOperands(p.Shape, in, pf.src); err != nil {
+		return err
+	}
+	if err := conv.ValidateOutput(p.Shape, out); err != nil {
+		return err
+	}
+	return p.execChecked(ctx, in, pf.src, pf, out, true, false)
+}
+
+// TryExecutePackedNHWC is the NHWC-activation form of TryExecutePacked
+// (NHWC input, NPQK output, same packed KCRS-derived weights).
+func (p *Plan) TryExecutePackedNHWC(in *tensor.Tensor, pf *PackedFilter, out *tensor.Tensor) error {
+	return p.TryExecutePackedNHWCCtx(context.Background(), in, pf, out)
+}
+
+// TryExecutePackedNHWCCtx is the context-bounded form of
+// TryExecutePackedNHWC.
+func (p *Plan) TryExecutePackedNHWCCtx(ctx context.Context, in *tensor.Tensor, pf *PackedFilter, out *tensor.Tensor) error {
+	if err := pf.validateFor(p); err != nil {
+		return err
+	}
+	s := p.Shape
+	if err := conv.ValidateTensor("input", in, s.N, s.H, s.W, s.C); err != nil {
+		return err
+	}
+	if err := conv.ValidateTensor("output", out, s.N, s.P(), s.Q(), s.K); err != nil {
+		return err
+	}
+	return p.execChecked(ctx, in, pf.src, pf, out, false, false)
 }
 
 // Execute is the panicking wrapper over TryExecute.
@@ -78,7 +127,7 @@ func (p *Plan) TryExecuteNHWCCtx(ctx context.Context, in, filter, out *tensor.Te
 	if err := conv.ValidateTensor("output", out, s.N, s.P(), s.Q(), s.K); err != nil {
 		return err
 	}
-	return p.execChecked(ctx, in, filter, out, false, false)
+	return p.execChecked(ctx, in, filter, nil, out, false, false)
 }
 
 // ExecuteNHWC is the panicking wrapper over TryExecuteNHWC.
@@ -104,7 +153,7 @@ func (p *Plan) TryExecuteAddCtx(ctx context.Context, in, filter, out *tensor.Ten
 	if err := conv.ValidateOutput(p.Shape, out); err != nil {
 		return err
 	}
-	return p.execChecked(ctx, in, filter, out, true, true)
+	return p.execChecked(ctx, in, filter, nil, out, true, true)
 }
 
 // ExecuteAdd is the panicking wrapper over TryExecuteAdd.
@@ -139,7 +188,10 @@ func scanNonFinite(data []float32) (int, bool) {
 // cancellation) is not a fault: the reference fallback then runs only
 // within Options.FallbackBudget, because the caller asked for bounded
 // time, and otherwise the conv.ErrDeadline-wrapped error is returned.
-func (p *Plan) execChecked(ctx context.Context, in, filter, out *tensor.Tensor, nchw, accumulate bool) error {
+// When pf is non-nil the workers read the pre-transformed weights
+// instead of running the per-tile filter transform; filter is then
+// pf's source KCRS tensor, which the reference fallback consumes.
+func (p *Plan) execChecked(ctx context.Context, in, filter *tensor.Tensor, pf *PackedFilter, out *tensor.Tensor, nchw, accumulate bool) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -162,7 +214,11 @@ func (p *Plan) execChecked(ctx context.Context, in, filter, out *tensor.Tensor, 
 	if accumulate && (injecting || cancellable || p.opts.CheckNumerics) {
 		prev = append([]float32(nil), out.Data...)
 	}
-	err := p.run(ctx, in.Data, filter.Data, out.Data, nchw, accumulate)
+	var pre []float32
+	if pf != nil {
+		pre = pf.data
+	}
+	err := p.run(ctx, in.Data, filter.Data, pre, out.Data, nchw, accumulate)
 	if err == nil && injecting {
 		if idx, ok := faultinject.Take(faultinject.NaNPoison); ok && len(out.Data) > 0 {
 			if idx < 0 || idx >= len(out.Data) {
@@ -337,8 +393,10 @@ func (p *Plan) newScratch() *workerScratch {
 // wraps conv.ErrDeadline. Scratch buffers and stats are only
 // reclaimed once every worker — including abandoned ones — has
 // terminated, so a wedged goroutine can never scribble on a reused
-// buffer.
-func (p *Plan) run(ctx context.Context, in, filter, out []float32, nchw, accumulate bool) error {
+// buffer. A non-nil pre buffer holds the whole-filter pre-transformed
+// weights ([⌈K/Vk⌉][C][R][S][Vk]); workers then skip the per-tile
+// transform entirely.
+func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, nchw, accumulate bool) error {
 	s := p.Shape
 	q := s.Q()
 	qTiles := (q + p.RT.Vw - 1) / p.RT.Vw
@@ -370,7 +428,7 @@ func (p *Plan) run(ctx context.Context, in, filter, out []float32, nchw, accumul
 						fs.Record(parallel.Protect(func() {
 							faultinject.Fire(faultinject.WorkerPanic, w)
 							faultinject.Stall(faultinject.WorkerStall, w)
-							p.worker(in, filter, out, nchw, accumulate, kLo, kHi, nr, hr, wr, ws, &fs)
+							p.worker(in, filter, pre, out, nchw, accumulate, kLo, kHi, nr, hr, wr, ws, &fs)
 						}))
 					})
 					widx++
@@ -415,10 +473,15 @@ func (p *Plan) run(ctx context.Context, in, filter, out []float32, nchw, accumul
 // Loop names follow the paper; the filter transform (line 5) is
 // hoisted above the batch/row loops so each worker converts a block
 // once per (ct, kt) pair — the natural amortisation of the paper's
-// "on-the-fly" conversion. The fault sink's stop flag is polled at
-// tile granularity so surviving workers cancel promptly after a
-// sibling faults.
-func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
+// "on-the-fly" conversion. With a pre-transformed filter (pre != nil)
+// the transform is skipped altogether and the k-block slabs are read
+// from the persistent [⌈K/Vk⌉][C][R][S][Vk] buffer: the global layout
+// has the same Vk-innermost blocking and the same R·S·Vk channel
+// stride as the per-tile buffer, so block kt/Vk+kb at channel offset
+// ct is byte-for-byte the slab transformFilter would have produced.
+// The fault sink's stop flag is polled at tile granularity so
+// surviving workers cancel promptly after a sibling faults.
+func (p *Plan) worker(in, filter, pre, out []float32, nchw, accumulate bool,
 	kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch, fs *parallel.FaultSink) {
 	s := p.Shape
 	vw, vk := p.RT.Vw, p.RT.Vk
@@ -426,6 +489,7 @@ func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
 	q := s.Q()
 	wIn := (vw-1)*s.Str + s.S
 	use12x8 := p.kind != kindGeneric
+	rsv := s.R * s.S * vk // one channel's slab in a transformed block
 	var acc accFile8
 
 	for ct := 0; ct < s.C; ct += tc { // L3
@@ -444,9 +508,12 @@ func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
 			if kt+tkEff > kHi {
 				tkEff = kHi - kt
 			}
-			t0 := now(ws)
-			transformFilter(filter, ws.tf, s.K, s.C, s.R, s.S, kt, tkEff, ct, tcEff, vk)
-			addTime(ws, &ws.stats.TransformSec, t0)
+			var t0 time.Time
+			if pre == nil {
+				t0 = now(ws)
+				transformFilter(filter, ws.tf, s.K, s.C, s.R, s.S, kt, tkEff, ct, tcEff, vk)
+				addTime(ws, &ws.stats.TransformSec, t0)
+			}
 			kvBlocks := (tkEff + vk - 1) / vk
 
 			for n := nr.Lo; n < nr.Hi; n++ { // L1 (worker slice)
@@ -469,7 +536,10 @@ func (p *Plan) worker(in, filter, out []float32, nchw, accumulate bool,
 							g.wIn = wIn
 
 							for kb := 0; kb < kvBlocks; kb++ { // L7
-								tfBlock := ws.tf[kb*tcEff*s.R*s.S*vk:]
+								tfBlock := ws.tf[kb*tcEff*rsv:]
+								if pre != nil {
+									tfBlock = pre[((kt/vk+kb)*s.C+ct)*rsv:]
+								}
 								if use12x8 {
 									acc = accFile8{}
 									if kb == 0 {

@@ -69,7 +69,7 @@ func TryGroupedConv2DCtx(ctx context.Context, s conv.Shape, groups int, in, filt
 	gOpt := opt
 	gOpt.Threads = 1
 	gs1 := gs.WithBatch(1)
-	plan, err := TryNewPlan(gs1, gOpt)
+	plan, err := planFor(gs1, gOpt)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package im2col
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -103,6 +104,28 @@ func packShifted(dst, src []float32, off, w int) {
 // close to 50% of the peak").
 func NeedsLowering(s conv.Shape) bool {
 	return !(s.R == 1 && s.S == 1 && s.Str == 1 && s.Pad == 0)
+}
+
+// TryConv2D is the checked form of Conv2D: malformed operands come
+// back as an error wrapping conv.ErrBadShape/ErrDimMismatch, and a
+// panic raised inside the lowering or GEMM workers (re-thrown on this
+// goroutine by parallel.MustFor) is recovered into an error instead of
+// unwinding the caller. The nn dispatch uses this to fall back to
+// nDirect when a baseline backend faults.
+func TryConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (out *tensor.Tensor, st Stats, err error) {
+	if err = s.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err = conv.ValidateOperands(s, in, filter); err != nil {
+		return nil, Stats{}, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, st, err = nil, Stats{}, fmt.Errorf("im2col: execution fault: %v", r)
+		}
+	}()
+	out, st = Conv2D(s, in, filter, opt)
+	return out, st, nil
 }
 
 // Conv2D runs the im2col+GEMM convolution on NCHW input and KCRS

@@ -59,16 +59,42 @@ func (bk *Bottleneck) sublayers() []Layer {
 }
 
 func (bk *Bottleneck) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
+	out, err := bk.tryForward(eng, x)
+	if err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", bk.LayerName, err))
+	}
+	return out
+}
+
+func (bk *Bottleneck) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, error) {
 	identity := x
 	if bk.Downsample != nil {
-		identity = bk.Downsample.Forward(eng, x)
+		var err error
+		identity, err = bk.Downsample.tryForward(eng, x)
+		if err != nil {
+			return nil, err
+		}
 	}
-	y := bk.Conv1.Forward(eng, x)
-	y = bk.Conv2.Forward(eng, y)
-	y = bk.Conv3.Forward(eng, y) // no ReLU inside: applied after the add
-	addInPlace(y, identity, eng.Threads)
-	applyReLU(y, eng.Threads)
-	return y
+	y1, err := bk.Conv1.tryForward(eng, x)
+	if err != nil {
+		return nil, err
+	}
+	y2, err := bk.Conv2.tryForward(eng, y1)
+	if err != nil {
+		return nil, err
+	}
+	eng.release(y1)
+	y3, err := bk.Conv3.tryForward(eng, y2) // no ReLU inside: applied after the add
+	if err != nil {
+		return nil, err
+	}
+	eng.release(y2)
+	addInPlace(y3, identity, eng.Threads)
+	applyReLU(y3, eng.Threads)
+	if identity != x {
+		eng.release(identity) // the projection output dies with the add
+	}
+	return y3, nil
 }
 
 // BasicBlock is the two-3×3 residual block (unused by ResNet-50/101
@@ -90,15 +116,37 @@ func (bb *BasicBlock) sublayers() []Layer {
 }
 
 func (bb *BasicBlock) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
+	out, err := bb.tryForward(eng, x)
+	if err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", bb.LayerName, err))
+	}
+	return out
+}
+
+func (bb *BasicBlock) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, error) {
 	identity := x
 	if bb.Downsample != nil {
-		identity = bb.Downsample.Forward(eng, x)
+		var err error
+		identity, err = bb.Downsample.tryForward(eng, x)
+		if err != nil {
+			return nil, err
+		}
 	}
-	y := bb.Conv1.Forward(eng, x)
-	y = bb.Conv2.Forward(eng, y)
-	addInPlace(y, identity, eng.Threads)
-	applyReLU(y, eng.Threads)
-	return y
+	y1, err := bb.Conv1.tryForward(eng, x)
+	if err != nil {
+		return nil, err
+	}
+	y2, err := bb.Conv2.tryForward(eng, y1)
+	if err != nil {
+		return nil, err
+	}
+	eng.release(y1)
+	addInPlace(y2, identity, eng.Threads)
+	applyReLU(y2, eng.Threads)
+	if identity != x {
+		eng.release(identity)
+	}
+	return y2, nil
 }
 
 func addInPlace(dst, src *tensor.Tensor, threads int) {
@@ -242,11 +290,29 @@ func (d *DepthwiseSeparable) Name() string { return d.LayerName }
 func (d *DepthwiseSeparable) sublayers() []Layer { return []Layer{d.PW} }
 
 func (d *DepthwiseSeparable) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
+	out, err := d.tryForward(eng, x)
+	if err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", d.LayerName, err))
+	}
+	return out
+}
+
+func (d *DepthwiseSeparable) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, error) {
 	s := d.DWShape.WithBatch(x.Dims[0])
-	y := core.DepthwiseConv2D(s, x, d.DWFilter, core.Options{Threads: eng.Threads})
+	y, err := core.TryDepthwiseConv2D(s, x, d.DWFilter, core.Options{Threads: eng.Threads})
+	if err != nil {
+		return nil, err
+	}
 	applyBN(y, d.DWBN, eng.Threads)
 	applyReLU(y, eng.Threads)
-	return d.PW.Forward(eng, y)
+	out, err := d.PW.tryForward(eng, y)
+	if err != nil {
+		return nil, err
+	}
+	if out != y {
+		eng.release(y)
+	}
+	return out, nil
 }
 
 func (b *builder) dsc(name string, c, k, hw, str int) *DepthwiseSeparable {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"ndirect/internal/autotune"
@@ -81,6 +82,75 @@ type Engine struct {
 	// one-shot fault is consumed), so one stuck layer cannot wedge
 	// the whole forward pass.
 	ConvBudget time.Duration
+	// Reuse turns on the cross-call amortisation for repeated
+	// inference: execution plans come from a shared core.PlanCache
+	// instead of re-solving the Eq. 1–6 models per call, the nDirect
+	// backend consumes per-unit pre-transformed weights
+	// (Plan.TransformFilter) instead of re-running the on-the-fly
+	// filter transform on every forward, and intermediate activations
+	// are drawn from a per-size buffer pool instead of fresh
+	// allocations. Off by default: the measured-mode experiments
+	// deliberately time the overlapped transform (Fig. 5) and are
+	// unchanged. Results are bit-for-bit identical either way.
+	Reuse bool
+	// Plans optionally supplies the plan cache (shared across engines,
+	// or capacity-tuned). Setting it enables plan caching even without
+	// Reuse; nil with Reuse on means a private cache is created on
+	// first use.
+	Plans *core.PlanCache
+
+	planOnce  sync.Once
+	planCache *core.PlanCache
+	pools     sync.Map // len([]float32) → *sync.Pool of buffers
+}
+
+// plans returns the plan cache the engine's conv calls share: the
+// explicit Plans field when set, a lazily created private cache when
+// Reuse is on, nil otherwise (every call re-plans — the seed default).
+func (eng *Engine) plans() *core.PlanCache {
+	if eng.Plans != nil {
+		return eng.Plans
+	}
+	if !eng.Reuse {
+		return nil
+	}
+	eng.planOnce.Do(func() { eng.planCache = core.NewPlanCache(0) })
+	return eng.planCache
+}
+
+// newTensor returns a zeroed tensor of the given dims, drawing the
+// backing buffer from the engine's per-size pool when Reuse is on.
+// Pooled buffers are cleared before reuse so a pooled tensor is
+// indistinguishable from a fresh tensor.New — layer outputs stay
+// bit-for-bit identical to the unpooled path.
+func (eng *Engine) newTensor(dims ...int) *tensor.Tensor {
+	if !eng.Reuse {
+		return tensor.New(dims...)
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if p, ok := eng.pools.Load(n); ok {
+		if buf, _ := p.(*sync.Pool).Get().([]float32); buf != nil {
+			clear(buf)
+			return tensor.FromSlice(buf, dims...)
+		}
+	}
+	return tensor.New(dims...)
+}
+
+// release returns a dead intermediate tensor's buffer to the pool.
+// Callers must only release tensors they own and that no other layer
+// (or abandoned worker) can still reference; the forward paths release
+// exactly the intermediates that are provably dead. No-op when Reuse
+// is off.
+func (eng *Engine) release(t *tensor.Tensor) {
+	if !eng.Reuse || t == nil || len(t.Data) == 0 {
+		return
+	}
+	p, _ := eng.pools.LoadOrStore(len(t.Data), &sync.Pool{})
+	p.(*sync.Pool).Put(t.Data[:len(t.Data):len(t.Data)])
 }
 
 // convCtx returns the per-layer execution context: Background when no
@@ -102,6 +172,14 @@ type Layer interface {
 	Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor
 }
 
+// checkedLayer is the panic-free form of Layer: layers that can fail
+// (the conv-backed ones) implement it, and Network.TryForward prefers
+// it so a double backend failure surfaces as an error instead of a
+// panic — PR 1's checked-API contract carried inside the engine.
+type checkedLayer interface {
+	tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
 // Network is a sequential container (residual blocks are composite
 // layers, so sequence suffices for ResNet and VGG).
 type Network struct {
@@ -109,12 +187,40 @@ type Network struct {
 	Layers []Layer
 }
 
-// Forward runs the network.
+// Forward runs the network, panicking on a layer failure (use
+// TryForward for the checked form).
 func (n *Network) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
-	for _, l := range n.Layers {
-		x = l.Forward(eng, x)
+	out, err := n.TryForward(eng, x)
+	if err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", n.Name, err))
 	}
-	return x
+	return out
+}
+
+// TryForward runs the network, returning an error (naming the failing
+// layer) instead of panicking when a layer's every backend fails.
+// Safe for concurrent use on a shared engine and network: the weight,
+// plan and packed-filter caches are built once and immutable after,
+// and pooled buffers are never shared between live tensors.
+func (n *Network) TryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, error) {
+	cur := x
+	for _, l := range n.Layers {
+		var next *tensor.Tensor
+		var err error
+		if cl, ok := l.(checkedLayer); ok {
+			next, err = cl.tryForward(eng, cur)
+		} else {
+			next = l.Forward(eng, cur)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("layer %s: %w", l.Name(), err)
+		}
+		if cur != x && cur != next {
+			eng.release(cur) // dead intermediate (never the caller's input)
+		}
+		cur = next
+	}
+	return cur, nil
 }
 
 // ConvUnits returns every convolution unit in the network in
@@ -192,46 +298,88 @@ type ConvUnit struct {
 	BN        *BNParams // nil for VGG
 	ReLU      bool
 
-	folded  *tensor.Tensor // BN-folded weights (cached)
-	foldedB []float32
+	foldOnce sync.Once
+	folded   *tensor.Tensor // BN-folded weights (built once, immutable after)
+	foldedB  []float32
+
+	packMu       sync.Mutex
+	packedRaw    *core.PackedFilter // pre-transformed Weights (Engine.Reuse)
+	packedFolded *core.PackedFilter // pre-transformed BN-folded weights
 }
 
 func (c *ConvUnit) Name() string { return c.LayerName }
 
 // foldBN merges BN into the convolution: w'ₖ = wₖ·γₖ/√(σ²ₖ+ε),
-// b'ₖ = βₖ − μₖ·γₖ/√(σ²ₖ+ε) (+ original bias scaled).
+// b'ₖ = βₖ − μₖ·γₖ/√(σ²ₖ+ε) (+ original bias scaled). The fold runs
+// exactly once even under concurrent Forward calls on a shared
+// network; the cached tensors are immutable afterwards.
 func (c *ConvUnit) foldBN() (*tensor.Tensor, []float32) {
-	if c.folded != nil {
-		return c.folded, c.foldedB
-	}
-	w := c.Weights.Clone()
-	b := make([]float32, c.Shape.K)
-	if c.Bias != nil {
-		copy(b, c.Bias)
-	}
-	if c.BN != nil {
-		per := c.Shape.C * c.Shape.R * c.Shape.S
-		for k := 0; k < c.Shape.K; k++ {
-			scale := c.BN.Gamma[k] / float32(math.Sqrt(float64(c.BN.Var[k])+float64(c.BN.Eps)))
-			for i := 0; i < per; i++ {
-				w.Data[k*per+i] *= scale
-			}
-			b[k] = b[k]*scale + c.BN.Beta[k] - c.BN.Mean[k]*scale
+	c.foldOnce.Do(func() {
+		w := c.Weights.Clone()
+		b := make([]float32, c.Shape.K)
+		if c.Bias != nil {
+			copy(b, c.Bias)
 		}
+		if c.BN != nil {
+			per := c.Shape.C * c.Shape.R * c.Shape.S
+			for k := 0; k < c.Shape.K; k++ {
+				scale := c.BN.Gamma[k] / float32(math.Sqrt(float64(c.BN.Var[k])+float64(c.BN.Eps)))
+				for i := 0; i < per; i++ {
+					w.Data[k*per+i] *= scale
+				}
+				b[k] = b[k]*scale + c.BN.Beta[k] - c.BN.Mean[k]*scale
+			}
+		}
+		c.folded, c.foldedB = w, b
+	})
+	return c.folded, c.foldedB
+}
+
+// packedFor returns the pre-transformed (⌈K/Vk⌉·C·R·S·Vk blocked) form
+// of w — the raw or the BN-folded weights — building it on first use
+// and caching it next to the fold. A plan with a different V_k
+// blocking (say, after an engine re-targets platforms) just rebuilds
+// the packed copy; the check is CompatibleWith plus source identity.
+func (c *ConvUnit) packedFor(p *core.Plan, w *tensor.Tensor) (*core.PackedFilter, error) {
+	c.packMu.Lock()
+	defer c.packMu.Unlock()
+	slot := &c.packedRaw
+	if w != c.Weights {
+		slot = &c.packedFolded
 	}
-	c.folded, c.foldedB = w, b
-	return w, b
+	if pf := *slot; pf != nil && pf.Source() == w && pf.CompatibleWith(p) {
+		return pf, nil
+	}
+	pf, err := p.TransformFilter(w)
+	if err != nil {
+		return nil, err
+	}
+	*slot = pf
+	return pf, nil
 }
 
 // Forward applies the unit with the engine's backend and fusion
-// setting.
+// setting, panicking on failure (tryForward is the checked form).
 func (c *ConvUnit) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
+	out, err := c.tryForward(eng, x)
+	if err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", c.LayerName, err))
+	}
+	return out
+}
+
+// tryForward applies the unit, returning an error only when every
+// backend (including the nDirect fallback) fails.
+func (c *ConvUnit) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, error) {
 	s := c.Shape.WithBatch(x.Dims[0])
 	if eng.Fuse {
 		w, b := c.foldBN()
-		return c.convFused(eng, s, x, w, b)
+		return c.tryConvFused(eng, s, x, w, b)
 	}
-	out := c.convPlain(eng, s, x)
+	out, err := c.tryConvPlain(eng, s, x)
+	if err != nil {
+		return nil, err
+	}
 	if c.Bias != nil {
 		addBias(out, c.Bias, eng.Threads)
 	}
@@ -241,16 +389,13 @@ func (c *ConvUnit) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	if c.ReLU {
 		applyReLU(out, eng.Threads)
 	}
-	return out
+	return out, nil
 }
 
-func (c *ConvUnit) convPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) *tensor.Tensor {
+func (c *ConvUnit) tryConvPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) (*tensor.Tensor, error) {
 	switch eng.Algo {
-	case AlgoIm2col:
-		out, _ := im2col.Conv2D(s, x, c.Weights, im2col.Options{Threads: eng.Threads})
-		return out
 	case AlgoAnsor:
-		out := s.NewOutput()
+		out := eng.newTensor(s.N, s.K, s.P(), s.Q())
 		ctx, cancel := eng.convCtx()
 		err := autotune.ExecuteCtx(ctx, s, eng.schedule(s), x, c.Weights, out, eng.Threads)
 		cancel()
@@ -259,54 +404,115 @@ func (c *ConvUnit) convPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) *tenso
 			// executor, or a stalled worker past ConvBudget must not
 			// take the network down — rerun the layer on the nDirect
 			// backend (unbounded: the injected fault was consumed).
+			// out is not pooled back: abandoned workers may still
+			// write into it.
 			core.Logf("nn: ansor backend failed on %v; falling back to ndirect: %v", s, err)
-			return core.Conv2D(s, x, c.Weights, core.Options{Threads: eng.Threads})
+			return c.tryNDirect(eng, s, x, c.Weights, core.Options{Threads: eng.Threads})
 		}
-		return out
-	case AlgoXSMM:
-		out, _ := xsmm.Conv2D(s, x, c.Weights, xsmm.Options{Threads: eng.Threads})
-		return out
-	case AlgoXNN:
-		out, _ := xnn.Conv2D(s, x, c.Weights, xnn.Options{Threads: eng.Threads})
-		return out
+		return out, nil
+	case AlgoIm2col, AlgoXSMM, AlgoXNN:
+		return c.tryBaseline(eng, s, x, c.Weights)
 	default:
-		return eng.ndirect(s, x, c.Weights, core.Options{Threads: eng.Threads})
+		return c.tryNDirect(eng, s, x, c.Weights, core.Options{Threads: eng.Threads})
 	}
 }
 
-// ndirect runs the nDirect backend under the engine's ConvBudget: the
-// parallel grid is abandoned on expiry and the layer recomputed
-// unbounded (the wedged goroutines are accounted in
-// parallel.LeakedWorkers; the forward pass itself stays bounded by
-// roughly 2× the layer budget).
-func (eng *Engine) ndirect(s conv.Shape, x, w *tensor.Tensor, opt core.Options) *tensor.Tensor {
+// tryBaseline dispatches to the im2col/LIBXSMM/XNNPACK baselines
+// through their checked entry points; a failing baseline is logged and
+// the layer rerun on nDirect (the same degradation the Ansor arm has),
+// so a backend fault surfaces as a slow layer rather than a nil tensor
+// crashing the next one.
+func (c *ConvUnit) tryBaseline(eng *Engine, s conv.Shape, x, w *tensor.Tensor) (*tensor.Tensor, error) {
+	var (
+		out *tensor.Tensor
+		err error
+	)
+	switch eng.Algo {
+	case AlgoIm2col:
+		out, _, err = im2col.TryConv2D(s, x, w, im2col.Options{Threads: eng.Threads})
+	case AlgoXSMM:
+		out, _, err = xsmm.TryConv2D(s, x, w, xsmm.Options{Threads: eng.Threads})
+	case AlgoXNN:
+		out, _, err = xnn.TryConv2D(s, x, w, xnn.Options{Threads: eng.Threads})
+	default:
+		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads})
+	}
+	if err != nil {
+		core.Logf("nn: %v backend failed on %v; falling back to ndirect: %v", eng.Algo, s, err)
+		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads})
+	}
+	return out, nil
+}
+
+// tryNDirect runs the nDirect backend under the engine's ConvBudget
+// and reuse configuration. With Reuse off this is the seed path: plan
+// (possibly via an explicit Plans cache) and execute with the
+// on-the-fly filter transform, recomputing unbounded when the budget
+// expires (wedged goroutines are accounted in parallel.LeakedWorkers;
+// the pass stays bounded by roughly 2× the layer budget). With Reuse
+// on, the plan comes from the cache, the weights from the unit's
+// pre-transformed copy, and the output from the buffer pool.
+func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, opt core.Options) (*tensor.Tensor, error) {
+	opt.PlanCache = eng.plans()
+	if !eng.Reuse {
+		ctx, cancel := eng.convCtx()
+		defer cancel()
+		if ctx.Done() == nil {
+			return core.TryConv2D(s, x, w, opt)
+		}
+		out, err := core.TryConv2DCtx(ctx, s, x, w, opt)
+		if err != nil {
+			core.Logf("nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
+			return core.TryConv2D(s, x, w, opt)
+		}
+		return out, nil
+	}
+
+	plan, err := opt.PlanCache.Get(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := c.packedFor(plan, w)
+	if err != nil {
+		return nil, err
+	}
+	out := eng.newTensor(s.N, s.K, s.P(), s.Q())
 	ctx, cancel := eng.convCtx()
 	defer cancel()
 	if ctx.Done() == nil {
-		return core.Conv2D(s, x, w, opt)
+		if err := plan.TryExecutePacked(x, pf, out); err != nil {
+			eng.release(out)
+			return nil, err
+		}
+		return out, nil
 	}
-	out, err := core.TryConv2DCtx(ctx, s, x, w, opt)
-	if err != nil {
+	if err := plan.TryExecutePackedCtx(ctx, x, pf, out); err != nil {
 		core.Logf("nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
-		return core.Conv2D(s, x, w, opt)
+		// Abandoned workers may still write into out: leak it (never
+		// back to the pool) and recompute into a fresh tensor.
+		out = eng.newTensor(s.N, s.K, s.P(), s.Q())
+		if err := plan.TryExecutePacked(x, pf, out); err != nil {
+			eng.release(out)
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
-// convFused runs conv with bias+ReLU folded into the output pass.
+// tryConvFused runs conv with bias+ReLU folded into the output pass.
 // nDirect and the Ansor executor fuse natively via their epilogues;
 // the other backends fall back to a separate pass (they have no
 // epilogue hook — the integration gap §8.3 describes).
-func (c *ConvUnit) convFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *tensor.Tensor, b []float32) *tensor.Tensor {
+func (c *ConvUnit) tryConvFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *tensor.Tensor, b []float32) (*tensor.Tensor, error) {
 	switch eng.Algo {
 	case AlgoNDirect:
 		ep := core.EpilogueBias
 		if c.ReLU {
 			ep = core.EpilogueBiasReLU
 		}
-		return eng.ndirect(s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
 	case AlgoAnsor:
-		out := s.NewOutput()
+		out := eng.newTensor(s.N, s.K, s.P(), s.Q())
 		ctx, cancel := eng.convCtx()
 		err := autotune.ExecuteFusedCtx(ctx, s, eng.schedule(s), x, w, out, eng.Threads, b, c.ReLU)
 		cancel()
@@ -316,32 +522,21 @@ func (c *ConvUnit) convFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *ten
 			if c.ReLU {
 				ep = core.EpilogueBiasReLU
 			}
-			return core.Conv2D(s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+			// out stays out of the pool: abandoned workers may still
+			// write into it.
+			return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
 		}
-		return out
+		return out, nil
 	default:
-		out := c.convPlainWith(eng, s, x, w)
+		out, err := c.tryBaseline(eng, s, x, w)
+		if err != nil {
+			return nil, err
+		}
 		addBias(out, b, eng.Threads)
 		if c.ReLU {
 			applyReLU(out, eng.Threads)
 		}
-		return out
-	}
-}
-
-func (c *ConvUnit) convPlainWith(eng *Engine, s conv.Shape, x, w *tensor.Tensor) *tensor.Tensor {
-	switch eng.Algo {
-	case AlgoIm2col:
-		out, _ := im2col.Conv2D(s, x, w, im2col.Options{Threads: eng.Threads})
-		return out
-	case AlgoXSMM:
-		out, _ := xsmm.Conv2D(s, x, w, xsmm.Options{Threads: eng.Threads})
-		return out
-	case AlgoXNN:
-		out, _ := xnn.Conv2D(s, x, w, xnn.Options{Threads: eng.Threads})
-		return out
-	default:
-		return core.Conv2D(s, x, w, core.Options{Threads: eng.Threads})
+		return out, nil
 	}
 }
 
@@ -413,7 +608,7 @@ func (m *MaxPool) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Dims[0], x.Dims[1], x.Dims[2], x.Dims[3]
 	p := (h+2*m.Pad-m.K)/m.Str + 1
 	q := (w+2*m.Pad-m.K)/m.Str + 1
-	out := tensor.New(n, c, p, q)
+	out := eng.newTensor(n, c, p, q)
 	parallel.MustFor(n*c, eng.Threads, func(nc int) {
 		src := x.Data[nc*h*w : (nc+1)*h*w]
 		dst := out.Data[nc*p*q : (nc+1)*p*q]
@@ -435,6 +630,13 @@ func (m *MaxPool) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 						}
 					}
 				}
+				if math.IsInf(float64(best), -1) {
+					// A window that is entirely padding (degenerate
+					// K/Pad combinations) has no input samples; emit
+					// the padding value 0 instead of -Inf, which would
+					// poison every downstream layer.
+					best = 0
+				}
 				dst[oj*q+oi] = best
 			}
 		}
@@ -450,7 +652,7 @@ func (GlobalAvgPool) Name() string { return "gap" }
 func (GlobalAvgPool) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	n, c := x.Dims[0], x.Dims[1]
 	pq := x.Dims[2] * x.Dims[3]
-	out := tensor.New(n, c, 1, 1)
+	out := eng.newTensor(n, c, 1, 1)
 	parallel.MustFor(n*c, eng.Threads, func(nc int) {
 		var sum float64
 		for _, v := range x.Data[nc*pq : (nc+1)*pq] {
@@ -469,7 +671,8 @@ type FC struct {
 	B         []float32
 	ReLU      bool
 
-	wt *tensor.Tensor // cached transpose for the GEMM orientation
+	wtOnce sync.Once
+	wt     *tensor.Tensor // cached transpose for the GEMM orientation
 }
 
 func (f *FC) Name() string { return f.LayerName }
@@ -479,7 +682,7 @@ func (f *FC) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	if x.Len() != n*f.In {
 		panic(fmt.Sprintf("nn: FC %s input %v does not flatten to %d", f.LayerName, x.Dims, f.In))
 	}
-	out := tensor.New(n, f.Out)
+	out := eng.newTensor(n, f.Out)
 	// out[n][o] = x[n][i] · W[o][i]: GEMM with B transposed — done by
 	// swapping to out = X · Wᵀ via per-row dot products through the
 	// Goto kernel on W's natural layout.
@@ -501,18 +704,19 @@ func (f *FC) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// transposed materialises Wᵀ exactly once, even under concurrent
+// Forward calls on a shared network (same discipline as foldBN).
 func (f *FC) transposed() *tensor.Tensor {
-	if f.wt != nil {
-		return f.wt
-	}
-	wt := tensor.New(f.In, f.Out)
-	for o := 0; o < f.Out; o++ {
-		for i := 0; i < f.In; i++ {
-			wt.Data[i*f.Out+o] = f.W.Data[o*f.In+i]
+	f.wtOnce.Do(func() {
+		wt := tensor.New(f.In, f.Out)
+		for o := 0; o < f.Out; o++ {
+			for i := 0; i < f.In; i++ {
+				wt.Data[i*f.Out+o] = f.W.Data[o*f.In+i]
+			}
 		}
-	}
-	f.wt = wt
-	return wt
+		f.wt = wt
+	})
+	return f.wt
 }
 
 // Softmax converts logits to probabilities (numerically stabilised).
@@ -523,7 +727,7 @@ func (Softmax) Name() string { return "softmax" }
 func (Softmax) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dims[0]
 	k := x.Len() / n
-	out := tensor.New(x.Dims...)
+	out := eng.newTensor(x.Dims...)
 	parallel.MustFor(n, eng.Threads, func(i int) {
 		row := x.Data[i*k : (i+1)*k]
 		dst := out.Data[i*k : (i+1)*k]

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"ndirect/internal/core"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/tensor"
+)
+
+// reuseNet is a network exercising every composite layer kind: conv
+// units (BN and bias forms), a residual bottleneck with projection, a
+// depthwise-separable block, pooling and the FC head.
+func reuseNet() *Network {
+	b := builderForTest()
+	bn := &Bottleneck{LayerName: "block"}
+	bn.Conv1 = b.convUnit("block_1x1a", 8, 4, 8, 1, 1, 0, true, true)
+	bn.Conv2 = b.convUnit("block_3x3", 4, 4, 8, 3, 1, 1, true, true)
+	bn.Conv3 = b.convUnit("block_1x1b", 4, 16, 8, 1, 1, 0, false, true)
+	bn.Downsample = b.convUnit("block_proj", 8, 16, 8, 1, 1, 0, false, true)
+	return &Network{Name: "reuse-test", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		&MaxPool{K: 2, Str: 2},
+		bn,
+		b.dsc("d1", 16, 16, 8, 1),
+		GlobalAvgPool{},
+		b.fc("fc", 16, 4, false),
+		Softmax{},
+	}}
+}
+
+// TestReuseForwardMatchesSeed: the Reuse engine (plan cache +
+// pre-transformed weights + buffer pool) must be bit-for-bit identical
+// to the seed path, in both the plain and the fused configuration, on
+// first use and in steady state (pooled buffers).
+func TestReuseForwardMatchesSeed(t *testing.T) {
+	for _, fuse := range []bool{false, true} {
+		net := reuseNet()
+		x := tensor.New(2, 3, 16, 16)
+		x.FillRandom(11)
+
+		seed := &Engine{Algo: AlgoNDirect, Threads: 2, Fuse: fuse}
+		want := net.Forward(seed, x)
+
+		reuse := &Engine{Algo: AlgoNDirect, Threads: 2, Fuse: fuse, Reuse: true}
+		for iter := 0; iter < 3; iter++ { // iter > 0 runs on pooled buffers
+			got, err := net.TryForward(reuse, x)
+			if err != nil {
+				t.Fatalf("fuse=%v iter=%d: %v", fuse, iter, err)
+			}
+			if d := tensor.MaxAbsDiff(want, got); d != 0 {
+				t.Fatalf("fuse=%v iter=%d: reuse path differs from seed by %g (want bit-identical)", fuse, iter, d)
+			}
+		}
+		st := reuse.plans().Stats()
+		if st.Hits == 0 {
+			t.Fatalf("fuse=%v: plan cache never hit across repeated forwards: %+v", fuse, st)
+		}
+	}
+}
+
+// TestConcurrentForwardSharedEngine is the -race target: many
+// goroutines forward through one shared network and engine with Fuse
+// (BN fold cache), Reuse (plan + packed-weight caches, buffer pool)
+// and the FC transpose cache all active, from a cold start so the
+// once-initialisation itself races.
+func TestConcurrentForwardSharedEngine(t *testing.T) {
+	net := reuseNet()
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(13)
+	want := net.Forward(&Engine{Algo: AlgoNDirect, Threads: 2, Fuse: true}, x)
+
+	eng := &Engine{Algo: AlgoNDirect, Threads: 2, Fuse: true, Reuse: true}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	outs := make([]*tensor.Tensor, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				out, err := net.TryForward(eng, x)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				outs[g] = out
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < workers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if d := tensor.MaxAbsDiff(want, outs[g]); d != 0 {
+			t.Fatalf("goroutine %d diverged from serial result by %g", g, d)
+		}
+	}
+}
+
+// TestBaselineBackendDegradesToNDirect: a panicking im2col worker must
+// not take the forward pass down (the bug: the backend's result was
+// used unchecked) — the layer is logged and rerun on nDirect.
+func TestBaselineBackendDegradesToNDirect(t *testing.T) {
+	defer faultinject.Reset()
+	old := core.Logf
+	var mu sync.Mutex
+	var logs []string
+	core.Logf = func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, format)
+		mu.Unlock()
+		t.Logf("(captured) "+format, args...)
+	}
+	t.Cleanup(func() { core.Logf = old })
+
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+	}}
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(7)
+	want := net.Forward(&Engine{Algo: AlgoNDirect, Threads: 2}, x)
+
+	faultinject.Arm(faultinject.WorkerPanic, -1) // one shot: the im2col lowering worker
+	got, err := net.TryForward(&Engine{Algo: AlgoIm2col, Threads: 2}, x)
+	faultinject.Reset()
+	if err != nil {
+		t.Fatalf("degraded forward errored: %v", err)
+	}
+	if d := tensor.RelDiff(want, got); d > 1e-5 {
+		t.Fatalf("degraded forward diverges: rel diff %g", d)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(strings.Join(logs, "\n"), "falling back to ndirect") {
+		t.Fatal("the backend fallback must be logged")
+	}
+}
+
+// TestMaxPoolAllPaddingWindow: a window that is entirely padding used
+// to emit -Inf (max over zero samples); it must clamp to the padding
+// value 0.
+func TestMaxPoolAllPaddingWindow(t *testing.T) {
+	eng := &Engine{Threads: 1}
+	// K=2 Pad=2: output (0,0) covers input rows/cols {-2,-1} — no real
+	// samples. Negative inputs make the clamp observable (and prove
+	// populated windows still take the true max, not 0).
+	m := &MaxPool{K: 2, Str: 1, Pad: 2}
+	x := tensor.New(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = -1 - float32(i)
+	}
+	out := m.Forward(eng, x)
+	for i, v := range out.Data {
+		if math.IsInf(float64(v), 0) || math.IsNaN(float64(v)) {
+			t.Fatalf("out[%d] = %v: empty-padding window leaked a non-finite value", i, v)
+		}
+	}
+	q := out.Dims[3]
+	if got := out.Data[0]; got != 0 {
+		t.Fatalf("all-padding corner window: want 0, got %g", got)
+	}
+	// The window covering input (0,0)..(1,1) must still be a real max:
+	// position (2,2) covers rows/cols {0,1} → max of {-1,-2,-5,-6} = -1.
+	if got := out.Data[2*q+2]; got != -1 {
+		t.Fatalf("populated window: want -1, got %g", got)
+	}
+}
+
+// TestEngineBufferPoolRoundTrip checks the pool actually recycles:
+// release then newTensor of the same size returns a zeroed tensor.
+func TestEngineBufferPoolRoundTrip(t *testing.T) {
+	eng := &Engine{Reuse: true}
+	a := eng.newTensor(2, 3, 4)
+	for i := range a.Data {
+		a.Data[i] = float32(i) + 1
+	}
+	eng.release(a)
+	b := eng.newTensor(4, 3, 2) // same element count, different dims
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("pooled buffer not cleared: b[%d] = %g", i, v)
+		}
+	}
+	// Engines without Reuse never pool.
+	off := &Engine{}
+	c := off.newTensor(2, 2)
+	off.release(c)
+	if _, ok := off.pools.Load(4); ok {
+		t.Fatal("release pooled a buffer with Reuse off")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Weight serialization: a minimal, deterministic binary format
@@ -59,10 +60,19 @@ func (n *Network) paramSlices() [][]float32 {
 }
 
 // invalidateCaches drops derived parameter caches (BN-folded weights,
-// FC transposes) after the underlying parameters change.
+// pre-transformed filters, FC transposes) after the underlying
+// parameters change. Weight loading is an exclusive operation — it
+// rewrites the parameter slices in place — so resetting the sync.Once
+// guards here is safe; no Forward may be in flight.
 func (n *Network) invalidateCaches() {
 	var walk func(ls []Layer)
-	clearConv := func(c *ConvUnit) { c.folded, c.foldedB = nil, nil }
+	clearConv := func(c *ConvUnit) {
+		c.foldOnce = sync.Once{}
+		c.folded, c.foldedB = nil, nil
+		c.packMu.Lock()
+		c.packedRaw, c.packedFolded = nil, nil
+		c.packMu.Unlock()
+	}
 	walk = func(ls []Layer) {
 		for _, l := range ls {
 			switch v := l.(type) {
@@ -75,6 +85,7 @@ func (n *Network) invalidateCaches() {
 			case *DepthwiseSeparable:
 				clearConv(v.PW)
 			case *FC:
+				v.wtOnce = sync.Once{}
 				v.wt = nil
 			}
 		}

@@ -12,6 +12,7 @@
 package xnn
 
 import (
+	"fmt"
 	"time"
 
 	"ndirect/internal/conv"
@@ -82,6 +83,27 @@ func Conv2DNHWC(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.T
 	})
 	st.KernelSec = time.Since(t0).Seconds()
 	return out, st
+}
+
+// TryConv2D is the checked form of Conv2D: malformed operands come
+// back as an error wrapping conv.ErrBadShape/ErrDimMismatch, and a
+// panic raised inside the indirection-GEMM workers (re-thrown on this
+// goroutine by parallel.MustFor) is recovered into an error instead of
+// unwinding the caller.
+func TryConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (out *tensor.Tensor, st Stats, err error) {
+	if err = s.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err = conv.ValidateOperands(s, in, filter); err != nil {
+		return nil, Stats{}, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, st, err = nil, Stats{}, fmt.Errorf("xnn: execution fault: %v", r)
+		}
+	}()
+	out, st = Conv2D(s, in, filter, opt)
+	return out, st, nil
 }
 
 // Conv2D is the framework-tensor entry point: NCHW in, NKPQ out, with

@@ -19,6 +19,7 @@
 package xsmm
 
 import (
+	"fmt"
 	"time"
 
 	"ndirect/internal/conv"
@@ -60,6 +61,27 @@ func (s Stats) ConvertSec() float64 { return s.ConvertInSec + s.ConvertFilterSec
 
 // Total returns conversion plus kernel time.
 func (s Stats) Total() float64 { return s.ConvertSec() + s.KernelSec }
+
+// TryConv2D is the checked form of Conv2D: malformed operands come
+// back as an error wrapping conv.ErrBadShape/ErrDimMismatch, and a
+// panic raised inside the conversion or blocked-kernel workers
+// (re-thrown on this goroutine by parallel.MustFor) is recovered into
+// an error instead of unwinding the caller.
+func TryConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) (out *tensor.Tensor, st Stats, err error) {
+	if err = s.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err = conv.ValidateOperands(s, in, filter); err != nil {
+		return nil, Stats{}, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, st, err = nil, Stats{}, fmt.Errorf("xsmm: execution fault: %v", r)
+		}
+	}()
+	out, st = Conv2D(s, in, filter, opt)
+	return out, st, nil
+}
 
 // Conv2D runs the full LIBXSMM-style pipeline on framework tensors:
 // convert NCHW/KCRS in, convolve in the blocked domain, convert back.

@@ -92,6 +92,26 @@ type Options = core.Options
 // Plan is a prepared, reusable convolution execution plan.
 type Plan = core.Plan
 
+// PlanCache is a concurrency-safe LRU cache of plans keyed by
+// (Shape, Options), for serving workloads that see the same layer
+// geometries call after call: set Options.PlanCache and the one-shot
+// entry points (Conv2D and friends, the NHWC/grouped/pointwise forms)
+// amortise the Eq. 1–6 analytical solve to a map lookup. See also
+// nn.Engine.Reuse for the network-level switch.
+type PlanCache = core.PlanCache
+
+// NewPlanCache returns a plan cache bounded to capacity entries
+// (least-recently-used eviction; capacity <= 0 selects
+// core.DefaultPlanCacheCap).
+func NewPlanCache(capacity int) *PlanCache { return core.NewPlanCache(capacity) }
+
+// PackedFilter is a whole-filter pre-transformation of KCRS weights
+// into the vector-blocked ⌈K/Vk⌉·C·R·S·Vk layout the micro-kernel
+// consumes — build it once per layer with Plan.TransformFilter and
+// execute with Plan.TryExecutePacked to skip the per-call on-the-fly
+// transform (Algorithm 2 line 5) with bit-identical results.
+type PackedFilter = core.PackedFilter
+
 // Epilogue selects the fused post-processing of the output pass.
 type Epilogue = core.Epilogue
 
