@@ -1,0 +1,328 @@
+// Command ndsoak is the chaos-soak harness for the serving runtime:
+// it drives concurrent mixed-shape convolution and network-forward
+// traffic through serve.Runtime while (with -storm) every fault
+// injection point in the repository is armed and re-armed on a random
+// schedule — worker panics, schedule corruption, NaN poisoning,
+// packed-weight corruption, worker stalls — and asserts the survival
+// invariants the overload-safe design promises:
+//
+//  1. Every request completes with either a bit-exact result (the
+//     traffic uses integer-valued tensors, so all execution modes and
+//     fallback paths agree to the bit) or an error wrapping one of the
+//     typed sentinels (ErrOverloaded, ErrDeadline, ErrExecFault,
+//     ErrWorkerPanic). Anything else — a wrong answer, an untyped
+//     error, a panic — is a violation.
+//  2. After the storm, parallel.LeakedWorkers drains to zero: every
+//     abandoned worker terminates once stalls are released.
+//  3. Memory accounting returns to its post-setup baseline (the
+//     packed-filter lifetime charges): no request leaks budget.
+//  4. No deadlock: every client goroutine exits within a grace period
+//     after the run ends (stalled workers are released by periodic
+//     fault resets).
+//
+// Exit status: 0 on a clean soak, 1 on invariant violations, 2 on a
+// hang (clients failed to drain). CI runs this for ~30 seconds with
+// -storm on every push.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/nn"
+	"ndirect/internal/parallel"
+	"ndirect/internal/serve"
+	"ndirect/internal/tensor"
+)
+
+// workload is one pre-validated traffic unit: a shape, integer-valued
+// operands, the bit-exact oracle, and (for some) a packed filter.
+type workload struct {
+	shape  conv.Shape
+	in     *tensor.Tensor
+	filter *tensor.Tensor
+	want   *tensor.Tensor
+	packed *core.PackedFilter // nil: plain traffic only
+}
+
+// fillInts fills t with integers in [-3, 3]. Integer tensors make
+// every path — optimised grid, degraded plan, float64 reference
+// fallback, im2col — produce identical bits, so the soak can demand
+// exact equality from whatever mode the ladder picked.
+func fillInts(t *tensor.Tensor, seed uint64) {
+	x := seed*2654435761 + 12345
+	for i := range t.Data {
+		x = x*6364136223846793005 + 1442695040888963407
+		t.Data[i] = float32(int64(x>>33)%7 - 3)
+	}
+}
+
+func main() {
+	duration := flag.Duration("duration", 30*time.Second, "soak duration")
+	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines")
+	threads := flag.Int("threads", 2, "worker threads per convolution")
+	inFlight := flag.Int("inflight", runtime.GOMAXPROCS(0), "admission in-flight limit")
+	memKB := flag.Int64("mem-kb", 256, "global memory budget in KiB (0 = unlimited); lower it (e.g. 64) so requests over-run the budget and walk the degradation ladder")
+	storm := flag.Bool("storm", false, "arm every fault injection point on a random schedule")
+	seed := flag.Int64("seed", 1, "storm/traffic random seed")
+	verbose := flag.Bool("v", false, "log every violation as it happens")
+	flag.Parse()
+
+	rt := serve.New(serve.Config{
+		MaxInFlight:   *inFlight,
+		MaxQueue:      2 * *inFlight,
+		MemLimitBytes: *memKB << 10,
+		Options:       core.Options{Threads: *threads, FallbackBudget: 40 * time.Millisecond},
+		Engine: &nn.Engine{
+			// im2col so the storm's worker panics exercise the
+			// baseline→nDirect degradation and the circuit breakers.
+			Algo:             nn.AlgoIm2col,
+			Threads:          *threads,
+			ConvBudget:       60 * time.Millisecond,
+			Reuse:            true,
+			BreakerThreshold: 5,
+			BreakerCooldown:  2 * time.Second,
+		},
+	})
+
+	works, baseline, net, netIn, netWant := buildTraffic(rt)
+	fmt.Printf("ndsoak: %d shapes, %d clients, %v, budget %d KiB, baseline %d B, storm=%v\n",
+		len(works), *clients, *duration, *memKB, baseline, *storm)
+
+	var (
+		requests   atomic.Uint64
+		okRuns     atomic.Uint64
+		typedErrs  atomic.Uint64
+		violations atomic.Uint64
+	)
+	violate := func(format string, args ...any) {
+		violations.Add(1)
+		if *verbose || violations.Load() <= 20 {
+			fmt.Printf("VIOLATION: "+format+"\n", args...)
+		}
+	}
+
+	trafficCtx, stopTraffic := context.WithTimeout(context.Background(), *duration)
+	defer stopTraffic()
+
+	// The storm: arm 1–2 random points every ~150 ms, full reset every
+	// ~800 ms (the reset also releases stalled workers, bounding how
+	// long any unbounded recompute can block on a stall).
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		if !*storm {
+			<-trafficCtx.Done()
+			return
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		points := []string{
+			faultinject.WorkerPanic,
+			faultinject.ScheduleCorrupt,
+			faultinject.NaNPoison,
+			faultinject.WorkerStall,
+			faultinject.PackedCorrupt,
+		}
+		lastReset := time.Now()
+		for trafficCtx.Err() == nil {
+			for n := 1 + rng.Intn(2); n > 0; n-- {
+				p := points[rng.Intn(len(points))]
+				arg := -1
+				if p == faultinject.NaNPoison || p == faultinject.PackedCorrupt {
+					arg = rng.Intn(1 << 16) // element index, clamped by the hook
+				}
+				faultinject.ArmN(p, arg, 1+rng.Intn(3))
+			}
+			time.Sleep(time.Duration(100+rng.Intn(100)) * time.Millisecond)
+			if time.Since(lastReset) > 800*time.Millisecond {
+				faultinject.Reset()
+				lastReset = time.Now()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + 1000 + int64(c)))
+			for trafficCtx.Err() == nil {
+				requests.Add(1)
+				w := works[rng.Intn(len(works))]
+				deadline := time.Duration(5+rng.Intn(95)) * time.Millisecond
+				ctx, cancel := context.WithTimeout(trafficCtx, deadline)
+
+				var out *tensor.Tensor
+				var err error
+				var want *tensor.Tensor
+				switch op := rng.Intn(10); {
+				case op < 2: // network forward through the gated engine
+					out, err = rt.Forward(ctx, net, netIn)
+					want = netWant
+				case op < 5 && w.packed != nil: // packed serving path
+					out, err = rt.TryConv2DPackedCtx(ctx, w.shape, w.in, w.packed)
+					want = w.want
+				default: // plain serving path
+					out, err = rt.TryConv2DCtx(ctx, w.shape, w.in, w.filter)
+					want = w.want
+				}
+				cancel()
+
+				if err != nil {
+					if !typedError(err) {
+						violate("untyped error from %v: %v", w.shape, err)
+					} else {
+						typedErrs.Add(1)
+					}
+					continue
+				}
+				if d := tensor.MaxAbsDiff(want, out); d != 0 {
+					violate("result differs from oracle by %g on %v", d, w.shape)
+					continue
+				}
+				okRuns.Add(1)
+				if rng.Intn(2) == 0 && out != netWant {
+					rt.Recycle(out)
+				}
+			}
+		}(c)
+	}
+
+	// Progress heartbeat.
+	go func() {
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-trafficCtx.Done():
+				return
+			case <-tick.C:
+				st := rt.Stats()
+				fmt.Printf("ndsoak: %d requests (%d ok, %d typed errors, %d violations); modes full/degraded/ref = %d/%d/%d; leaked=%d\n",
+					requests.Load(), okRuns.Load(), typedErrs.Load(), violations.Load(),
+					st.FullRuns, st.DegradedRuns, st.ReferenceRuns, parallel.LeakedWorkers())
+			}
+		}
+	}()
+
+	// Drain: clients may be blocked inside a stalled grid; keep
+	// releasing stalls until they exit, and call the run hung if they
+	// cannot drain inside the grace period.
+	<-trafficCtx.Done()
+	<-stormDone
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	grace := time.After(20 * time.Second)
+drain:
+	for {
+		faultinject.Reset()
+		select {
+		case <-drained:
+			break drain
+		case <-grace:
+			fmt.Println("ndsoak: DEADLOCK — clients failed to drain within the grace period")
+			os.Exit(2)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	faultinject.Reset()
+
+	// Invariant 2: the abandoned-worker account drains to zero.
+	leakDeadline := time.Now().Add(15 * time.Second)
+	for parallel.LeakedWorkers() != 0 {
+		if time.Now().After(leakDeadline) {
+			violate("LeakedWorkers stuck at %d after the storm", parallel.LeakedWorkers())
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Invariant 3: memory accounting back to the post-setup baseline.
+	st := rt.Stats()
+	if st.MemInUse != baseline {
+		violate("memory accounting did not return to baseline: %d B in use, want %d B", st.MemInUse, baseline)
+	}
+	if st.Gate.InFlight != 0 || st.Gate.Queued != 0 {
+		violate("gate not drained: %+v", st.Gate)
+	}
+
+	fmt.Printf("ndsoak: done: %d requests, %d ok, %d typed errors, %d violations\n",
+		requests.Load(), okRuns.Load(), typedErrs.Load(), violations.Load())
+	fmt.Printf("ndsoak: gate %+v\n", st.Gate)
+	fmt.Printf("ndsoak: ladder full/degraded/ref = %d/%d/%d, over-budget %d, rejected %d; pool hits/fresh = %d/%d; peak %d B\n",
+		st.FullRuns, st.DegradedRuns, st.ReferenceRuns, st.OverBudget, st.MemRejected, st.PoolHits, st.FreshAllocs, st.MemPeak)
+	if br := rt.Engine().BreakerStats(nn.AlgoIm2col); br.Trips > 0 || br.Skips > 0 {
+		fmt.Printf("ndsoak: im2col breaker %+v\n", br)
+	}
+	if violations.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// typedError reports whether err wraps one of the sentinels the
+// serving contract allows a request to fail with.
+func typedError(err error) bool {
+	return errors.Is(err, core.ErrOverloaded) ||
+		errors.Is(err, conv.ErrDeadline) ||
+		errors.Is(err, core.ErrExecFault) ||
+		errors.Is(err, parallel.ErrWorkerPanic)
+}
+
+// buildTraffic precomputes the mixed-shape workloads and their oracles
+// (all fault injection disarmed), packs filters for part of the set,
+// and builds the small network the forward traffic uses. Returns the
+// post-setup budget baseline (the packed lifetime charges).
+func buildTraffic(rt *serve.Runtime) (works []*workload, baseline int64, net *nn.Network, netIn, netWant *tensor.Tensor) {
+	shapes := []conv.Shape{
+		{N: 1, C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1},
+		{N: 1, C: 16, H: 14, W: 14, K: 32, R: 3, S: 3, Str: 1, Pad: 1},
+		{N: 2, C: 5, H: 9, W: 9, K: 13, R: 3, S: 3, Str: 1, Pad: 1},
+		{N: 1, C: 16, H: 28, W: 28, K: 16, R: 1, S: 1, Str: 1, Pad: 0},
+		{N: 1, C: 4, H: 32, W: 32, K: 8, R: 5, S: 5, Str: 2, Pad: 2},
+	}
+	for i, s := range shapes {
+		w := &workload{shape: s, in: s.NewInput(), filter: s.NewFilter()}
+		fillInts(w.in, uint64(2*i+1))
+		fillInts(w.filter, uint64(2*i+2))
+		w.want = conv.Reference(s, w.in, w.filter)
+		if i%2 == 0 {
+			pf, err := rt.Pack(s, w.filter)
+			if err != nil {
+				fmt.Printf("ndsoak: setup: Pack(%v): %v\n", s, err)
+				os.Exit(2)
+			}
+			w.packed = pf
+		}
+		works = append(works, w)
+	}
+
+	// One integer-weight conv+ReLU unit: its oracle is exact on every
+	// engine backend, including the post-breaker nDirect fallback.
+	ns := conv.Shape{N: 1, C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	nw := ns.NewFilter()
+	fillInts(nw, 77)
+	net = &nn.Network{Name: "soak", Layers: []nn.Layer{
+		&nn.ConvUnit{LayerName: "conv1", Shape: ns, Weights: nw, ReLU: true},
+	}}
+	netIn = ns.NewInput()
+	fillInts(netIn, 78)
+	netWant = conv.Reference(ns, netIn, nw)
+	for i, v := range netWant.Data {
+		if v < 0 {
+			netWant.Data[i] = 0
+		}
+	}
+	return works, rt.Budget().InUse(), net, netIn, netWant
+}

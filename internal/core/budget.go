@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+// Memory-budget hooks for the serving layer (internal/serve). The
+// paper's whole argument is explicit resource budgeting — register and
+// cache tiles sized to the hardware by Equations 1–4 — and a serving
+// process extends that discipline one level up: before a request is
+// executed, the bytes its plan will touch are charged against a global
+// ceiling. These methods expose the sizes the accountant needs; the
+// policy (the degradation ladder) lives in internal/serve.
+
+// ScratchBytes returns an upper bound on the transient worker-scratch
+// memory one execution of the plan allocates: the per-worker
+// transformed-filter block, packing buffer and (for the generic
+// kernel) accumulator file, times the full PTk × PN × PH × PW thread
+// grid. Actual usage can be lower — worker ranges collapse when a
+// dimension is smaller than its grid factor, and the sync.Pool reuses
+// scratch across calls — so this is a safe admission estimate, not an
+// exact meter.
+func (p *Plan) ScratchBytes() int64 {
+	s := p.Shape
+	kBlocks := (p.CT.Tk + p.RT.Vk - 1) / p.RT.Vk
+	per := kBlocks*p.RT.Vk*p.CT.Tc*s.R*s.S + // tf
+		p.CT.Tc*s.R*((p.RT.Vw-1)*s.Str+s.S) // buf
+	if p.kind == kindGeneric {
+		per += p.RT.Vw * p.RT.Vk // accG (Vec4s, counted in floats)
+	}
+	workers := p.TM.PTk * p.TM.PN * p.TM.PH * p.TM.PW
+	return 4 * int64(per) * int64(workers)
+}
+
+// OutputBytes returns the size of the plan's NKPQ output tensor.
+func (p *Plan) OutputBytes() int64 {
+	s := p.Shape
+	return 4 * int64(s.N) * int64(s.K) * int64(s.P()) * int64(s.Q())
+}
+
+// Bytes returns the packed buffer's size — the persistent-weight
+// memory a serving process charges against its budget once at load
+// time (the packed copy lives as long as the layer).
+func (pf *PackedFilter) Bytes() int64 { return 4 * int64(len(pf.data)) }
+
+// TryExecuteReferenceCtx computes the plan's convolution with the
+// naive seven-loop algorithm directly into out — no worker grid, no
+// scratch buffers, no fresh output publication — replaying the plan's
+// fused epilogue. It is the bottom rung of the serving memory-
+// degradation ladder: when the budget cannot cover even a degraded
+// tile plan's scratch, this path needs only the output the caller was
+// owed anyway. Accumulation is float64 in the same (c, r, s) order as
+// conv.Reference, so its results are bit-identical to the reference
+// oracle. The context is polled between output rows; expiry returns
+// an error wrapping conv.ErrDeadline and the context's cause. NCHW
+// only (the layout the serving entry points use).
+func (p *Plan) TryExecuteReferenceCtx(ctx context.Context, in, filter *tensor.Tensor, out *tensor.Tensor) error {
+	if err := conv.ValidateOperands(p.Shape, in, filter); err != nil {
+		return err
+	}
+	if err := conv.ValidateOutput(p.Shape, out); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := p.Shape
+	pp, q := s.P(), s.Q()
+	poll := ctx.Done() != nil
+	rs := s.R * s.S
+	for n := 0; n < s.N; n++ {
+		for k := 0; k < s.K; k++ {
+			var bias float32
+			applyBias := false
+			applyReLU := false
+			switch p.opts.Epilogue {
+			case EpilogueBias:
+				bias, applyBias = p.opts.Bias[k], true
+			case EpilogueReLU:
+				applyReLU = true
+			case EpilogueBiasReLU:
+				bias, applyBias = p.opts.Bias[k], true
+				applyReLU = true
+			}
+			for oj := 0; oj < pp; oj++ {
+				if poll && ctx.Err() != nil {
+					return deadlineErr(ctx)
+				}
+				row := out.Data[((n*s.K+k)*pp+oj)*q : ((n*s.K+k)*pp+oj+1)*q]
+				for oi := 0; oi < q; oi++ {
+					var acc float64
+					ij := s.Str*oj - s.Pad
+					ii := s.Str*oi - s.Pad
+					for c := 0; c < s.C; c++ {
+						inBase := ((n*s.C + c) * s.H) * s.W
+						fBase := (k*s.C + c) * rs
+						for r := 0; r < s.R; r++ {
+							ih := ij + r
+							if ih < 0 || ih >= s.H {
+								continue
+							}
+							for ss := 0; ss < s.S; ss++ {
+								iw := ii + ss
+								if iw < 0 || iw >= s.W {
+									continue
+								}
+								acc += float64(in.Data[inBase+ih*s.W+iw]) *
+									float64(filter.Data[fBase+r*s.S+ss])
+							}
+						}
+					}
+					v := float32(acc)
+					if applyBias {
+						v += bias
+					}
+					if applyReLU && v < 0 {
+						v = 0
+					}
+					row[oi] = v
+				}
+			}
+		}
+	}
+	return nil
+}

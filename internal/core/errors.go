@@ -21,6 +21,15 @@ var (
 	// one exception is an accumulate run that faulted without a prior
 	// snapshot of the output, which cannot be recovered.
 	ErrExecFault = errors.New("core: execution fault")
+	// ErrOverloaded reports that the serving runtime refused the
+	// request before doing any convolution work: admission control
+	// could not grant an execution slot before the caller's deadline
+	// (or the wait queue was full), or the global memory budget could
+	// not cover even the bottom rung of the degradation ladder. It is
+	// the fail-fast sentinel of internal/serve; overload rejections
+	// are cheap by construction (no goroutines spawned, no buffers
+	// allocated) so callers can shed load and retry elsewhere.
+	ErrOverloaded = errors.New("core: overloaded")
 )
 
 // maxThreads bounds Options.Threads so the thread-mapping solver's

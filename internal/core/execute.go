@@ -217,6 +217,21 @@ func (p *Plan) execChecked(ctx context.Context, in, filter *tensor.Tensor, pf *P
 	var pre []float32
 	if pf != nil {
 		pre = pf.data
+		if injecting {
+			if idx, ok := faultinject.Take(faultinject.PackedCorrupt); ok && len(pre) > 0 {
+				if idx < 0 || idx >= len(pre) {
+					idx = 0
+				}
+				// Poison a run-private copy: the shared PackedFilter is
+				// immutable and other runs must keep reading clean
+				// weights. The NaN propagates into the output, where the
+				// injection-mode non-finite scan below catches it and the
+				// reference fallback recomputes from pf's KCRS source.
+				corrupted := append([]float32(nil), pre...)
+				corrupted[idx] = float32(math.NaN())
+				pre = corrupted
+			}
+		}
 	}
 	err := p.run(ctx, in.Data, filter.Data, pre, out.Data, nchw, accumulate)
 	if err == nil && injecting {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndirect/internal/conv"
@@ -37,7 +38,11 @@ type PlanCache struct {
 	lru   *list.List // of *planEntry; front = most recently used
 	byKey map[planKey]*list.Element
 
-	hits, misses, evictions uint64
+	// Observability counters. Atomics rather than mu-guarded fields so
+	// Stats() snapshots under concurrent lookups never contend with
+	// the map/LRU bookkeeping (a monitoring scrape must not slow the
+	// serving hot path).
+	hits, misses, evictions atomic.Uint64
 }
 
 // DefaultPlanCacheCap is the entry bound used when NewPlanCache is
@@ -128,7 +133,7 @@ func (c *PlanCache) Get(s conv.Shape, opt Options) (*Plan, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
-		c.hits++
+		c.hits.Add(1)
 		p := el.Value.(*planEntry).plan
 		c.mu.Unlock()
 		return p, nil
@@ -144,7 +149,7 @@ func (c *PlanCache) Get(s conv.Shape, opt Options) (*Plan, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.misses++
+	c.misses.Add(1)
 	if el, ok := c.byKey[key]; ok {
 		// A racing goroutine inserted first; keep its plan so every
 		// caller shares one scratch pool per key.
@@ -156,7 +161,7 @@ func (c *PlanCache) Get(s conv.Shape, opt Options) (*Plan, error) {
 		back := c.lru.Back()
 		c.lru.Remove(back)
 		delete(c.byKey, back.Value.(*planEntry).key)
-		c.evictions++
+		c.evictions.Add(1)
 	}
 	return p, nil
 }
@@ -174,12 +179,21 @@ type PlanCacheStats struct {
 	Len                     int
 }
 
-// Stats returns the cache's counters: hits, misses (successful builds
-// after a lookup failure) and LRU evictions.
+// Stats returns a point-in-time snapshot of the cache's counters:
+// hits, misses (successful builds after a lookup failure) and LRU
+// evictions. The counters are atomic, so the snapshot is safe (and
+// contention-free) under concurrent Get traffic; the three values are
+// read independently and may straddle an in-flight lookup.
 func (c *PlanCache) Stats() PlanCacheStats {
+	st := PlanCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.lru.Len()}
+	st.Len = c.lru.Len()
+	c.mu.Unlock()
+	return st
 }
 
 // planFor resolves the plan for one-shot entry points: through the

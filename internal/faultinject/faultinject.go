@@ -45,6 +45,15 @@ const (
 	// index (until Reset, which tests defer; in production, forever) —
 	// the reproducible wedge behind the deadline/cancellation tests.
 	WorkerStall = "worker-stall"
+	// PackedCorrupt poisons one element of the pre-transformed
+	// (packed) filter before a TryExecutePacked* run consumes it — the
+	// packed-path twin of NaNPoison, exercising the non-finite
+	// detection and reference fallback on persistent weights. The
+	// armed argument is the element index to poison (clamped into the
+	// buffer; negative picks element 0, which every run reads). The
+	// corruption is applied to a run-private copy, so the shared
+	// PackedFilter itself is never damaged.
+	PackedCorrupt = "packed-corrupt"
 )
 
 // knownPoints is the registry parse validates against: arming a name
@@ -54,6 +63,7 @@ var knownPoints = map[string]bool{
 	ScheduleCorrupt: true,
 	NaNPoison:       true,
 	WorkerStall:     true,
+	PackedCorrupt:   true,
 }
 
 type point struct {
@@ -64,7 +74,7 @@ type point struct {
 var (
 	mu      sync.Mutex
 	points  = map[string]*point{}
-	enabled atomic.Bool // mirrors len(points) > 0 for the lock-free fast path
+	enabled atomic.Bool   // mirrors len(points) > 0 for the lock-free fast path
 	stallC  chan struct{} // gate stalled workers block on; closed by Reset
 )
 

@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"sync"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+)
+
+// numAlgos sizes the per-backend breaker array.
+const numAlgos = int(AlgoXNN) + 1
+
+// DefaultBreakerCooldown is the quarantine duration when breakers are
+// enabled without an explicit Engine.BreakerCooldown.
+const DefaultBreakerCooldown = 30 * time.Second
+
+// DefaultLogInterval rate-limits repeated backend-fallback log lines:
+// at most one per (backend, shape) per interval, with a suppressed
+// count on the next emission.
+const DefaultLogInterval = 5 * time.Second
+
+// breaker is one backend's circuit breaker. The states are the
+// classical three:
+//
+//	closed    — backend invoked normally; consecutive failures counted
+//	open      — backend quarantined; dispatch goes straight to nDirect
+//	            without invoking it (no per-call retry, no per-call log)
+//	half-open — cooldown elapsed; exactly one probe request is allowed
+//	            through. Success closes the breaker, failure re-opens it.
+//
+// A mutex rather than atomics: the breaker is consulted once per conv
+// layer (microseconds of work at minimum), so contention is noise, and
+// the open/half-open transitions need multi-field consistency.
+type breaker struct {
+	mu        sync.Mutex
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // zero: closed; else quarantined until then
+	open      bool
+	probing   bool // a half-open probe is in flight
+
+	trips    uint64 // closed→open transitions (incl. failed probes)
+	skips    uint64 // dispatches routed to nDirect without invoking
+	probes   uint64 // half-open probes allowed through
+	restores uint64 // successful probes (open→closed)
+}
+
+// allow reports whether the backend may be invoked for this dispatch.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if now.Before(b.openUntil) || b.probing {
+		b.skips++
+		return false
+	}
+	// Cooldown elapsed: admit exactly one probe.
+	b.probing = true
+	b.probes++
+	return true
+}
+
+// onSuccess records a successful backend invocation.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open { // a half-open probe succeeded
+		b.open = false
+		b.openUntil = time.Time{}
+		b.restores++
+	}
+	b.probing = false
+	b.fails = 0
+}
+
+// onFailure records a failed invocation; reports whether this failure
+// tripped (or re-tripped) the quarantine.
+func (b *breaker) onFailure(threshold int, now time.Time, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open { // the half-open probe failed: back to quarantine
+		b.probing = false
+		b.openUntil = now.Add(cooldown)
+		b.trips++
+		return true
+	}
+	b.fails++
+	if b.fails < threshold {
+		return false
+	}
+	b.open = true
+	b.openUntil = now.Add(cooldown)
+	b.fails = 0
+	b.trips++
+	return true
+}
+
+// BreakerState is a breaker's current position in the state machine.
+type BreakerState string
+
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerStats is a point-in-time snapshot of one backend's breaker.
+type BreakerStats struct {
+	State            BreakerState
+	ConsecutiveFails int    // failures counted toward the threshold
+	Trips            uint64 // quarantine entries (incl. failed probes)
+	Skips            uint64 // dispatches that bypassed the backend
+	Probes           uint64 // half-open probes admitted
+	Restores         uint64 // probes that closed the breaker
+}
+
+// BreakerStats snapshots the circuit breaker for one backend. With
+// breakers disabled (BreakerThreshold <= 0) every breaker reads as
+// permanently closed with zero counters.
+func (eng *Engine) BreakerStats(a Algo) BreakerStats {
+	if int(a) < 0 || int(a) >= numAlgos {
+		return BreakerStats{State: BreakerClosed}
+	}
+	b := &eng.breakers[a]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		State:            BreakerClosed,
+		ConsecutiveFails: b.fails,
+		Trips:            b.trips,
+		Skips:            b.skips,
+		Probes:           b.probes,
+		Restores:         b.restores,
+	}
+	if b.open {
+		if time.Now().Before(b.openUntil) || b.probing {
+			st.State = BreakerOpen
+		} else {
+			st.State = BreakerHalfOpen
+		}
+	}
+	return st
+}
+
+func (eng *Engine) breakerCooldown() time.Duration {
+	if eng.BreakerCooldown > 0 {
+		return eng.BreakerCooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+// backendAllowed reports whether algo's backend should be invoked for
+// this dispatch. False means the breaker is open: route straight to
+// nDirect without paying for another guaranteed failure (the skip
+// itself is rate-limit logged so quarantined traffic stays visible).
+func (eng *Engine) backendAllowed(a Algo, s conv.Shape) bool {
+	if eng.BreakerThreshold <= 0 {
+		return true
+	}
+	if eng.breakers[a].allow(time.Now()) {
+		return true
+	}
+	eng.logLimited("skip|"+a.String()+"|"+shapeKey(s),
+		"nn: %v backend quarantined; dispatching %v straight to ndirect", a, s)
+	return false
+}
+
+// backendOK records a successful backend invocation.
+func (eng *Engine) backendOK(a Algo) {
+	if eng.BreakerThreshold > 0 {
+		eng.breakers[a].onSuccess()
+	}
+}
+
+// backendFailed records a failed backend invocation and emits the
+// rate-limited fallback line (plus an un-suppressed state-change line
+// when this failure trips the quarantine).
+func (eng *Engine) backendFailed(a Algo, s conv.Shape, err error) {
+	eng.logLimited("fail|"+a.String()+"|"+shapeKey(s),
+		"nn: %v backend failed on %v; falling back to ndirect: %v", a, s, err)
+	if eng.BreakerThreshold <= 0 {
+		return
+	}
+	if eng.breakers[a].onFailure(eng.BreakerThreshold, time.Now(), eng.breakerCooldown()) {
+		core.Logf("nn: %v backend quarantined for %v after repeated failures; dispatching to ndirect",
+			a, eng.breakerCooldown())
+	}
+}
+
+// logEntry is one (site, backend, shape) key's rate-limit bookkeeping.
+type logEntry struct {
+	last       time.Time
+	suppressed int
+}
+
+// logLimited emits via core.Logf at most once per key per LogInterval;
+// lines dropped in between surface as a suppressed count appended to
+// the next emission. A negative Engine.LogInterval disables
+// suppression (the seed's log-every-call behaviour).
+func (eng *Engine) logLimited(key, format string, args ...any) {
+	interval := eng.LogInterval
+	if interval < 0 {
+		core.Logf(format, args...)
+		return
+	}
+	if interval == 0 {
+		interval = DefaultLogInterval
+	}
+	now := time.Now()
+	eng.logMu.Lock()
+	if eng.logSeen == nil {
+		eng.logSeen = make(map[string]*logEntry)
+	}
+	e := eng.logSeen[key]
+	if e == nil {
+		e = &logEntry{}
+		eng.logSeen[key] = e
+	}
+	if !e.last.IsZero() && now.Sub(e.last) < interval {
+		e.suppressed++
+		eng.logMu.Unlock()
+		return
+	}
+	suppressed := e.suppressed
+	e.suppressed = 0
+	e.last = now
+	eng.logMu.Unlock()
+	if suppressed > 0 {
+		format += " [%d similar lines suppressed]"
+		args = append(args, suppressed)
+	}
+	core.Logf(format, args...)
+}

@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ndirect/internal/core"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/tensor"
+)
+
+// captureLogs redirects core.Logf to a slice of formatted lines for
+// the duration of the test.
+func captureLogs(t *testing.T) (get func() []string) {
+	t.Helper()
+	old := core.Logf
+	var mu sync.Mutex
+	var logs []string
+	core.Logf = func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		mu.Lock()
+		logs = append(logs, line)
+		mu.Unlock()
+		t.Logf("(captured) %s", line)
+	}
+	t.Cleanup(func() { core.Logf = old })
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), logs...)
+	}
+}
+
+// TestBreakerQuarantinesAndRestores is the ISSUE acceptance test: N
+// consecutive backend failures open the breaker (dispatch goes
+// straight to nDirect without invoking the backend), a timed half-open
+// probe re-fails and re-opens while the fault persists, and once the
+// fault clears a probe restores the backend.
+func TestBreakerQuarantinesAndRestores(t *testing.T) {
+	defer faultinject.Reset()
+	getLogs := captureLogs(t)
+
+	const threshold = 3
+	const cooldown = 50 * time.Millisecond
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+	}}
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(7)
+	want := net.Forward(&Engine{Algo: AlgoNDirect, Threads: 2}, x)
+
+	eng := &Engine{
+		Algo:             AlgoAnsor,
+		Threads:          2,
+		BreakerThreshold: threshold,
+		BreakerCooldown:  cooldown,
+		LogInterval:      -1, // log every call: the test counts lines
+	}
+	forward := func(label string) {
+		t.Helper()
+		got, err := net.TryForward(eng, x)
+		if err != nil {
+			t.Fatalf("%s: forward errored: %v", label, err)
+		}
+		if d := tensor.RelDiff(want, got); d > 1e-5 {
+			t.Fatalf("%s: output diverges from ndirect by %g", label, d)
+		}
+	}
+
+	// ScheduleCorrupt hits only the Ansor executor, so the nDirect
+	// fallback (and the rest of the pass) stays healthy however often
+	// the fault fires.
+	faultinject.ArmN(faultinject.ScheduleCorrupt, -1, -1)
+
+	for i := 0; i < threshold; i++ {
+		if st := eng.BreakerStats(AlgoAnsor); st.State != BreakerClosed {
+			t.Fatalf("state = %v before failure %d, want closed", st.State, i)
+		}
+		forward(fmt.Sprintf("failure %d", i))
+	}
+	st := eng.BreakerStats(AlgoAnsor)
+	if st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("after %d failures: state = %v trips = %d, want open/1", threshold, st.State, st.Trips)
+	}
+
+	// While open, the backend is not invoked: the dispatch is a skip,
+	// not another failure.
+	forward("quarantined")
+	if st := eng.BreakerStats(AlgoAnsor); st.Skips == 0 {
+		t.Fatalf("no skip recorded while open: %+v", st)
+	}
+
+	// Cooldown elapses with the fault still armed: the half-open probe
+	// invokes the backend once, fails, and re-opens.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	forward("failed probe")
+	st = eng.BreakerStats(AlgoAnsor)
+	if st.Probes != 1 || st.Trips != 2 || st.State != BreakerOpen {
+		t.Fatalf("after failed probe: %+v, want Probes=1 Trips=2 open", st)
+	}
+
+	// Fault clears; the next probe restores the backend.
+	faultinject.Reset()
+	time.Sleep(cooldown + 10*time.Millisecond)
+	forward("successful probe")
+	st = eng.BreakerStats(AlgoAnsor)
+	if st.State != BreakerClosed || st.Restores != 1 || st.Probes != 2 {
+		t.Fatalf("after successful probe: %+v, want closed Restores=1 Probes=2", st)
+	}
+	forward("restored")
+	if st := eng.BreakerStats(AlgoAnsor); st.State != BreakerClosed || st.Trips != 2 {
+		t.Fatalf("restored backend re-tripped without failures: %+v", st)
+	}
+
+	logs := strings.Join(getLogs(), "\n")
+	if !strings.Contains(logs, "quarantined for") {
+		t.Fatal("the quarantine transition must be logged")
+	}
+	if !strings.Contains(logs, "dispatching") {
+		t.Fatal("quarantined dispatches must stay visible in the log")
+	}
+}
+
+// TestBreakerDisabledByDefault: a zero-value engine keeps the seed
+// behaviour — every call retries the backend, nothing is quarantined.
+func TestBreakerDisabledByDefault(t *testing.T) {
+	defer faultinject.Reset()
+	captureLogs(t)
+
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+	}}
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(7)
+
+	eng := &Engine{Algo: AlgoAnsor, Threads: 2, LogInterval: -1}
+	faultinject.ArmN(faultinject.ScheduleCorrupt, -1, -1)
+	for i := 0; i < 5; i++ {
+		if _, err := net.TryForward(eng, x); err != nil {
+			t.Fatalf("forward %d: %v", i, err)
+		}
+	}
+	st := eng.BreakerStats(AlgoAnsor)
+	if st.State != BreakerClosed || st.Trips != 0 || st.Skips != 0 {
+		t.Fatalf("disabled breaker moved: %+v", st)
+	}
+}
+
+// TestFallbackLogRateLimited: repeated fallbacks on one (backend,
+// shape) emit one line per interval, and the next emission carries the
+// suppressed count.
+func TestFallbackLogRateLimited(t *testing.T) {
+	defer faultinject.Reset()
+	getLogs := captureLogs(t)
+
+	b := builderForTest()
+	net := &Network{Name: "tiny", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+	}}
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(7)
+
+	const interval = 300 * time.Millisecond
+	eng := &Engine{Algo: AlgoAnsor, Threads: 2, LogInterval: interval}
+	faultinject.ArmN(faultinject.ScheduleCorrupt, -1, -1)
+
+	countFallbacks := func() int {
+		n := 0
+		for _, l := range getLogs() {
+			if strings.Contains(l, "falling back to ndirect") {
+				n++
+			}
+		}
+		return n
+	}
+
+	const calls = 4
+	for i := 0; i < calls; i++ {
+		if _, err := net.TryForward(eng, x); err != nil {
+			t.Fatalf("forward %d: %v", i, err)
+		}
+	}
+	if got := countFallbacks(); got != 1 {
+		t.Fatalf("%d fallback lines within one interval, want exactly 1", got)
+	}
+
+	// The interval rolls over: the next failure logs again, carrying
+	// the count of the lines dropped above.
+	time.Sleep(interval + 20*time.Millisecond)
+	if _, err := net.TryForward(eng, x); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFallbacks(); got != 2 {
+		t.Fatalf("%d fallback lines after the interval, want 2", got)
+	}
+	logs := getLogs()
+	last := logs[len(logs)-1]
+	if !strings.Contains(last, fmt.Sprintf("%d similar lines suppressed", calls-1)) {
+		t.Fatalf("summary line %q lacks the suppressed count (%d)", last, calls-1)
+	}
+}

@@ -98,10 +98,31 @@ type Engine struct {
 	// Reuse; nil with Reuse on means a private cache is created on
 	// first use.
 	Plans *core.PlanCache
+	// BreakerThreshold enables per-backend circuit breakers: after
+	// this many consecutive failures a baseline backend (im2col,
+	// LIBXSMM, XNNPACK, Ansor) is quarantined and dispatch goes
+	// straight to nDirect without invoking it; after BreakerCooldown a
+	// single half-open probe is let through, restoring the backend on
+	// success. 0 (the default) disables breakers — the seed behaviour
+	// of retrying the failing backend and logging on every call.
+	// nDirect itself is never breakered: it is the fallback.
+	BreakerThreshold int
+	// BreakerCooldown is the quarantine duration before a half-open
+	// probe (DefaultBreakerCooldown when zero).
+	BreakerCooldown time.Duration
+	// LogInterval rate-limits repeated backend-fallback log lines to
+	// one per (backend, shape) per interval with a suppressed-count
+	// summary (DefaultLogInterval when zero; negative disables
+	// suppression and logs every call).
+	LogInterval time.Duration
 
 	planOnce  sync.Once
 	planCache *core.PlanCache
 	pools     sync.Map // len([]float32) → *sync.Pool of buffers
+
+	breakers [numAlgos]breaker
+	logMu    sync.Mutex
+	logSeen  map[string]*logEntry
 }
 
 // plans returns the plan cache the engine's conv calls share: the
@@ -210,7 +231,12 @@ func (n *Network) TryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, err
 		if cl, ok := l.(checkedLayer); ok {
 			next, err = cl.tryForward(eng, cur)
 		} else {
-			next = l.Forward(eng, cur)
+			// Unchecked layers (pooling, FC, softmax) may panic — their
+			// Forward contract — including on an injected worker fault
+			// in their parallel loops. TryForward promises an error, so
+			// recover here; errors.Is(err, ErrWorkerPanic) still holds
+			// when the panic carries the runtime's typed fault.
+			err = parallel.Protect(func() { next = l.Forward(eng, cur) })
 		}
 		if err != nil {
 			return nil, fmt.Errorf("layer %s: %w", l.Name(), err)
@@ -381,13 +407,19 @@ func (c *ConvUnit) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, er
 		return nil, err
 	}
 	if c.Bias != nil {
-		addBias(out, c.Bias, eng.Threads)
+		if err := addBias(out, c.Bias, eng.Threads); err != nil {
+			return nil, err
+		}
 	}
 	if c.BN != nil {
-		applyBN(out, c.BN, eng.Threads)
+		if err := applyBN(out, c.BN, eng.Threads); err != nil {
+			return nil, err
+		}
 	}
 	if c.ReLU {
-		applyReLU(out, eng.Threads)
+		if err := applyReLU(out, eng.Threads); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -395,6 +427,9 @@ func (c *ConvUnit) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, er
 func (c *ConvUnit) tryConvPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) (*tensor.Tensor, error) {
 	switch eng.Algo {
 	case AlgoAnsor:
+		if !eng.backendAllowed(AlgoAnsor, s) {
+			return c.tryNDirect(eng, s, x, c.Weights, core.Options{Threads: eng.Threads})
+		}
 		out := eng.newTensor(s.N, s.K, s.P(), s.Q())
 		ctx, cancel := eng.convCtx()
 		err := autotune.ExecuteCtx(ctx, s, eng.schedule(s), x, c.Weights, out, eng.Threads)
@@ -406,9 +441,10 @@ func (c *ConvUnit) tryConvPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) (*t
 			// backend (unbounded: the injected fault was consumed).
 			// out is not pooled back: abandoned workers may still
 			// write into it.
-			core.Logf("nn: ansor backend failed on %v; falling back to ndirect: %v", s, err)
+			eng.backendFailed(AlgoAnsor, s, err)
 			return c.tryNDirect(eng, s, x, c.Weights, core.Options{Threads: eng.Threads})
 		}
+		eng.backendOK(AlgoAnsor)
 		return out, nil
 	case AlgoIm2col, AlgoXSMM, AlgoXNN:
 		return c.tryBaseline(eng, s, x, c.Weights)
@@ -423,6 +459,9 @@ func (c *ConvUnit) tryConvPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) (*t
 // so a backend fault surfaces as a slow layer rather than a nil tensor
 // crashing the next one.
 func (c *ConvUnit) tryBaseline(eng *Engine, s conv.Shape, x, w *tensor.Tensor) (*tensor.Tensor, error) {
+	if !eng.backendAllowed(eng.Algo, s) {
+		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads})
+	}
 	var (
 		out *tensor.Tensor
 		err error
@@ -438,9 +477,10 @@ func (c *ConvUnit) tryBaseline(eng *Engine, s conv.Shape, x, w *tensor.Tensor) (
 		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads})
 	}
 	if err != nil {
-		core.Logf("nn: %v backend failed on %v; falling back to ndirect: %v", eng.Algo, s, err)
+		eng.backendFailed(eng.Algo, s, err)
 		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads})
 	}
+	eng.backendOK(eng.Algo)
 	return out, nil
 }
 
@@ -462,7 +502,7 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 		}
 		out, err := core.TryConv2DCtx(ctx, s, x, w, opt)
 		if err != nil {
-			core.Logf("nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
+			eng.logLimited("budget|ndirect|"+shapeKey(s), "nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
 			return core.TryConv2D(s, x, w, opt)
 		}
 		return out, nil
@@ -487,7 +527,7 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 		return out, nil
 	}
 	if err := plan.TryExecutePackedCtx(ctx, x, pf, out); err != nil {
-		core.Logf("nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
+		eng.logLimited("budget|ndirect|"+shapeKey(s), "nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
 		// Abandoned workers may still write into out: leak it (never
 		// back to the pool) and recompute into a fresh tensor.
 		out = eng.newTensor(s.N, s.K, s.P(), s.Q())
@@ -512,29 +552,40 @@ func (c *ConvUnit) tryConvFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *
 		}
 		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
 	case AlgoAnsor:
+		fusedFallback := func() (*tensor.Tensor, error) {
+			ep := core.EpilogueBias
+			if c.ReLU {
+				ep = core.EpilogueBiasReLU
+			}
+			return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+		}
+		if !eng.backendAllowed(AlgoAnsor, s) {
+			return fusedFallback()
+		}
 		out := eng.newTensor(s.N, s.K, s.P(), s.Q())
 		ctx, cancel := eng.convCtx()
 		err := autotune.ExecuteFusedCtx(ctx, s, eng.schedule(s), x, w, out, eng.Threads, b, c.ReLU)
 		cancel()
 		if err != nil {
-			core.Logf("nn: ansor backend failed on %v; falling back to ndirect: %v", s, err)
-			ep := core.EpilogueBias
-			if c.ReLU {
-				ep = core.EpilogueBiasReLU
-			}
+			eng.backendFailed(AlgoAnsor, s, err)
 			// out stays out of the pool: abandoned workers may still
 			// write into it.
-			return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+			return fusedFallback()
 		}
+		eng.backendOK(AlgoAnsor)
 		return out, nil
 	default:
 		out, err := c.tryBaseline(eng, s, x, w)
 		if err != nil {
 			return nil, err
 		}
-		addBias(out, b, eng.Threads)
+		if err := addBias(out, b, eng.Threads); err != nil {
+			return nil, err
+		}
 		if c.ReLU {
-			applyReLU(out, eng.Threads)
+			if err := applyReLU(out, eng.Threads); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	}
@@ -549,10 +600,16 @@ func (eng *Engine) schedule(s conv.Shape) autotune.Schedule {
 
 // --- Elementwise / normalisation passes ---
 
-func addBias(t *tensor.Tensor, bias []float32, threads int) {
+// The elementwise passes are checked (they return the parallel
+// runtime's typed error instead of panicking): they run inside
+// TryForward's panic-free contract, and a worker fault in a few-
+// microsecond epilogue must degrade exactly like one in the
+// convolution itself.
+
+func addBias(t *tensor.Tensor, bias []float32, threads int) error {
 	n, k := t.Dims[0], t.Dims[1]
 	pq := t.Dims[2] * t.Dims[3]
-	parallel.MustFor(n*k, threads, func(nk int) {
+	return parallel.For(n*k, threads, func(nk int) {
 		b := bias[nk%k]
 		row := t.Data[nk*pq : (nk+1)*pq]
 		for i := range row {
@@ -561,10 +618,10 @@ func addBias(t *tensor.Tensor, bias []float32, threads int) {
 	})
 }
 
-func applyBN(t *tensor.Tensor, bn *BNParams, threads int) {
+func applyBN(t *tensor.Tensor, bn *BNParams, threads int) error {
 	n, k := t.Dims[0], t.Dims[1]
 	pq := t.Dims[2] * t.Dims[3]
-	parallel.MustFor(n*k, threads, func(nk int) {
+	return parallel.For(n*k, threads, func(nk int) {
 		c := nk % k
 		scale := bn.Gamma[c] / float32(math.Sqrt(float64(bn.Var[c])+float64(bn.Eps)))
 		shift := bn.Beta[c] - bn.Mean[c]*scale
@@ -575,8 +632,8 @@ func applyBN(t *tensor.Tensor, bn *BNParams, threads int) {
 	})
 }
 
-func applyReLU(t *tensor.Tensor, threads int) {
-	parallel.MustForRange(len(t.Data), threads, func(_ int, r parallel.Range) {
+func applyReLU(t *tensor.Tensor, threads int) error {
+	return parallel.ForRange(len(t.Data), threads, func(_ int, r parallel.Range) {
 		d := t.Data[r.Lo:r.Hi]
 		for i := range d {
 			if d[i] < 0 {
@@ -593,7 +650,9 @@ type ReLULayer struct{}
 
 func (ReLULayer) Name() string { return "relu" }
 func (ReLULayer) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
-	applyReLU(x, eng.Threads)
+	if err := applyReLU(x, eng.Threads); err != nil {
+		panic(fmt.Sprintf("nn: relu: %v", err)) // unchecked contract; TryForward recovers
+	}
 	return x
 }
 
@@ -699,7 +758,9 @@ func (f *FC) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	if f.ReLU {
-		applyReLU(out, eng.Threads)
+		if err := applyReLU(out, eng.Threads); err != nil {
+			panic(fmt.Sprintf("nn: %s: %v", f.LayerName, err)) // unchecked contract; TryForward recovers
+		}
 	}
 	return out
 }

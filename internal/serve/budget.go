@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Budget is the global byte accountant: every in-flight request
+// reserves the memory its execution mode needs (output tensor plus
+// plan scratch; packed filters are charged for their lifetime at Pack
+// time) and releases it when done. Reserve is a CAS loop, so admission
+// under concurrency never overshoots the ceiling; a limit of 0 means
+// "account but never refuse" — the counters still drive the stats and
+// the soak harness's return-to-baseline invariant.
+type Budget struct {
+	limit int64 // bytes; <= 0 means unlimited
+	inUse atomic.Int64
+	peak  atomic.Int64
+}
+
+// NewBudget builds a budget with the given byte ceiling (<= 0:
+// unlimited, accounting only).
+func NewBudget(limitBytes int64) *Budget {
+	return &Budget{limit: limitBytes}
+}
+
+// Reserve charges n bytes against the ceiling, reporting false (and
+// charging nothing) when the charge would exceed it. n <= 0 is a
+// no-op that always succeeds.
+func (b *Budget) Reserve(n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	for {
+		cur := b.inUse.Load()
+		next := cur + n
+		if b.limit > 0 && next > b.limit {
+			return false
+		}
+		if b.inUse.CompareAndSwap(cur, next) {
+			for {
+				p := b.peak.Load()
+				if next <= p || b.peak.CompareAndSwap(p, next) {
+					return true
+				}
+			}
+		}
+	}
+}
+
+// Release returns n previously reserved bytes.
+func (b *Budget) Release(n int64) {
+	if n > 0 {
+		b.inUse.Add(-n)
+	}
+}
+
+// InUse returns the currently reserved bytes — the value the chaos
+// soak compares against its pre-run baseline.
+func (b *Budget) InUse() int64 { return b.inUse.Load() }
+
+// Peak returns the high-water mark of reserved bytes.
+func (b *Budget) Peak() int64 { return b.peak.Load() }
+
+// Limit returns the configured ceiling (<= 0: unlimited).
+func (b *Budget) Limit() int64 { return b.limit }
+
+// bufferPool is the activation pool: a bounded free list of output
+// buffers keyed by exact element count. Unlike sync.Pool it is fully
+// deterministic (no GC-driven drops), which the return-to-baseline
+// invariant needs; idle bytes are bounded by maxIdleBytes and tracked
+// in the runtime stats, and are deliberately NOT charged against the
+// Budget — the budget bounds what in-flight requests are using, while
+// the pool holds memory no request owns (see DESIGN.md).
+type bufferPool struct {
+	mu           sync.Mutex
+	bySize       map[int][][]float32
+	idleBytes    int64
+	maxIdleBytes int64
+}
+
+func newBufferPool(maxIdleBytes int64) *bufferPool {
+	return &bufferPool{bySize: make(map[int][][]float32), maxIdleBytes: maxIdleBytes}
+}
+
+// get returns a pooled buffer of exactly n elements, or nil.
+func (bp *bufferPool) get(n int) []float32 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	list := bp.bySize[n]
+	if len(list) == 0 {
+		return nil
+	}
+	buf := list[len(list)-1]
+	bp.bySize[n] = list[:len(list)-1]
+	bp.idleBytes -= 4 * int64(n)
+	return buf
+}
+
+// put parks a dead buffer for reuse, dropping it to the GC when the
+// idle bound is reached.
+func (bp *bufferPool) put(buf []float32) {
+	n := len(buf)
+	if n == 0 {
+		return
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.idleBytes+4*int64(n) > bp.maxIdleBytes {
+		return
+	}
+	bp.bySize[n] = append(bp.bySize[n], buf[:n:n])
+	bp.idleBytes += 4 * int64(n)
+}
+
+func (bp *bufferPool) idle() int64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.idleBytes
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ndirect/internal/core"
+)
+
+// Gate is the admission controller: at most MaxInFlight requests
+// execute concurrently, at most MaxQueue more wait for a slot, and
+// everything beyond that fails fast with an error wrapping
+// core.ErrOverloaded. Waiting is deadline-aware — a queued request
+// whose context expires before a slot frees leaves the queue
+// immediately with the same sentinel (plus the context's cause) —
+// so overload never turns into a pile of blocked goroutines: the
+// resident set is bounded by MaxInFlight + MaxQueue regardless of
+// offered load.
+type Gate struct {
+	slots    chan struct{} // capacity = MaxInFlight; a token is an execution slot
+	maxQueue int64
+	queued   atomic.Int64
+
+	admitted atomic.Uint64 // granted a slot (fast path or after queueing)
+	waited   atomic.Uint64 // of those, how many had to queue first
+	fullRejs atomic.Uint64 // rejected because the wait queue was full
+	deadRejs atomic.Uint64 // rejected because ctx expired while queued
+}
+
+// NewGate builds a gate admitting maxInFlight concurrent requests with
+// a wait queue of maxQueue. maxInFlight < 1 is clamped to 1 (a gate
+// that admits nothing would deadlock every caller); maxQueue < 0 is
+// clamped to 0 (reject immediately once the slots are taken).
+func NewGate(maxInFlight, maxQueue int) *Gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if
+// none is free. It returns a release function (idempotent; must be
+// called exactly when the request's execution is finished) or an error
+// wrapping core.ErrOverloaded when the queue is full or ctx finishes
+// first. A nil ctx is treated as context.Background (wait forever).
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.releaseFunc(), nil
+	default:
+	}
+	// No free slot: take a queue position or fail fast. The counter
+	// admits at most maxQueue waiters; the loser of a race past the
+	// bound backs out before blocking.
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.fullRejs.Add(1)
+		return nil, fmt.Errorf("%w: admission queue full (%d waiting)", core.ErrOverloaded, g.maxQueue)
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		g.waited.Add(1)
+		return g.releaseFunc(), nil
+	case <-ctx.Done():
+		g.deadRejs.Add(1)
+		return nil, fmt.Errorf("%w: no slot before deadline: %w", core.ErrOverloaded, context.Cause(ctx))
+	}
+}
+
+// releaseFunc returns the slot exactly once even if called repeatedly.
+func (g *Gate) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-g.slots }) }
+}
+
+// InFlight returns the number of currently held execution slots.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Queued returns the number of requests currently waiting for a slot.
+func (g *Gate) Queued() int64 { return g.queued.Load() }
+
+// GateStats is a point-in-time snapshot of the gate's counters.
+type GateStats struct {
+	Admitted     uint64 // requests granted a slot
+	Waited       uint64 // of Admitted, how many queued first
+	RejectedFull uint64 // failed fast: wait queue full
+	RejectedLate uint64 // failed while queued: context finished first
+	InFlight     int
+	Queued       int64
+}
+
+// Stats snapshots the gate's counters.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Admitted:     g.admitted.Load(),
+		Waited:       g.waited.Load(),
+		RejectedFull: g.fullRejs.Load(),
+		RejectedLate: g.deadRejs.Load(),
+		InFlight:     g.InFlight(),
+		Queued:       g.Queued(),
+	}
+}

@@ -1,0 +1,383 @@
+// Package serve is the overload-safe serving runtime: it wraps the
+// checked, context-bounded convolution entry points (and the nn
+// inference engine) with the process-level protections a production
+// deployment needs and the per-call API cannot provide on its own:
+//
+//   - Admission control (Gate): a hard in-flight limit plus a bounded,
+//     deadline-aware wait queue. Offered load beyond the queue fails
+//     fast with core.ErrOverloaded instead of accumulating goroutines.
+//   - A global memory budget (Budget): each admitted request reserves
+//     the bytes its execution will touch (output + plan scratch;
+//     packed filters are charged at Pack time) against a configurable
+//     ceiling. When the reservation fails, the request walks an
+//     explicit degradation ladder — pooled output buffer, fresh
+//     allocation, a smaller-tile single-thread plan, and finally the
+//     zero-scratch reference path — each rung recorded in Stats, so
+//     pressure degrades throughput predictably instead of OOM-killing
+//     the process.
+//   - Backend circuit breakers live one layer down, in the nn engine
+//     (Engine.BreakerThreshold); the runtime's Forward path inherits
+//     them.
+//
+// The paper's thesis is that performance comes from explicit resource
+// budgeting — register and cache tiles solved from hardware limits
+// (Equations 1–4). This package extends that discipline from the
+// kernel to the process: concurrency and bytes are budgeted the same
+// way registers and cache lines are.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/nn"
+	"ndirect/internal/parallel"
+	"ndirect/internal/tensor"
+)
+
+// Config configures a serving Runtime. The zero value yields a usable
+// runtime: one in-flight slot per core, an equally sized wait queue,
+// no memory ceiling (accounting only), and a private plan cache.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests. <= 0 selects
+	// one per available core (each request already spawns its own
+	// thread grid, so more in-flight convolutions than cores just
+	// multiplies scratch memory and context switches).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot. 0 defaults to
+	// MaxInFlight; pass a negative value for "no queue, reject the
+	// moment all slots are taken".
+	MaxQueue int
+	// MemLimitBytes is the global memory ceiling for in-flight
+	// request memory. <= 0 disables the ceiling but keeps accounting.
+	MemLimitBytes int64
+	// PoolIdleBytes bounds the activation pool's idle (parked) bytes.
+	// <= 0 selects DefaultPoolIdleBytes.
+	PoolIdleBytes int64
+	// PlanCacheCap is the runtime plan cache's entry bound (<= 0:
+	// core.DefaultPlanCacheCap).
+	PlanCacheCap int
+	// Options are the base convolution options for every request
+	// (threads, platform, epilogue, FallbackBudget, CheckNumerics...).
+	// The PlanCache field is ignored: the runtime always routes
+	// through its own cache.
+	Options core.Options
+	// Engine, when non-nil, serves the Forward path. Nil selects a
+	// private nDirect engine with Reuse on, sharing the runtime's plan
+	// cache. Configure breaker fields (BreakerThreshold) on the engine
+	// to quarantine failing baseline backends.
+	Engine *nn.Engine
+}
+
+// DefaultPoolIdleBytes bounds the activation pool when Config leaves
+// PoolIdleBytes zero: enough to park a few large layer outputs without
+// holding a serving process's budget hostage.
+const DefaultPoolIdleBytes int64 = 32 << 20
+
+// Runtime is the overload-safe serving runtime. All methods are safe
+// for concurrent use.
+type Runtime struct {
+	gate   *Gate
+	budget *Budget
+	plans  *core.PlanCache
+	pool   *bufferPool
+	opts   core.Options
+	engine *nn.Engine
+
+	degradedOnce sync.Once
+	degraded     core.Options
+
+	poolHits    atomic.Uint64
+	freshAllocs atomic.Uint64
+	fullRuns    atomic.Uint64
+	degRuns     atomic.Uint64
+	refRuns     atomic.Uint64
+	overBudget  atomic.Uint64
+	memRejected atomic.Uint64
+}
+
+// New builds a Runtime from cfg (see Config for defaults).
+func New(cfg Config) *Runtime {
+	inFlight := cfg.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = parallel.DefaultThreads()
+	}
+	queue := cfg.MaxQueue
+	if queue == 0 {
+		queue = inFlight
+	}
+	poolIdle := cfg.PoolIdleBytes
+	if poolIdle <= 0 {
+		poolIdle = DefaultPoolIdleBytes
+	}
+	opts := cfg.Options
+	opts.PlanCache = nil
+	rt := &Runtime{
+		gate:   NewGate(inFlight, queue),
+		budget: NewBudget(cfg.MemLimitBytes),
+		plans:  core.NewPlanCache(cfg.PlanCacheCap),
+		pool:   newBufferPool(poolIdle),
+		opts:   opts,
+		engine: cfg.Engine,
+	}
+	if rt.engine == nil {
+		rt.engine = &nn.Engine{
+			Algo:    nn.AlgoNDirect,
+			Threads: opts.Threads,
+			Reuse:   true,
+			Plans:   rt.plans,
+		}
+	}
+	return rt
+}
+
+// Budget returns the runtime's memory accountant (for charging
+// deployment-owned allocations, and for the soak harness's baseline
+// checks).
+func (rt *Runtime) Budget() *Budget { return rt.budget }
+
+// Gate returns the runtime's admission controller.
+func (rt *Runtime) Gate() *Gate { return rt.gate }
+
+// Engine returns the engine serving the Forward path.
+func (rt *Runtime) Engine() *nn.Engine { return rt.engine }
+
+// PlanCache returns the runtime's shared plan cache.
+func (rt *Runtime) PlanCache() *core.PlanCache { return rt.plans }
+
+// TryConv2D is TryConv2DCtx with a background context (admission can
+// still fail fast on a full queue; there is no deadline to wait out).
+func (rt *Runtime) TryConv2D(s conv.Shape, in, filter *tensor.Tensor) (*tensor.Tensor, error) {
+	return rt.TryConv2DCtx(context.Background(), s, in, filter)
+}
+
+// TryConv2DCtx runs one NCHW convolution through the full serving
+// discipline: admission (Gate), memory reservation with the
+// degradation ladder, and the checked context-bounded execution
+// paths. Failure modes: core.ErrOverloaded (no slot before the
+// deadline, queue full, or memory budget exhausted), conv.ErrDeadline
+// (admitted but the grid was abandoned on expiry and no
+// FallbackBudget was granted), or the usual validation sentinels. A
+// nil error always comes with a correct output.
+func (rt *Runtime) TryConv2DCtx(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor) (*tensor.Tensor, error) {
+	release, err := rt.gate.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return rt.convAdmitted(ctx, s, in, filter, nil)
+}
+
+// Pack pre-transforms filter for shape s against the runtime's plan
+// cache and charges the packed bytes to the memory budget for the
+// filter's lifetime (weights live as long as the layer — the charge
+// is released by ReleasePacked). It fails with core.ErrOverloaded
+// when the budget cannot cover the packed copy.
+func (rt *Runtime) Pack(s conv.Shape, filter *tensor.Tensor) (*core.PackedFilter, error) {
+	plan, err := rt.plans.Get(s, rt.opts)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := plan.TransformFilter(filter)
+	if err != nil {
+		return nil, err
+	}
+	if !rt.budget.Reserve(pf.Bytes()) {
+		return nil, fmt.Errorf("%w: memory budget cannot hold %d packed-filter bytes (in use %d of %d)",
+			core.ErrOverloaded, pf.Bytes(), rt.budget.InUse(), rt.budget.Limit())
+	}
+	return pf, nil
+}
+
+// ReleasePacked returns a Pack-time charge when a packed filter is
+// retired (model unload).
+func (rt *Runtime) ReleasePacked(pf *core.PackedFilter) {
+	if pf != nil {
+		rt.budget.Release(pf.Bytes())
+	}
+}
+
+// TryConv2DPackedCtx is TryConv2DCtx consuming a Pack-built filter:
+// the full and degraded rungs read the persistent blocked weights in
+// place (bit-identical, zero transform time), the reference rung
+// recomputes from the packed filter's KCRS source.
+func (rt *Runtime) TryConv2DPackedCtx(ctx context.Context, s conv.Shape, in *tensor.Tensor, pf *core.PackedFilter) (*tensor.Tensor, error) {
+	release, err := rt.gate.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return rt.convAdmitted(ctx, s, in, nil, pf)
+}
+
+// Forward runs a network forward pass under admission control with
+// the runtime's engine (whose own protections — plan/weight reuse,
+// per-layer ConvBudget, backend circuit breakers — apply per layer).
+func (rt *Runtime) Forward(ctx context.Context, net *nn.Network, x *tensor.Tensor) (*tensor.Tensor, error) {
+	release, err := rt.gate.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return net.TryForward(rt.engine, x)
+}
+
+// Recycle parks a dead output tensor's buffer in the activation pool
+// for reuse by a later request. Only tensors returned by this
+// runtime's conv entry points may be recycled, and the caller must not
+// touch the tensor afterwards. (Safe for deadline-fallback results
+// too: those publish through a fresh allocation, so the recycled
+// buffer is never one an abandoned grid can still write.)
+func (rt *Runtime) Recycle(t *tensor.Tensor) {
+	if t != nil {
+		rt.pool.put(t.Data)
+	}
+}
+
+// runMode is the degradation-ladder rung a request executes on.
+type runMode int
+
+const (
+	modeFull      runMode = iota // analytically tiled plan, full thread grid
+	modeDegraded                 // minimal tiles, single worker: tiny scratch
+	modeReference                // naive loop, zero scratch beyond the output
+)
+
+// degradedOpts derives the smaller-tile plan options once: minimal
+// cache tiles and a single worker shrink the scratch estimate to a
+// few KiB while keeping the result bit-identical for exactly
+// representable inputs (accumulation order over c, r, s is unchanged;
+// see DESIGN.md). Epilogue, numerics and fallback knobs carry over.
+func (rt *Runtime) degradedOpts() core.Options {
+	rt.degradedOnce.Do(func() {
+		o := rt.opts
+		o.Threads = 1
+		o.ForceTc = 4
+		o.ForceTk = 1 // solver clamps to one V_k block
+		o.ForceTh = 1
+		rt.degraded = o
+	})
+	return rt.degraded
+}
+
+// admitMemory walks the reservation ladder for one request and
+// returns the granted mode, the plan to execute, and the charge to
+// release when done.
+func (rt *Runtime) admitMemory(s conv.Shape, plan *core.Plan) (runMode, *core.Plan, int64, error) {
+	outB := plan.OutputBytes()
+	if need := outB + plan.ScratchBytes(); rt.budget.Reserve(need) {
+		return modeFull, plan, need, nil
+	}
+	rt.overBudget.Add(1)
+	if dplan, err := rt.plans.Get(s, rt.degradedOpts()); err == nil {
+		if need := outB + dplan.ScratchBytes(); rt.budget.Reserve(need) {
+			return modeDegraded, dplan, need, nil
+		}
+	}
+	if rt.budget.Reserve(outB) {
+		return modeReference, plan, outB, nil
+	}
+	rt.memRejected.Add(1)
+	return 0, nil, 0, fmt.Errorf("%w: memory budget exhausted (need %d output bytes, in use %d of %d)",
+		core.ErrOverloaded, outB, rt.budget.InUse(), rt.budget.Limit())
+}
+
+// convAdmitted executes one admitted request through the ladder.
+// Exactly one of filter (KCRS weights) and pf (packed weights) is
+// non-nil.
+func (rt *Runtime) convAdmitted(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, pf *core.PackedFilter) (*tensor.Tensor, error) {
+	plan, err := rt.plans.Get(s, rt.opts)
+	if err != nil {
+		return nil, err
+	}
+	kcrs := filter
+	if pf != nil {
+		kcrs = pf.Source()
+	}
+	// Validate operands before reserving or allocating anything, so a
+	// malformed request cannot consume budget or pool entries.
+	if err := conv.ValidateOperands(s, in, kcrs); err != nil {
+		return nil, err
+	}
+	mode, xplan, charge, err := rt.admitMemory(s, plan)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.budget.Release(charge)
+	switch mode {
+	case modeFull:
+		rt.fullRuns.Add(1)
+	case modeDegraded:
+		rt.degRuns.Add(1)
+	case modeReference:
+		rt.refRuns.Add(1)
+	}
+
+	outLen := int(plan.OutputBytes() / 4)
+	var out *tensor.Tensor
+	if buf := rt.pool.get(outLen); buf != nil {
+		rt.poolHits.Add(1)
+		out = tensor.FromSlice(buf, s.N, s.K, s.P(), s.Q())
+	} else {
+		rt.freshAllocs.Add(1)
+		out = tensor.New(s.N, s.K, s.P(), s.Q())
+	}
+
+	var execErr error
+	switch {
+	case mode == modeReference:
+		execErr = xplan.TryExecuteReferenceCtx(ctx, in, kcrs, out)
+	case pf != nil:
+		execErr = xplan.TryExecutePackedCtx(ctx, in, pf, out)
+	default:
+		execErr = xplan.TryExecuteCtx(ctx, in, filter, out)
+	}
+	if execErr != nil {
+		// An abandoned grid's stragglers may still write the buffer:
+		// drop it to the GC, never back into the pool.
+		return nil, execErr
+	}
+	return out, nil
+}
+
+// Stats is a point-in-time snapshot of every serving counter.
+type Stats struct {
+	Gate GateStats
+
+	// Memory accounting.
+	MemInUse, MemPeak, MemLimit int64
+	PoolIdleBytes               int64
+
+	// Output-buffer sourcing (ladder rung 1 vs 2).
+	PoolHits, FreshAllocs uint64
+
+	// Execution modes (ladder rungs 2–4) and pressure events.
+	FullRuns, DegradedRuns, ReferenceRuns uint64
+	OverBudget                            uint64 // full-plan reservation failures
+	MemRejected                           uint64 // not even the reference rung fit
+
+	PlanCache core.PlanCacheStats
+}
+
+// Stats snapshots the runtime's counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Gate:          rt.gate.Stats(),
+		MemInUse:      rt.budget.InUse(),
+		MemPeak:       rt.budget.Peak(),
+		MemLimit:      rt.budget.Limit(),
+		PoolIdleBytes: rt.pool.idle(),
+		PoolHits:      rt.poolHits.Load(),
+		FreshAllocs:   rt.freshAllocs.Load(),
+		FullRuns:      rt.fullRuns.Load(),
+		DegradedRuns:  rt.degRuns.Load(),
+		ReferenceRuns: rt.refRuns.Load(),
+		OverBudget:    rt.overBudget.Load(),
+		MemRejected:   rt.memRejected.Load(),
+		PlanCache:     rt.plans.Stats(),
+	}
+}

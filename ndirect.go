@@ -35,6 +35,7 @@ import (
 	"ndirect/internal/core"
 	"ndirect/internal/hw"
 	"ndirect/internal/parallel"
+	"ndirect/internal/serve"
 	"ndirect/internal/tensor"
 )
 
@@ -68,6 +69,13 @@ var (
 	// ErrCanceled: the parallel runtime's sentinel for a worker group
 	// abandoned on cancellation (wrapped by ErrDeadline errors).
 	ErrCanceled = parallel.ErrCanceled
+	// ErrOverloaded: the serving runtime refused the request before
+	// doing any convolution work — admission control found the wait
+	// queue full (or no slot freed before the deadline), or the memory
+	// budget could not cover even the bottom rung of the degradation
+	// ladder. The request can be retried once load drains; no partial
+	// work was done.
+	ErrOverloaded = core.ErrOverloaded
 )
 
 // LeakedWorkers reports worker goroutines abandoned by expired-context
@@ -104,6 +112,32 @@ type PlanCache = core.PlanCache
 // (least-recently-used eviction; capacity <= 0 selects
 // core.DefaultPlanCacheCap).
 func NewPlanCache(capacity int) *PlanCache { return core.NewPlanCache(capacity) }
+
+// PlanCacheStats is a point-in-time snapshot of a PlanCache's
+// hit/miss/eviction counters and population, via (*PlanCache).Stats.
+type PlanCacheStats = core.PlanCacheStats
+
+// Server is the overload-safe serving runtime: admission control with
+// a bounded deadline-aware wait queue, a global memory budget with an
+// explicit degradation ladder (pooled buffer → fresh allocation →
+// smaller-tile plan → reference path), and gated network forward
+// passes whose engine can quarantine failing baseline backends behind
+// circuit breakers. Requests that cannot be served within those
+// bounds fail fast with errors wrapping ErrOverloaded. See
+// internal/serve and the README's "Serving hardening" section.
+type Server = serve.Runtime
+
+// ServeConfig configures NewServer; the zero value gives one
+// in-flight request per core, an equal-size wait queue, accounting
+// without a memory ceiling, and a private plan cache.
+type ServeConfig = serve.Config
+
+// ServeStats is the Server's counter snapshot (admission, memory,
+// ladder rungs, pool and plan-cache activity).
+type ServeStats = serve.Stats
+
+// NewServer builds an overload-safe serving runtime.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // PackedFilter is a whole-filter pre-transformation of KCRS weights
 // into the vector-blocked ⌈K/Vk⌉·C·R·S·Vk layout the micro-kernel

@@ -142,3 +142,29 @@ func TestModelWeightsRoundTripPublic(t *testing.T) {
 		t.Fatal("corrupted header must be rejected")
 	}
 }
+
+func TestPublicServerSmoke(t *testing.T) {
+	s := Shape{N: 1, C: 8, H: 14, W: 14, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	in := NewTensor(s.N, s.C, s.H, s.W)
+	in.FillRandom(1)
+	w := NewTensor(s.K, s.C, s.R, s.S)
+	w.FillRandom(2)
+	want := Conv2D(s, in, w, Options{})
+
+	srv := NewServer(ServeConfig{})
+	got, err := srv.TryConv2D(s, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("served result differs from seed path by %g, want bit-identical", d)
+	}
+	srv.Recycle(got)
+	st := srv.Stats()
+	if st.Gate.Admitted != 1 || st.FullRuns != 1 || st.MemInUse != 0 {
+		t.Fatalf("unexpected serve stats: %+v", st)
+	}
+	if st.PlanCache.Misses == 0 {
+		t.Fatalf("plan cache never consulted: %+v", st.PlanCache)
+	}
+}
