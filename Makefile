@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is scripts/check.sh.
 
-.PHONY: build test check fuzz bench
+.PHONY: build test check fuzz bench benchjson benchsmoke
 
 build:
 	go build ./...
@@ -17,3 +17,11 @@ fuzz:
 
 bench:
 	go test -run='^$$' -bench=. -benchtime=1x .
+
+# Steady-state serving benchmarks as JSON (BENCH_steady.json).
+benchjson:
+	./scripts/bench_json.sh
+
+# Allocation gate: steady-state paths must report 0 allocs/op.
+benchsmoke:
+	./scripts/bench_smoke.sh

@@ -410,4 +410,90 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 			}
 		})
 	}
+
+	// packed-pooled is the floor the serving loop aims at: the same
+	// four-conv stack run straight on cached plans with
+	// pre-transformed weights, preallocated activations and the fused
+	// ReLU epilogue — the per-call work is exactly pack + kernel +
+	// store. At steady state this path performs zero heap allocations
+	// per forward (asserted deterministically by
+	// core.TestSteadyStateZeroAllocs and by scripts/bench_smoke.sh in
+	// CI).
+	b.Run("packed-pooled", func(b *testing.B) {
+		shapes := []conv.Shape{
+			{N: 1, C: 3, H: 56, W: 56, K: 16, R: 3, S: 3, Str: 2, Pad: 1},
+			{N: 1, C: 16, H: 28, W: 28, K: 8, R: 1, S: 1, Str: 1, Pad: 0},
+			{N: 1, C: 8, H: 28, W: 28, K: 8, R: 3, S: 3, Str: 1, Pad: 1},
+			{N: 1, C: 8, H: 28, W: 28, K: 32, R: 1, S: 1, Str: 1, Pad: 0},
+		}
+		plans := make([]*core.Plan, len(shapes))
+		packed := make([]*core.PackedFilter, len(shapes))
+		acts := make([]*tensor.Tensor, len(shapes)+1)
+		acts[0] = x
+		for i, s := range shapes {
+			plans[i] = core.NewPlan(s, core.Options{
+				Threads:       1,
+				FusedEpilogue: &core.EpilogueParams{ReLU: true},
+			})
+			w := s.NewFilter()
+			w.FillRandom(int64(s.C*100 + s.K))
+			pf, err := plans[i].TransformFilter(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			packed[i] = pf
+			acts[i+1] = s.NewOutput()
+			if err := plans[i].TryExecutePacked(acts[i], pf, acts[i+1]); err != nil { // warm scratch
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range plans {
+				if err := plans[j].TryExecutePacked(acts[j], packed[j], acts[j+1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSmallConvServing is the per-call-overhead acceptance bench:
+// on a small serving shape the one-shot path (the public stateless
+// API: fresh plan, on-the-fly filter transform and a new output tensor
+// every call — the seed serving behaviour) pays a fixed cost
+// comparable to the kernel itself, and the steady-state packed path
+// must win by well over 20% ns/op with zero allocations.
+func BenchmarkSmallConvServing(b *testing.B) {
+	s := conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	in := s.NewInput()
+	in.FillRandom(1)
+	w := s.NewFilter()
+	w.FillRandom(2)
+	out := s.NewOutput()
+
+	b.Run("one-shot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ndirect.Conv2D(ndirect.Shape(s), in, w, ndirect.Options{Threads: 1})
+		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		p := core.NewPlan(s, core.Options{Threads: 1})
+		pf, err := p.TransformFilter(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.TryExecutePacked(in, pf, out); err != nil { // warm scratch
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.TryExecutePacked(in, pf, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -9,8 +9,9 @@
 //	ndbench -exp all                             # every modeled experiment
 //
 // Experiments: table2 table3 table4 fig1a fig1b fig4 fig5 fig6 fig7
-// fig8 fig9 all. See EXPERIMENTS.md for the mapping to the paper and
-// the expected shapes of the results.
+// fig8 fig9 steady all. See EXPERIMENTS.md for the mapping to the
+// paper and the expected shapes of the results; "steady" is the
+// serving-loop extra (one-shot calls vs the cached-plan packed path).
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2|table3|table4|fig1a|fig1b|fig4|fig5|fig6|fig7|fig8|fig9|winograd|fft|variance|all")
+		exp      = flag.String("exp", "all", "experiment: table2|table3|table4|fig1a|fig1b|fig4|fig5|fig6|fig7|fig8|fig9|winograd|fft|variance|steady|all")
 		platform = flag.String("platform", "phytium", "modeled platform: phytium|kp920|tx2|rpi4")
 		measured = flag.Bool("measured", false, "run the measured (host wall-clock) variant where available")
 		batch    = flag.Int("batch", 1, "measured-mode batch size")
@@ -119,6 +120,8 @@ func main() {
 			bench.ExtraFFT(cfg)
 		case "variance":
 			bench.Variance(cfg, 3)
+		case "steady":
+			bench.Steady(cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

@@ -19,6 +19,11 @@
 //  4. No deadlock: every client goroutine exits within a grace period
 //     after the run ends (stalled workers are released by periodic
 //     fault resets).
+//  5. No goroutine growth: serving runs on the persistent worker pool
+//     (plus transient spawn-fallback workers that exit with their
+//     grid), so after the drain the process goroutine count settles
+//     back to the post-setup baseline — a steady-state request must
+//     not leave goroutines behind.
 //
 // Exit status: 0 on a clean soak, 1 on invariant violations, 2 on a
 // hang (clients failed to drain). CI runs this for ~30 seconds with
@@ -97,8 +102,12 @@ func main() {
 	})
 
 	works, baseline, net, netIn, netWant := buildTraffic(rt)
-	fmt.Printf("ndsoak: %d shapes, %d clients, %v, budget %d KiB, baseline %d B, storm=%v\n",
-		len(works), *clients, *duration, *memKB, baseline, *storm)
+	// Post-setup goroutine baseline: serve.New has already warmed the
+	// persistent worker pool, so everything counted here is expected to
+	// still exist after the soak drains (invariant 5).
+	gBase := runtime.NumGoroutine()
+	fmt.Printf("ndsoak: %d shapes, %d clients, %v, budget %d KiB, baseline %d B / %d goroutines, storm=%v\n",
+		len(works), *clients, *duration, *memKB, baseline, gBase, *storm)
 
 	var (
 		requests   atomic.Uint64
@@ -249,6 +258,21 @@ drain:
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	// Invariant 5: goroutine count settles back to the post-setup
+	// baseline — steady-state serving dispatches onto the persistent
+	// pool, and spawn-fallback workers exit with their grid, so any
+	// residue above the baseline (plus the still-parked leak monitors'
+	// slack already counted by invariant 2) is a per-call leak.
+	gDeadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > gBase {
+		if time.Now().After(gDeadline) {
+			violate("goroutine count did not settle: %d live, want <= %d (post-setup baseline)",
+				runtime.NumGoroutine(), gBase)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
 	// Invariant 3: memory accounting back to the post-setup baseline.
 	st := rt.Stats()
 	if st.MemInUse != baseline {
@@ -263,6 +287,8 @@ drain:
 	fmt.Printf("ndsoak: gate %+v\n", st.Gate)
 	fmt.Printf("ndsoak: ladder full/degraded/ref = %d/%d/%d, over-budget %d, rejected %d; pool hits/fresh = %d/%d; peak %d B\n",
 		st.FullRuns, st.DegradedRuns, st.ReferenceRuns, st.OverBudget, st.MemRejected, st.PoolHits, st.FreshAllocs, st.MemPeak)
+	fmt.Printf("ndsoak: worker pool %d workers, %d dispatched, %d spawn-fallbacks\n",
+		st.WorkerPool.Workers, st.WorkerPool.Dispatched, st.WorkerPool.Spawned)
 	if br := rt.Engine().BreakerStats(nn.AlgoIm2col); br.Trips > 0 || br.Skips > 0 {
 		fmt.Printf("ndsoak: im2col breaker %+v\n", br)
 	}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+)
+
+// steadyCase is one row of the serving comparison.
+type steadyCase struct {
+	name string
+	s    conv.Shape
+}
+
+// steadyCases samples the serving spectrum: a mid-network 3×3, a
+// pointwise 1×1 (different specialised micro-kernel), a late
+// small-spatial 3×3, and a genuinely small shape of the kind edge
+// serving batches one at a time — where the per-call plan build and
+// filter transform dominate and the steady-state caches pay off most.
+func steadyCases(batch int) []steadyCase {
+	var cases []steadyCase
+	for _, id := range []int{2, 8, 21} {
+		l, ok := conv.LayerByID(id)
+		if !ok {
+			continue
+		}
+		s := l.Shape.WithBatch(batch)
+		cases = append(cases, steadyCase{
+			name: fmt.Sprintf("L%d %s %dx%d/s%d", l.ID, l.Net, s.R, s.S, s.Str),
+			s:    s,
+		})
+	}
+	cases = append(cases,
+		steadyCase{
+			name: "tiny 8ch 8x8 3x3/s1",
+			s:    conv.Shape{N: batch, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1},
+		},
+		steadyCase{
+			name: "edge 64ch 7x7 1x1/s1",
+			s:    conv.Shape{N: batch, C: 64, H: 7, W: 7, K: 64, R: 1, S: 1, Str: 1, Pad: 0},
+		})
+	return cases
+}
+
+// steadyInnerIters amortises timer overhead for the sub-millisecond
+// small shapes; timeIt reports the minimum over cfg.Reps batches.
+const steadyInnerIters = 8
+
+// Steady contrasts the one-shot convolution path (a fresh plan and
+// on-the-fly filter transform per call, as a naive serving loop would
+// do) with the steady-state path the serving runtime uses after
+// warm-up: one cached plan, a pre-transformed (packed) filter, a
+// preallocated output and the per-plan scratch pool — and, as a third
+// column, the same loop with the fused bias+affine+ReLU epilogue, to
+// show the epilogue rides the store sweep instead of costing separate
+// passes. This is the experiment behind the PR's steady-state
+// acceptance numbers; the corresponding allocation claim (0 allocs/op
+// on the packed path) is asserted by BenchmarkEngineSteadyState.
+func Steady(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Steady-state serving loop vs one-shot calls (measured, batch=%d, threads=%d, min of %d×%d calls)\n",
+		cfg.Batch, cfg.Threads, cfg.Reps, steadyInnerIters)
+	fprintf(w, "%-28s %14s %14s %14s %9s %9s\n",
+		"layer", "one-shot", "steady", "steady+fused", "speedup", "fused/st")
+	var ratios []float64
+	for _, c := range steadyCases(cfg.Batch) {
+		s := c.s
+		in, filter := operands(s)
+		out := s.NewOutput()
+
+		// One-shot: what every call pays without the serving caches.
+		oneShot := timeIt(cfg.Reps, func() {
+			for i := 0; i < steadyInnerIters; i++ {
+				p := newNDPlan(s, cfg)
+				p.Execute(in, filter, out)
+			}
+		}) / steadyInnerIters
+
+		// Steady state: plan + packed filter built once, output reused.
+		plan := newNDPlan(s, cfg)
+		pf, err := plan.TransformFilter(filter)
+		if err != nil {
+			fprintf(w, "%-28s transform failed: %v\n", c.name, err)
+			continue
+		}
+		plan.Execute(in, filter, out) // warm the scratch pool
+		steady := timeIt(cfg.Reps, func() {
+			for i := 0; i < steadyInnerIters; i++ {
+				if err := plan.TryExecutePacked(in, pf, out); err != nil {
+					panic(err)
+				}
+			}
+		}) / steadyInnerIters
+
+		// Steady state with the fused Conv→BN→ReLU epilogue.
+		ep := &core.EpilogueParams{
+			Bias:  make([]float32, s.K),
+			Scale: make([]float32, s.K),
+			Shift: make([]float32, s.K),
+			ReLU:  true,
+		}
+		for k := 0; k < s.K; k++ {
+			ep.Bias[k] = float32(k%7) * 0.01
+			ep.Scale[k] = 1 + float32(k%3)*0.125
+			ep.Shift[k] = -0.05 * float32(k%5)
+		}
+		fplan := core.NewPlan(s, core.Options{
+			Threads: cfg.Threads, Platform: &cfg.Platform, FusedEpilogue: ep,
+		})
+		fpf, err := fplan.TransformFilter(filter)
+		if err != nil {
+			fprintf(w, "%-28s fused transform failed: %v\n", c.name, err)
+			continue
+		}
+		fplan.Execute(in, filter, out) // warm the scratch pool
+		fused := timeIt(cfg.Reps, func() {
+			for i := 0; i < steadyInnerIters; i++ {
+				if err := fplan.TryExecutePacked(in, fpf, out); err != nil {
+					panic(err)
+				}
+			}
+		}) / steadyInnerIters
+
+		ratio := oneShot / steady
+		ratios = append(ratios, ratio)
+		fprintf(w, "%-28s %12.0fµs %12.0fµs %12.0fµs %8.2fx %8.2fx\n",
+			c.name, oneShot*1e6, steady*1e6, fused*1e6, ratio, fused/steady)
+	}
+	if len(ratios) > 0 {
+		fprintf(w, "geomean steady-state speedup over one-shot: %.2fx\n", Geomean(ratios))
+	}
+}

@@ -94,24 +94,29 @@ func (s Shape) Validate() error {
 
 // ValidateTensor checks that t is a non-nil tensor with exactly the
 // wanted dimensions and a backing buffer of matching length. label
-// names the operand in the error message.
+// names the operand in the error message. The error branches format a
+// copy of want rather than want itself, so the variadic slice never
+// escapes and the happy path — run before every convolution on the
+// serving hot loop — stays allocation-free.
 func ValidateTensor(label string, t *tensor.Tensor, want ...int) error {
 	if t == nil {
 		return fmt.Errorf("%w: nil %s tensor", ErrDimMismatch, label)
 	}
 	if len(t.Dims) != len(want) {
-		return fmt.Errorf("%w: %s rank %d, want %d (%v)", ErrDimMismatch, label, len(t.Dims), len(want), want)
+		return fmt.Errorf("%w: %s rank %d, want %d (%v)", ErrDimMismatch, label, len(t.Dims), len(want),
+			append([]int(nil), want...))
 	}
 	n := 1
 	for i, d := range want {
 		if t.Dims[i] != d {
-			return fmt.Errorf("%w: %s dims %v, want %v", ErrDimMismatch, label, t.Dims, want)
+			return fmt.Errorf("%w: %s dims %v, want %v", ErrDimMismatch, label, t.Dims,
+				append([]int(nil), want...))
 		}
 		n *= d
 	}
 	if len(t.Data) != n {
 		return fmt.Errorf("%w: %s buffer length %d, want %d for dims %v",
-			ErrDimMismatch, label, len(t.Data), n, want)
+			ErrDimMismatch, label, len(t.Data), n, append([]int(nil), want...))
 	}
 	return nil
 }

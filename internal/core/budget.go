@@ -20,9 +20,9 @@ import (
 // transformed-filter block, packing buffer and (for the generic
 // kernel) accumulator file, times the full PTk × PN × PH × PW thread
 // grid. Actual usage can be lower — worker ranges collapse when a
-// dimension is smaller than its grid factor, and the sync.Pool reuses
-// scratch across calls — so this is a safe admission estimate, not an
-// exact meter.
+// dimension is smaller than its grid factor, and the plan's run pool
+// reuses scratch across calls — so this is a safe admission estimate,
+// not an exact meter.
 func (p *Plan) ScratchBytes() int64 {
 	s := p.Shape
 	kBlocks := (p.CT.Tk + p.RT.Vk - 1) / p.RT.Vk
@@ -73,17 +73,16 @@ func (p *Plan) TryExecuteReferenceCtx(ctx context.Context, in, filter *tensor.Te
 	rs := s.R * s.S
 	for n := 0; n < s.N; n++ {
 		for k := 0; k < s.K; k++ {
-			var bias float32
-			applyBias := false
-			applyReLU := false
-			switch p.opts.Epilogue {
-			case EpilogueBias:
-				bias, applyBias = p.opts.Bias[k], true
-			case EpilogueReLU:
-				applyReLU = true
-			case EpilogueBiasReLU:
-				bias, applyBias = p.opts.Bias[k], true
-				applyReLU = true
+			var bias, scale, shift float32
+			hasBias, hasAffine, relu := false, false, false
+			if !p.ep.none {
+				if p.ep.bias != nil {
+					bias, hasBias = p.ep.bias[k], true
+				}
+				if p.ep.scale != nil {
+					scale, shift, hasAffine = p.ep.scale[k], p.ep.shift[k], true
+				}
+				relu = p.ep.relu
 			}
 			for oj := 0; oj < pp; oj++ {
 				if poll && ctx.Err() != nil {
@@ -113,10 +112,13 @@ func (p *Plan) TryExecuteReferenceCtx(ctx context.Context, in, filter *tensor.Te
 						}
 					}
 					v := float32(acc)
-					if applyBias {
+					if hasBias {
 						v += bias
 					}
-					if applyReLU && v < 0 {
+					if hasAffine {
+						v = v*scale + shift
+					}
+					if relu && v < 0 {
 						v = 0
 					}
 					row[oi] = v

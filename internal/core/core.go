@@ -43,6 +43,55 @@ const (
 	EpilogueBiasReLU
 )
 
+// EpilogueParams is the generalised fused epilogue: per-channel bias,
+// per-channel affine (the inference form of batch normalisation,
+// y = x·Scale[k] + Shift[k]) and ReLU, applied in exactly that order
+// while the accumulator tile is still in registers — the operator
+// fusion of §8.3 extended to the Conv→BN→ReLU chains real networks
+// serve. The order and the per-element float32 expressions match the
+// separate addBias → applyBN → applyReLU passes, so fused output is
+// bit-identical to the unfused path. Each non-nil slice must have
+// length K; Scale and Shift must be both nil or both set. The slices
+// are captured by the plan, not copied — callers must not mutate them
+// while the plan is alive (the plan-cache key hashes their contents,
+// so mutation would also corrupt cache identity).
+type EpilogueParams struct {
+	Bias  []float32
+	Scale []float32
+	Shift []float32
+	ReLU  bool
+}
+
+// epilogue is the plan-normalised epilogue the store/fallback paths
+// consult: the enum forms and EpilogueParams both lower to it at plan
+// construction, so the hot store loop tests plain fields instead of
+// re-dispatching on option shape.
+type epilogue struct {
+	bias  []float32 // nil = no bias
+	scale []float32 // nil = no affine; shift is paired
+	shift []float32
+	relu  bool
+	none  bool // fast path: store raw accumulators
+}
+
+// normalizeEpilogue lowers the options' epilogue selection.
+func normalizeEpilogue(opt Options) epilogue {
+	if fe := opt.FusedEpilogue; fe != nil {
+		ep := epilogue{bias: fe.Bias, scale: fe.Scale, shift: fe.Shift, relu: fe.ReLU}
+		ep.none = fe.Bias == nil && fe.Scale == nil && !fe.ReLU
+		return ep
+	}
+	switch opt.Epilogue {
+	case EpilogueBias:
+		return epilogue{bias: opt.Bias}
+	case EpilogueReLU:
+		return epilogue{relu: true}
+	case EpilogueBiasReLU:
+		return epilogue{bias: opt.Bias, relu: true}
+	}
+	return epilogue{none: true}
+}
+
 // Options configure plan construction. The zero value asks for the
 // paper's defaults: analytically derived tile sizes for the given
 // platform, overlapped packing, and one worker per available core.
@@ -67,6 +116,12 @@ type Options struct {
 	// per-channel bias for the bias epilogues (length K).
 	Epilogue Epilogue
 	Bias     []float32
+	// FusedEpilogue, when non-nil, selects the generalised fused
+	// epilogue (bias + per-channel affine + ReLU, see EpilogueParams)
+	// instead of the enum above; setting both is an error. Off (nil) by
+	// default — the zero-options path stores raw accumulators exactly
+	// as before.
+	FusedEpilogue *EpilogueParams
 	// CollectStats makes Execute accumulate per-stage wall time,
 	// readable via Plan.LastStats (filter transform, packing,
 	// kernel, store).
@@ -143,7 +198,9 @@ var genericPlatform = hw.Platform{
 // Plan is a prepared nDirect convolution: shape-specialised tile
 // sizes, thread mapping and scratch-space geometry. A Plan is
 // immutable after construction and safe for concurrent Execute calls
-// (each call allocates its own worker scratch).
+// (each call checks out a pooled run state — worker scratch, task
+// closures, fault sink — and returns it when the grid joins, so the
+// steady state allocates nothing).
 type Plan struct {
 	Shape conv.Shape
 	RT    model.RegTile
@@ -154,7 +211,18 @@ type Plan struct {
 	platform hw.Platform
 	threads  int
 	kind     kernelKind
-	scratch  sync.Pool // *workerScratch, reused across Execute calls
+	ep       epilogue // normalised fused epilogue
+
+	// The static thread grid (§6) is a pure function of the plan, so
+	// the per-dimension worker ranges are solved once here instead of
+	// per execution.
+	kRanges []parallel.Range // K, in Vk blocks
+	nRanges []parallel.Range // batch
+	hRanges []parallel.Range // output rows
+	wRanges []parallel.Range // output-column tiles (Vw wide)
+
+	runMu   sync.Mutex // guards runFree
+	runFree []*planRun // reusable run states (scratch + task closures)
 
 	runSeq       atomic.Uint64 // stamps each run for stats ordering
 	statsMu      sync.Mutex
@@ -233,6 +301,21 @@ func validateOptions(s conv.Shape, opt Options) error {
 	default:
 		return fmt.Errorf("%w: unknown epilogue %d", ErrBadOptions, opt.Epilogue)
 	}
+	if fe := opt.FusedEpilogue; fe != nil {
+		if opt.Epilogue != EpilogueNone {
+			return fmt.Errorf("%w: FusedEpilogue and Epilogue=%d are mutually exclusive", ErrBadOptions, opt.Epilogue)
+		}
+		if fe.Bias != nil && len(fe.Bias) != s.K {
+			return fmt.Errorf("%w: FusedEpilogue.Bias length %d does not match K=%d", ErrBadOptions, len(fe.Bias), s.K)
+		}
+		if (fe.Scale == nil) != (fe.Shift == nil) {
+			return fmt.Errorf("%w: FusedEpilogue.Scale and Shift must be set together", ErrBadOptions)
+		}
+		if fe.Scale != nil && (len(fe.Scale) != s.K || len(fe.Shift) != s.K) {
+			return fmt.Errorf("%w: FusedEpilogue.Scale/Shift lengths %d/%d do not match K=%d",
+				ErrBadOptions, len(fe.Scale), len(fe.Shift), s.K)
+		}
+	}
 	return nil
 }
 
@@ -298,7 +381,14 @@ func TryNewPlan(s conv.Shape, opt Options) (*Plan, error) {
 	default:
 		p.kind = kind12x8
 	}
-	p.scratch.New = func() any { return p.newScratch() }
+	p.ep = normalizeEpilogue(opt)
+
+	qTiles := (s.Q() + p.RT.Vw - 1) / p.RT.Vw
+	kBlocks := (s.K + p.RT.Vk - 1) / p.RT.Vk
+	p.kRanges = parallel.Split(kBlocks, p.TM.PTk)
+	p.nRanges = parallel.Split(s.N, p.TM.PN)
+	p.hRanges = parallel.Split(s.P(), p.TM.PH)
+	p.wRanges = parallel.Split(qTiles, p.TM.PW)
 	return p, nil
 }
 

@@ -337,7 +337,8 @@ func (p *Plan) refInput(in *tensor.Tensor, nchw bool) *tensor.Tensor {
 }
 
 // applyFallback stores the oracle's NKPQ result into dst, replaying
-// accumulation and the plan's fused epilogue.
+// accumulation and the plan's fused epilogue (same per-element order
+// as storeLane: bias, affine, ReLU).
 func (p *Plan) applyFallback(ref *tensor.Tensor, dst []float32, nchw, accumulate bool, prev []float32) {
 	s := p.Shape
 	if !nchw {
@@ -349,22 +350,20 @@ func (p *Plan) applyFallback(ref *tensor.Tensor, dst []float32, nchw, accumulate
 		if accumulate {
 			v += prev[i]
 		}
-		var k int
-		if nchw {
-			k = (i / (pp * q)) % s.K
-		} else {
-			k = i % s.K
-		}
-		switch p.opts.Epilogue {
-		case EpilogueBias:
-			v += p.opts.Bias[k]
-		case EpilogueReLU:
-			if v < 0 {
-				v = 0
+		if !p.ep.none {
+			var k int
+			if nchw {
+				k = (i / (pp * q)) % s.K
+			} else {
+				k = i % s.K
 			}
-		case EpilogueBiasReLU:
-			v += p.opts.Bias[k]
-			if v < 0 {
+			if p.ep.bias != nil {
+				v += p.ep.bias[k]
+			}
+			if p.ep.scale != nil {
+				v = v*p.ep.scale[k] + p.ep.shift[k]
+			}
+			if p.ep.relu && v < 0 {
 				v = 0
 			}
 		}
@@ -398,90 +397,202 @@ func (p *Plan) newScratch() *workerScratch {
 	return ws
 }
 
-// run launches the §6 thread grid: PT_k workers along the output
-// channels × (PN × PH × PW) workers along batch/rows/column-tiles.
-// Every worker runs inside the parallel runtime's panic-recovery
-// shell; the first fault raises the grid's cooperative stop flag and
-// is returned after the join. The join is bounded by ctx: on expiry
-// the grid is abandoned (stop flag up, stragglers leaked deliberately
-// and accounted in parallel.LeakedWorkers) and the returned error
-// wraps conv.ErrDeadline. Scratch buffers and stats are only
-// reclaimed once every worker — including abandoned ones — has
-// terminated, so a wedged goroutine can never scribble on a reused
-// buffer. A non-nil pre buffer holds the whole-filter pre-transformed
-// weights ([⌈K/Vk⌉][C][R][S][Vk]); workers then skip the per-tile
-// transform entirely.
-func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, nchw, accumulate bool) error {
+// runTask is one grid cell's prebuilt dispatch unit: its slice of the
+// iteration space, its private scratch, and the two closures the
+// drivers hand around (fn = recovery shell + fault recording, body =
+// fault-injection points + the worker loop nest). Both closures are
+// built once when the run state is created and read the current
+// operands through the run pointer, so steady-state dispatch creates
+// no new funcvals — the allocation a per-call `go func` closure would
+// otherwise make on every convolution.
+type runTask struct {
+	r          *planRun
+	w          int // grid slot, also the faultinject worker index
+	kLo, kHi   int
+	nr, hr, wr parallel.Range
+	ws         *workerScratch
+	fn         func()
+	body       func()
+}
+
+// planRun is one execution's complete mutable state: operands, fault
+// sink, join group and the task set. Runs are pooled on the plan
+// (checked out per call, returned once every worker has terminated),
+// so a warm plan executes with zero heap allocations. The operand
+// slices are cleared on release so a parked run never pins a caller's
+// tensors.
+type planRun struct {
+	p                *Plan
+	in, filter, pre  []float32
+	out              []float32
+	nchw, accumulate bool
+
+	fs    parallel.FaultSink
+	g     parallel.Group
+	tasks []*runTask
+	seq   uint64
+
+	abandonFn func(error) // raises the stop flag on a detached join
+	drainFn   func()      // releases the run from the straggler monitor
+}
+
+// maxFreeRuns bounds the plan's run free list: up to this many
+// concurrent executions reuse parked state allocation-free, beyond it
+// the extra run states are dropped to the GC when they complete (the
+// serving admission gate bounds useful concurrency well below this).
+const maxFreeRuns = 8
+
+// newRun builds a run state: one task per grid cell, in the same
+// k→n→h→w nesting order as the original per-call spawn loop so the
+// faultinject worker indices are unchanged.
+func (p *Plan) newRun() *planRun {
+	r := &planRun{p: p}
 	s := p.Shape
-	q := s.Q()
-	qTiles := (q + p.RT.Vw - 1) / p.RT.Vw
-
-	kBlocks := (s.K + p.RT.Vk - 1) / p.RT.Vk
-	kRanges := parallel.Split(kBlocks, p.TM.PTk)
-	nRanges := parallel.Split(s.N, p.TM.PN)
-	hRanges := parallel.Split(s.P(), p.TM.PH)
-	wRanges := parallel.Split(qTiles, p.TM.PW)
-
-	var fs parallel.FaultSink
-	var g parallel.Group
-	workers := make([]*workerScratch, 0, len(kRanges)*len(nRanges)*len(hRanges)*len(wRanges))
-	widx := 0
-	for _, kr := range kRanges {
+	r.tasks = make([]*runTask, 0, len(p.kRanges)*len(p.nRanges)*len(p.hRanges)*len(p.wRanges))
+	w := 0
+	for _, kr := range p.kRanges {
 		kLo := kr.Lo * p.RT.Vk
 		kHi := kr.Hi * p.RT.Vk
 		if kHi > s.K {
 			kHi = s.K
 		}
-		for _, nr := range nRanges {
-			for _, hr := range hRanges {
-				for _, wr := range wRanges {
-					ws := p.scratch.Get().(*workerScratch)
-					*ws.stats = Stats{}
-					workers = append(workers, ws)
-					w, kLo, kHi, nr, hr, wr, ws := widx, kLo, kHi, nr, hr, wr, ws
-					g.Go(func() {
-						fs.Record(parallel.Protect(func() {
-							faultinject.Fire(faultinject.WorkerPanic, w)
-							faultinject.Stall(faultinject.WorkerStall, w)
-							p.worker(in, filter, pre, out, nchw, accumulate, kLo, kHi, nr, hr, wr, ws, &fs)
-						}))
-					})
-					widx++
+		for _, nr := range p.nRanges {
+			for _, hr := range p.hRanges {
+				for _, wr := range p.wRanges {
+					t := &runTask{r: r, w: w, kLo: kLo, kHi: kHi, nr: nr, hr: hr, wr: wr, ws: p.newScratch()}
+					t.body = func() {
+						faultinject.Fire(faultinject.WorkerPanic, t.w)
+						faultinject.Stall(faultinject.WorkerStall, t.w)
+						p.worker(r.in, r.filter, r.pre, r.out, r.nchw, r.accumulate,
+							t.kLo, t.kHi, t.nr, t.hr, t.wr, t.ws, &r.fs)
+					}
+					t.fn = func() { r.fs.Record(parallel.Protect(t.body)) }
+					r.tasks = append(r.tasks, t)
+					w++
 				}
 			}
 		}
 	}
-	// drain runs once every worker has terminated — immediately on a
-	// full join, on the detached monitor after an abandonment.
-	seq := p.runSeq.Add(1)
-	drain := func() {
-		if p.opts.CollectStats {
-			var st Stats
-			for _, ws := range workers {
-				st.TransformSec += ws.stats.TransformSec
-				st.PackSec += ws.stats.PackSec
-				st.KernelSec += ws.stats.KernelSec
-				st.StoreSec += ws.stats.StoreSec
-			}
-			p.statsMu.Lock()
-			// An abandoned run drains only when its stragglers finally
-			// exit, possibly after a newer run already completed: never
-			// let the stale partial stats overwrite the newer snapshot.
-			if seq > p.lastStatsSeq {
-				p.lastStats = st
-				p.lastStatsSeq = seq
-			}
-			p.statsMu.Unlock()
+	r.abandonFn = func(err error) { r.fs.Record(err) }
+	r.drainFn = func() { p.releaseRun(r) }
+	return r
+}
+
+// getRun checks a parked run state out of the plan's free list,
+// building a fresh one when none is parked (cold start, or more
+// concurrent executions than maxFreeRuns).
+func (p *Plan) getRun() *planRun {
+	p.runMu.Lock()
+	if n := len(p.runFree); n > 0 {
+		r := p.runFree[n-1]
+		p.runFree[n-1] = nil
+		p.runFree = p.runFree[:n-1]
+		p.runMu.Unlock()
+		return r
+	}
+	p.runMu.Unlock()
+	return p.newRun()
+}
+
+// releaseRun publishes the run's stats and parks it for reuse. Only
+// called once every worker of the run — including deadline-abandoned
+// stragglers — has terminated, so a wedged goroutine can never
+// scribble on recycled state.
+func (p *Plan) releaseRun(r *planRun) {
+	if p.opts.CollectStats {
+		var st Stats
+		for _, t := range r.tasks {
+			st.TransformSec += t.ws.stats.TransformSec
+			st.PackSec += t.ws.stats.PackSec
+			st.KernelSec += t.ws.stats.KernelSec
+			st.StoreSec += t.ws.stats.StoreSec
 		}
-		for _, ws := range workers {
-			p.scratch.Put(ws)
+		p.statsMu.Lock()
+		// An abandoned run drains only when its stragglers finally
+		// exit, possibly after a newer run already completed: never
+		// let the stale partial stats overwrite the newer snapshot.
+		if r.seq > p.lastStatsSeq {
+			p.lastStats = st
+			p.lastStatsSeq = r.seq
+		}
+		p.statsMu.Unlock()
+	}
+	r.in, r.filter, r.pre, r.out = nil, nil, nil, nil
+	p.runMu.Lock()
+	if len(p.runFree) < maxFreeRuns {
+		p.runFree = append(p.runFree, r)
+	}
+	p.runMu.Unlock()
+}
+
+// run executes the §6 thread grid: PT_k workers along the output
+// channels × (PN × PH × PW) workers along batch/rows/column-tiles.
+// Grid cells are dispatched onto the persistent default worker pool
+// (parallel.DefaultPool) instead of spawning goroutines, and all
+// per-run state comes from the plan's run pool, so a warm call
+// allocates nothing and creates no goroutines. Every worker runs
+// inside the parallel runtime's panic-recovery shell; the first fault
+// raises the grid's cooperative stop flag and is returned after the
+// join.
+//
+// Without a cancellable context the caller's goroutine executes the
+// first grid cell itself (the whole grid, when the plan is
+// single-threaded) and joins the rest unconditionally. With one, every
+// cell is dispatched and the join is bounded by ctx: on expiry the
+// grid is abandoned (stop flag up, stragglers leaked deliberately and
+// accounted in parallel.LeakedWorkers — a straggler occupying a pool
+// slot holds only that slot, the pool itself keeps serving) and the
+// returned error wraps conv.ErrDeadline; the run state is then
+// recycled only after the stragglers terminate. A non-nil pre buffer
+// holds the whole-filter pre-transformed weights
+// ([⌈K/Vk⌉][C][R][S][Vk]); workers then skip the per-tile transform
+// entirely.
+func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, nchw, accumulate bool) error {
+	r := p.getRun()
+	if len(r.tasks) == 0 {
+		p.releaseRun(r)
+		return nil
+	}
+	r.in, r.filter, r.pre, r.out = in, filter, pre, out
+	r.nchw, r.accumulate = nchw, accumulate
+	r.fs.Reset()
+	r.seq = p.runSeq.Add(1)
+	if p.opts.CollectStats {
+		for _, t := range r.tasks {
+			*t.ws.stats = Stats{}
 		}
 	}
-	if err := g.WaitCtx(ctx, drain); err != nil {
-		fs.Record(err) // raise the stop flag so surviving workers cancel
+
+	if ctx == nil || ctx.Done() == nil {
+		if len(r.tasks) > 1 {
+			pool := parallel.DefaultPool()
+			for _, t := range r.tasks[1:] {
+				r.g.GoVia(pool, t.fn)
+			}
+			r.tasks[0].fn()
+			r.g.Wait()
+		} else {
+			r.tasks[0].fn()
+		}
+		err := r.fs.Err()
+		p.releaseRun(r)
+		return err
+	}
+
+	// Cancellable join: every cell goes through the pool (running one
+	// inline would let a wedged first cell block the caller past its
+	// deadline), and on abandonment the run is recycled by the detached
+	// monitor, not here.
+	pool := parallel.DefaultPool()
+	for _, t := range r.tasks {
+		r.g.GoVia(pool, t.fn)
+	}
+	if err := r.g.WaitCtx(ctx, r.abandonFn, r.drainFn); err != nil {
 		return fmt.Errorf("%w: %w", conv.ErrDeadline, err)
 	}
-	return fs.Err()
+	err := r.fs.Err()
+	p.releaseRun(r)
+	return err
 }
 
 // worker executes Algorithm 2 over its slice of the iteration space.
@@ -675,21 +786,24 @@ func (p *Plan) storeGeneric(acc []simd.Vec4, out []float32, nchw bool,
 }
 
 // storeLane writes one output channel's row of the register tile.
-// acc is indexed acc[ow*jn + j][lane].
+// acc is indexed acc[ow*jn + j][lane]. On the final channel tile the
+// plan's fused epilogue is applied per element in the fixed order
+// bias → affine → ReLU, the exact per-element float32 expressions of
+// the separate addBias/applyBN/applyReLU passes (each step gated on
+// its own flag, never a degenerate scale-by-one or add-zero, so
+// untouched values — including negative zeros — pass through
+// bit-identically).
 func (p *Plan) storeLane(row []float32, stride int, acc []simd.Vec4, jn, j, lane, vwEff, k int, firstC, lastC bool) {
-	var bias float32
-	applyBias := false
-	applyReLU := false
-	if lastC {
-		switch p.opts.Epilogue {
-		case EpilogueBias:
-			bias, applyBias = p.opts.Bias[k], true
-		case EpilogueReLU:
-			applyReLU = true
-		case EpilogueBiasReLU:
-			bias, applyBias = p.opts.Bias[k], true
-			applyReLU = true
+	var bias, scale, shift float32
+	hasBias, hasAffine, relu := false, false, false
+	if lastC && !p.ep.none {
+		if p.ep.bias != nil {
+			bias, hasBias = p.ep.bias[k], true
 		}
+		if p.ep.scale != nil {
+			scale, shift, hasAffine = p.ep.scale[k], p.ep.shift[k], true
+		}
+		relu = p.ep.relu
 	}
 	x := 0
 	for ow := 0; ow < vwEff; ow++ {
@@ -697,10 +811,13 @@ func (p *Plan) storeLane(row []float32, stride int, acc []simd.Vec4, jn, j, lane
 		if !firstC {
 			v += row[x]
 		}
-		if applyBias {
+		if hasBias {
 			v += bias
 		}
-		if applyReLU && v < 0 {
+		if hasAffine {
+			v = v*scale + shift
+		}
+		if relu && v < 0 {
 			v = 0
 		}
 		row[x] = v

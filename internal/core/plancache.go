@@ -56,26 +56,46 @@ type planEntry struct {
 	plan *Plan
 }
 
-// planKey is the comparable identity of a plan. bias holds the raw
-// little-endian float bits of Options.Bias so equality is exact (no
-// hashing, no collisions).
+// planKey is the comparable identity of a plan. The bias and fused-
+// epilogue strings hold the raw little-endian float bits of the
+// corresponding Options slices so equality is exact (no hashing, no
+// collisions); fusedSet distinguishes an all-nil EpilogueParams from
+// no FusedEpilogue at all.
 type planKey struct {
-	shape    conv.Shape
-	platform hw.Platform
-	threads  int
-	seqPack  bool
-	forceVw  int
-	forceVk  int
-	forceTc  int
-	forceTk  int
-	forceTh  int
-	epilogue Epilogue
-	bias     string
-	collect  bool
-	generic  bool
-	unrolled bool
-	numerics bool
-	budget   time.Duration
+	shape      conv.Shape
+	platform   hw.Platform
+	threads    int
+	seqPack    bool
+	forceVw    int
+	forceVk    int
+	forceTc    int
+	forceTk    int
+	forceTh    int
+	epilogue   Epilogue
+	bias       string
+	fusedSet   bool
+	fusedBias  string
+	fusedScale string
+	fusedShift string
+	fusedReLU  bool
+	collect    bool
+	generic    bool
+	unrolled   bool
+	numerics   bool
+	budget     time.Duration
+}
+
+// floatsKey serialises a float slice to its exact bit pattern for use
+// as a comparable map-key component.
+func floatsKey(v []float32) string {
+	if len(v) == 0 {
+		return ""
+	}
+	raw := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(f))
+	}
+	return string(raw)
 }
 
 func planKeyFor(s conv.Shape, opt Options) planKey {
@@ -83,15 +103,7 @@ func planKeyFor(s conv.Shape, opt Options) planKey {
 	if opt.Platform != nil {
 		pf = *opt.Platform
 	}
-	var bias string
-	if len(opt.Bias) > 0 {
-		raw := make([]byte, 4*len(opt.Bias))
-		for i, v := range opt.Bias {
-			binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
-		}
-		bias = string(raw)
-	}
-	return planKey{
+	key := planKey{
 		shape:    s,
 		platform: pf,
 		threads:  opt.Threads,
@@ -102,13 +114,21 @@ func planKeyFor(s conv.Shape, opt Options) planKey {
 		forceTk:  opt.ForceTk,
 		forceTh:  opt.ForceTh,
 		epilogue: opt.Epilogue,
-		bias:     bias,
+		bias:     floatsKey(opt.Bias),
 		collect:  opt.CollectStats,
 		generic:  opt.ForceGenericKernel,
 		unrolled: opt.UnrolledKernels,
 		numerics: opt.CheckNumerics,
 		budget:   opt.FallbackBudget,
 	}
+	if fe := opt.FusedEpilogue; fe != nil {
+		key.fusedSet = true
+		key.fusedBias = floatsKey(fe.Bias)
+		key.fusedScale = floatsKey(fe.Scale)
+		key.fusedShift = floatsKey(fe.Shift)
+		key.fusedReLU = fe.ReLU
+	}
+	return key
 }
 
 // NewPlanCache returns a cache holding at most capacity plans

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndirect/internal/autotune"
@@ -328,9 +329,27 @@ type ConvUnit struct {
 	folded   *tensor.Tensor // BN-folded weights (built once, immutable after)
 	foldedB  []float32
 
+	epOnce sync.Once
+	ep     *core.EpilogueParams // bias/BN/ReLU as a fused store epilogue; nil when the unit has none
+
+	// planMemo caches the last plan resolved for the fused-epilogue
+	// route, so the steady-state serving loop skips the plan-cache
+	// lookup (whose key serialises the epilogue vectors, allocating on
+	// every call). One entry suffices: a unit sees one (shape, threads)
+	// at steady state, and a miss just falls through to the cache.
+	planMemo atomic.Pointer[planMemoEntry]
+
 	packMu       sync.Mutex
 	packedRaw    *core.PackedFilter // pre-transformed Weights (Engine.Reuse)
 	packedFolded *core.PackedFilter // pre-transformed BN-folded weights
+}
+
+// planMemoEntry records the inputs that determine a fused-route plan.
+type planMemoEntry struct {
+	s       conv.Shape
+	threads int
+	fe      *core.EpilogueParams
+	plan    *core.Plan
 }
 
 func (c *ConvUnit) Name() string { return c.LayerName }
@@ -359,6 +378,35 @@ func (c *ConvUnit) foldBN() (*tensor.Tensor, []float32) {
 		c.folded, c.foldedB = w, b
 	})
 	return c.folded, c.foldedB
+}
+
+// fusedEpilogue returns the unit's bias/BN/ReLU work in the core's
+// fused-store form, built once and immutable after (the stable pointer
+// also serves as the plan-memo identity). The BN scale/shift use the
+// exact float32 expressions applyBN evaluates per channel, and the
+// core store applies bias → affine → ReLU in the same order as the
+// separate addBias/applyBN/applyReLU sweeps, so routing through the
+// fused store is bit-identical to running the sweeps. Returns nil when
+// the unit has no epilogue work (plain convolution).
+func (c *ConvUnit) fusedEpilogue() *core.EpilogueParams {
+	c.epOnce.Do(func() {
+		if c.Bias == nil && c.BN == nil && !c.ReLU {
+			return
+		}
+		ep := &core.EpilogueParams{Bias: c.Bias, ReLU: c.ReLU}
+		if bn := c.BN; bn != nil {
+			scale := make([]float32, c.Shape.K)
+			shift := make([]float32, c.Shape.K)
+			for k := range scale {
+				sc := bn.Gamma[k] / float32(math.Sqrt(float64(bn.Var[k])+float64(bn.Eps)))
+				scale[k] = sc
+				shift[k] = bn.Beta[k] - bn.Mean[k]*sc
+			}
+			ep.Scale, ep.Shift = scale, shift
+		}
+		c.ep = ep
+	})
+	return c.ep
 }
 
 // packedFor returns the pre-transformed (⌈K/Vk⌉·C·R·S·Vk blocked) form
@@ -401,6 +449,17 @@ func (c *ConvUnit) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, er
 	if eng.Fuse {
 		w, b := c.foldBN()
 		return c.tryConvFused(eng, s, x, w, b)
+	}
+	// Steady-state fast path: with Reuse on and the nDirect backend,
+	// the unit's bias/BN/ReLU run inside the plan's fused store (one
+	// pass over the output) instead of as separate whole-tensor sweeps.
+	// fusedEpilogue's contract makes this bit-identical to the sweeps,
+	// so the route is a pure execution-strategy change.
+	if eng.Reuse && eng.Algo == AlgoNDirect {
+		if ep := c.fusedEpilogue(); ep != nil {
+			return c.tryNDirect(eng, s, x, c.Weights,
+				core.Options{Threads: eng.Threads, FusedEpilogue: ep})
+		}
 	}
 	out, err := c.tryConvPlain(eng, s, x)
 	if err != nil {
@@ -508,7 +567,7 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 		return out, nil
 	}
 
-	plan, err := opt.PlanCache.Get(s, opt)
+	plan, err := c.planFor(s, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -539,26 +598,51 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 	return out, nil
 }
 
+// planFor resolves the unit's plan for the Reuse path. Fused-epilogue
+// calls hit a one-entry per-unit memo first: the plan-cache key
+// serialises the epilogue vectors byte-for-byte, which allocates on
+// every Get, and the serving hot loop asks for the same (shape,
+// threads, epilogue) every call. The memo is sound because the
+// epilogue pointer is the Once-built c.ep (stable and immutable) and
+// plans are immutable after construction; any other option mix skips
+// the memo and pays the cache lookup.
+func (c *ConvUnit) planFor(s conv.Shape, opt core.Options) (*core.Plan, error) {
+	memoable := opt.FusedEpilogue != nil && opt.FusedEpilogue == c.ep &&
+		opt.Epilogue == core.EpilogueNone && opt.Bias == nil
+	if memoable {
+		if m := c.planMemo.Load(); m != nil && m.s == s && m.threads == opt.Threads && m.fe == opt.FusedEpilogue {
+			return m.plan, nil
+		}
+	}
+	plan, err := opt.PlanCache.Get(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	if memoable {
+		c.planMemo.Store(&planMemoEntry{s: s, threads: opt.Threads, fe: opt.FusedEpilogue, plan: plan})
+	}
+	return plan, nil
+}
+
 // tryConvFused runs conv with bias+ReLU folded into the output pass.
 // nDirect and the Ansor executor fuse natively via their epilogues;
 // the other backends fall back to a separate pass (they have no
 // epilogue hook — the integration gap §8.3 describes).
 func (c *ConvUnit) tryConvFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *tensor.Tensor, b []float32) (*tensor.Tensor, error) {
-	switch eng.Algo {
-	case AlgoNDirect:
+	// fusedFallback recomputes the whole layer through the nDirect
+	// epilogue into a fresh tensor — the recovery every arm shares,
+	// because it never leaves a partially-transformed output behind.
+	fusedFallback := func() (*tensor.Tensor, error) {
 		ep := core.EpilogueBias
 		if c.ReLU {
 			ep = core.EpilogueBiasReLU
 		}
 		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+	}
+	switch eng.Algo {
+	case AlgoNDirect:
+		return fusedFallback()
 	case AlgoAnsor:
-		fusedFallback := func() (*tensor.Tensor, error) {
-			ep := core.EpilogueBias
-			if c.ReLU {
-				ep = core.EpilogueBiasReLU
-			}
-			return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
-		}
 		if !eng.backendAllowed(AlgoAnsor, s) {
 			return fusedFallback()
 		}
@@ -579,13 +663,19 @@ func (c *ConvUnit) tryConvFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *
 		if err != nil {
 			return nil, err
 		}
-		if err := addBias(out, b, eng.Threads); err != nil {
-			return nil, err
+		// The sweeps below mutate out in place, so a mid-sweep worker
+		// fault leaves it partially transformed: some rows biased (or
+		// rectified), others not. Retrying a sweep would double-apply
+		// the bias to the rows that finished. Recover by abandoning out
+		// (never back to the pool — its state is unknowable) and
+		// recomputing the whole layer fused into a fresh tensor.
+		err = addBias(out, b, eng.Threads)
+		if err == nil && c.ReLU {
+			err = applyReLU(out, eng.Threads)
 		}
-		if c.ReLU {
-			if err := applyReLU(out, eng.Threads); err != nil {
-				return nil, err
-			}
+		if err != nil {
+			eng.logLimited("fusedsweep|"+shapeKey(s), "nn: %s: epilogue sweep faulted (%v); recomputing layer fused", c.LayerName, err)
+			return fusedFallback()
 		}
 		return out, nil
 	}

@@ -55,43 +55,75 @@ type Group struct {
 	pending atomic.Int64
 }
 
+// finish marks one tracked task complete. It is called by the worker
+// side of every dispatch path (pool handoff or spawned goroutine).
+func (g *Group) finish() {
+	g.pending.Add(-1)
+	g.wg.Done()
+}
+
 // Go runs fn in a tracked goroutine. fn is responsible for its own
 // panic recovery (the drivers wrap bodies in Protect).
 func (g *Group) Go(fn func()) {
 	g.wg.Add(1)
 	g.pending.Add(1)
 	go func() {
-		defer func() { g.pending.Add(-1); g.wg.Done() }()
+		defer g.finish()
 		fn()
 	}()
 }
 
+// GoVia runs fn as a tracked task, handing it to a parked worker of
+// pool when one is idle and spawning a plain goroutine otherwise (the
+// pre-pool behaviour — so an exhausted or closed pool degrades, never
+// deadlocks, and nested parallel regions cannot wedge each other). fn
+// is responsible for its own panic recovery.
+func (g *Group) GoVia(pool *Pool, fn func()) {
+	g.wg.Add(1)
+	g.pending.Add(1)
+	if pool != nil && pool.tryRun(poolTask{fn: fn, g: g}) {
+		return
+	}
+	if pool != nil {
+		pool.spawned.Add(1)
+	}
+	go func() {
+		defer g.finish()
+		fn()
+	}()
+}
+
+// Wait joins the group unconditionally (the bare drivers' join).
+func (g *Group) Wait() { g.wg.Wait() }
+
 // WaitCtx joins the group, bounded by ctx. It returns nil when every
 // worker finished, or an error wrapping ErrCanceled (and the context's
-// cause) when ctx expired first. On abandonment the remaining workers
-// are counted in LeakedWorkers until they terminate, after which drain
-// (if non-nil) runs on the detached monitor goroutine — the hook the
-// core grid uses to return scratch buffers to their pool only once no
-// abandoned worker can still touch them. The caller must raise its
-// group's stop flag on a non-nil return so surviving workers cancel
-// at their next poll.
-func (g *Group) WaitCtx(ctx context.Context, drain func()) error {
+// cause) when ctx expired first.
+//
+// On abandonment, onAbandon (if non-nil) runs synchronously with the
+// abandonment error before WaitCtx returns — the hook the callers use
+// to raise their stop flag so surviving workers cancel at their next
+// poll. The abandoned workers are counted in LeakedWorkers until they
+// terminate, after which drain (if non-nil) runs on the detached
+// monitor goroutine — the hook the core grid uses to recycle run state
+// only once no abandoned worker can still touch it. On a nil return
+// neither hook runs: every worker has finished and the caller owns all
+// run state again, so it performs its own release inline.
+func (g *Group) WaitCtx(ctx context.Context, onAbandon func(error), drain func()) error {
 	if ctx == nil || ctx.Done() == nil {
 		g.wg.Wait()
-		if drain != nil {
-			drain()
-		}
 		return nil
 	}
 	done := make(chan struct{})
 	go func() { g.wg.Wait(); close(done) }()
 	select {
 	case <-done:
-		if drain != nil {
-			drain()
-		}
 		return nil
 	case <-ctx.Done():
+		err := cancelErr(ctx)
+		if onAbandon != nil {
+			onAbandon(err)
+		}
 		n := g.pending.Load()
 		leakedWorkers.Add(n)
 		go func() {
@@ -101,7 +133,7 @@ func (g *Group) WaitCtx(ctx context.Context, drain func()) error {
 				drain()
 			}
 		}()
-		return cancelErr(ctx)
+		return err
 	}
 }
 
@@ -124,9 +156,10 @@ func ForCtx(ctx context.Context, n, p int, body func(i int)) error {
 	}
 	var fs FaultSink
 	var g Group
+	pool := DefaultPool()
 	for w, c := range chunks {
 		w, c := w, c
-		g.Go(func() {
+		g.GoVia(pool, func() {
 			fs.Record(Protect(func() {
 				faultinject.Fire(faultinject.WorkerPanic, w)
 				faultinject.Stall(faultinject.WorkerStall, w)
@@ -139,8 +172,7 @@ func ForCtx(ctx context.Context, n, p int, body func(i int)) error {
 			}))
 		})
 	}
-	if err := g.WaitCtx(ctx, nil); err != nil {
-		fs.Record(err) // raise the stop flag for the survivors
+	if err := g.WaitCtx(ctx, fs.Record, nil); err != nil {
 		return err
 	}
 	return fs.Err()
@@ -162,9 +194,10 @@ func ForRangeCtx(ctx context.Context, n, p int, body func(worker int, r Range)) 
 	}
 	var fs FaultSink
 	var g Group
+	pool := DefaultPool()
 	for w, c := range chunks {
 		w, c := w, c
-		g.Go(func() {
+		g.GoVia(pool, func() {
 			fs.Record(Protect(func() {
 				faultinject.Fire(faultinject.WorkerPanic, w)
 				faultinject.Stall(faultinject.WorkerStall, w)
@@ -175,8 +208,7 @@ func ForRangeCtx(ctx context.Context, n, p int, body func(worker int, r Range)) 
 			}))
 		})
 	}
-	if err := g.WaitCtx(ctx, nil); err != nil {
-		fs.Record(err)
+	if err := g.WaitCtx(ctx, fs.Record, nil); err != nil {
 		return err
 	}
 	return fs.Err()
@@ -192,10 +224,11 @@ func (gr Grid2D) ForGridCtx(ctx context.Context, body func(kWorker, nWorker int)
 	}
 	var fs FaultSink
 	var g Group
+	pool := DefaultPool()
 	for k := 0; k < gr.PTk; k++ {
 		for n := 0; n < gr.PTn; n++ {
 			w, k, n := k*gr.PTn+n, k, n
-			g.Go(func() {
+			g.GoVia(pool, func() {
 				fs.Record(Protect(func() {
 					faultinject.Fire(faultinject.WorkerPanic, w)
 					faultinject.Stall(faultinject.WorkerStall, w)
@@ -207,8 +240,7 @@ func (gr Grid2D) ForGridCtx(ctx context.Context, body func(kWorker, nWorker int)
 			})
 		}
 	}
-	if err := g.WaitCtx(ctx, nil); err != nil {
-		fs.Record(err)
+	if err := g.WaitCtx(ctx, fs.Record, nil); err != nil {
 		return err
 	}
 	return fs.Err()

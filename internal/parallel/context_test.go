@@ -161,8 +161,9 @@ func TestForCtxWorkerPanicStillClassifies(t *testing.T) {
 	}
 }
 
-// WaitCtx's drain hook must run exactly once — immediately on a clean
-// join, and only after the stragglers terminate on an abandoned one.
+// WaitCtx's hooks fire on the right sides of an abandonment: onAbandon
+// synchronously before the error returns, drain only after the
+// stragglers terminate.
 func TestWaitCtxDrainAfterAbandonment(t *testing.T) {
 	release := make(chan struct{})
 	var g Group
@@ -170,10 +171,15 @@ func TestWaitCtxDrainAfterAbandonment(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	var drained atomic.Bool
-	err := g.WaitCtx(ctx, func() { drained.Store(true) })
+	var abandoned, drained atomic.Bool
+	err := g.WaitCtx(ctx,
+		func(err error) { abandoned.Store(errors.Is(err, ErrCanceled)) },
+		func() { drained.Store(true) })
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !abandoned.Load() {
+		t.Fatal("onAbandon must run synchronously with the cancellation error")
 	}
 	if drained.Load() {
 		t.Fatal("drain must not run while a worker is still pending")

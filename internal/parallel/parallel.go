@@ -64,10 +64,13 @@ func Protect(fn func()) (err error) {
 }
 
 // FaultSink collects the first fault of a worker group and exposes
-// the cooperative stop flag the surviving workers poll.
+// the cooperative stop flag the surviving workers poll. A sink can be
+// Reset between runs, so pooled execution state reuses one sink per
+// slot instead of allocating a fresh one per call.
 type FaultSink struct {
 	stop atomic.Bool
-	once sync.Once
+	mu   sync.Mutex
+	set  bool
 	err  error
 }
 
@@ -77,7 +80,12 @@ func (f *FaultSink) Record(err error) {
 	if err == nil {
 		return
 	}
-	f.once.Do(func() { f.err = err })
+	f.mu.Lock()
+	if !f.set {
+		f.set = true
+		f.err = err
+	}
+	f.mu.Unlock()
 	f.stop.Store(true)
 }
 
@@ -87,7 +95,21 @@ func (f *FaultSink) Stopped() bool { return f.stop.Load() }
 
 // Err returns the first recorded fault. Only valid after the worker
 // group has been joined.
-func (f *FaultSink) Err() error { return f.err }
+func (f *FaultSink) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Reset clears the sink for reuse. Only valid once the previous run's
+// workers have been joined.
+func (f *FaultSink) Reset() {
+	f.mu.Lock()
+	f.set = false
+	f.err = nil
+	f.mu.Unlock()
+	f.stop.Store(false)
+}
 
 // Range is a half-open index interval [Lo, Hi).
 type Range struct{ Lo, Hi int }
@@ -153,16 +175,14 @@ func For(n, p int, body func(i int)) error {
 		runChunk(0, chunks[0])
 		return fs.Err()
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(chunks) - 1)
+	var g Group
+	pool := DefaultPool()
 	for w, c := range chunks[1:] {
-		go func(w int, c Range) {
-			defer wg.Done()
-			runChunk(w, c)
-		}(w+1, c)
+		w, c := w+1, c
+		g.GoVia(pool, func() { runChunk(w, c) })
 	}
 	runChunk(0, chunks[0])
-	wg.Wait()
+	g.Wait()
 	return fs.Err()
 }
 
@@ -192,16 +212,14 @@ func ForRange(n, p int, body func(worker int, r Range)) error {
 		runChunk(0, chunks[0])
 		return fs.Err()
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(chunks) - 1)
+	var g Group
+	pool := DefaultPool()
 	for w, c := range chunks[1:] {
-		go func(w int, c Range) {
-			defer wg.Done()
-			runChunk(w, c)
-		}(w+1, c)
+		w, c := w+1, c
+		g.GoVia(pool, func() { runChunk(w, c) })
 	}
 	runChunk(0, chunks[0])
-	wg.Wait()
+	g.Wait()
 	return fs.Err()
 }
 
@@ -253,8 +271,8 @@ func (g Grid2D) ForGrid(body func(kWorker, nWorker int)) error {
 		runCell(0, 0, 0)
 		return fs.Err()
 	}
-	var wg sync.WaitGroup
-	wg.Add(total - 1)
+	var grp Group
+	pool := DefaultPool()
 	first := true
 	for k := 0; k < g.PTk; k++ {
 		for n := 0; n < g.PTn; n++ {
@@ -262,14 +280,12 @@ func (g Grid2D) ForGrid(body func(kWorker, nWorker int)) error {
 				first = false
 				continue
 			}
-			go func(w, k, n int) {
-				defer wg.Done()
-				runCell(w, k, n)
-			}(k*g.PTn+n, k, n)
+			w, k, n := k*g.PTn+n, k, n
+			grp.GoVia(pool, func() { runCell(w, k, n) })
 		}
 	}
 	runCell(0, 0, 0)
-	wg.Wait()
+	grp.Wait()
 	return fs.Err()
 }
 

@@ -1,0 +1,153 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndirect/internal/faultinject"
+)
+
+// A parked worker must pick up dispatched tasks; the caller's join
+// sees every one complete.
+func TestPoolDispatchesToParkedWorkers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var g Group
+	var count atomic.Int64
+	for i := 0; i < 64; i++ {
+		g.GoVia(p, func() { count.Add(1) })
+	}
+	g.Wait()
+	if count.Load() != 64 {
+		t.Fatalf("ran %d tasks, want 64", count.Load())
+	}
+	st := p.Stats()
+	if st.Dispatched+st.Spawned != 64 {
+		t.Fatalf("dispatched %d + spawned %d, want 64 total", st.Dispatched, st.Spawned)
+	}
+	if st.Dispatched == 0 {
+		t.Fatal("no task ever reached a parked worker")
+	}
+}
+
+// When every worker is busy, dispatch must fall back to spawning
+// instead of blocking or queueing behind the busy workers.
+func TestPoolSpawnFallbackWhenSaturated(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	var g Group
+	g.GoVia(p, func() { <-block }) // may land on the worker or spawn
+	// Give the handoff a moment so the single worker is busy.
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	var g2 Group
+	g2.GoVia(p, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task queued behind a busy worker instead of spawning")
+	}
+	close(block)
+	g.Wait()
+	g2.Wait()
+}
+
+// Dispatch after Close must degrade to spawning, not panic on the
+// closed channel, and Close must be idempotent.
+func TestPoolCloseDegradesToSpawn(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+	var g Group
+	var ran atomic.Bool
+	g.GoVia(p, func() { ran.Store(true) })
+	g.Wait()
+	if !ran.Load() {
+		t.Fatal("task did not run after Close")
+	}
+	if st := p.Stats(); st.Dispatched != 0 || st.Spawned != 1 {
+		t.Fatalf("stats = %+v, want 0 dispatched / 1 spawned", st)
+	}
+}
+
+// Concurrent dispatchers sharing one pool must not lose or duplicate
+// tasks (run under -race in CI).
+func TestPoolConcurrentDispatchers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var g Group
+			for i := 0; i < 100; i++ {
+				g.GoVia(p, func() { count.Add(1) })
+			}
+			g.Wait()
+		}()
+	}
+	wg.Wait()
+	if count.Load() != 800 {
+		t.Fatalf("ran %d tasks, want 800", count.Load())
+	}
+}
+
+// A pool worker wedged on a stalled task and abandoned by a deadline
+// must be accounted in LeakedWorkers, must not wedge the pool for
+// later callers, and the accounting must drain once the stall lifts —
+// the pool-era version of the detached-join regression tests.
+func TestPoolWorkerAbandonedByDeadlineDrains(t *testing.T) {
+	defer faultinject.Reset()
+	prev := SetDefaultPool(NewPool(4))
+	defer func() { SetDefaultPool(prev).Close() }()
+
+	faultinject.Arm(faultinject.WorkerStall, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := ForRangeCtx(ctx, 64, 4, func(w int, r Range) {})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	if LeakedWorkers() == 0 {
+		t.Fatal("the wedged pool worker must be accounted as leaked")
+	}
+
+	// The pool must still serve other callers while one slot is wedged.
+	var count atomic.Int64
+	if err := For(256, 4, func(i int) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 256 {
+		t.Fatalf("ran %d iterations with a wedged slot, want 256", count.Load())
+	}
+
+	faultinject.Reset()
+	waitLeakedWorkersZero(t)
+}
+
+// After the default pool warms up, bare loops must not create new
+// goroutines per call: every chunk lands on a parked worker.
+func TestDefaultPoolSteadyStateNoSpawns(t *testing.T) {
+	prev := SetDefaultPool(NewPool(8))
+	defer func() { SetDefaultPool(prev).Close() }()
+	p := DefaultPool()
+
+	// Warm up, then measure.
+	for i := 0; i < 4; i++ {
+		MustFor(64, 4, func(int) {})
+	}
+	before := p.Stats().Spawned
+	for i := 0; i < 32; i++ {
+		MustFor(64, 4, func(int) {})
+	}
+	if after := p.Stats().Spawned; after != before {
+		t.Fatalf("steady-state loops spawned %d goroutines, want 0", after-before)
+	}
+}

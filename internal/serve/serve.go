@@ -132,6 +132,10 @@ func New(cfg Config) *Runtime {
 			Plans:   rt.plans,
 		}
 	}
+	// Warm the process-wide worker pool at construction: the first
+	// request should land on already-parked workers, not pay the
+	// worker spawns (and their allocations) inside its latency budget.
+	parallel.DefaultPool()
 	return rt
 }
 
@@ -361,11 +365,19 @@ type Stats struct {
 	MemRejected                           uint64 // not even the reference rung fit
 
 	PlanCache core.PlanCacheStats
+
+	// WorkerPool reports the process-wide persistent worker pool the
+	// parallel runtime dispatches onto. Spawned counts grid workers
+	// that could not be placed on a parked pool worker (pool saturated
+	// or closed) — a steadily climbing Spawned under steady load means
+	// plans are over-subscribed relative to the pool size.
+	WorkerPool parallel.PoolStats
 }
 
 // Stats snapshots the runtime's counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
+		WorkerPool:    parallel.DefaultPool().Stats(),
 		Gate:          rt.gate.Stats(),
 		MemInUse:      rt.budget.InUse(),
 		MemPeak:       rt.budget.Peak(),

@@ -157,6 +157,27 @@ const (
 	EpilogueBiasReLU = core.EpilogueBiasReLU
 )
 
+// EpilogueParams is the generalised fused epilogue (per-channel bias,
+// per-channel affine — the inference form of batch normalisation —
+// and ReLU) applied inside the output store while the accumulator tile
+// is still in registers. Select it via Options.FusedEpilogue; output
+// is bit-identical to running the separate bias/BN/ReLU passes.
+type EpilogueParams = core.EpilogueParams
+
+// WorkerPool is the persistent pool of parked worker goroutines every
+// parallel loop dispatches onto at steady state (one worker per
+// GOMAXPROCS by default). See DefaultWorkerPool.
+type WorkerPool = parallel.Pool
+
+// WorkerPoolStats snapshots a pool's dispatch counters; Spawned
+// staying flat across calls is the "no new goroutines at steady
+// state" invariant.
+type WorkerPoolStats = parallel.PoolStats
+
+// DefaultWorkerPool returns the process-wide worker pool, starting it
+// on first use.
+func DefaultWorkerPool() *WorkerPool { return parallel.DefaultPool() }
+
 // Platform describes a target machine (cache geometry, peak FLOPS,
 // the calibrated α of §6.2). The paper's four evaluation platforms
 // are available via Platforms / PlatformByName.

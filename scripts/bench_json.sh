@@ -1,0 +1,42 @@
+#!/bin/sh
+# Run the steady-state serving benchmarks and emit them as a JSON
+# array (default BENCH_steady.json), one object per benchmark line:
+#   {"name": ..., "iters": N, "ns_per_op": ..., "bytes_per_op": ...,
+#    "allocs_per_op": ...}
+# The packed-pooled and steady entries are the PR's acceptance
+# numbers: allocs_per_op must be 0 (scripts/bench_smoke.sh gates on
+# it in CI). Usage: scripts/bench_json.sh [out.json]; COUNT and
+# BENCHTIME override the defaults.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_steady.json}
+COUNT=${COUNT:-3}
+BENCHTIME=${BENCHTIME:-500x}
+
+{
+    go test -run '^$' -bench 'EngineSteadyState|SmallConvServing' \
+        -benchtime "$BENCHTIME" -count "$COUNT" .
+    go test -run '^$' -bench 'MicroKernelBodies' \
+        -benchtime "$BENCHTIME" -count "$COUNT" ./internal/core
+} |
+    awk '
+        /^Benchmark/ && /ns\/op/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            line = sprintf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, $3)
+            for (i = 4; i <= NF; i++) {
+                if ($(i) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $(i - 1))
+                if ($(i) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $(i - 1))
+            }
+            rows[n++] = line "}"
+        }
+        END {
+            print "["
+            for (i = 0; i < n; i++) print rows[i] (i < n - 1 ? "," : "")
+            print "]"
+        }
+    ' >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmark rows)"

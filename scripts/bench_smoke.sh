@@ -1,0 +1,35 @@
+#!/bin/sh
+# CI bench smoke: one timed iteration of the steady-state serving
+# benchmarks, gating on the PR's allocation claim — the packed-pooled
+# engine path and the small-shape steady path must report exactly
+# 0 allocs/op (the deterministic counterpart assertion is
+# core.TestSteadyStateZeroAllocs, run first). A regression that makes
+# the hot loop allocate fails this script even when it is too small to
+# move wall-clock benchmarks.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> TestSteadyStateZeroAllocs"
+go test -run 'TestSteadyStateZeroAllocs' -count=1 ./internal/core/
+
+echo "==> bench smoke (1 iteration, allocs gate)"
+out=$(go test -run '^$' -bench 'EngineSteadyState/packed-pooled|SmallConvServing/steady' -benchtime=1x .)
+echo "$out"
+
+for bench in packed-pooled SmallConvServing/steady; do
+    line=$(echo "$out" | grep "$bench" || true)
+    if [ -z "$line" ]; then
+        echo "FAIL: benchmark $bench did not run" >&2
+        exit 1
+    fi
+    case "$line" in
+    *" 0 allocs/op"*) ;;
+    *)
+        echo "FAIL: $bench allocates at steady state: $line" >&2
+        exit 1
+        ;;
+    esac
+done
+
+echo "OK: steady-state paths allocation-free"
