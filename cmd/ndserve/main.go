@@ -1,0 +1,475 @@
+// Command ndserve is a multi-tenant HTTP inference front end over
+// serve.Registry. Models are small integer-weight conv networks built
+// server-side from a JSON spec (this is a serving-runtime demonstrator,
+// not a weight-upload service): register a model under a tenant, set
+// the tenant's QoS class and outstanding cap, then drive concurrent
+// inference traffic — the registry shares one plan cache, worker pool
+// and weight-residency budget across every tenant, sheds the lowest
+// QoS class first under overload, and quarantines a faulting model to
+// the reference path without touching its neighbours.
+//
+// Endpoints:
+//
+//	PUT    /v1/tenants/{tenant}            {"class":"batch|standard|premium","max_outstanding":N}
+//	POST   /v1/models/{tenant}/{model}     {"seed":N,"relu":true,"shape":{...}} (shape optional)
+//	DELETE /v1/models/{tenant}/{model}
+//	POST   /v1/infer/{tenant}/{model}      {"seed":N} or {"dims":[n,c,h,w],"data":[...]}
+//	GET    /v1/stats
+//	GET    /healthz
+//
+// -selftest starts the server on a loopback port, drives a scripted
+// multi-tenant exercise over real HTTP (register, concurrent bit-exact
+// inference for two tenants, a forced weight-eviction storm, drain,
+// unregister, budget-back-to-baseline), and exits 0/1. `make check`
+// runs it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/nn"
+	"ndirect/internal/serve"
+	"ndirect/internal/tensor"
+)
+
+// shapeSpec is the JSON form of a conv layer shape (batch is taken
+// from the inference input).
+type shapeSpec struct {
+	C      int `json:"c"`
+	H      int `json:"h"`
+	W      int `json:"w"`
+	K      int `json:"k"`
+	R      int `json:"r"`
+	S      int `json:"s"`
+	Stride int `json:"stride"`
+	Pad    int `json:"pad"`
+}
+
+func (sp shapeSpec) shape() conv.Shape {
+	return conv.Shape{N: 1, C: sp.C, H: sp.H, W: sp.W, K: sp.K, R: sp.R, S: sp.S, Str: sp.Stride, Pad: sp.Pad}
+}
+
+// defaultShape is the spec used when a register request omits one.
+var defaultShape = shapeSpec{C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, Stride: 1, Pad: 1}
+
+type modelSpec struct {
+	Seed  uint64     `json:"seed"`
+	ReLU  bool       `json:"relu"`
+	Shape *shapeSpec `json:"shape,omitempty"`
+}
+
+type inferRequest struct {
+	Seed *uint64   `json:"seed,omitempty"`
+	Dims []int     `json:"dims,omitempty"`
+	Data []float32 `json:"data,omitempty"`
+}
+
+type inferResponse struct {
+	Dims []int     `json:"dims"`
+	Data []float32 `json:"data"`
+}
+
+type tenantSpec struct {
+	Class          string `json:"class"`
+	MaxOutstanding int    `json:"max_outstanding"`
+}
+
+// fillInts fills t with integers in [-3, 3] from a deterministic
+// stream, the same generator the soak harness uses: integer tensors
+// make every execution mode (packed, unpacked, reference) bit-exact,
+// so clients can verify responses against a local oracle.
+func fillInts(t *tensor.Tensor, seed uint64) {
+	x := seed*2654435761 + 12345
+	for i := range t.Data {
+		x = x*6364136223846793005 + 1442695040888963407
+		t.Data[i] = float32(int64(x>>33)%7 - 3)
+	}
+}
+
+// buildNet constructs the integer-weight network a modelSpec names.
+// Registration and selftest oracles share this, so the bits agree.
+func buildNet(name string, sp modelSpec) (*nn.Network, conv.Shape) {
+	ss := defaultShape
+	if sp.Shape != nil {
+		ss = *sp.Shape
+	}
+	s := ss.shape()
+	w := s.NewFilter()
+	fillInts(w, sp.Seed)
+	return &nn.Network{Name: name, Layers: []nn.Layer{
+		&nn.ConvUnit{LayerName: "conv1", Shape: s, Weights: w, ReLU: sp.ReLU},
+	}}, s
+}
+
+func parseClass(s string) (serve.QoSClass, error) {
+	switch strings.ToLower(s) {
+	case "batch":
+		return serve.ClassBatch, nil
+	case "standard", "":
+		return serve.ClassStandard, nil
+	case "premium":
+		return serve.ClassPremium, nil
+	}
+	return 0, fmt.Errorf("unknown QoS class %q (want batch|standard|premium)", s)
+}
+
+// server owns the registry and remembers each model's input shape so
+// seed-only inference requests can synthesise their input.
+type server struct {
+	reg *serve.Registry
+
+	mu     sync.Mutex
+	shapes map[string]conv.Shape // tenant\x00model → input shape
+}
+
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrModelExists):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrBadOptions), errors.Is(err, conv.ErrBadShape):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), httpStatus(err))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
+	var spec tenantSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad tenant spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	class, err := parseClass(spec.Class)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.reg.SetTenant(r.PathValue("tenant"), serve.TenantConfig{
+		Class:          class,
+		MaxOutstanding: spec.MaxOutstanding,
+	})
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	tenant, model := r.PathValue("tenant"), r.PathValue("model")
+	var spec modelSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil && err != io.EOF {
+		http.Error(w, "bad model spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	net, shape := buildNet(tenant+"/"+model, spec)
+	if err := s.reg.Register(tenant, model, net); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.shapes[tenant+"\x00"+model] = shape
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	tenant, model := r.PathValue("tenant"), r.PathValue("model")
+	if err := s.reg.Unregister(tenant, model); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.shapes, tenant+"\x00"+model)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	tenant, model := r.PathValue("tenant"), r.PathValue("model")
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		http.Error(w, "bad infer request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var x *tensor.Tensor
+	switch {
+	case req.Seed != nil:
+		s.mu.Lock()
+		shape, ok := s.shapes[tenant+"\x00"+model]
+		s.mu.Unlock()
+		if !ok {
+			writeErr(w, fmt.Errorf("%w: %s/%s", serve.ErrUnknownModel, tenant, model))
+			return
+		}
+		x = shape.NewInput()
+		fillInts(x, *req.Seed)
+	case len(req.Dims) == 4 && len(req.Data) > 0:
+		n := req.Dims[0] * req.Dims[1] * req.Dims[2] * req.Dims[3]
+		if n != len(req.Data) {
+			http.Error(w, fmt.Sprintf("dims %v need %d elements, got %d", req.Dims, n, len(req.Data)), http.StatusBadRequest)
+			return
+		}
+		x = tensor.New(req.Dims...)
+		copy(x.Data, req.Data)
+	default:
+		http.Error(w, `infer request needs "seed" or "dims"+"data"`, http.StatusBadRequest)
+		return
+	}
+
+	out, err := s.reg.Infer(r.Context(), tenant, model, x)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, inferResponse{Dims: out.Dims, Data: out.Data})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.reg.Stats())
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handlePutTenant)
+	mux.HandleFunc("POST /v1/models/{tenant}/{model}", s.handleRegister)
+	mux.HandleFunc("DELETE /v1/models/{tenant}/{model}", s.handleUnregister)
+	mux.HandleFunc("POST /v1/infer/{tenant}/{model}", s.handleInfer)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	threads := flag.Int("threads", 2, "worker threads per convolution")
+	inFlight := flag.Int("inflight", 8, "admission in-flight limit")
+	queue := flag.Int("queue", 16, "admission queue length (class-graduated)")
+	memKB := flag.Int64("mem-kb", 0, "activation memory budget in KiB (0 = unlimited)")
+	weightKB := flag.Int64("weight-kb", 0, "packed-weight residency budget in KiB (0 = unlimited)")
+	quarThreshold := flag.Int("quar-threshold", 3, "consecutive faults before a model is quarantined")
+	quarCooldown := flag.Duration("quar-cooldown", 30*time.Second, "quarantine cooldown before a probe")
+	selftest := flag.Bool("selftest", false, "run the scripted multi-tenant exercise against a loopback server and exit")
+	flag.Parse()
+
+	rt := serve.New(serve.Config{
+		MaxInFlight:   *inFlight,
+		MaxQueue:      *queue,
+		MemLimitBytes: *memKB << 10,
+		Options:       core.Options{Threads: *threads},
+	})
+	s := &server{
+		reg: serve.NewRegistry(serve.RegistryConfig{
+			Runtime:             rt,
+			MaxInFlight:         *inFlight,
+			MaxQueue:            *queue,
+			WeightLimitBytes:    *weightKB << 10,
+			QuarantineThreshold: *quarThreshold,
+			QuarantineCooldown:  *quarCooldown,
+		}),
+		shapes: map[string]conv.Shape{},
+	}
+
+	if *selftest {
+		if err := runSelftest(s); err != nil {
+			fmt.Fprintln(os.Stderr, "ndserve selftest: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ndserve selftest: OK")
+		return
+	}
+
+	fmt.Printf("ndserve: listening on %s (%d in-flight, queue %d, weight budget %d KiB)\n",
+		*addr, *inFlight, *queue, *weightKB)
+	srv := &http.Server{Addr: *addr, Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ndserve:", err)
+		os.Exit(1)
+	}
+}
+
+// runSelftest exercises the full multi-tenant lifecycle over real HTTP
+// against an in-process loopback server: tenant QoS setup, model
+// registration for two tenants, concurrent bit-exact inference, a
+// forced weight-eviction storm (bit-exact re-packs under traffic),
+// drain, unregister, and the weight budget back to its zero baseline.
+func runSelftest(s *server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.mux()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+
+	do := func(method, path string, body any, wantStatus int, out any) error {
+		var rd io.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				return err
+			}
+			rd = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			msg, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, wantStatus, strings.TrimSpace(string(msg)))
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+
+	// Tenants: alice premium, bob batch (bob sheds first under load).
+	if err := do("PUT", "/v1/tenants/alice", tenantSpec{Class: "premium", MaxOutstanding: 8}, http.StatusNoContent, nil); err != nil {
+		return err
+	}
+	if err := do("PUT", "/v1/tenants/bob", tenantSpec{Class: "batch", MaxOutstanding: 8}, http.StatusNoContent, nil); err != nil {
+		return err
+	}
+
+	// Register one model per tenant and compute local bit-exact oracles
+	// (same deterministic builder the server uses).
+	specs := map[string]modelSpec{"alice": {Seed: 11, ReLU: true}, "bob": {Seed: 22, ReLU: true}}
+	oracles := map[string]*tensor.Tensor{}
+	const inputSeed = 99
+	for tn, spec := range specs {
+		if err := do("POST", "/v1/models/"+tn+"/m", spec, http.StatusCreated, nil); err != nil {
+			return err
+		}
+		net, shape := buildNet(tn+"/m", spec)
+		x := shape.NewInput()
+		fillInts(x, inputSeed)
+		want, err := net.TryForward(&nn.Engine{Algo: nn.AlgoNDirect, Threads: 1}, x)
+		if err != nil {
+			return fmt.Errorf("oracle forward: %w", err)
+		}
+		oracles[tn] = want
+	}
+	// Duplicate registration is a typed conflict.
+	if err := do("POST", "/v1/models/alice/m", specs["alice"], http.StatusConflict, nil); err != nil {
+		return err
+	}
+
+	seed := uint64(inputSeed)
+	inferOnce := func(tn string) error {
+		var got inferResponse
+		if err := do("POST", "/v1/infer/"+tn+"/m", inferRequest{Seed: &seed}, http.StatusOK, &got); err != nil {
+			return err
+		}
+		want := oracles[tn]
+		if len(got.Data) != len(want.Data) {
+			return fmt.Errorf("tenant %s: got %d elements, want %d", tn, len(got.Data), len(want.Data))
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				return fmt.Errorf("tenant %s: output differs at element %d: %g != %g", tn, i, got.Data[i], want.Data[i])
+			}
+		}
+		return nil
+	}
+
+	// Concurrent multi-tenant traffic, every response bit-exact.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for _, tn := range []string{"alice", "bob"} {
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(tn string) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					if err := inferOnce(tn); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(tn)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	// Forced weight-eviction storm: every request drops the model's
+	// packed residency and re-packs — responses must stay bit-exact.
+	faultinject.ArmN(faultinject.WeightEvict, -1, -1)
+	for i := 0; i < 5; i++ {
+		if err := inferOnce("alice"); err != nil {
+			faultinject.Reset()
+			return fmt.Errorf("under eviction storm: %w", err)
+		}
+	}
+	faultinject.Reset()
+
+	var st serve.RegistryStats
+	if err := do("GET", "/v1/stats", nil, http.StatusOK, &st); err != nil {
+		return err
+	}
+	if st.ForcedEvictions < 5 {
+		return fmt.Errorf("forced evictions = %d, want >= 5", st.ForcedEvictions)
+	}
+	if st.WeightInUse <= 0 {
+		return fmt.Errorf("no packed weights resident after traffic (WeightInUse=%d)", st.WeightInUse)
+	}
+
+	// Unregister everything: the weight budget returns to baseline, and
+	// the models are gone (404).
+	for _, tn := range []string{"alice", "bob"} {
+		if err := do("DELETE", "/v1/models/"+tn+"/m", nil, http.StatusNoContent, nil); err != nil {
+			return err
+		}
+	}
+	if err := do("POST", "/v1/infer/alice/m", inferRequest{Seed: &seed}, http.StatusNotFound, nil); err != nil {
+		return err
+	}
+	if err := do("GET", "/v1/stats", nil, http.StatusOK, &st); err != nil {
+		return err
+	}
+	if st.WeightInUse != 0 {
+		return fmt.Errorf("weight budget %d after unregistering everything, want 0", st.WeightInUse)
+	}
+	if st.Models != 0 || st.Gate.InFlight != 0 {
+		return fmt.Errorf("registry not drained: models=%d inflight=%d", st.Models, st.Gate.InFlight)
+	}
+	return nil
+}

@@ -82,6 +82,8 @@ func main() {
 	storm := flag.Bool("storm", false, "arm every fault injection point on a random schedule")
 	seed := flag.Int64("seed", 1, "storm/traffic random seed")
 	verbose := flag.Bool("v", false, "log every violation as it happens")
+	tenants := flag.Int("tenants", 0, "run the multi-tenant registry soak with this many tenants (0 = classic single-runtime soak)")
+	weightKB := flag.Int64("weight-kb", 0, "packed-weight residency budget in KiB for -tenants mode (0 = unlimited); lower it so serving thrashes the weight LRU")
 	flag.Parse()
 
 	rt := serve.New(serve.Config{
@@ -100,6 +102,10 @@ func main() {
 			BreakerCooldown:  2 * time.Second,
 		},
 	})
+
+	if *tenants > 0 {
+		os.Exit(runTenantSoak(rt, *tenants, *weightKB, *duration, *clients, *inFlight, *seed, *storm, *verbose))
+	}
 
 	works, baseline, net, netIn, netWant := buildTraffic(rt)
 	// Post-setup goroutine baseline: serve.New has already warmed the

@@ -1,0 +1,313 @@
+package main
+
+// The multi-tenant soak (-tenants N): drives concurrent inference for
+// N tenants through one serve.Registry — shared plan cache, worker
+// pool, activation budget and weight-residency budget — while the
+// storm arms every fault point including forced weight eviction, and
+// one tenant's model is register/unregister-churned mid-traffic. On
+// top of the classic soak's survival invariants it asserts:
+//
+//  6. No cross-tenant corruption: every successful response is
+//     bit-identical to ITS OWN tenant's oracle. A response matching
+//     nothing, or another tenant's oracle, is a violation.
+//  7. The weight budget returns to its zero baseline after the drain
+//     unregisters every model — forced evictions, re-packs and churn
+//     must balance their charges exactly.
+//  8. Forced mid-traffic eviction is harmless: with weight-evict
+//     armed, requests transparently re-pack bit-identically (covered
+//     by invariant 6 holding while ForcedEvictions grows).
+//  9. QoS shed ordering is monotone: if a class ever saw a queue-full
+//     rejection, every lower class did too — batch absorbs overload
+//     strictly before standard, standard strictly before premium.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/nn"
+	"ndirect/internal/parallel"
+	"ndirect/internal/serve"
+	"ndirect/internal/tensor"
+)
+
+// tenantWork is one tenant's pre-validated traffic: its model handle
+// and the bit-exact oracle for the shared input.
+type tenantWork struct {
+	tenant string
+	class  serve.QoSClass
+	net    *nn.Network
+	in     *tensor.Tensor
+	want   *tensor.Tensor
+}
+
+// buildTenants registers nTenants one-model tenants (classes assigned
+// round-robin batch/standard/premium) and precomputes each oracle with
+// a clean single-threaded engine. The nets include a pooling layer, so
+// storm worker-panics surface as typed faults and exercise the
+// per-model quarantine rung.
+func buildTenants(reg *serve.Registry, nTenants int) []*tenantWork {
+	s := conv.Shape{N: 1, C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	var works []*tenantWork
+	for i := 0; i < nTenants; i++ {
+		w := s.NewFilter()
+		fillInts(w, uint64(1000+2*i))
+		tw := &tenantWork{
+			tenant: fmt.Sprintf("t%d", i),
+			class:  serve.QoSClass(i % serve.NumQoSClasses),
+			net: &nn.Network{Name: fmt.Sprintf("m%d", i), Layers: []nn.Layer{
+				&nn.ConvUnit{LayerName: "conv1", Shape: s, Weights: w, ReLU: true},
+				&nn.MaxPool{K: 2, Str: 2},
+			}},
+			in: s.NewInput(),
+		}
+		fillInts(tw.in, uint64(1001+2*i))
+		want, err := tw.net.TryForward(&nn.Engine{Algo: nn.AlgoNDirect, Threads: 1}, tw.in)
+		if err != nil {
+			fmt.Printf("ndsoak: setup: oracle forward for %s: %v\n", tw.tenant, err)
+			os.Exit(2)
+		}
+		tw.want = want
+		reg.SetTenant(tw.tenant, serve.TenantConfig{Class: tw.class, MaxOutstanding: 0})
+		if err := reg.Register(tw.tenant, "m", tw.net); err != nil {
+			fmt.Printf("ndsoak: setup: register %s: %v\n", tw.tenant, err)
+			os.Exit(2)
+		}
+		works = append(works, tw)
+	}
+	return works
+}
+
+// runTenantSoak is the -tenants entry point; returns the exit status.
+func runTenantSoak(rt *serve.Runtime, nTenants int, weightKB int64, duration time.Duration,
+	clients, inFlight int, seed int64, storm, verbose bool) int {
+
+	reg := serve.NewRegistry(serve.RegistryConfig{
+		Runtime:             rt,
+		MaxInFlight:         inFlight,
+		MaxQueue:            2 * inFlight,
+		WeightLimitBytes:    weightKB << 10,
+		QuarantineThreshold: 5,
+		QuarantineCooldown:  2 * time.Second,
+	})
+	works := buildTenants(reg, nTenants)
+	memBase := rt.Budget().InUse()
+	gBase := runtime.NumGoroutine()
+	fmt.Printf("ndsoak: %d tenants, %d clients, %v, weight budget %d KiB, baseline %d B / %d goroutines, storm=%v\n",
+		nTenants, clients, duration, weightKB, memBase, gBase, storm)
+
+	var (
+		requests   atomic.Uint64
+		okRuns     atomic.Uint64
+		typedErrs  atomic.Uint64
+		violations atomic.Uint64
+	)
+	violate := func(format string, args ...any) {
+		violations.Add(1)
+		if verbose || violations.Load() <= 20 {
+			fmt.Printf("VIOLATION: "+format+"\n", args...)
+		}
+	}
+
+	trafficCtx, stopTraffic := context.WithTimeout(context.Background(), duration)
+	defer stopTraffic()
+
+	// The storm: the classic points plus forced weight eviction, so
+	// residency is ripped out from under in-flight packed traffic.
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		if !storm {
+			<-trafficCtx.Done()
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		points := []string{
+			faultinject.WorkerPanic,
+			faultinject.ScheduleCorrupt,
+			faultinject.NaNPoison,
+			faultinject.WorkerStall,
+			faultinject.PackedCorrupt,
+			faultinject.WeightEvict,
+		}
+		lastReset := time.Now()
+		for trafficCtx.Err() == nil {
+			for n := 1 + rng.Intn(2); n > 0; n-- {
+				p := points[rng.Intn(len(points))]
+				arg := -1
+				if p == faultinject.NaNPoison || p == faultinject.PackedCorrupt {
+					arg = rng.Intn(1 << 16)
+				}
+				faultinject.ArmN(p, arg, 1+rng.Intn(3))
+			}
+			time.Sleep(time.Duration(100+rng.Intn(100)) * time.Millisecond)
+			if time.Since(lastReset) > 800*time.Millisecond {
+				faultinject.Reset()
+				lastReset = time.Now()
+			}
+		}
+	}()
+
+	// Register/unregister churn: the last tenant's model flaps while
+	// its traffic is in flight — requests must finish bit-exact or fail
+	// typed (ErrUnknownModel while unregistered), never touch freed
+	// weights, and never strand budget.
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		churned := works[len(works)-1]
+		for trafficCtx.Err() == nil {
+			time.Sleep(50 * time.Millisecond)
+			if err := reg.Unregister(churned.tenant, "m"); err != nil {
+				violate("churn unregister: %v", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+			if err := reg.Register(churned.tenant, "m", churned.net); err != nil {
+				violate("churn re-register: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 2000 + int64(c)))
+			for trafficCtx.Err() == nil {
+				requests.Add(1)
+				tw := works[rng.Intn(len(works))]
+				deadline := time.Duration(5+rng.Intn(95)) * time.Millisecond
+				ctx, cancel := context.WithTimeout(trafficCtx, deadline)
+				out, err := reg.Infer(ctx, tw.tenant, "m", tw.in)
+				cancel()
+				if err != nil {
+					if !typedError(err) && !errors.Is(err, serve.ErrUnknownModel) {
+						violate("untyped error for %s: %v", tw.tenant, err)
+					} else {
+						typedErrs.Add(1)
+					}
+					continue
+				}
+				// Invariant 6: the response is bit-identical to THIS
+				// tenant's oracle — anything else is corruption.
+				if d := tensor.MaxAbsDiff(tw.want, out); d != 0 {
+					violate("tenant %s: output differs from its oracle by %g (cross-tenant corruption?)", tw.tenant, d)
+					continue
+				}
+				okRuns.Add(1)
+			}
+		}(c)
+	}
+
+	go func() {
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-trafficCtx.Done():
+				return
+			case <-tick.C:
+				st := reg.Stats()
+				fmt.Printf("ndsoak: %d requests (%d ok, %d typed errors, %d violations); weights %d B (%d evictions, %d forced); quarantined=%d refInfers=%d; shed full=%v\n",
+					requests.Load(), okRuns.Load(), typedErrs.Load(), violations.Load(),
+					st.WeightInUse, st.Evictions, st.ForcedEvictions, st.QuarantinedNow, st.ReferenceInfers, st.Gate.ShedFull)
+			}
+		}
+	}()
+
+	// Drain (as in the classic soak: keep releasing stalls).
+	<-trafficCtx.Done()
+	<-stormDone
+	<-churnDone
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	grace := time.After(20 * time.Second)
+drain:
+	for {
+		faultinject.Reset()
+		select {
+		case <-drained:
+			break drain
+		case <-grace:
+			fmt.Println("ndsoak: DEADLOCK — clients failed to drain within the grace period")
+			return 2
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	faultinject.Reset()
+
+	// Invariant 7: unregister everything; the weight budget must be
+	// back to its zero baseline (the churned tenant may already be
+	// mid-flap, so tolerate an already-gone model there).
+	for _, tw := range works {
+		if err := reg.Unregister(tw.tenant, "m"); err != nil && !errors.Is(err, serve.ErrUnknownModel) {
+			violate("teardown unregister %s: %v", tw.tenant, err)
+		}
+	}
+	if inUse := reg.WeightBudget().InUse(); inUse != 0 {
+		violate("weight budget did not return to baseline: %d B in use, want 0", inUse)
+	}
+
+	// Invariant 2: the abandoned-worker account drains to zero.
+	leakDeadline := time.Now().Add(15 * time.Second)
+	for parallel.LeakedWorkers() != 0 {
+		if time.Now().After(leakDeadline) {
+			violate("LeakedWorkers stuck at %d after the storm", parallel.LeakedWorkers())
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Invariant 5: goroutines settle back to the post-setup baseline.
+	gDeadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > gBase {
+		if time.Now().After(gDeadline) {
+			violate("goroutine count did not settle: %d live, want <= %d", runtime.NumGoroutine(), gBase)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := reg.Stats()
+	// Invariant 3: activation accounting back to its baseline too.
+	if st.Runtime.MemInUse != memBase {
+		violate("activation accounting did not return to baseline: %d B in use, want %d B", st.Runtime.MemInUse, memBase)
+	}
+	if st.Gate.InFlight != 0 || st.Gate.Queued != 0 {
+		violate("tenant gate not drained: %+v", st.Gate)
+	}
+	if st.Models != 0 {
+		violate("%d models still registered after teardown", st.Models)
+	}
+	// Invariant 9: queue-full shedding is monotone in class — a higher
+	// class shedding implies every lower class shed too.
+	for c := 0; c < serve.NumQoSClasses-1; c++ {
+		if st.Gate.ShedFull[c+1] > 0 && st.Gate.ShedFull[c] == 0 {
+			violate("shed ordering inverted: class %d shed %d times but class %d never did",
+				c+1, st.Gate.ShedFull[c+1], c)
+		}
+	}
+
+	fmt.Printf("ndsoak: done: %d requests, %d ok, %d typed errors, %d violations\n",
+		requests.Load(), okRuns.Load(), typedErrs.Load(), violations.Load())
+	fmt.Printf("ndsoak: tenant gate %+v\n", st.Gate)
+	fmt.Printf("ndsoak: weights: peak %d B, %d evictions (%d filters, %d B), %d forced, %d pack denials\n",
+		st.WeightPeak, st.Evictions, st.EvictedFilters, st.EvictedBytes, st.ForcedEvictions, st.ResidencyDenied)
+	fmt.Printf("ndsoak: quarantine: %d trips, %d reference infers, %d restores\n",
+		st.Quarantines, st.ReferenceInfers, st.Restores)
+	if violations.Load() > 0 {
+		return 1
+	}
+	return 0
+}

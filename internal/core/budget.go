@@ -46,6 +46,16 @@ func (p *Plan) OutputBytes() int64 {
 // time (the packed copy lives as long as the layer).
 func (pf *PackedFilter) Bytes() int64 { return 4 * int64(len(pf.data)) }
 
+// PackedBytes returns the size of the PackedFilter TransformFilter
+// would build for this plan (⌈K/Vk⌉·C·R·S·Vk floats) — the admission
+// quote a weight-residency budget checks before the packed copy is
+// allocated, so a denied charge costs nothing.
+func (p *Plan) PackedBytes() int64 {
+	s := p.Shape
+	kBlocks := (s.K + p.RT.Vk - 1) / p.RT.Vk
+	return 4 * int64(kBlocks) * int64(s.C) * int64(s.R) * int64(s.S) * int64(p.RT.Vk)
+}
+
 // TryExecuteReferenceCtx computes the plan's convolution with the
 // naive seven-loop algorithm directly into out — no worker grid, no
 // scratch buffers, no fresh output publication — replaying the plan's

@@ -30,6 +30,13 @@ var (
 	// are cheap by construction (no goroutines spawned, no buffers
 	// allocated) so callers can shed load and retry elsewhere.
 	ErrOverloaded = errors.New("core: overloaded")
+	// ErrWeightsReleased reports an attempt to execute with a
+	// PackedFilter that a residency manager has evicted (Release).
+	// The weights themselves are gone only from the accounting — the
+	// buffer is immutable until garbage-collected — so the error is a
+	// staleness signal: drop the handle and re-pack from the KCRS
+	// source, which reproduces the packed bytes bit-identically.
+	ErrWeightsReleased = errors.New("core: packed weights released")
 )
 
 // maxThreads bounds Options.Threads so the thread-mapping solver's

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ndirect/internal/conv"
 	"ndirect/internal/tensor"
@@ -67,10 +68,21 @@ func tfIndex(kb, cv, rr, ss, r, s, tc, vk int) int {
 // KCRS tensor so the fault-tolerant reference fallback (and operand
 // validation) still have the framework-layout weights; the source must
 // not be mutated while the PackedFilter is in use.
+//
+// A packed filter can be retired by Release: a residency manager (the
+// multi-tenant weight budget in internal/serve) that evicts a model's
+// packed weights flips the released flag, after which every new
+// execution attempt fails typed with ErrWeightsReleased and the owner
+// is expected to drop its reference and re-pack on next use.
+// Executions that validated before the flip keep reading the buffer —
+// it is immutable and garbage-collected, never recycled — so an
+// eviction racing in-flight traffic can produce a stale-but-correct
+// result or a typed error, but never a read of reused memory.
 type PackedFilter struct {
 	k, c, r, s, vk int
 	src            *tensor.Tensor // original KCRS weights (fallback path)
 	data           []float32      // [⌈K/Vk⌉][C][R][S][Vk], zero lanes past K
+	released       atomic.Bool    // set by Release; checked by validateFor
 }
 
 // TransformFilter pre-transforms the KCRS filter for this plan's
@@ -115,12 +127,31 @@ func (pf *PackedFilter) Source() *tensor.Tensor { return pf.src }
 // (⌈K/Vk⌉·C·R·S·Vk floats).
 func (pf *PackedFilter) Len() int { return len(pf.data) }
 
+// Release retires the packed filter: subsequent executions fail typed
+// with ErrWeightsReleased until the owner re-packs. It reports whether
+// this call performed the release (false when already released), which
+// gives residency accountants exactly-once charge-return semantics
+// even when eviction, replacement and unregistration race. The buffer
+// itself is left to the garbage collector once every holder drops its
+// reference — in-flight executions that validated before the flip
+// finish on valid memory.
+func (pf *PackedFilter) Release() bool {
+	return !pf.released.Swap(true)
+}
+
+// Released reports whether the packed filter has been retired.
+func (pf *PackedFilter) Released() bool { return pf.released.Load() }
+
 // validateFor checks the packed filter against the plan, wrapping
 // ErrBadOptions on mismatch (the packed geometry is an execution
 // configuration, not an operand).
 func (pf *PackedFilter) validateFor(p *Plan) error {
 	if pf == nil {
 		return fmt.Errorf("%w: nil PackedFilter", ErrBadOptions)
+	}
+	if pf.Released() {
+		return fmt.Errorf("%w: packed filter K%d C%d R%d S%d was evicted; re-pack before executing",
+			ErrWeightsReleased, pf.k, pf.c, pf.r, pf.s)
 	}
 	if !pf.CompatibleWith(p) {
 		s := p.Shape

@@ -54,6 +54,14 @@ const (
 	// corruption is applied to a run-private copy, so the shared
 	// PackedFilter itself is never damaged.
 	PackedCorrupt = "packed-corrupt"
+	// WeightEvict forces the serving registry to evict a model's
+	// resident packed weights in the middle of traffic (the consuming
+	// hook sits at the top of Registry.Infer/Conv2D, before the request
+	// executes). The next execution re-packs from the KCRS source —
+	// bit-identically by construction — so an armed storm of evictions
+	// must be invisible in the outputs while the weight-budget
+	// accounting churns charge/release pairs under it.
+	WeightEvict = "weight-evict"
 )
 
 // knownPoints is the registry parse validates against: arming a name
@@ -64,6 +72,7 @@ var knownPoints = map[string]bool{
 	NaNPoison:       true,
 	WorkerStall:     true,
 	PackedCorrupt:   true,
+	WeightEvict:     true,
 }
 
 type point struct {

@@ -178,7 +178,7 @@ func TestKnownPointsSortedAndComplete(t *testing.T) {
 	if !sort.StringsAreSorted(got) {
 		t.Fatalf("KnownPoints not sorted: %v", got)
 	}
-	want := map[string]bool{WorkerPanic: true, ScheduleCorrupt: true, NaNPoison: true, WorkerStall: true, PackedCorrupt: true}
+	want := map[string]bool{WorkerPanic: true, ScheduleCorrupt: true, NaNPoison: true, WorkerStall: true, PackedCorrupt: true, WeightEvict: true}
 	if len(got) != len(want) {
 		t.Fatalf("KnownPoints = %v, want the %d registered names", got, len(want))
 	}

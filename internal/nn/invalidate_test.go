@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ndirect/internal/core"
+	"ndirect/internal/tensor"
+)
+
+// TestInvalidateReuseRebuildsBitExact: the per-unit plan memo and
+// packed-weight slots must not survive InvalidateReuse (the unregister
+// / eviction entry point) — the next forward re-plans and re-packs,
+// and the output stays bit-identical. The regression this pins down:
+// before the generation counter, a memo entry cached across an
+// invalidation could short-circuit planFor and execute a released
+// PackedFilter whose budget charge was already returned.
+func TestInvalidateReuseRebuildsBitExact(t *testing.T) {
+	net := reuseNet()
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(17)
+	eng := &Engine{Algo: AlgoNDirect, Threads: 2, Reuse: true}
+
+	var retained, dropped atomic.Int64
+	var pfs sync.Map // *core.PackedFilter → true while retained
+	eng.OnPackRetain = func(pf *core.PackedFilter) {
+		retained.Add(1)
+		pfs.Store(pf, true)
+	}
+	eng.OnPackDrop = func(pf *core.PackedFilter) {
+		dropped.Add(1)
+		pfs.Delete(pf)
+		pf.Release()
+	}
+
+	want, err := net.TryForward(eng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := retained.Load()
+	if warm == 0 {
+		t.Fatal("warmup retained no packed filters — the hook wiring is dead")
+	}
+
+	net.InvalidateReuse(eng)
+	if got := dropped.Load(); got != warm {
+		t.Fatalf("InvalidateReuse dropped %d of %d retained filters", got, warm)
+	}
+	pfs.Range(func(k, _ any) bool {
+		t.Fatalf("packed filter %p still tracked after InvalidateReuse", k)
+		return false
+	})
+
+	// The rebuild must go through packedFor again (retain count grows)
+	// and reproduce the output bit-identically.
+	got, err := net.TryForward(eng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("post-invalidation forward differs by %g (want bit-identical)", d)
+	}
+	if retained.Load() != 2*warm {
+		t.Fatalf("rebuild retained %d filters, want %d (a stale memo or slot survived invalidation)",
+			retained.Load()-warm, warm)
+	}
+}
+
+// TestEvictedPackedFilterRepacksMidTraffic: releasing a unit's packed
+// filter out from under it (what the registry's LRU eviction does —
+// no InvalidateReuse, just the atomic flag flip) must make the next
+// forward detect the stale slot, drop it through OnPackDrop, re-pack,
+// and still produce bit-identical output.
+func TestEvictedPackedFilterRepacksMidTraffic(t *testing.T) {
+	b := builderForTest()
+	net := &Network{Name: "evict", Layers: []Layer{
+		b.convUnit("c1", 3, 8, 16, 3, 1, 1, true, true),
+		GlobalAvgPool{},
+	}}
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(23)
+	eng := &Engine{Algo: AlgoNDirect, Threads: 2, Reuse: true}
+
+	var live []*core.PackedFilter
+	var mu sync.Mutex
+	var drops atomic.Int64
+	eng.OnPackRetain = func(pf *core.PackedFilter) {
+		mu.Lock()
+		live = append(live, pf)
+		mu.Unlock()
+	}
+	eng.OnPackDrop = func(pf *core.PackedFilter) { drops.Add(1) }
+
+	want, err := net.TryForward(eng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(live) == 0 {
+		mu.Unlock()
+		t.Fatal("no packed filter retained")
+	}
+	for _, pf := range live {
+		if !pf.Release() {
+			t.Fatal("Release must report the flip on a live filter")
+		}
+	}
+	mu.Unlock()
+
+	got, err := net.TryForward(eng, x)
+	if err != nil {
+		t.Fatalf("forward after eviction: %v", err)
+	}
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("post-eviction forward differs by %g (want bit-identical)", d)
+	}
+	if drops.Load() == 0 {
+		t.Fatal("stale released slot was never dropped through OnPackDrop")
+	}
+}
+
+// TestPackAdmitDeniedRunsUnpacked: an OnPackAdmit that refuses every
+// charge (weight budget exhausted) must leave the unit fully servable
+// on the on-the-fly transform — bit-identical output, nothing retained.
+func TestPackAdmitDeniedRunsUnpacked(t *testing.T) {
+	net := reuseNet()
+	x := tensor.New(1, 3, 16, 16)
+	x.FillRandom(29)
+	want := net.Forward(&Engine{Algo: AlgoNDirect, Threads: 2}, x)
+
+	eng := &Engine{Algo: AlgoNDirect, Threads: 2, Reuse: true}
+	var asked, retained atomic.Int64
+	eng.OnPackAdmit = func(bytes int64) bool {
+		if bytes <= 0 {
+			t.Errorf("OnPackAdmit asked for non-positive charge %d", bytes)
+		}
+		asked.Add(1)
+		return false
+	}
+	eng.OnPackRetain = func(*core.PackedFilter) { retained.Add(1) }
+
+	for iter := 0; iter < 2; iter++ {
+		got, err := net.TryForward(eng, x)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("iter %d: denied-residency forward differs by %g (want bit-identical)", iter, d)
+		}
+	}
+	if asked.Load() == 0 {
+		t.Fatal("OnPackAdmit never consulted")
+	}
+	if retained.Load() != 0 {
+		t.Fatalf("%d filters retained despite denied admission", retained.Load())
+	}
+}
+
+// TestForceReferenceBitExactAndIsolated: the quarantine engine must
+// produce bit-identical results for integer-valued tensors in both the
+// plain and fused configurations, without touching packed weights.
+// BN parameters are normalised to exact identity (ε=0) so the fused
+// fold keeps the weights integer-valued — the property that makes all
+// execution strategies (optimised, packed, reference) agree bit-for-bit.
+func TestForceReferenceBitExactAndIsolated(t *testing.T) {
+	for _, fuse := range []bool{false, true} {
+		net := reuseNet()
+		x := tensor.New(1, 3, 16, 16)
+		fillInts := func(dst *tensor.Tensor, seed int64) {
+			r := newIntFiller(seed)
+			for i := range dst.Data {
+				dst.Data[i] = r()
+			}
+		}
+		fillInts(x, 31)
+		for _, u := range net.ConvUnits() {
+			fillInts(u.Weights, int64(len(u.LayerName)))
+			if u.BN != nil {
+				u.BN.Eps = 0 // Gamma=1, Var=1 → fold scale exactly 1
+			}
+		}
+		var fixDSC func(ls []Layer)
+		fixDSC = func(ls []Layer) {
+			for _, l := range ls {
+				if d, ok := l.(*DepthwiseSeparable); ok {
+					fillInts(d.DWFilter, 37)
+					d.DWBN.Eps = 0
+				}
+			}
+		}
+		fixDSC(net.Layers)
+
+		plans := core.NewPlanCache(0)
+		want, err := net.TryForward(&Engine{Algo: AlgoNDirect, Threads: 2, Fuse: fuse, Reuse: true, Plans: plans}, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var retained atomic.Int64
+		ref := &Engine{Algo: AlgoNDirect, Threads: 2, Fuse: fuse, Reuse: true, Plans: plans, ForceReference: true}
+		ref.OnPackRetain = func(*core.PackedFilter) { retained.Add(1) }
+		got, err := net.TryForward(ref, x)
+		if err != nil {
+			t.Fatalf("fuse=%v: quarantined forward: %v", fuse, err)
+		}
+		if d := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("fuse=%v: reference route differs by %g (want bit-identical on integer tensors)", fuse, d)
+		}
+		if retained.Load() != 0 {
+			t.Fatalf("fuse=%v: quarantined engine retained %d packed filters (must not touch packed weights)", fuse, retained.Load())
+		}
+	}
+}
+
+// newIntFiller returns a deterministic stream of small integer-valued
+// float32s (exactly representable), so every execution strategy —
+// optimised, packed, reference — produces bit-identical results.
+func newIntFiller(seed int64) func() float32 {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	return func() float32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float32(int64(state>>33)%7 - 3)
+	}
+}

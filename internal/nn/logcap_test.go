@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"ndirect/internal/core"
+)
+
+// TestLogLimitedKeyCapBounded: the rate-limiter's key map must stay
+// bounded under many-key traffic (the multi-tenant shape explosion),
+// and suppressed counts from evicted keys must fold into a later
+// emission's trailer rather than vanish.
+func TestLogLimitedKeyCapBounded(t *testing.T) {
+	old := core.Logf
+	var mu sync.Mutex
+	var lines []string
+	core.Logf = func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	t.Cleanup(func() { core.Logf = old })
+
+	eng := &Engine{LogKeyCap: 8}
+	// First touch of each key emits; a second immediate touch is
+	// suppressed (pending count 1 on that key).
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		eng.logLimited(key, "line %d", i)
+		eng.logLimited(key, "line %d", i)
+	}
+	eng.logMu.Lock()
+	size, lruLen := len(eng.logSeen), eng.logLRU.Len()
+	pending := eng.logCarry
+	for el := eng.logLRU.Front(); el != nil; el = el.Next() {
+		pending += el.Value.(*logEntry).suppressed
+	}
+	eng.logMu.Unlock()
+	if size > 8 || lruLen > 8 {
+		t.Fatalf("key map grew past the cap: map=%d lru=%d (cap 8)", size, lruLen)
+	}
+	if size != lruLen {
+		t.Fatalf("map (%d) and LRU (%d) out of sync", size, lruLen)
+	}
+	// Lossless accounting: 100 suppressed touches must all be either
+	// already folded into an emitted trailer (an eviction's carry is
+	// drained by the very insertion that caused it, which emits the new
+	// key's first line) or still pending on a live entry / the carry.
+	emitted := 0
+	mu.Lock()
+	for _, l := range lines {
+		var n int
+		if i := strings.Index(l, " similar lines suppressed]"); i >= 0 {
+			if _, err := fmt.Sscanf(l[strings.LastIndex(l[:i], "[")+1:], "%d", &n); err != nil {
+				t.Fatalf("unparseable trailer in %q", l)
+			}
+		}
+		emitted += n
+	}
+	mu.Unlock()
+	if emitted+pending != 100 {
+		t.Fatalf("suppression counts leaked: %d emitted + %d pending != 100", emitted, pending)
+	}
+	if emitted == 0 {
+		t.Fatal("no evicted suppression ever surfaced in a trailer")
+	}
+
+	// Negative cap disables the bound (pre-cap behaviour).
+	unbounded := &Engine{LogKeyCap: -1}
+	for i := 0; i < 100; i++ {
+		unbounded.logLimited(fmt.Sprintf("key-%d", i), "line %d", i)
+	}
+	unbounded.logMu.Lock()
+	if n := len(unbounded.logSeen); n != 100 {
+		unbounded.logMu.Unlock()
+		t.Fatalf("negative cap must be unbounded: kept %d of 100 keys", n)
+	}
+	unbounded.logMu.Unlock()
+
+	// Zero selects the default cap.
+	if (&Engine{}).logKeyCap() != DefaultLogKeyCap {
+		t.Fatal("zero LogKeyCap must select DefaultLogKeyCap")
+	}
+}
+
+// TestLogLimitedRecencyRetainsActiveKey: touching a key (even when
+// suppressed) refreshes its recency, so a hot key under steady
+// suppression is not the one evicted when cold keys churn past it.
+func TestLogLimitedRecencyRetainsActiveKey(t *testing.T) {
+	old := core.Logf
+	core.Logf = func(string, ...any) {}
+	t.Cleanup(func() { core.Logf = old })
+
+	eng := &Engine{LogKeyCap: 4}
+	eng.logLimited("hot", "hot")
+	for i := 0; i < 20; i++ {
+		eng.logLimited("hot", "hot") // suppressed touch refreshes recency
+		eng.logLimited(fmt.Sprintf("cold-%d", i), "cold")
+	}
+	eng.logMu.Lock()
+	_, ok := eng.logSeen["hot"]
+	eng.logMu.Unlock()
+	if !ok {
+		t.Fatal("hot key evicted despite constant touches")
+	}
+}

@@ -18,7 +18,9 @@
 package nn
 
 import (
+	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -116,6 +118,35 @@ type Engine struct {
 	// summary (DefaultLogInterval when zero; negative disables
 	// suppression and logs every call).
 	LogInterval time.Duration
+	// LogKeyCap bounds the rate-limiter's per-(site, backend, shape)
+	// key map: many-tenant, many-shape traffic mints keys without
+	// limit, so past the cap the least recently touched key is dropped
+	// (its pending suppressed count folds into the next emission's
+	// trailer). 0 selects DefaultLogKeyCap; negative disables the
+	// bound (the pre-cap behaviour).
+	LogKeyCap int
+	// ForceReference routes every convolution straight to the plan's
+	// naive reference path — no optimised kernels, no worker grid, no
+	// packed weights — while keeping results bit-identical for exactly
+	// representable inputs (float64 accumulation in conv.Reference
+	// order). It is the quarantine rung of the multi-tenant registry:
+	// a model whose traffic keeps faulting is degraded to this engine
+	// so its failures stop touching the shared fast-path machinery,
+	// without changing what a healthy request would have computed.
+	ForceReference bool
+	// OnPackAdmit, OnPackRetain and OnPackDrop are the weight-residency
+	// hooks of the serving registry (all optional; nil-hook engines
+	// behave exactly as before). Reuse-mode units consult OnPackAdmit
+	// with the packed size before building a persistent packed filter —
+	// false denies residency and the unit runs that call with the
+	// on-the-fly transform instead (bit-identical, nothing retained).
+	// OnPackRetain fires after a unit retains a packed filter,
+	// OnPackDrop when a retained filter is dropped or replaced. All
+	// three are called under the owning unit's pack lock, so a
+	// residency manager observes retain/drop pairs in order.
+	OnPackAdmit  func(bytes int64) bool
+	OnPackRetain func(pf *core.PackedFilter)
+	OnPackDrop   func(pf *core.PackedFilter)
 
 	planOnce  sync.Once
 	planCache *core.PlanCache
@@ -123,7 +154,9 @@ type Engine struct {
 
 	breakers [numAlgos]breaker
 	logMu    sync.Mutex
-	logSeen  map[string]*logEntry
+	logSeen  map[string]*list.Element // key → LRU element (*logEntry)
+	logLRU   *list.List               // most recently touched key at front
+	logCarry int                      // suppressed counts from evicted keys
 }
 
 // plans returns the plan cache the engine's conv calls share: the
@@ -339,6 +372,14 @@ type ConvUnit struct {
 	// at steady state, and a miss just falls through to the cache.
 	planMemo atomic.Pointer[planMemoEntry]
 
+	// reuseGen versions the unit's reuse state (plan memo + packed
+	// filters). InvalidateReuse bumps it when the model is unregistered
+	// or its packed weights are evicted, so a memo entry stamped with
+	// an older generation can never short-circuit the re-resolution
+	// that rebuilds the packed filter — the guard against executing a
+	// stale PackedFilter whose backing charge was already released.
+	reuseGen atomic.Uint64
+
 	packMu       sync.Mutex
 	packedRaw    *core.PackedFilter // pre-transformed Weights (Engine.Reuse)
 	packedFolded *core.PackedFilter // pre-transformed BN-folded weights
@@ -349,6 +390,7 @@ type planMemoEntry struct {
 	s       conv.Shape
 	threads int
 	fe      *core.EpilogueParams
+	gen     uint64
 	plan    *core.Plan
 }
 
@@ -413,23 +455,78 @@ func (c *ConvUnit) fusedEpilogue() *core.EpilogueParams {
 // of w — the raw or the BN-folded weights — building it on first use
 // and caching it next to the fold. A plan with a different V_k
 // blocking (say, after an engine re-targets platforms) just rebuilds
-// the packed copy; the check is CompatibleWith plus source identity.
-func (c *ConvUnit) packedFor(p *core.Plan, w *tensor.Tensor) (*core.PackedFilter, error) {
+// the packed copy; the check is CompatibleWith plus source identity
+// plus liveness — a residency manager that evicted the cached filter
+// (PackedFilter.Release) makes the slot stale exactly like a V_k
+// change, and the rebuild re-packs bit-identically from the KCRS
+// source. With the engine's residency hooks set, a rebuild first asks
+// OnPackAdmit for the packed bytes; a denied charge returns (nil, nil)
+// and the caller runs that call with the on-the-fly transform instead,
+// so a full weight budget degrades throughput, never correctness.
+func (c *ConvUnit) packedFor(eng *Engine, p *core.Plan, w *tensor.Tensor) (*core.PackedFilter, error) {
 	c.packMu.Lock()
 	defer c.packMu.Unlock()
 	slot := &c.packedRaw
 	if w != c.Weights {
 		slot = &c.packedFolded
 	}
-	if pf := *slot; pf != nil && pf.Source() == w && pf.CompatibleWith(p) {
-		return pf, nil
+	if pf := *slot; pf != nil {
+		if pf.Source() == w && pf.CompatibleWith(p) && !pf.Released() {
+			return pf, nil
+		}
+		*slot = nil
+		if eng.OnPackDrop != nil {
+			eng.OnPackDrop(pf)
+		}
+	}
+	if eng.OnPackAdmit != nil && !eng.OnPackAdmit(p.PackedBytes()) {
+		return nil, nil
 	}
 	pf, err := p.TransformFilter(w)
 	if err != nil {
 		return nil, err
 	}
 	*slot = pf
+	if eng.OnPackRetain != nil {
+		eng.OnPackRetain(pf)
+	}
 	return pf, nil
+}
+
+// invalidateReuse retires the unit's reuse state: packed filters are
+// released (dropped through the engine's residency hooks so their
+// charges return), the plan memo is cleared, and the generation is
+// bumped so any concurrently running planFor cannot re-publish a
+// pre-invalidation memo entry. Safe against concurrent forwards: an
+// execution that already fetched the old packed filter finishes on its
+// immutable buffer; the next fetch observes the released flag (or the
+// cleared slot) and rebuilds.
+func (c *ConvUnit) invalidateReuse(eng *Engine) {
+	c.packMu.Lock()
+	defer c.packMu.Unlock()
+	c.reuseGen.Add(1)
+	c.planMemo.Store(nil)
+	for _, slot := range []**core.PackedFilter{&c.packedRaw, &c.packedFolded} {
+		if pf := *slot; pf != nil {
+			*slot = nil
+			if eng != nil && eng.OnPackDrop != nil {
+				eng.OnPackDrop(pf)
+			} else {
+				pf.Release()
+			}
+		}
+	}
+}
+
+// InvalidateReuse retires every conv unit's reuse state (packed
+// filters, plan memos) against eng's residency hooks — the unregister
+// / eviction entry point of the serving registry. The network remains
+// fully servable afterwards: the next forward re-plans and re-packs,
+// bit-identically.
+func (n *Network) InvalidateReuse(eng *Engine) {
+	for _, u := range n.ConvUnits() {
+		u.invalidateReuse(eng)
+	}
 }
 
 // Forward applies the unit with the engine's backend and fusion
@@ -484,6 +581,11 @@ func (c *ConvUnit) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, er
 }
 
 func (c *ConvUnit) tryConvPlain(eng *Engine, s conv.Shape, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if eng.ForceReference {
+		// Quarantine: skip the backends entirely — tryNDirect routes to
+		// the reference path under ForceReference.
+		return c.tryNDirect(eng, s, x, c.Weights, core.Options{Threads: eng.Threads})
+	}
 	switch eng.Algo {
 	case AlgoAnsor:
 		if !eng.backendAllowed(AlgoAnsor, s) {
@@ -552,6 +654,9 @@ func (c *ConvUnit) tryBaseline(eng *Engine, s conv.Shape, x, w *tensor.Tensor) (
 // on, the plan comes from the cache, the weights from the unit's
 // pre-transformed copy, and the output from the buffer pool.
 func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, opt core.Options) (*tensor.Tensor, error) {
+	if eng.ForceReference {
+		return c.tryReference(eng, s, x, w, opt)
+	}
 	opt.PlanCache = eng.plans()
 	if !eng.Reuse {
 		ctx, cancel := eng.convCtx()
@@ -571,29 +676,105 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 	if err != nil {
 		return nil, err
 	}
-	pf, err := c.packedFor(plan, w)
+	pf, err := c.packedFor(eng, plan, w)
 	if err != nil {
 		return nil, err
 	}
 	out := eng.newTensor(s.N, s.K, s.P(), s.Q())
 	ctx, cancel := eng.convCtx()
 	defer cancel()
+	if pf == nil {
+		// Residency denied (weight budget full): run this call with the
+		// on-the-fly filter transform — bit-identical to the packed path,
+		// nothing retained — instead of failing or thrashing the budget.
+		return c.runUnpacked(eng, s, plan, ctx, x, w, out)
+	}
 	if ctx.Done() == nil {
-		if err := plan.TryExecutePacked(x, pf, out); err != nil {
+		err = plan.TryExecutePacked(x, pf, out)
+		if errors.Is(err, core.ErrWeightsReleased) {
+			// Evicted between fetch and execute: this call runs with the
+			// on-the-fly transform; the next fetch rebuilds the packed
+			// copy (bit-identically) under the fresh budget charge.
+			return c.runUnpacked(eng, s, plan, ctx, x, w, out)
+		}
+		if err != nil {
 			eng.release(out)
 			return nil, err
 		}
 		return out, nil
 	}
 	if err := plan.TryExecutePackedCtx(ctx, x, pf, out); err != nil {
+		if errors.Is(err, core.ErrWeightsReleased) {
+			return c.runUnpacked(eng, s, plan, ctx, x, w, out)
+		}
 		eng.logLimited("budget|ndirect|"+shapeKey(s), "nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
 		// Abandoned workers may still write into out: leak it (never
 		// back to the pool) and recompute into a fresh tensor.
 		out = eng.newTensor(s.N, s.K, s.P(), s.Q())
 		if err := plan.TryExecutePacked(x, pf, out); err != nil {
+			if errors.Is(err, core.ErrWeightsReleased) {
+				return c.runUnpacked(eng, s, plan, ctx, x, w, out)
+			}
 			eng.release(out)
 			return nil, err
 		}
+	}
+	return out, nil
+}
+
+// runUnpacked executes plan with the on-the-fly filter transform into
+// out — the Reuse path's escape hatch when a persistent packed filter
+// is unavailable (residency denied, or evicted between fetch and
+// execute). Results are bit-identical to the packed path; only the
+// per-call transform cost differs.
+func (c *ConvUnit) runUnpacked(eng *Engine, s conv.Shape, plan *core.Plan, ctx context.Context, x, w *tensor.Tensor, out *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx.Done() == nil {
+		if err := plan.TryExecute(x, w, out); err != nil {
+			eng.release(out)
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := plan.TryExecuteCtx(ctx, x, w, out); err != nil {
+		eng.logLimited("budget|ndirect|"+shapeKey(s), "nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
+		out = eng.newTensor(s.N, s.K, s.P(), s.Q())
+		if err := plan.TryExecute(x, w, out); err != nil {
+			eng.release(out)
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// tryReference runs the convolution on the plan's naive reference path
+// — the quarantine rung (Engine.ForceReference). Single-threaded, no
+// worker grid, no packed weights: a misbehaving model routed here
+// cannot fault the shared fast-path machinery, and for exactly
+// representable inputs the float64-accumulated reference is
+// bit-identical to what the optimised path would have produced. The
+// plan is resolved only for its shape/epilogue bookkeeping (the cache
+// is consulted when available so quarantine does not re-solve the
+// tiling models per call, but the per-unit memo is bypassed to avoid
+// thrashing it against the healthy route's entry).
+func (c *ConvUnit) tryReference(eng *Engine, s conv.Shape, x, w *tensor.Tensor, opt core.Options) (*tensor.Tensor, error) {
+	opt.Threads = 1
+	var plan *core.Plan
+	var err error
+	if cache := eng.plans(); cache != nil {
+		opt.PlanCache = cache
+		plan, err = cache.Get(s, opt)
+	} else {
+		plan, err = core.TryNewPlan(s, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := eng.newTensor(s.N, s.K, s.P(), s.Q())
+	ctx, cancel := eng.convCtx()
+	defer cancel()
+	if err := plan.TryExecuteReferenceCtx(ctx, x, w, out); err != nil {
+		eng.release(out)
+		return nil, err
 	}
 	return out, nil
 }
@@ -607,10 +788,16 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 // plans are immutable after construction; any other option mix skips
 // the memo and pays the cache lookup.
 func (c *ConvUnit) planFor(s conv.Shape, opt core.Options) (*core.Plan, error) {
+	// The generation is read before the memo: an invalidation that lands
+	// between the two bumps the generation first, so a memo entry built
+	// from pre-invalidation state is stamped stale and can never satisfy
+	// a post-invalidation load — the ordering that makes eviction /
+	// unregister safe against concurrent forwards.
+	gen := c.reuseGen.Load()
 	memoable := opt.FusedEpilogue != nil && opt.FusedEpilogue == c.ep &&
 		opt.Epilogue == core.EpilogueNone && opt.Bias == nil
 	if memoable {
-		if m := c.planMemo.Load(); m != nil && m.s == s && m.threads == opt.Threads && m.fe == opt.FusedEpilogue {
+		if m := c.planMemo.Load(); m != nil && m.gen == gen && m.s == s && m.threads == opt.Threads && m.fe == opt.FusedEpilogue {
 			return m.plan, nil
 		}
 	}
@@ -619,7 +806,7 @@ func (c *ConvUnit) planFor(s conv.Shape, opt core.Options) (*core.Plan, error) {
 		return nil, err
 	}
 	if memoable {
-		c.planMemo.Store(&planMemoEntry{s: s, threads: opt.Threads, fe: opt.FusedEpilogue, plan: plan})
+		c.planMemo.Store(&planMemoEntry{s: s, threads: opt.Threads, fe: opt.FusedEpilogue, gen: gen, plan: plan})
 	}
 	return plan, nil
 }
@@ -638,6 +825,11 @@ func (c *ConvUnit) tryConvFused(eng *Engine, s conv.Shape, x *tensor.Tensor, w *
 			ep = core.EpilogueBiasReLU
 		}
 		return c.tryNDirect(eng, s, x, w, core.Options{Threads: eng.Threads, Epilogue: ep, Bias: b})
+	}
+	if eng.ForceReference {
+		// Quarantine: the fused fallback routes through tryNDirect, which
+		// runs the reference path (replaying the fused epilogue).
+		return fusedFallback()
 	}
 	switch eng.Algo {
 	case AlgoNDirect:

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ndirect/internal/core"
+)
+
+// waitQueued polls until the gate reports want queued waiters (the
+// only nondeterminism in these tests is goroutine startup).
+func waitQueued(t *testing.T, g *TenantGate, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Queued != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", want, g.Stats().Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTenantGateShedOrdering: the graduated queue shares must shed the
+// lowest class strictly first — at every occupancy, a class rejecting
+// implies every lower class also rejects, and premium only rejects
+// when the whole queue is full.
+func TestTenantGateShedOrdering(t *testing.T) {
+	g := NewTenantGate(1, 6) // shares: batch 2, standard 4, premium 6
+	hold, err := g.Acquire(context.Background(), "holder", ClassStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	park := func(n int, class QoSClass) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rel, err := g.Acquire(context.Background(), "filler", class, 0)
+				if err != nil {
+					t.Errorf("filler acquire: %v", err)
+					return
+				}
+				rel() // chain the slot to the next waiter
+			}()
+		}
+	}
+
+	park(2, ClassPremium)
+	waitQueued(t, g, 2)
+	// Occupancy 2 = batch's whole share: batch sheds, standard does not.
+	if _, err := g.Acquire(context.Background(), "t", ClassBatch, 0); !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("batch at occupancy 2: want ErrOverloaded, got %v", err)
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(expired, "t", ClassStandard, 0); !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("standard should queue (then expire late), got %v", err)
+	}
+	st := g.Stats()
+	if st.ShedFull[ClassBatch] != 1 || st.ShedFull[ClassStandard] != 0 {
+		t.Fatalf("shed-full counters: batch=%d standard=%d, want 1/0", st.ShedFull[ClassBatch], st.ShedFull[ClassStandard])
+	}
+	if st.ShedLate[ClassStandard] != 1 {
+		t.Fatalf("standard expiry must count shed-late, got %d", st.ShedLate[ClassStandard])
+	}
+
+	park(2, ClassPremium)
+	waitQueued(t, g, 4)
+	// Occupancy 4 = standard's share: standard sheds, premium does not.
+	if _, err := g.Acquire(context.Background(), "t", ClassStandard, 0); !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("standard at occupancy 4: want ErrOverloaded, got %v", err)
+	}
+	park(2, ClassPremium)
+	waitQueued(t, g, 6)
+	// Queue full: even premium sheds — and by construction every lower
+	// class was already shedding at this occupancy.
+	if _, err := g.Acquire(context.Background(), "t", ClassPremium, 0); !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("premium at full queue: want ErrOverloaded, got %v", err)
+	}
+	st = g.Stats()
+	for c := 0; c < NumQoSClasses-1; c++ {
+		if st.ShedFull[c+1] > 0 && st.ShedFull[c] == 0 {
+			t.Fatalf("class %d shed before class %d", c+1, c)
+		}
+	}
+
+	hold() // drain: the chain releases every parked filler
+	wg.Wait()
+	st = g.Stats()
+	if st.InFlight != 0 || st.Queued != 0 || st.Tenants != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+}
+
+// TestTenantGateWRRInterleave: freed slots must be granted in the
+// smooth-WRR order — with one batch, two standard and four premium
+// waiters queued, the grant sequence is exactly
+// premium, standard, premium, batch, premium, standard, premium.
+func TestTenantGateWRRInterleave(t *testing.T) {
+	g := NewTenantGate(1, 100)
+	hold, err := g.Acquire(context.Background(), "holder", ClassStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []QoSClass
+	var wg sync.WaitGroup
+	enqueue := func(class QoSClass) {
+		wg.Add(1)
+		ready := g.Stats().Queued + 1
+		go func() {
+			defer wg.Done()
+			rel, err := g.Acquire(context.Background(), "t", class, 0)
+			if err != nil {
+				t.Errorf("acquire %v: %v", class, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, class)
+			mu.Unlock()
+			rel()
+		}()
+		waitQueued(t, g, ready)
+	}
+	enqueue(ClassBatch)
+	enqueue(ClassStandard)
+	enqueue(ClassStandard)
+	for i := 0; i < 4; i++ {
+		enqueue(ClassPremium)
+	}
+
+	hold()
+	wg.Wait()
+	want := []QoSClass{ClassPremium, ClassStandard, ClassPremium, ClassBatch, ClassPremium, ClassStandard, ClassPremium}
+	if len(order) != len(want) {
+		t.Fatalf("granted %d waiters, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTenantGatePerTenantCap: a tenant at its outstanding cap is
+// rejected typed while other tenants keep being admitted, and the cap
+// frees as the tenant's requests finish.
+func TestTenantGatePerTenantCap(t *testing.T) {
+	g := NewTenantGate(4, 4)
+	r1, err := g.Acquire(context.Background(), "a", ClassStandard, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background(), "a", ClassStandard, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background(), "a", ClassPremium, 2); !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("tenant a past cap: want ErrOverloaded, got %v", err)
+	}
+	if _, err := g.Acquire(context.Background(), "b", ClassStandard, 2); err != nil {
+		t.Fatalf("tenant b must be unaffected by a's cap: %v", err)
+	}
+	if g.Outstanding("a") != 2 || g.Outstanding("b") != 1 {
+		t.Fatalf("outstanding a=%d b=%d, want 2/1", g.Outstanding("a"), g.Outstanding("b"))
+	}
+	r1()
+	if _, err := g.Acquire(context.Background(), "a", ClassStandard, 2); err != nil {
+		t.Fatalf("tenant a after release: %v", err)
+	}
+	if g.Stats().TenantCapRejs != 1 {
+		t.Fatalf("cap rejections = %d, want 1", g.Stats().TenantCapRejs)
+	}
+}
+
+// TestTenantGateDeadlineWhileQueued: a queued request whose context
+// expires leaves the queue immediately with a typed rejection carrying
+// the context's cause, and its bookkeeping (queue slot, tenant
+// outstanding) is fully undone.
+func TestTenantGateDeadlineWhileQueued(t *testing.T) {
+	g := NewTenantGate(1, 4)
+	hold, err := g.Acquire(context.Background(), "holder", ClassStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = g.Acquire(ctx, "late", ClassPremium, 0)
+	if !errors.Is(err, core.ErrOverloaded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ErrOverloaded wrapping DeadlineExceeded, got %v", err)
+	}
+	st := g.Stats()
+	if st.Queued != 0 || g.Outstanding("late") != 0 {
+		t.Fatalf("late waiter left residue: queued=%d outstanding=%d", st.Queued, g.Outstanding("late"))
+	}
+	if st.ShedLate[ClassPremium] != 1 {
+		t.Fatalf("shed-late = %d, want 1", st.ShedLate[ClassPremium])
+	}
+	hold()
+	if g.Stats().InFlight != 0 {
+		t.Fatal("slot not retired")
+	}
+}

@@ -18,4 +18,7 @@ go test -race ./...
 echo "==> fuzz smoke: FuzzTryConv2D (10s)"
 go test -run='^$' -fuzz=FuzzTryConv2D -fuzztime=10s ./internal/core
 
+echo "==> ndserve selftest (multi-tenant HTTP lifecycle)"
+go run ./cmd/ndserve -selftest
+
 echo "OK: all checks passed"
