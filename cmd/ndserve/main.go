@@ -275,13 +275,24 @@ func main() {
 	weightKB := flag.Int64("weight-kb", 0, "packed-weight residency budget in KiB (0 = unlimited)")
 	quarThreshold := flag.Int("quar-threshold", 3, "consecutive faults before a model is quarantined")
 	quarCooldown := flag.Duration("quar-cooldown", 30*time.Second, "quarantine cooldown before a probe")
+	batchWindow := flag.Duration("batch-window", 0, "cross-request micro-batching window (0 = batching disabled); compatible concurrent requests coalesce into one execution")
+	batchMax := flag.Int("batch-max", serve.DefaultBatchMax, "max images per coalesced batch (effective with -batch-window > 0)")
 	selftest := flag.Bool("selftest", false, "run the scripted multi-tenant exercise against a loopback server and exit")
 	flag.Parse()
 
+	if *selftest && *batchWindow == 0 {
+		// The selftest's coalescing burst asserts that concurrent
+		// inference rides the micro-batcher, so batching is always on
+		// under -selftest.
+		*batchWindow = 25 * time.Millisecond
+		*batchMax = 4
+	}
 	rt := serve.New(serve.Config{
 		MaxInFlight:   *inFlight,
 		MaxQueue:      *queue,
 		MemLimitBytes: *memKB << 10,
+		BatchWindow:   *batchWindow,
+		BatchMax:      *batchMax,
 		Options:       core.Options{Threads: *threads},
 	})
 	s := &server{
@@ -305,8 +316,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("ndserve: listening on %s (%d in-flight, queue %d, weight budget %d KiB)\n",
-		*addr, *inFlight, *queue, *weightKB)
+	fmt.Printf("ndserve: listening on %s (%d in-flight, queue %d, weight budget %d KiB, batch window %v)\n",
+		*addr, *inFlight, *queue, *weightKB, *batchWindow)
 	srv := &http.Server{Addr: *addr, Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "ndserve:", err)
@@ -450,6 +461,43 @@ func runSelftest(s *server) error {
 	}
 	if st.WeightInUse <= 0 {
 		return fmt.Errorf("no packed weights resident after traffic (WeightInUse=%d)", st.WeightInUse)
+	}
+
+	// Coalescing burst: a volley of concurrent same-geometry inferences
+	// must ride the micro-batcher (always enabled under -selftest) into
+	// shared stacked forward passes — counted in the runtime stats —
+	// while every response stays bit-exact against the solo oracle.
+	// Lift alice's outstanding cap first: parked waiters count as
+	// outstanding, so the burst would otherwise trip the tenant cap
+	// instead of the batcher.
+	if err := do("PUT", "/v1/tenants/alice", tenantSpec{Class: "premium", MaxOutstanding: 32}, http.StatusNoContent, nil); err != nil {
+		return err
+	}
+	pre := s.reg.Stats().Runtime
+	var bwg sync.WaitGroup
+	burstErr := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		bwg.Add(1)
+		go func() {
+			defer bwg.Done()
+			if err := inferOnce("alice"); err != nil {
+				burstErr <- err
+			}
+		}()
+	}
+	bwg.Wait()
+	select {
+	case err := <-burstErr:
+		return fmt.Errorf("coalescing burst: %w", err)
+	default:
+	}
+	post := s.reg.Stats().Runtime
+	if post.BatchesExecuted == pre.BatchesExecuted {
+		return fmt.Errorf("infer burst never coalesced (BatchesExecuted stuck at %d)", post.BatchesExecuted)
+	}
+	if post.BatchedRequests < pre.BatchedRequests+2 {
+		return fmt.Errorf("BatchedRequests %d -> %d over a 16-way burst, want at least +2",
+			pre.BatchedRequests, post.BatchedRequests)
 	}
 
 	// Unregister everything: the weight budget returns to baseline, and

@@ -233,7 +233,7 @@ func (p *Plan) execChecked(ctx context.Context, in, filter *tensor.Tensor, pf *P
 			}
 		}
 	}
-	err := p.run(ctx, in.Data, filter.Data, pre, out.Data, nchw, accumulate)
+	err := p.run(ctx, in.Data, filter.Data, pre, out.Data, nil, nil, nchw, accumulate)
 	if err == nil && injecting {
 		if idx, ok := faultinject.Take(faultinject.NaNPoison); ok && len(out.Data) > 0 {
 			if idx < 0 || idx >= len(out.Data) {
@@ -427,6 +427,14 @@ type planRun struct {
 	out              []float32
 	nchw, accumulate bool
 
+	// Batched execution (TryExecuteBatch*): per-image operand slices,
+	// one entry per image of the plan's batch dimension. When non-nil
+	// the workers read image n from imgIn[n] and scatter its rows
+	// directly into imgOut[n] (a caller-owned per-request buffer)
+	// instead of indexing the contiguous in/out arrays — the zero-copy
+	// scatter of the serving micro-batcher.
+	imgIn, imgOut [][]float32
+
 	fs    parallel.FaultSink
 	g     parallel.Group
 	tasks []*runTask
@@ -463,7 +471,7 @@ func (p *Plan) newRun() *planRun {
 					t.body = func() {
 						faultinject.Fire(faultinject.WorkerPanic, t.w)
 						faultinject.Stall(faultinject.WorkerStall, t.w)
-						p.worker(r.in, r.filter, r.pre, r.out, r.nchw, r.accumulate,
+						p.worker(r.in, r.filter, r.pre, r.out, r.imgIn, r.imgOut, r.nchw, r.accumulate,
 							t.kLo, t.kHi, t.nr, t.hr, t.wr, t.ws, &r.fs)
 					}
 					t.fn = func() { r.fs.Record(parallel.Protect(t.body)) }
@@ -518,6 +526,7 @@ func (p *Plan) releaseRun(r *planRun) {
 		p.statsMu.Unlock()
 	}
 	r.in, r.filter, r.pre, r.out = nil, nil, nil, nil
+	r.imgIn, r.imgOut = nil, nil
 	p.runMu.Lock()
 	if len(p.runFree) < maxFreeRuns {
 		p.runFree = append(p.runFree, r)
@@ -547,13 +556,14 @@ func (p *Plan) releaseRun(r *planRun) {
 // holds the whole-filter pre-transformed weights
 // ([⌈K/Vk⌉][C][R][S][Vk]); workers then skip the per-tile transform
 // entirely.
-func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, nchw, accumulate bool) error {
+func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, imgIn, imgOut [][]float32, nchw, accumulate bool) error {
 	r := p.getRun()
 	if len(r.tasks) == 0 {
 		p.releaseRun(r)
 		return nil
 	}
 	r.in, r.filter, r.pre, r.out = in, filter, pre, out
+	r.imgIn, r.imgOut = imgIn, imgOut
 	r.nchw, r.accumulate = nchw, accumulate
 	r.fs.Reset()
 	r.seq = p.runSeq.Add(1)
@@ -607,7 +617,15 @@ func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, nchw, ac
 // ct is byte-for-byte the slab transformFilter would have produced.
 // The fault sink's stop flag is polled at tile granularity so
 // surviving workers cancel promptly after a sibling faults.
-func (p *Plan) worker(in, filter, pre, out []float32, nchw, accumulate bool,
+//
+// Batched scatter (imgIn/imgOut non-nil): image n's operands come from
+// the per-image slice tables instead of offsets into in/out, with the
+// batch index collapsed to zero — every pack and store below then
+// addresses a single-image tensor, so a coalesced batch reads each
+// caller's input and writes each caller's output buffer directly (no
+// gather or scatter copies). Only the L1 loop changes; tile order,
+// accumulation order and hence bit patterns are untouched.
+func (p *Plan) worker(in, filter, pre, out []float32, imgIn, imgOut [][]float32, nchw, accumulate bool,
 	kLo, kHi int, nr, hr, wr parallel.Range, ws *workerScratch, fs *parallel.FaultSink) {
 	s := p.Shape
 	vw, vk := p.RT.Vw, p.RT.Vk
@@ -643,6 +661,10 @@ func (p *Plan) worker(in, filter, pre, out []float32, nchw, accumulate bool,
 			kvBlocks := (tkEff + vk - 1) / vk
 
 			for n := nr.Lo; n < nr.Hi; n++ { // L1 (worker slice)
+				inD, outD, nEff := in, out, n
+				if imgIn != nil {
+					inD, outD, nEff = imgIn[n], imgOut[n], 0
+				}
 				for ht := hr.Lo; ht < hr.Hi; ht += th { // L2
 					hEnd := ht + th
 					if hEnd > hr.Hi {
@@ -672,9 +694,9 @@ func (p *Plan) worker(in, filter, pre, out []float32, nchw, accumulate bool,
 										if p.opts.SequentialPack {
 											t0 = now(ws)
 											if nchw {
-												packNCHW(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+												packNCHW(inD, ws.buf, g, nEff, s.C, s.H, s.W, ct, tcEff, s.R)
 											} else {
-												packNHWC(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+												packNHWC(inD, ws.buf, g, nEff, s.C, s.H, s.W, ct, tcEff, s.R)
 											}
 											addTime(ws, &ws.stats.PackSec, t0)
 											t0 = now(ws)
@@ -682,8 +704,8 @@ func (p *Plan) worker(in, filter, pre, out []float32, nchw, accumulate bool,
 											addTime(ws, &ws.stats.KernelSec, t0)
 										} else {
 											t0 = now(ws)
-											packCompute12x8(&acc, in, ws.buf, tfBlock, g,
-												n, s.C, s.H, s.W, ct, tcEff, s.R, s.S, s.Str, vwEff, nchw)
+											packCompute12x8(&acc, inD, ws.buf, tfBlock, g,
+												nEff, s.C, s.H, s.W, ct, tcEff, s.R, s.S, s.Str, vwEff, nchw)
 											addTime(ws, &ws.stats.KernelSec, t0)
 										}
 									} else {
@@ -692,16 +714,16 @@ func (p *Plan) worker(in, filter, pre, out []float32, nchw, accumulate bool,
 										addTime(ws, &ws.stats.KernelSec, t0)
 									}
 									t0 = now(ws)
-									p.store(acc[:], out, nchw, n, kt+kb*vk, kHi, oh, qt0, vwEff, firstC, lastC)
+									p.store(acc[:], outD, nchw, nEff, kt+kb*vk, kHi, oh, qt0, vwEff, firstC, lastC)
 									addTime(ws, &ws.stats.StoreSec, t0)
 								} else {
 									clear(ws.accG)
 									if kb == 0 {
 										t0 = now(ws)
 										if nchw {
-											packNCHW(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+											packNCHW(inD, ws.buf, g, nEff, s.C, s.H, s.W, ct, tcEff, s.R)
 										} else {
-											packNHWC(in, ws.buf, g, n, s.C, s.H, s.W, ct, tcEff, s.R)
+											packNHWC(inD, ws.buf, g, nEff, s.C, s.H, s.W, ct, tcEff, s.R)
 										}
 										addTime(ws, &ws.stats.PackSec, t0)
 									}
@@ -709,7 +731,7 @@ func (p *Plan) worker(in, filter, pre, out []float32, nchw, accumulate bool,
 									kernelGeneric(ws.accG, ws.buf, tfBlock, tcEff, s.R, s.S, s.Str, vwEff, wIn, vk)
 									addTime(ws, &ws.stats.KernelSec, t0)
 									t0 = now(ws)
-									p.storeGeneric(ws.accG, out, nchw, n, kt+kb*vk, kHi, oh, qt0, vwEff, firstC, lastC)
+									p.storeGeneric(ws.accG, outD, nchw, nEff, kt+kb*vk, kHi, oh, qt0, vwEff, firstC, lastC)
 									addTime(ws, &ws.stats.StoreSec, t0)
 								}
 							}

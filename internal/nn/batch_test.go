@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"errors"
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/tensor"
+)
+
+func fillIntsB(t *tensor.Tensor, seed uint64) {
+	x := seed*2654435761 + 12345
+	for i := range t.Data {
+		x = x*6364136223846793005 + 1442695040888963407
+		t.Data[i] = float32(int64(x>>33)%7 - 3)
+	}
+}
+
+// batchNet is a conv→BN→ReLU→pool→FC pipeline with integer weights:
+// deep enough that the stacked pass crosses layers whose partitioning
+// differs (conv grid, elementwise sweeps, pooling, GEMM).
+func batchNet() *Network {
+	s := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	w := s.NewFilter()
+	fillIntsB(w, 21)
+	fc := &FC{LayerName: "fc", In: 8 * 4 * 4, Out: 10, W: tensor.New(10, 8*4*4), B: make([]float32, 10)}
+	fillIntsB(fc.W, 22)
+	return &Network{Name: "batchnet", Layers: []Layer{
+		&ConvUnit{LayerName: "c1", Shape: s, Weights: w, BN: identityBN(8), ReLU: true},
+		&MaxPool{K: 2, Str: 2},
+		fc,
+	}}
+}
+
+// A stacked batched forward must be bit-identical, request by request,
+// to solo forwards of the same inputs — including ragged per-request
+// batch dims — because no layer's per-image computation depends on N.
+func TestForwardBatchBitExactMatchesSolo(t *testing.T) {
+	net := batchNet()
+	eng := &Engine{Algo: AlgoNDirect, Threads: 2, Reuse: true}
+	perN := []int{1, 2, 1, 3}
+	var xs []*tensor.Tensor
+	var wants []*tensor.Tensor
+	for i, ni := range perN {
+		x := tensor.New(ni, 4, 8, 8)
+		fillIntsB(x, uint64(50+i))
+		want, err := net.TryForward(eng, x)
+		if err != nil {
+			t.Fatalf("solo forward %d: %v", i, err)
+		}
+		xs = append(xs, x)
+		wants = append(wants, want)
+	}
+	for round := 0; round < 2; round++ { // second round exercises warm plans/packs
+		outs, err := net.TryForwardBatch(eng, xs)
+		if err != nil {
+			t.Fatalf("batched forward: %v", err)
+		}
+		if len(outs) != len(xs) {
+			t.Fatalf("got %d outputs for %d requests", len(outs), len(xs))
+		}
+		for i := range outs {
+			if outs[i].Dims[0] != perN[i] {
+				t.Fatalf("request %d: output batch dim %d, want %d", i, outs[i].Dims[0], perN[i])
+			}
+			for j, v := range outs[i].Data {
+				if v != wants[i].Data[j] {
+					t.Fatalf("round %d request %d element %d: batched %v != solo %v", round, i, j, v, wants[i].Data[j])
+				}
+			}
+		}
+	}
+}
+
+// Degenerate batches fail typed before any execution; a single-request
+// batch is exactly TryForward.
+func TestForwardBatchValidation(t *testing.T) {
+	net := batchNet()
+	eng := &Engine{Algo: AlgoNDirect, Threads: 1, Reuse: true}
+	if _, err := net.TryForwardBatch(eng, nil); !errors.Is(err, core.ErrBadOptions) {
+		t.Fatalf("empty batch: got %v", err)
+	}
+	good := tensor.New(1, 4, 8, 8)
+	fillIntsB(good, 1)
+	bad := tensor.New(1, 2, 8, 8) // wrong channel count
+	if _, err := net.TryForwardBatch(eng, []*tensor.Tensor{good, bad}); !errors.Is(err, core.ErrBadOptions) {
+		t.Fatalf("mismatched member: got %v", err)
+	}
+	want, err := net.TryForward(eng, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := net.TryForwardBatch(eng, []*tensor.Tensor{good})
+	if err != nil || len(outs) != 1 {
+		t.Fatalf("single-request batch: %v (%d outs)", err, len(outs))
+	}
+	for j, v := range outs[0].Data {
+		if v != want.Data[j] {
+			t.Fatalf("single-request batch diverged at %d", j)
+		}
+	}
+}

@@ -365,12 +365,15 @@ type ConvUnit struct {
 	epOnce sync.Once
 	ep     *core.EpilogueParams // bias/BN/ReLU as a fused store epilogue; nil when the unit has none
 
-	// planMemo caches the last plan resolved for the fused-epilogue
+	// planMemos cache the last plan resolved for the fused-epilogue
 	// route, so the steady-state serving loop skips the plan-cache
 	// lookup (whose key serialises the epilogue vectors, allocating on
-	// every call). One entry suffices: a unit sees one (shape, threads)
-	// at steady state, and a miss just falls through to the cache.
-	planMemo atomic.Pointer[planMemoEntry]
+	// every call). Slotted by batch size (N mod 4): a serving unit at
+	// steady state sees solo (N=1) traffic interleaved with coalesced
+	// (N=k) batches, and a single entry would thrash between the two
+	// plans on every alternation. A miss just falls through to the
+	// cache.
+	planMemos [4]atomic.Pointer[planMemoEntry]
 
 	// reuseGen versions the unit's reuse state (plan memo + packed
 	// filters). InvalidateReuse bumps it when the model is unregistered
@@ -505,7 +508,9 @@ func (c *ConvUnit) invalidateReuse(eng *Engine) {
 	c.packMu.Lock()
 	defer c.packMu.Unlock()
 	c.reuseGen.Add(1)
-	c.planMemo.Store(nil)
+	for i := range c.planMemos {
+		c.planMemos[i].Store(nil)
+	}
 	for _, slot := range []**core.PackedFilter{&c.packedRaw, &c.packedFolded} {
 		if pf := *slot; pf != nil {
 			*slot = nil
@@ -796,8 +801,9 @@ func (c *ConvUnit) planFor(s conv.Shape, opt core.Options) (*core.Plan, error) {
 	gen := c.reuseGen.Load()
 	memoable := opt.FusedEpilogue != nil && opt.FusedEpilogue == c.ep &&
 		opt.Epilogue == core.EpilogueNone && opt.Bias == nil
+	slot := &c.planMemos[s.N&3]
 	if memoable {
-		if m := c.planMemo.Load(); m != nil && m.gen == gen && m.s == s && m.threads == opt.Threads && m.fe == opt.FusedEpilogue {
+		if m := slot.Load(); m != nil && m.gen == gen && m.s == s && m.threads == opt.Threads && m.fe == opt.FusedEpilogue {
 			return m.plan, nil
 		}
 	}
@@ -806,7 +812,7 @@ func (c *ConvUnit) planFor(s conv.Shape, opt core.Options) (*core.Plan, error) {
 		return nil, err
 	}
 	if memoable {
-		c.planMemo.Store(&planMemoEntry{s: s, threads: opt.Threads, fe: opt.FusedEpilogue, gen: gen, plan: plan})
+		slot.Store(&planMemoEntry{s: s, threads: opt.Threads, fe: opt.FusedEpilogue, gen: gen, plan: plan})
 	}
 	return plan, nil
 }

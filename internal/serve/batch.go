@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/tensor"
+)
+
+// Cross-request micro-batching (Config.BatchWindow > 0).
+//
+// The paper's thread grid parallelises over the batch axis (PT_n,
+// §6), and the steady-state benches show fixed per-call cost
+// dominating small convolutions — but a serving process receives its
+// batch as k independent requests, not one tensor. The batcher sits
+// behind the admission gate: admitted requests that are compatible —
+// same per-image shape, same weights, same tenant and QoS class —
+// park in a per-key queue for at most BatchWindow. The queue seals
+// when it reaches BatchMax images (executing inline on the caller
+// that filled it) or when the window timer fires, and the sealed
+// batch runs as ONE plan execution over N = Σ n_i: one memory-budget
+// reservation (so MemLimitBytes admits more small traffic), one
+// degradation-ladder decision (rungs never mix inside a batch), one
+// scratch set, one worker-grid join. Each request's output lands
+// directly in its own tensor via the core batch entry points'
+// per-image scatter — zero extra copies on the steady path.
+//
+// Deadlines bound the wait, not just the execution: a parked waiter
+// whose context expires before its batch seals leaves the queue and
+// runs solo (the core deadline discipline, including FallbackBudget,
+// then applies); one that expires after sealing fails typed with
+// conv.ErrDeadline and its freshly computed output is recycled.
+
+// batchKey identifies requests that may legally coalesce. The
+// runtime's base Options are shared by every request, so shape plus
+// weight identity suffices for execution compatibility; tenant and
+// class carry the isolation policy — requests of different tenants or
+// QoS classes never share a batch, even when the math would allow it.
+type batchKey struct {
+	shape  conv.Shape // per-image geometry (N normalised to 1)
+	filter *tensor.Tensor
+	pf     *core.PackedFilter
+	tenant string
+	model  string // inference batching: per-model queues
+	class  QoSClass
+}
+
+// batchReq is one parked caller.
+type batchReq struct {
+	ctx  context.Context
+	in   *tensor.Tensor
+	n    int // images this request contributes
+	out  *tensor.Tensor
+	err  error
+	done chan struct{}
+	gone atomic.Bool // waiter left after seal: result unclaimed
+}
+
+// pendingBatch is one open per-key queue.
+type pendingBatch struct {
+	key    batchKey
+	reqs   []*batchReq
+	images int
+	sealed bool
+	timer  *time.Timer
+}
+
+// batchStats is the counter block the Runtime owns (shared between
+// the conv batcher and the registry's inference batcher, so
+// Stats.BatchesExecuted reflects both).
+type batchStats struct {
+	batches     atomic.Uint64 // coalesced executions (>= 2 requests)
+	batchedReqs atomic.Uint64 // requests served inside them
+	soloFlushes atomic.Uint64 // windows that expired with one waiter
+	expired     atomic.Uint64 // waiters that left on deadline
+}
+
+// batcher coalesces compatible requests into single executions. The
+// run hook executes a sealed batch (filling every request's out/err);
+// the solo hook serves a waiter that left the queue on deadline; the
+// recycle hook reclaims a result whose waiter is gone (nil: drop to
+// the GC).
+type batcher struct {
+	window  time.Duration
+	max     int // image cap per batch
+	stats   *batchStats
+	run     func(key batchKey, reqs []*batchReq)
+	solo    func(ctx context.Context, key batchKey, in *tensor.Tensor) (*tensor.Tensor, error)
+	recycle func(t *tensor.Tensor)
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+}
+
+func newBatcher(window time.Duration, max int, stats *batchStats,
+	run func(batchKey, []*batchReq),
+	solo func(context.Context, batchKey, *tensor.Tensor) (*tensor.Tensor, error),
+	recycle func(*tensor.Tensor)) *batcher {
+	return &batcher{
+		window:  window,
+		max:     max,
+		stats:   stats,
+		run:     run,
+		solo:    solo,
+		recycle: recycle,
+		pending: map[batchKey]*pendingBatch{},
+	}
+}
+
+// submit parks one admitted request under key until its batch seals
+// (image cap or window), executing inline when this request fills the
+// batch. The caller must already hold its admission slot; it keeps
+// holding it until submit returns, so batching never multiplies
+// concurrency past the gate.
+func (bt *batcher) submit(ctx context.Context, key batchKey, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &batchReq{ctx: ctx, in: in, n: in.Dims[0], done: make(chan struct{})}
+	bt.mu.Lock()
+	b := bt.pending[key]
+	if b == nil {
+		b = &pendingBatch{key: key}
+		bt.pending[key] = b
+		b.timer = time.AfterFunc(bt.window, func() { bt.flush(b) })
+	}
+	b.reqs = append(b.reqs, r)
+	b.images += r.n
+	if b.images >= bt.max {
+		bt.sealLocked(b)
+		bt.mu.Unlock()
+		bt.runBatch(b.key, b.reqs) // inline on the caller that filled the batch
+		return r.out, r.err
+	}
+	bt.mu.Unlock()
+
+	select {
+	case <-r.done:
+		return r.out, r.err
+	case <-ctx.Done():
+	}
+
+	// Deadline while parked. If the batch is still open, leave it (the
+	// other waiters are untouched) and run solo — the core layer's
+	// deadline discipline decides between a typed failure and the
+	// FallbackBudget rescue. If it already sealed, execution is
+	// imminent on another goroutine; fail typed and let the executor
+	// recycle the unclaimed result.
+	bt.mu.Lock()
+	if b.sealed {
+		select {
+		case <-r.done:
+			// The executor finished in the same instant: the result is
+			// ours, exactly as if it had arrived a tick earlier.
+			bt.mu.Unlock()
+			return r.out, r.err
+		default:
+		}
+		r.gone.Store(true)
+		bt.mu.Unlock()
+		bt.stats.expired.Add(1)
+		return nil, fmt.Errorf("%w: deadline expired while the coalesced batch was executing: %w",
+			conv.ErrDeadline, context.Cause(ctx))
+	}
+	for i, x := range b.reqs {
+		if x == r {
+			b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
+			b.images -= r.n
+			break
+		}
+	}
+	if len(b.reqs) == 0 {
+		bt.sealLocked(b) // nothing left: retire the empty queue
+	}
+	bt.mu.Unlock()
+	bt.stats.expired.Add(1)
+	return bt.solo(ctx, key, in)
+}
+
+// sealLocked (bt.mu held) closes b to new members and unlinks it from
+// the pending index. The index check guards against a stale timer
+// retiring a newer batch that reused the key.
+func (bt *batcher) sealLocked(b *pendingBatch) {
+	b.sealed = true
+	if bt.pending[b.key] == b {
+		delete(bt.pending, b.key)
+	}
+	b.timer.Stop()
+}
+
+// flush is the window timer's path: seal whatever has accumulated and
+// execute it (a single waiter runs solo-shaped through the same run
+// hook, on its own context).
+func (bt *batcher) flush(b *pendingBatch) {
+	bt.mu.Lock()
+	if b.sealed {
+		bt.mu.Unlock()
+		return
+	}
+	bt.sealLocked(b)
+	reqs := b.reqs
+	bt.mu.Unlock()
+	if len(reqs) == 0 {
+		return
+	}
+	bt.runBatch(b.key, reqs)
+}
+
+// runBatch executes one sealed batch through the run hook, settles the
+// counters, reclaims results whose waiters left, and wakes everyone.
+func (bt *batcher) runBatch(key batchKey, reqs []*batchReq) {
+	if len(reqs) > 1 {
+		bt.stats.batches.Add(1)
+		bt.stats.batchedReqs.Add(uint64(len(reqs)))
+	} else {
+		bt.stats.soloFlushes.Add(1)
+	}
+	bt.run(key, reqs)
+	for _, r := range reqs {
+		if r.gone.Load() && r.err == nil && r.out != nil && bt.recycle != nil {
+			// The waiter already failed typed; the batch joined cleanly,
+			// so its scattered output is safe to hand back to the pool.
+			bt.recycle(r.out)
+			r.out = nil
+		}
+		close(r.done)
+	}
+}
+
+// convBatched validates one admitted conv request and routes it
+// through the micro-batcher. Validation happens before parking so a
+// malformed request fails alone, never poisoning a coalesced grid.
+func (rt *Runtime) convBatched(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, pf *core.PackedFilter, tenant string, class QoSClass) (*tensor.Tensor, error) {
+	kcrs := filter
+	if pf != nil {
+		kcrs = pf.Source()
+	}
+	if err := conv.ValidateOperands(s, in, kcrs); err != nil {
+		return nil, err
+	}
+	key := batchKey{shape: s.WithBatch(1), filter: filter, pf: pf, tenant: tenant, class: class}
+	return rt.batcher.submit(ctx, key, in)
+}
+
+// execConvBatch is the batcher's run hook for raw convolutions: one
+// plan at N = Σ n_i, one memory reservation, one ladder rung, one
+// grid; outputs scatter per request through the core batch entry
+// points.
+func (rt *Runtime) execConvBatch(key batchKey, reqs []*batchReq) {
+	if len(reqs) == 1 {
+		// A window that expired with a single waiter: the plain
+		// admitted path on the request's own context.
+		r := reqs[0]
+		r.out, r.err = rt.convAdmitted(r.ctx, key.shape.WithBatch(r.n), r.in, key.filter, key.pf)
+		return
+	}
+	fail := func(err error) {
+		for _, r := range reqs {
+			r.err = err
+		}
+	}
+	total := 0
+	for _, r := range reqs {
+		total += r.n
+	}
+	bs := key.shape.WithBatch(total)
+	plan, err := rt.plans.Get(bs, rt.opts)
+	if err != nil {
+		fail(err)
+		return
+	}
+	// One reservation for the whole batch: under memory pressure small
+	// coalesced traffic charges one scratch set instead of k.
+	mode, xplan, charge, err := rt.admitMemory(bs, plan)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer rt.budget.Release(charge)
+	switch mode {
+	case modeFull:
+		rt.fullRuns.Add(1)
+	case modeDegraded:
+		rt.degRuns.Add(1)
+	case modeReference:
+		rt.refRuns.Add(1)
+	}
+
+	outs := make([]*tensor.Tensor, len(reqs))
+	ins := make([]*tensor.Tensor, len(reqs))
+	for i, r := range reqs {
+		ins[i] = r.in
+		si := key.shape.WithBatch(r.n)
+		outLen := si.N * si.K * si.P() * si.Q()
+		if buf := rt.pool.get(outLen); buf != nil {
+			rt.poolHits.Add(1)
+			outs[i] = tensor.FromSlice(buf, si.N, si.K, si.P(), si.Q())
+		} else {
+			rt.freshAllocs.Add(1)
+			outs[i] = tensor.New(si.N, si.K, si.P(), si.Q())
+		}
+	}
+
+	kcrs := key.filter
+	if key.pf != nil {
+		kcrs = key.pf.Source()
+	}
+	if mode == modeReference {
+		// The reference rung has no batched entry (and no scratch to
+		// amortise): each request runs its naive loop under the shared
+		// reservation, failing individually.
+		for i, r := range reqs {
+			si := key.shape.WithBatch(r.n)
+			rp, perr := rt.plans.Get(si, rt.opts)
+			if perr == nil {
+				perr = rp.TryExecuteReferenceCtx(r.ctx, r.in, kcrs, outs[i])
+			}
+			if perr != nil {
+				r.err = perr // buffer dropped: never back in the pool
+				continue
+			}
+			r.out = outs[i]
+		}
+		return
+	}
+
+	ctx, cancel := batchCtx(reqs)
+	defer cancel()
+	var execErr error
+	if key.pf != nil {
+		execErr = xplan.TryExecuteBatchPackedCtx(ctx, ins, key.pf, outs)
+	} else {
+		execErr = xplan.TryExecuteBatchCtx(ctx, ins, key.filter, outs)
+	}
+	if execErr != nil {
+		// An abandoned grid's stragglers may still write the buffers:
+		// drop them all to the GC, never back into the pool.
+		fail(execErr)
+		return
+	}
+	for i, r := range reqs {
+		r.out = outs[i]
+	}
+}
+
+// batchCtx derives the coalesced execution's context: the most
+// generous member deadline, so the shared grid is never abandoned
+// while a member could still use the result (members that expire
+// earlier leave individually through the batcher's wait loop). Any
+// member without a deadline makes the execution unbounded.
+func batchCtx(reqs []*batchReq) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, r := range reqs {
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}

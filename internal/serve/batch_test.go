@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/tensor"
+)
+
+// batchShape is small enough that a coalesced execution finishes well
+// inside any test window.
+var batchShape = conv.Shape{N: 1, C: 8, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+
+// launchConvs fires k concurrent TryConv2DCtx calls with distinct
+// integer inputs against rt and returns the per-caller outputs (fatal
+// on any error). A barrier start maximises the chance every caller
+// lands in the same batching window, but correctness must not depend
+// on it — the assertions below only use counters where coalescing is
+// forced structurally (BatchMax reached).
+func launchConvs(t *testing.T, rt *Runtime, k int, filter *tensor.Tensor) (ins, outs []*tensor.Tensor) {
+	t.Helper()
+	ins = make([]*tensor.Tensor, k)
+	outs = make([]*tensor.Tensor, k)
+	errs := make([]error, k)
+	for i := range ins {
+		ins[i] = batchShape.NewInput()
+		fillInts(ins[i], uint64(100+i))
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			outs[i], errs[i] = rt.TryConv2DCtx(context.Background(), batchShape, ins[i], filter)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	return ins, outs
+}
+
+func wantReference(t *testing.T, ins, outs []*tensor.Tensor, filter *tensor.Tensor, label string) {
+	t.Helper()
+	for i := range ins {
+		want := conv.Reference(batchShape, ins[i], filter)
+		for j, v := range outs[i].Data {
+			if v != want.Data[j] {
+				t.Fatalf("%s: caller %d element %d: got %v want %v", label, i, j, v, want.Data[j])
+			}
+		}
+	}
+}
+
+// Concurrent same-shape requests must coalesce into single executions
+// and still return outputs bit-identical to solo reference execution.
+// BatchMax equals the caller count, so at least the final arrival seals
+// a full batch structurally (no timing dependence).
+func TestBatchCoalescesBitExact(t *testing.T) {
+	rt := New(Config{
+		MaxInFlight: 16, MaxQueue: 16,
+		BatchWindow: 50 * time.Millisecond, BatchMax: 4,
+		Options: core.Options{Threads: 1},
+	})
+	filter := batchShape.NewFilter()
+	fillInts(filter, 7)
+	for round := 0; round < 3; round++ {
+		ins, outs := launchConvs(t, rt, 4, filter)
+		wantReference(t, ins, outs, filter, "round")
+	}
+	st := rt.Stats()
+	if st.BatchesExecuted == 0 {
+		t.Fatalf("no coalesced executions despite BatchMax-filling rounds: %+v", st)
+	}
+	if st.BatchedRequests < 2*st.BatchesExecuted {
+		t.Fatalf("batched request accounting inconsistent: %+v", st)
+	}
+}
+
+// The packed entry point must coalesce identically (same key: the
+// PackedFilter pointer) and remain bit-exact.
+func TestBatchPackedCoalescesBitExact(t *testing.T) {
+	rt := New(Config{
+		MaxInFlight: 16, MaxQueue: 16,
+		BatchWindow: 50 * time.Millisecond, BatchMax: 4,
+		Options: core.Options{Threads: 1},
+	})
+	filter := batchShape.NewFilter()
+	fillInts(filter, 9)
+	pf, err := rt.Pack(batchShape, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	ins := make([]*tensor.Tensor, k)
+	outs := make([]*tensor.Tensor, k)
+	errs := make([]error, k)
+	for i := range ins {
+		ins[i] = batchShape.NewInput()
+		fillInts(ins[i], uint64(200+i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = rt.TryConv2DPackedCtx(context.Background(), batchShape, ins[i], pf)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	wantReference(t, ins, outs, filter, "packed")
+	if rt.Stats().BatchesExecuted == 0 {
+		t.Fatal("packed callers never coalesced")
+	}
+}
+
+// A request's deadline bounds its batching wait: with a window far
+// longer than the deadline, the waiter must leave the queue at its
+// deadline and be rescued by the solo path's FallbackBudget —
+// returning a bit-exact result long before the window would have
+// flushed.
+func TestBatchDeadlineBoundsWait(t *testing.T) {
+	window := 30 * time.Second
+	rt := New(Config{
+		MaxInFlight: 4, MaxQueue: 4,
+		BatchWindow: window, BatchMax: 64,
+		Options: core.Options{Threads: 1, FallbackBudget: 10 * time.Second},
+	})
+	filter := batchShape.NewFilter()
+	fillInts(filter, 3)
+	in := batchShape.NewInput()
+	fillInts(in, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	out, err := rt.TryConv2DCtx(ctx, batchShape, in, filter)
+	if err != nil {
+		t.Fatalf("deadline waiter must be rescued solo: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > window/2 {
+		t.Fatalf("waiter was not released at its deadline (took %v)", elapsed)
+	}
+	wantReference(t, []*tensor.Tensor{in}, []*tensor.Tensor{out}, filter, "deadline")
+	st := rt.Stats()
+	if st.BatchExpired != 1 {
+		t.Fatalf("BatchExpired = %d, want 1", st.BatchExpired)
+	}
+	if st.BatchesExecuted != 0 {
+		t.Fatalf("a lone expired waiter must not count as a coalesced batch: %+v", st)
+	}
+
+	// Without a fallback budget the expired waiter sheds typed.
+	rt2 := New(Config{
+		BatchWindow: window, BatchMax: 64,
+		Options: core.Options{Threads: 1},
+	})
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := rt2.TryConv2DCtx(expired, batchShape, in, filter); !errors.Is(err, conv.ErrDeadline) {
+		t.Fatalf("expired waiter without FallbackBudget must shed with ErrDeadline, got %v", err)
+	}
+}
+
+// Tenant and QoS-class isolation: requests of different tenants (or
+// classes) never share a batch even when shape and weights match. Two
+// concurrent different-tenant requests with BatchMax 2 must flush as
+// two solo windows; the same pair under one tenant seals a real batch.
+func TestBatchNeverMixesTenantsOrClasses(t *testing.T) {
+	mk := func() (*Registry, *tensor.Tensor) {
+		rt := New(Config{
+			MaxInFlight: 16, MaxQueue: 16,
+			BatchWindow: 150 * time.Millisecond, BatchMax: 2,
+			Options: core.Options{Threads: 1},
+		})
+		r := NewRegistry(RegistryConfig{
+			Runtime:     rt,
+			MaxInFlight: 16, MaxQueue: 16,
+			Tenants: map[string]TenantConfig{
+				"alice": {Class: ClassPremium},
+				"bob":   {Class: ClassStandard},
+			},
+		})
+		filter := batchShape.NewFilter()
+		fillInts(filter, 5)
+		return r, filter
+	}
+
+	run := func(r *Registry, filter *tensor.Tensor, tenants [2]string) {
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				in := batchShape.NewInput()
+				fillInts(in, uint64(300+i))
+				want := conv.Reference(batchShape, in, filter)
+				out, err := r.Conv2DCtx(context.Background(), tenants[i], batchShape, in, filter)
+				if err != nil {
+					t.Errorf("tenant %s: %v", tenants[i], err)
+					return
+				}
+				for j, v := range out.Data {
+					if v != want.Data[j] {
+						t.Errorf("tenant %s element %d: got %v want %v", tenants[i], j, v, want.Data[j])
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	r, filter := mk()
+	run(r, filter, [2]string{"alice", "bob"})
+	st := r.Stats().Runtime
+	if st.BatchesExecuted != 0 {
+		t.Fatalf("different tenants coalesced: %+v", st)
+	}
+	if st.BatchSoloFlushes != 2 {
+		t.Fatalf("BatchSoloFlushes = %d, want 2 (one window per tenant)", st.BatchSoloFlushes)
+	}
+
+	r2, filter2 := mk()
+	run(r2, filter2, [2]string{"alice", "alice"})
+	st = r2.Stats().Runtime
+	if st.BatchesExecuted != 1 || st.BatchedRequests != 2 {
+		t.Fatalf("same tenant same class must coalesce at BatchMax=2: %+v", st)
+	}
+}
+
+// Inference batching: concurrent Infer calls against one model coalesce
+// into a single stacked forward pass and return outputs bit-identical
+// to solo inference.
+func TestBatchInferCoalescesBitExact(t *testing.T) {
+	rt := New(Config{
+		MaxInFlight: 16, MaxQueue: 16,
+		BatchWindow: 50 * time.Millisecond, BatchMax: 4,
+		Options: core.Options{Threads: 1},
+	})
+	r := NewRegistry(RegistryConfig{
+		Runtime:     rt,
+		MaxInFlight: 16, MaxQueue: 16,
+	})
+	net := tinyNet(11, true)
+	if err := r.Register("alice", "m", net); err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	ins := make([]*tensor.Tensor, k)
+	wants := make([]*tensor.Tensor, k)
+	for i := range ins {
+		ins[i] = testShape.NewInput()
+		fillInts(ins[i], uint64(400+i))
+		wants[i] = baseline(t, net, ins[i])
+	}
+	for round := 0; round < 3; round++ {
+		outs := make([]*tensor.Tensor, k)
+		errs := make([]error, k)
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i], errs[i] = r.Infer(context.Background(), "alice", "m", ins[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range outs {
+			if errs[i] != nil {
+				t.Fatalf("round %d caller %d: %v", round, i, errs[i])
+			}
+			for j, v := range outs[i].Data {
+				if v != wants[i].Data[j] {
+					t.Fatalf("round %d caller %d element %d: got %v want %v", round, i, j, v, wants[i].Data[j])
+				}
+			}
+		}
+	}
+	if st := r.Stats().Runtime; st.BatchesExecuted == 0 {
+		t.Fatalf("Infer callers never coalesced: %+v", st)
+	}
+}
+
+// The gate's in-flight accounting must stay coherent under concurrent
+// acquire/release/read: never above the configured ceiling, never
+// negative, and exactly zero once everything has drained. Run with
+// -race in CI.
+func TestGateInFlightCoherentUnderRace(t *testing.T) {
+	const max = 4
+	g := NewGate(max, 64)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := g.InFlight(); n < 0 || n > max {
+				t.Errorf("InFlight = %d, want 0..%d", n, max)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				release, err := g.Acquire(context.Background())
+				if err != nil {
+					continue
+				}
+				release()
+				release() // idempotent: must not double-decrement
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if n := g.InFlight(); n != 0 {
+		t.Fatalf("drained gate InFlight = %d, want 0", n)
+	}
+}
+
+// Recycle must refuse hazards instead of corrupting the pool: a tensor
+// recycled twice is parked once, and a view into a larger tensor (len
+// != cap, or aliasing a parked buffer) never enters the free list.
+func TestRecycleRefusesDoubleRecycleAndViews(t *testing.T) {
+	rt := New(Config{})
+	in, filter, _ := testOperands(testShape)
+	out, err := rt.TryConv2D(testShape, in, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Recycle(out)
+	rt.Recycle(out) // double recycle: refused, not double-parked
+	if got := rt.Stats().RecycleRefused; got != 1 {
+		t.Fatalf("RecycleRefused = %d, want 1 after double recycle", got)
+	}
+	// The buffer must come back out exactly once.
+	n := len(out.Data)
+	if buf := rt.pool.get(n); buf == nil {
+		t.Fatal("recycled buffer not pooled")
+	}
+	if buf := rt.pool.get(n); buf != nil {
+		t.Fatal("double recycle parked the same buffer twice")
+	}
+
+	// Views (len != cap) must be refused outright.
+	big := tensor.New(2, 4)
+	view := tensor.FromSlice(big.Data[:4], 1, 4)
+	rt.Recycle(view)
+	if got := rt.Stats().RecycleRefused; got != 2 {
+		t.Fatalf("RecycleRefused = %d, want 2 after view recycle", got)
+	}
+	if buf := rt.pool.get(4); buf != nil {
+		t.Fatal("view entered the pool")
+	}
+}

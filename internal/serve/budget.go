@@ -75,12 +75,17 @@ func (b *Budget) Limit() int64 { return b.limit }
 type bufferPool struct {
 	mu           sync.Mutex
 	bySize       map[int][][]float32
+	parked       map[*float32]struct{} // base pointers currently parked: double-recycle guard
 	idleBytes    int64
 	maxIdleBytes int64
 }
 
 func newBufferPool(maxIdleBytes int64) *bufferPool {
-	return &bufferPool{bySize: make(map[int][][]float32), maxIdleBytes: maxIdleBytes}
+	return &bufferPool{
+		bySize:       make(map[int][][]float32),
+		parked:       make(map[*float32]struct{}),
+		maxIdleBytes: maxIdleBytes,
+	}
 }
 
 // get returns a pooled buffer of exactly n elements, or nil.
@@ -93,24 +98,32 @@ func (bp *bufferPool) get(n int) []float32 {
 	}
 	buf := list[len(list)-1]
 	bp.bySize[n] = list[:len(list)-1]
+	delete(bp.parked, &buf[0])
 	bp.idleBytes -= 4 * int64(n)
 	return buf
 }
 
 // put parks a dead buffer for reuse, dropping it to the GC when the
-// idle bound is reached.
-func (bp *bufferPool) put(buf []float32) {
+// idle bound is reached. It refuses (returns false) a buffer whose
+// backing array is already parked: recycling the same tensor twice
+// would list one array twice and hand it to two concurrent requests.
+func (bp *bufferPool) put(buf []float32) bool {
 	n := len(buf)
 	if n == 0 {
-		return
+		return false
 	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	if _, dup := bp.parked[&buf[0]]; dup {
+		return false
+	}
 	if bp.idleBytes+4*int64(n) > bp.maxIdleBytes {
-		return
+		return true // dropped to the GC: not a hazard, just full
 	}
 	bp.bySize[n] = append(bp.bySize[n], buf[:n:n])
+	bp.parked[&buf[0]] = struct{}{}
 	bp.idleBytes += 4 * int64(n)
+	return true
 }
 
 func (bp *bufferPool) idle() int64 {

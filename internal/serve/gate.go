@@ -22,6 +22,10 @@ type Gate struct {
 	slots    chan struct{} // capacity = MaxInFlight; a token is an execution slot
 	maxQueue int64
 	queued   atomic.Int64
+	inFlight atomic.Int64 // held slots; kept separately from len(slots) so
+	// stats snapshots are coherent — a channel-length read races the
+	// send/receive pair and can report transient values that never
+	// corresponded to a consistent gate state.
 
 	admitted atomic.Uint64 // granted a slot (fast path or after queueing)
 	waited   atomic.Uint64 // of those, how many had to queue first
@@ -57,6 +61,7 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	}
 	select {
 	case g.slots <- struct{}{}:
+		g.inFlight.Add(1)
 		g.admitted.Add(1)
 		return g.releaseFunc(), nil
 	default:
@@ -72,6 +77,7 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	defer g.queued.Add(-1)
 	select {
 	case g.slots <- struct{}{}:
+		g.inFlight.Add(1)
 		g.admitted.Add(1)
 		g.waited.Add(1)
 		return g.releaseFunc(), nil
@@ -82,13 +88,22 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 }
 
 // releaseFunc returns the slot exactly once even if called repeatedly.
+// The in-flight count drops before the slot token is returned, so
+// InFlight never reads above MaxInFlight (it may transiently read one
+// low between the two steps, which is the coherent direction: the
+// request's execution is already over).
 func (g *Gate) releaseFunc() func() {
 	var once sync.Once
-	return func() { once.Do(func() { <-g.slots }) }
+	return func() {
+		once.Do(func() {
+			g.inFlight.Add(-1)
+			<-g.slots
+		})
+	}
 }
 
 // InFlight returns the number of currently held execution slots.
-func (g *Gate) InFlight() int { return len(g.slots) }
+func (g *Gate) InFlight() int { return int(g.inFlight.Load()) }
 
 // Queued returns the number of requests currently waiting for a slot.
 func (g *Gate) Queued() int64 { return g.queued.Load() }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ndirect/internal/conv"
 	"ndirect/internal/core"
@@ -61,10 +62,27 @@ type Config struct {
 	// PlanCacheCap is the runtime plan cache's entry bound (<= 0:
 	// core.DefaultPlanCacheCap).
 	PlanCacheCap int
+	// BatchWindow enables cross-request micro-batching behind the
+	// admission gate: compatible requests (same per-image shape, same
+	// weights, same tenant and QoS class) arriving within the window
+	// coalesce into one plan execution over the batch axis, with one
+	// memory-budget reservation for the whole batch and per-request
+	// output scatter. 0 (the default) disables batching — every
+	// request executes alone, the pre-batching behaviour. Batching
+	// only helps when MaxInFlight admits at least BatchMax concurrent
+	// requests; waiters hold their admission slot while parked.
+	BatchWindow time.Duration
+	// BatchMax caps a coalesced batch's total images. A batch seals
+	// and executes the moment it reaches the cap, without waiting out
+	// the window. <= 0 selects DefaultBatchMax. Only meaningful with
+	// BatchWindow > 0.
+	BatchMax int
 	// Options are the base convolution options for every request
 	// (threads, platform, epilogue, FallbackBudget, CheckNumerics...).
 	// The PlanCache field is ignored: the runtime always routes
-	// through its own cache.
+	// through its own cache. Because every request shares these
+	// options, the micro-batcher's compatibility key reduces to
+	// (shape, weights, tenant, class).
 	Options core.Options
 	// Engine, when non-nil, serves the Forward path. Nil selects a
 	// private nDirect engine with Reuse on, sharing the runtime's plan
@@ -78,26 +96,33 @@ type Config struct {
 // holding a serving process's budget hostage.
 const DefaultPoolIdleBytes int64 = 32 << 20
 
+// DefaultBatchMax is the coalesced-batch image cap when Config enables
+// batching (BatchWindow > 0) but leaves BatchMax zero.
+const DefaultBatchMax = 8
+
 // Runtime is the overload-safe serving runtime. All methods are safe
 // for concurrent use.
 type Runtime struct {
-	gate   *Gate
-	budget *Budget
-	plans  *core.PlanCache
-	pool   *bufferPool
-	opts   core.Options
-	engine *nn.Engine
+	gate    *Gate
+	budget  *Budget
+	plans   *core.PlanCache
+	pool    *bufferPool
+	opts    core.Options
+	engine  *nn.Engine
+	batcher *batcher // nil: batching disabled
 
 	degradedOnce sync.Once
 	degraded     core.Options
 
-	poolHits    atomic.Uint64
-	freshAllocs atomic.Uint64
-	fullRuns    atomic.Uint64
-	degRuns     atomic.Uint64
-	refRuns     atomic.Uint64
-	overBudget  atomic.Uint64
-	memRejected atomic.Uint64
+	poolHits       atomic.Uint64
+	freshAllocs    atomic.Uint64
+	fullRuns       atomic.Uint64
+	degRuns        atomic.Uint64
+	refRuns        atomic.Uint64
+	overBudget     atomic.Uint64
+	memRejected    atomic.Uint64
+	recycleRefused atomic.Uint64
+	batchStats     batchStats
 }
 
 // New builds a Runtime from cfg (see Config for defaults).
@@ -131,6 +156,18 @@ func New(cfg Config) *Runtime {
 			Reuse:   true,
 			Plans:   rt.plans,
 		}
+	}
+	if cfg.BatchWindow > 0 {
+		max := cfg.BatchMax
+		if max <= 0 {
+			max = DefaultBatchMax
+		}
+		rt.batcher = newBatcher(cfg.BatchWindow, max, &rt.batchStats,
+			rt.execConvBatch,
+			func(ctx context.Context, key batchKey, in *tensor.Tensor) (*tensor.Tensor, error) {
+				return rt.convAdmitted(ctx, key.shape.WithBatch(in.Dims[0]), in, key.filter, key.pf)
+			},
+			rt.Recycle)
 	}
 	// Warm the process-wide worker pool at construction: the first
 	// request should land on already-parked workers, not pay the
@@ -173,6 +210,9 @@ func (rt *Runtime) TryConv2DCtx(ctx context.Context, s conv.Shape, in, filter *t
 		return nil, err
 	}
 	defer release()
+	if rt.batcher != nil {
+		return rt.convBatched(ctx, s, in, filter, nil, "", ClassStandard)
+	}
 	return rt.convAdmitted(ctx, s, in, filter, nil)
 }
 
@@ -215,6 +255,9 @@ func (rt *Runtime) TryConv2DPackedCtx(ctx context.Context, s conv.Shape, in *ten
 		return nil, err
 	}
 	defer release()
+	if rt.batcher != nil {
+		return rt.convBatched(ctx, s, in, nil, pf, "", ClassStandard)
+	}
 	return rt.convAdmitted(ctx, s, in, nil, pf)
 }
 
@@ -236,9 +279,19 @@ func (rt *Runtime) Forward(ctx context.Context, net *nn.Network, x *tensor.Tenso
 // touch the tensor afterwards. (Safe for deadline-fallback results
 // too: those publish through a fresh allocation, so the recycled
 // buffer is never one an abandoned grid can still write.)
+//
+// Hazardous recycles are detected and refused rather than poisoning
+// the pool: a view tensor (its Data does not own the full backing
+// array — batched-inference outputs are such views) is never parked,
+// and recycling the same tensor twice parks its array once — the
+// second call is refused instead of listing one buffer for two future
+// requests. Refusals are counted in Stats.RecycleRefused.
 func (rt *Runtime) Recycle(t *tensor.Tensor) {
-	if t != nil {
-		rt.pool.put(t.Data)
+	if t == nil || len(t.Data) == 0 {
+		return
+	}
+	if len(t.Data) != cap(t.Data) || !rt.pool.put(t.Data) {
+		rt.recycleRefused.Add(1)
 	}
 }
 
@@ -364,6 +417,21 @@ type Stats struct {
 	OverBudget                            uint64 // full-plan reservation failures
 	MemRejected                           uint64 // not even the reference rung fit
 
+	// Micro-batching (Config.BatchWindow > 0; zero otherwise).
+	// BatchesExecuted counts coalesced executions of >= 2 requests;
+	// BatchedRequests the requests served inside them. A window that
+	// expires with a single waiter runs solo (BatchSoloFlushes), and a
+	// waiter whose deadline expires while parked leaves the queue
+	// (BatchExpired) to run solo or shed.
+	BatchesExecuted  uint64
+	BatchedRequests  uint64
+	BatchSoloFlushes uint64
+	BatchExpired     uint64
+
+	// RecycleRefused counts hazardous Recycle calls that were refused
+	// (view tensors, double-recycles) instead of poisoning the pool.
+	RecycleRefused uint64
+
 	PlanCache core.PlanCacheStats
 
 	// WorkerPool reports the process-wide persistent worker pool the
@@ -385,11 +453,16 @@ func (rt *Runtime) Stats() Stats {
 		PoolIdleBytes: rt.pool.idle(),
 		PoolHits:      rt.poolHits.Load(),
 		FreshAllocs:   rt.freshAllocs.Load(),
-		FullRuns:      rt.fullRuns.Load(),
-		DegradedRuns:  rt.degRuns.Load(),
-		ReferenceRuns: rt.refRuns.Load(),
-		OverBudget:    rt.overBudget.Load(),
-		MemRejected:   rt.memRejected.Load(),
-		PlanCache:     rt.plans.Stats(),
+		FullRuns:         rt.fullRuns.Load(),
+		DegradedRuns:     rt.degRuns.Load(),
+		ReferenceRuns:    rt.refRuns.Load(),
+		OverBudget:       rt.overBudget.Load(),
+		MemRejected:      rt.memRejected.Load(),
+		BatchesExecuted:  rt.batchStats.batches.Load(),
+		BatchedRequests:  rt.batchStats.batchedReqs.Load(),
+		BatchSoloFlushes: rt.batchStats.soloFlushes.Load(),
+		BatchExpired:     rt.batchStats.expired.Load(),
+		RecycleRefused:   rt.recycleRefused.Load(),
+		PlanCache:        rt.plans.Stats(),
 	}
 }

@@ -13,7 +13,8 @@ cd "$(dirname "$0")/.."
 echo "==> TestSteadyStateZeroAllocs"
 go test -run 'TestSteadyStateZeroAllocs' -count=1 ./internal/core/
 
-echo "==> bench smoke (1 iteration, allocs gate)"
+echo "==> bench smoke (warmup + 1 measured iteration, allocs gate)"
+go test -run '^$' -bench 'EngineSteadyState/packed-pooled|SmallConvServing/steady' -benchtime=1x . >/dev/null # warmup (discarded)
 out=$(go test -run '^$' -bench 'EngineSteadyState/packed-pooled|SmallConvServing/steady' -benchtime=1x .)
 echo "$out"
 

@@ -18,7 +18,10 @@ go test -race ./...
 echo "==> fuzz smoke: FuzzTryConv2D (10s)"
 go test -run='^$' -fuzz=FuzzTryConv2D -fuzztime=10s ./internal/core
 
-echo "==> ndserve selftest (multi-tenant HTTP lifecycle)"
+echo "==> ndserve selftest (multi-tenant HTTP lifecycle + batching burst)"
 go run ./cmd/ndserve -selftest
+
+echo "==> ndsoak batching smoke (8s, coalesced serving invariants)"
+go run ./cmd/ndsoak -duration 8s -batch -clients 8
 
 echo "OK: all checks passed"
