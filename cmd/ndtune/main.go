@@ -1,10 +1,20 @@
 // Command ndtune runs the Ansor-substitute evolutionary schedule
 // search on one convolution layer and reports the best schedule, its
 // throughput, and nDirect's throughput on the same layer for
-// comparison (the per-layer view behind Figure 6).
+// comparison (the per-layer view behind Figure 6). With -manifest the
+// winning schedule is also recorded in a versioned warm-start manifest
+// (merged into the file if it already exists) that `ndserve -manifest`
+// loads at startup.
+//
+// Runs are deterministic for a fixed -seed and machine-independent in
+// which schedules they try (only the measured times, and hence the
+// winner, vary with the host). Failures exit non-zero: 2 for usage
+// errors, 1 when tuning measured no admissible schedule or an
+// execution / manifest write failed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,25 +27,54 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// parseShape parses "c,h,w,k,r,s,stride,pad" into a batch-1 shape.
+func parseShape(spec string) (conv.Shape, error) {
+	var s conv.Shape
+	s.N = 1
+	n, err := fmt.Sscanf(spec, "%d,%d,%d,%d,%d,%d,%d,%d",
+		&s.C, &s.H, &s.W, &s.K, &s.R, &s.S, &s.Str, &s.Pad)
+	if err != nil || n != 8 {
+		return s, fmt.Errorf("want c,h,w,k,r,s,stride,pad, got %q", spec)
+	}
+	return s, s.Validate()
+}
+
+func run() int {
 	var (
-		layerID = flag.Int("layer", 3, "Table 4 layer id (1-28)")
-		batch   = flag.Int("batch", 1, "batch size")
-		threads = flag.Int("threads", parallel.DefaultThreads(), "worker threads")
-		trials  = flag.Int("trials", 48, "measurement budget")
-		popSize = flag.Int("population", 12, "schedules per generation")
-		gens    = flag.Int("generations", 4, "evolution rounds")
-		seed    = flag.Int64("seed", 1, "search seed")
-		useCM   = flag.Bool("cost-model", false, "enable the Ansor-style learned cost model")
+		layerID   = flag.Int("layer", 3, "Table 4 layer id (1-28)")
+		shapeSpec = flag.String("shape", "", "explicit shape c,h,w,k,r,s,stride,pad (overrides -layer)")
+		batch     = flag.Int("batch", 1, "batch size")
+		threads   = flag.Int("threads", parallel.DefaultThreads(), "worker threads")
+		trials    = flag.Int("trials", 48, "measurement budget")
+		popSize   = flag.Int("population", 12, "schedules per generation")
+		gens      = flag.Int("generations", 4, "evolution rounds")
+		seed      = flag.Int64("seed", 1, "search seed (fixed seed -> same candidate sequence)")
+		useCM     = flag.Bool("cost-model", false, "enable the Ansor-style learned cost model")
+		manifest  = flag.String("manifest", "", "warm-start manifest file to create or merge the result into")
 	)
 	flag.Parse()
 
-	l, ok := conv.LayerByID(*layerID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "no Table 4 layer %d\n", *layerID)
-		os.Exit(2)
+	var s conv.Shape
+	if *shapeSpec != "" {
+		parsed, err := parseShape(*shapeSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndtune: bad -shape: %v\n", err)
+			return 2
+		}
+		s = parsed.WithBatch(*batch)
+		fmt.Printf("tuning shape: %v\n", s)
+	} else {
+		l, ok := conv.LayerByID(*layerID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ndtune: no Table 4 layer %d\n", *layerID)
+			return 2
+		}
+		s = l.Shape.WithBatch(*batch)
+		fmt.Printf("tuning layer %d: %v\n", l.ID, s)
 	}
-	s := l.Shape.WithBatch(*batch)
-	fmt.Printf("tuning layer %d: %v\n", l.ID, s)
 
 	res := autotune.Tune(s, autotune.TuneOptions{
 		Population:   *popSize,
@@ -48,6 +87,10 @@ func main() {
 	if *useCM {
 		fmt.Printf("cost model ranked %d candidates without measuring them\n", res.ModelRanked)
 	}
+	if res.Trials == 0 || !res.Best.Valid(s) {
+		fmt.Fprintf(os.Stderr, "ndtune: no admissible schedule measured for %v\n", s)
+		return 1
+	}
 	gf := float64(s.FLOPs()) / res.BestSec / 1e9
 	fmt.Printf("best schedule after %d trials: %v\n", res.Trials, res.Best)
 	fmt.Printf("tuned throughput: %.2f GFLOPS (%.4fs)\n", gf, res.BestSec)
@@ -57,13 +100,41 @@ func main() {
 	in.FillRandom(11)
 	filter := s.NewFilter()
 	filter.FillRandom(13)
-	plan := core.NewPlan(s, core.Options{Threads: *threads})
+	plan, err := core.TryNewPlan(s, core.Options{Threads: *threads})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndtune: planning %v failed: %v\n", s, err)
+		return 1
+	}
 	out := s.NewOutput()
-	plan.Execute(in, filter, out) // warm-up
+	if err := plan.TryExecute(in, filter, out); err != nil { // warm-up
+		fmt.Fprintf(os.Stderr, "ndtune: nDirect execution failed: %v\n", err)
+		return 1
+	}
 	t0 := time.Now()
-	plan.Execute(in, filter, out)
+	if err := plan.TryExecute(in, filter, out); err != nil {
+		fmt.Fprintf(os.Stderr, "ndtune: nDirect execution failed: %v\n", err)
+		return 1
+	}
 	ndSec := time.Since(t0).Seconds()
 	ndGF := float64(s.FLOPs()) / ndSec / 1e9
 	fmt.Printf("nDirect throughput: %.2f GFLOPS (%.4fs)  -> speedup %.2fx over tuned schedule\n",
 		ndGF, ndSec, ndGF/gf)
+
+	if *manifest != "" {
+		m, err := autotune.ReadManifestFile(*manifest)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			m = autotune.NewManifest()
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "ndtune: reading manifest %s: %v\n", *manifest, err)
+			return 1
+		}
+		m.Set(s, res.Best, res.BestSec, res.Trials)
+		if err := autotune.WriteManifestFile(*manifest, m); err != nil {
+			fmt.Fprintf(os.Stderr, "ndtune: writing manifest %s: %v\n", *manifest, err)
+			return 1
+		}
+		fmt.Printf("manifest %s: %d tuned shape(s)\n", *manifest, len(m.Entries))
+	}
+	return 0
 }

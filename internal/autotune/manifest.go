@@ -1,0 +1,191 @@
+package autotune
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ndirect/internal/conv"
+)
+
+// Tuning manifests (DESIGN.md §11): the persistence format that lets
+// a production process warm-start from an offline `ndtune` run instead
+// of re-deriving or re-searching schedules at request time. A manifest
+// maps convolution shapes (batch normalised out — schedules are
+// batch-independent the same way the dispatch registry's kernels are)
+// to the best measured Schedule, with enough provenance (best seconds,
+// trial count) to audit a stale entry.
+//
+// The format is versioned JSON. A decoder seeing a different version
+// returns ErrManifestVersion; malformed bytes return ErrManifestCorrupt.
+// Both are typed so loaders can distinguish "re-tune needed" from
+// "operator error" — and neither is ever allowed to crash a server:
+// serve.New and nn.Engine reject invalid entries with a rate-limited
+// log and fall back to planning as if the entry were absent.
+
+// ManifestVersion is the on-disk format version this build reads and
+// writes. Bump on any incompatible change to the entry encoding.
+const ManifestVersion = 1
+
+var (
+	// ErrManifestVersion marks a manifest written by an incompatible
+	// format version.
+	ErrManifestVersion = errors.New("autotune: manifest version mismatch")
+	// ErrManifestCorrupt marks bytes that do not decode as a manifest.
+	ErrManifestCorrupt = errors.New("autotune: manifest corrupt")
+)
+
+// ManifestEntry is one tuned shape: the schedule that won the search
+// plus its measurement provenance.
+type ManifestEntry struct {
+	Shape    conv.Shape `json:"shape"`
+	Schedule Schedule   `json:"schedule"`
+	BestSec  float64    `json:"best_sec,omitempty"` // winning measured seconds
+	Trials   int        `json:"trials,omitempty"`   // schedules measured to find it
+}
+
+// Manifest is a versioned collection of tuned schedules keyed by
+// shape. The zero value is NOT usable; call NewManifest (or decode).
+type Manifest struct {
+	Version int             `json:"version"`
+	Entries []ManifestEntry `json:"entries"`
+}
+
+// NewManifest returns an empty manifest at the current version.
+func NewManifest() *Manifest {
+	return &Manifest{Version: ManifestVersion}
+}
+
+// manifestShape normalises a shape to its manifest key: batch size
+// does not change which schedule wins, so entries are stored and
+// looked up at N=1.
+func manifestShape(s conv.Shape) conv.Shape {
+	s.N = 1
+	return s
+}
+
+// Set records the tuned schedule for s (any batch), replacing an
+// existing entry for the same normalised shape.
+func (m *Manifest) Set(s conv.Shape, sch Schedule, bestSec float64, trials int) {
+	key := manifestShape(s)
+	e := ManifestEntry{Shape: key, Schedule: sch, BestSec: bestSec, Trials: trials}
+	for i := range m.Entries {
+		if m.Entries[i].Shape == key {
+			m.Entries[i] = e
+			return
+		}
+	}
+	m.Entries = append(m.Entries, e)
+}
+
+// Lookup returns the schedule tuned for s (any batch) and whether one
+// exists. Nil-safe: a nil manifest covers nothing.
+func (m *Manifest) Lookup(s conv.Shape) (Schedule, bool) {
+	if m == nil {
+		return Schedule{}, false
+	}
+	key := manifestShape(s)
+	for i := range m.Entries {
+		if m.Entries[i].Shape == key {
+			return m.Entries[i].Schedule, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// Covers reports whether the manifest holds an entry for s (any
+// batch). Nil-safe.
+func (m *Manifest) Covers(s conv.Shape) bool {
+	_, ok := m.Lookup(s)
+	return ok
+}
+
+// Validate drops entries whose shape fails conv.Shape.Validate or
+// whose schedule fails Schedule.Valid for that shape, returning the
+// rejected entries so the caller can log them. A manifest that has
+// passed Validate only holds schedules safe to hand to the executor.
+func (m *Manifest) Validate() (rejected []ManifestEntry) {
+	kept := m.Entries[:0]
+	for _, e := range m.Entries {
+		if e.Shape.Validate() != nil || !e.Schedule.Valid(e.Shape) {
+			rejected = append(rejected, e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.Entries = kept
+	return rejected
+}
+
+// EncodeManifest serialises the manifest to deterministic, indented
+// JSON (entries sorted by shape string so repeated tuning runs diff
+// cleanly).
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	out := Manifest{Version: ManifestVersion, Entries: append([]ManifestEntry(nil), m.Entries...)}
+	sort.Slice(out.Entries, func(i, j int) bool {
+		return out.Entries[i].Shape.String() < out.Entries[j].Shape.String()
+	})
+	raw, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// DecodeManifest parses manifest bytes, returning ErrManifestCorrupt
+// for malformed JSON and ErrManifestVersion for a version other than
+// ManifestVersion. Entries are decoded as-is; call Validate before
+// trusting the schedules.
+func DecodeManifest(raw []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrManifestCorrupt, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrManifestVersion, m.Version, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// WriteManifestFile atomically-enough writes the manifest to path
+// (temp file in the same directory, then rename).
+func WriteManifestFile(path string, m *Manifest) error {
+	raw, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadManifestFile reads and decodes the manifest at path. I/O errors
+// pass through (notably os.ErrNotExist, so callers can start fresh);
+// decode failures carry the typed manifest errors. A zero-byte file is
+// treated like a missing one (an empty manifest): the atomic writer
+// never leaves one behind, so it can only come from mktemp/touch
+// pre-creating the output path.
+func ReadManifestFile(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return NewManifest(), nil
+	}
+	return DecodeManifest(raw)
+}

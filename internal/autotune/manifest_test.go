@@ -1,0 +1,127 @@
+package autotune
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndirect/internal/conv"
+)
+
+func testManifest() *Manifest {
+	m := NewManifest()
+	m.Set(conv.Shape{N: 1, C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1},
+		Schedule{TileK: 16, TileC: 8, TileH: 4, TileW: 12, VecW: 12, UnrollS: true}, 0.0013, 24)
+	m.Set(conv.Shape{N: 1, C: 64, H: 56, W: 56, K: 64, R: 1, S: 1, Str: 1, Pad: 0},
+		Schedule{TileK: 32, TileC: 16, TileH: 8, TileW: 8, VecW: 8}, 0.004, 48)
+	return m
+}
+
+// TestManifestRoundTrip: encode → decode preserves every entry's
+// schedule and provenance exactly, through both the byte and the file
+// APIs.
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	raw, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != ManifestVersion || len(got.Entries) != len(m.Entries) {
+		t.Fatalf("round trip: version %d entries %d", got.Version, len(got.Entries))
+	}
+	for _, e := range m.Entries {
+		sch, ok := got.Lookup(e.Shape)
+		if !ok || sch != e.Schedule {
+			t.Fatalf("round trip lost shape %v: got %v ok=%v want %v", e.Shape, sch, ok, e.Schedule)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Entries) != len(m.Entries) {
+		t.Fatalf("file round trip: %d entries, want %d", len(got2.Entries), len(m.Entries))
+	}
+}
+
+// TestManifestCorruptAndStale: malformed bytes and stale versions are
+// rejected with the typed errors, so loaders can distinguish
+// "re-tune" from "operator error".
+func TestManifestCorruptAndStale(t *testing.T) {
+	if _, err := DecodeManifest([]byte("{not json")); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("corrupt bytes: err = %v, want ErrManifestCorrupt", err)
+	}
+	if _, err := DecodeManifest([]byte(`{"version": 999, "entries": []}`)); !errors.Is(err, ErrManifestVersion) {
+		t.Fatalf("stale version: err = %v, want ErrManifestVersion", err)
+	}
+	if _, err := ReadManifestFile(filepath.Join(t.TempDir(), "absent.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want os.ErrNotExist", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ReadManifestFile(empty); err != nil || len(m.Entries) != 0 {
+		t.Fatalf("zero-byte file (mktemp pre-created): m=%v err=%v, want empty manifest", m, err)
+	}
+}
+
+// TestManifestValidateRejects: entries with invalid shapes or
+// inadmissible schedules are dropped (and reported), keeping only
+// executor-safe schedules.
+func TestManifestValidateRejects(t *testing.T) {
+	m := testManifest()
+	good := len(m.Entries)
+	m.Entries = append(m.Entries,
+		ManifestEntry{ // invalid shape
+			Shape:    conv.Shape{N: 1, C: 0, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1},
+			Schedule: Schedule{TileK: 1, TileC: 1, TileH: 1, TileW: 4, VecW: 4},
+		},
+		ManifestEntry{ // schedule fails Valid (TileK > K)
+			Shape:    conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Str: 1, Pad: 1},
+			Schedule: Schedule{TileK: 64, TileC: 1, TileH: 1, TileW: 4, VecW: 4},
+		})
+	rejected := m.Validate()
+	if len(rejected) != 2 {
+		t.Fatalf("Validate rejected %d entries, want 2", len(rejected))
+	}
+	if len(m.Entries) != good {
+		t.Fatalf("Validate kept %d entries, want %d", len(m.Entries), good)
+	}
+}
+
+// TestManifestLookupBatchNormalized: entries cover every batch of
+// their shape, and Set replaces rather than duplicates.
+func TestManifestLookupBatchNormalized(t *testing.T) {
+	m := NewManifest()
+	s := conv.Shape{N: 4, C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	sch := Schedule{TileK: 8, TileC: 8, TileH: 2, TileW: 8, VecW: 8}
+	m.Set(s, sch, 0.01, 10)
+	for _, batch := range []int{1, 2, 16} {
+		got, ok := m.Lookup(s.WithBatch(batch))
+		if !ok || got != sch {
+			t.Fatalf("Lookup at batch %d: %v ok=%v", batch, got, ok)
+		}
+	}
+	m.Set(s.WithBatch(1), Schedule{TileK: 16, TileC: 8, TileH: 2, TileW: 8, VecW: 8}, 0.009, 12)
+	if len(m.Entries) != 1 {
+		t.Fatalf("Set duplicated the entry: %d entries", len(m.Entries))
+	}
+	if !m.Covers(s) {
+		t.Fatal("Covers(s) = false after Set")
+	}
+	var nilM *Manifest
+	if nilM.Covers(s) {
+		t.Fatal("nil manifest claims coverage")
+	}
+}

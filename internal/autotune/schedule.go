@@ -49,19 +49,17 @@ func (sch Schedule) Valid(s conv.Shape) bool {
 }
 
 // DefaultSchedule is the untuned starting point (TVM's fallback
-// schedule: modest square tiles, vector width 4).
+// schedule: modest square tiles, vector width 4). Routed through
+// clampSchedule so it is admissible for every valid shape, including
+// degenerate ones (K < 4, 1×1 outputs, ragged Q).
 func DefaultSchedule(s conv.Shape) Schedule {
-	sch := Schedule{
+	return clampSchedule(Schedule{
 		TileK: min(32, s.K),
 		TileC: min(16, s.C),
 		TileH: min(4, s.P()),
 		TileW: 8,
 		VecW:  4,
-	}
-	if sch.TileW > s.Q() {
-		sch.TileW = 4
-	}
-	return sch
+	}, s)
 }
 
 // candidates for the categorical knobs.
@@ -74,9 +72,12 @@ var (
 )
 
 // randomSchedule samples an admissible schedule uniformly from the
-// knob grid.
+// knob grid. clampSchedule makes every sample admissible, so the
+// retry loop exists only as defence in depth — it is bounded (the
+// unbounded form hung forever on shapes no grid point fit) and falls
+// back to DefaultSchedule rather than spin.
 func randomSchedule(rng *rand.Rand, s conv.Shape) Schedule {
-	for {
+	for range 32 {
 		vec := vecWChoices[rng.Intn(len(vecWChoices))]
 		sch := Schedule{
 			TileK:      tileKChoices[rng.Intn(len(tileKChoices))],
@@ -92,6 +93,7 @@ func randomSchedule(rng *rand.Rand, s conv.Shape) Schedule {
 			return sch
 		}
 	}
+	return DefaultSchedule(s)
 }
 
 // mutate perturbs one knob of the schedule.
@@ -146,15 +148,29 @@ func crossover(rng *rand.Rand, a, b Schedule, s conv.Shape) Schedule {
 	return out
 }
 
-// clampSchedule pulls tile sizes inside the problem dimensions while
-// preserving the vector-width divisibility constraint.
+// clampSchedule pulls the schedule inside the problem dimensions
+// while preserving the vector-width divisibility constraint. It is
+// total: for any input schedule — including the zero value a failed
+// tune can leave behind — and any valid shape, the result passes
+// Valid. The previous version divided by sch.VecW before normalising
+// it, so a zero-value schedule reaching ClampFor (e.g. via
+// nn.Engine.Tune storing a no-trial Result.Best) panicked with a
+// divide-by-zero in the serving path; tile fields ≤ 0 similarly
+// escaped as invalid and fed log2(0) into the cost model's features.
 func clampSchedule(sch Schedule, s conv.Shape) Schedule {
-	sch.TileK = min(sch.TileK, s.K)
-	sch.TileC = min(sch.TileC, s.C)
-	sch.TileH = min(sch.TileH, s.P())
+	if sch.VecW != 4 && sch.VecW != 8 && sch.VecW != 12 {
+		sch.VecW = 4
+	}
+	sch.TileK = max(1, min(sch.TileK, s.K))
+	sch.TileC = max(1, min(sch.TileC, s.C))
+	sch.TileH = max(1, min(sch.TileH, s.P()))
+	sch.TileW = max(sch.VecW, sch.TileW-sch.TileW%sch.VecW)
 	if sch.TileW > s.Q() {
 		sch.TileW = s.Q() / sch.VecW * sch.VecW
 		if sch.TileW == 0 {
+			// Output narrower than any vector width: fall back to the
+			// minimum admissible tile (Valid does not require TileW ≤ Q;
+			// the executor handles the ragged edge).
 			sch.VecW = 4
 			sch.TileW = 4
 		}

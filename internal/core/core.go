@@ -175,10 +175,11 @@ type Options struct {
 type kernelKind int
 
 const (
-	kindGeneric kernelKind = iota // any (V_w, V_k), slice accumulators
-	kind12x8                      // V_k=8 fixed-register file, looped S
-	kind12x8S3                    // 3×3 stride-1, S fully unrolled (Alg. 3)
-	kind12x8S1                    // 1×1 stride-1 pointwise
+	kindGeneric     kernelKind = iota // any (V_w, V_k), slice accumulators
+	kind12x8                          // V_k=8 fixed-register file, looped S
+	kind12x8S3                        // 3×3 stride-1, S fully unrolled (Alg. 3)
+	kind12x8S1                        // 1×1 stride-1 pointwise
+	kindSpecialized                   // registry variant, (R,S,str) constant-folded
 )
 
 // genericPlatform is the tile-model profile used when no platform is
@@ -211,7 +212,8 @@ type Plan struct {
 	platform hw.Platform
 	threads  int
 	kind     kernelKind
-	ep       epilogue // normalised fused epilogue
+	variant  *kernelVariant // set iff kind == kindSpecialized
+	ep       epilogue       // normalised fused epilogue
 
 	// The static thread grid (§6) is a pure function of the plan, so
 	// the per-dimension worker ranges are solved once here instead of
@@ -367,19 +369,27 @@ func TryNewPlan(s conv.Shape, opt Options) (*Plan, error) {
 
 	p.TM = model.SolveThreadMapping(s, p.platform.Alpha, p.threads, p.RT.Vk)
 
-	// Micro-kernel dispatch: the hand-unrolled bodies cover the
-	// analytical-optimum 12×8 register file on the common layer
-	// families; everything else takes the V_k=8 looped kernel or the
-	// fully generic one.
+	// Micro-kernel dispatch: exact shapes registered with the dispatch
+	// registry run their constant-folded variant; the hand-unrolled
+	// bodies cover the analytical-optimum 12×8 register file on the
+	// common layer families; everything else takes the V_k=8 looped
+	// kernel or the fully generic one. UnrolledKernels outranks the
+	// registry so the Algorithm 3 transcription stays benchmarkable
+	// (every branch below is bit-identical on the same operands).
 	switch {
 	case opt.ForceGenericKernel || p.RT.Vk != 8 || p.RT.Vw > maxVw:
 		p.kind = kindGeneric
 	case s.S == 3 && s.Str == 1 && opt.UnrolledKernels:
 		p.kind = kind12x8S3
-	case s.R == 1 && s.S == 1 && s.Str == 1:
-		p.kind = kind12x8S1
 	default:
-		p.kind = kind12x8
+		if v := lookupKernelVariant(s); v != nil {
+			p.kind = kindSpecialized
+			p.variant = v
+		} else if s.R == 1 && s.S == 1 && s.Str == 1 {
+			p.kind = kind12x8S1
+		} else {
+			p.kind = kind12x8
+		}
 	}
 	p.ep = normalizeEpilogue(opt)
 

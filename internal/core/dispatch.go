@@ -1,0 +1,177 @@
+package core
+
+// Shape-specialized kernel dispatch (DESIGN.md §11). The xnor_nn idea
+// the roadmap names — compile an exec_template<OC,IC,IH,…> per hot
+// AlexNet shape, fall back to exec_simple — reproduced in Go: a
+// process-wide registry maps an exact convolution shape (batch
+// normalised out) to a micro-kernel variant whose R, S and stride are
+// compile-time constants, so the hot loop runs without the per-row
+// bounds and stride arithmetic the shape-agnostic kernel12x8 carries.
+//
+// The registry is consulted once, at plan construction; execution
+// never takes a lock or a map lookup. A shape that is not registered
+// (or is registered but off by one in any dimension — H±1, K±1) takes
+// the existing kind switch exactly as before, so dispatch is a pure
+// plan-time specialisation with kernel12x8/kernelGeneric as the
+// fallback. Variants share fmaRow12x8's accumulator discipline (cv
+// ascending, r ascending, s ascending, descending pair walk), so a
+// specialized plan's output is bit-identical to the looped kernel's.
+//
+// All Table 4 layer shapes whose solved register tile is the 12×8
+// optimum are registered at init; serving layers register their model
+// shapes at startup (serve.Registry wires manifest-covered shapes
+// through RegisterShapeKernel before traffic arrives).
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/model"
+)
+
+// specializedKernel is the calling convention of a constant-folded
+// main micro-kernel: R, S and stride are baked into the function, so
+// only the runtime-variable tile extents cross the call.
+type specializedKernel func(acc *accFile8, buf, tf []float32, tc, vwEff, wIn int)
+
+// kernelVariant pairs a constant-folded kernel body with the (R, S,
+// stride) family it implements.
+type kernelVariant struct {
+	name      string
+	r, s, str int
+	kern      specializedKernel
+}
+
+// kernelFamilies lists the constant-folded bodies available for exact-
+// shape registration. Families exist only for layer geometries whose
+// Equation 3–4 solution is the V_w=12, V_k=8 register file (the 7×7
+// stride-2 stem solves to 20×4 and stays on the generic kernel).
+var kernelFamilies = []*kernelVariant{
+	{name: "12x8.r3s3.s1", r: 3, s: 3, str: 1, kern: kernel12x8R3S3s1},
+	{name: "12x8.r3s3.s2", r: 3, s: 3, str: 2, kern: kernel12x8R3S3s2},
+	{name: "12x8.r1s1.s1", r: 1, s: 1, str: 1, kern: kernel12x8R1S1s1},
+	{name: "12x8.r1s1.s2", r: 1, s: 1, str: 2, kern: kernel12x8R1S1s2},
+}
+
+var (
+	dispatchMu    sync.RWMutex
+	dispatchTable = map[conv.Shape]*kernelVariant{}
+
+	// dispatchGen is bumped on every registration and folded into the
+	// plan-cache key, so a plan cached before a shape was registered
+	// can never mask the specialized variant afterwards.
+	dispatchGen atomic.Uint64
+
+	dispatchHits, dispatchMisses atomic.Uint64
+)
+
+// dispatchShapeKey normalises the registry key: the micro-kernel is
+// batch-independent, so any batch of a registered layer matches.
+func dispatchShapeKey(s conv.Shape) conv.Shape {
+	s.N = 0
+	return s
+}
+
+func familyFor(s conv.Shape) *kernelVariant {
+	for _, v := range kernelFamilies {
+		if v.r == s.R && v.s == s.S && v.str == s.Str {
+			return v
+		}
+	}
+	return nil
+}
+
+// RegisterShapeKernel installs the constant-folded micro-kernel for
+// the exact shape s (any batch). It returns true when a variant now
+// covers the shape: the shape is valid, a kernel family exists for its
+// (R, S, stride), and the analytically solved register tile is the
+// 12×8 file the variants are written for. Plans constructed after a
+// successful registration select the variant; existing plans are
+// unaffected (plans are immutable), and plan caches re-key via the
+// dispatch generation. Safe for concurrent use; re-registering a
+// covered shape is a no-op that still returns true.
+func RegisterShapeKernel(s conv.Shape) bool {
+	if s.Validate() != nil {
+		return false
+	}
+	v := familyFor(s)
+	if v == nil {
+		return false
+	}
+	if rt := model.SolveRegisterTile(s.S, s.Str); rt.Vk != 8 || rt.Vw > maxVw {
+		return false
+	}
+	key := dispatchShapeKey(s)
+	dispatchMu.Lock()
+	if dispatchTable[key] == nil {
+		dispatchTable[key] = v
+		dispatchGen.Add(1)
+	}
+	dispatchMu.Unlock()
+	return true
+}
+
+// lookupKernelVariant resolves the registered variant for s (nil when
+// unregistered), counting the outcome. Called from TryNewPlan only for
+// plans already eligible for the V_k=8 kernels, so the hit/miss ratio
+// measures registry coverage of the eligible traffic.
+func lookupKernelVariant(s conv.Shape) *kernelVariant {
+	key := dispatchShapeKey(s)
+	dispatchMu.RLock()
+	v := dispatchTable[key]
+	dispatchMu.RUnlock()
+	if v != nil {
+		dispatchHits.Add(1)
+	} else {
+		dispatchMisses.Add(1)
+	}
+	return v
+}
+
+// DispatchStats is a point-in-time snapshot of the kernel dispatch
+// registry's counters.
+type DispatchStats struct {
+	Registered int    // exact shapes with a specialized variant
+	Hits       uint64 // plan constructions that selected a variant
+	Misses     uint64 // eligible constructions that fell back
+	Generation uint64 // bumped per registration (plan-cache key input)
+}
+
+// KernelDispatchStats snapshots the dispatch registry.
+func KernelDispatchStats() DispatchStats {
+	dispatchMu.RLock()
+	n := len(dispatchTable)
+	dispatchMu.RUnlock()
+	return DispatchStats{
+		Registered: n,
+		Hits:       dispatchHits.Load(),
+		Misses:     dispatchMisses.Load(),
+		Generation: dispatchGen.Load(),
+	}
+}
+
+// KernelName reports which main micro-kernel the plan dispatches to —
+// a registered variant's name, or the fallback family. Introspection
+// for tests and operators; execution never consults it.
+func (p *Plan) KernelName() string {
+	switch p.kind {
+	case kindGeneric:
+		return "generic"
+	case kind12x8S3:
+		return "12x8.s3.unrolled"
+	case kind12x8S1:
+		return "12x8.s1"
+	case kindSpecialized:
+		return p.variant.name
+	}
+	return "12x8"
+}
+
+func init() {
+	// The evaluation table's layer shapes are the known-hot set; every
+	// row with a matching family is specialized from process start.
+	for _, l := range conv.Table4 {
+		RegisterShapeKernel(l.Shape)
+	}
+}

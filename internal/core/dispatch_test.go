@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/tensor"
+)
+
+// dispatchCases covers every kernel family in the registry with a
+// ragged-edged shape (partial register tiles, ragged K blocks, partial
+// channel tiles), so the constant-folded bodies are exercised on their
+// hardest geometry, not just the clean model-table rows.
+var dispatchCases = []struct {
+	variant string
+	shape   conv.Shape
+}{
+	{"12x8.r3s3.s1", conv.Shape{N: 1, C: 5, H: 10, W: 10, K: 13, R: 3, S: 3, Str: 1, Pad: 1}},
+	{"12x8.r3s3.s2", conv.Shape{N: 1, C: 4, H: 11, W: 11, K: 9, R: 3, S: 3, Str: 2, Pad: 1}},
+	{"12x8.r1s1.s1", conv.Shape{N: 1, C: 6, H: 9, W: 9, K: 10, R: 1, S: 1, Str: 1, Pad: 0}},
+	{"12x8.r1s1.s2", conv.Shape{N: 1, C: 6, H: 10, W: 10, K: 10, R: 1, S: 1, Str: 2, Pad: 0}},
+}
+
+func registerDispatchCases(t *testing.T) {
+	t.Helper()
+	for _, tc := range dispatchCases {
+		if !RegisterShapeKernel(tc.shape) {
+			t.Fatalf("RegisterShapeKernel(%v) = false, want true", tc.shape)
+		}
+	}
+}
+
+// TestDispatchBitExactVsGeneric: a registered shape's specialized plan
+// must produce bit-identical output to the forced-generic kernel on
+// the same operands — the registry is a pure execution-strategy
+// change. Exercised on both packing strategies: SequentialPack always
+// routes through mainKernel, the overlapped default routes kb>0
+// blocks through it.
+func TestDispatchBitExactVsGeneric(t *testing.T) {
+	registerDispatchCases(t)
+	for _, tc := range dispatchCases {
+		for _, seq := range []bool{false, true} {
+			s := tc.shape
+			plan, err := TryNewPlan(s, Options{Threads: 2, SequentialPack: seq})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := plan.KernelName(); got != tc.variant {
+				t.Fatalf("shape %v: KernelName = %q, want %q", s, got, tc.variant)
+			}
+			in := s.NewInput()
+			in.FillRandom(int64(s.C + 7*s.K))
+			f := s.NewFilter()
+			f.FillRandom(int64(s.R + 13*s.S))
+			got := s.NewOutput()
+			if err := plan.TryExecute(in, f, got); err != nil {
+				t.Fatal(err)
+			}
+			gplan, err := TryNewPlan(s, Options{Threads: 2, SequentialPack: seq, ForceGenericKernel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name := gplan.KernelName(); name != "generic" {
+				t.Fatalf("shape %v: forced-generic KernelName = %q", s, name)
+			}
+			want := s.NewOutput()
+			if err := gplan.TryExecute(in, f, want); err != nil {
+				t.Fatal(err)
+			}
+			if d := tensor.MaxAbsDiff(want, got); d != 0 {
+				t.Fatalf("shape %v seq=%v: specialized kernel differs from generic by %g, want bit-identical",
+					s, seq, d)
+			}
+			// And correct against the float64 reference.
+			ref := conv.Reference(s, in, f)
+			if d := tensor.RelDiff(ref, got); d > tol {
+				t.Fatalf("shape %v: rel diff vs reference %g > %g", s, d, tol)
+			}
+		}
+	}
+}
+
+// TestDispatchOffByOneFallsBack: shapes one off in any dimension from
+// a registered shape must miss the registry and fall back to the
+// shape-agnostic kernels — and still compute correctly.
+func TestDispatchOffByOneFallsBack(t *testing.T) {
+	registerDispatchCases(t)
+	for _, tc := range dispatchCases {
+		for _, perturb := range []func(conv.Shape) conv.Shape{
+			func(s conv.Shape) conv.Shape { s.H++; return s },
+			func(s conv.Shape) conv.Shape { s.W++; return s },
+			func(s conv.Shape) conv.Shape { s.K++; return s },
+			func(s conv.Shape) conv.Shape { s.K--; return s },
+			func(s conv.Shape) conv.Shape { s.C++; return s },
+		} {
+			s := perturb(tc.shape)
+			if s.Validate() != nil {
+				continue
+			}
+			plan, err := TryNewPlan(s, Options{Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := plan.KernelName(); got == tc.variant {
+				t.Fatalf("off-by-one shape %v selected the specialized kernel %q", s, got)
+			}
+			checkAgainstReference(t, s, Options{Threads: 2})
+		}
+	}
+}
+
+// TestDispatchBatchIndependent: registration at N=1 covers every batch
+// of the same layer (the micro-kernel is batch-independent).
+func TestDispatchBatchIndependent(t *testing.T) {
+	registerDispatchCases(t)
+	s := dispatchCases[0].shape.WithBatch(3)
+	plan, err := TryNewPlan(s, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.KernelName(); got != dispatchCases[0].variant {
+		t.Fatalf("batch-3 KernelName = %q, want %q", got, dispatchCases[0].variant)
+	}
+	checkAgainstReference(t, s, Options{Threads: 2})
+}
+
+// TestDispatchPrecedence: explicit option forcing outranks the
+// registry — ForceGenericKernel wins over a registered shape, and
+// UnrolledKernels keeps the Algorithm 3 transcription selectable for
+// its ablation benchmark.
+func TestDispatchPrecedence(t *testing.T) {
+	registerDispatchCases(t)
+	s := dispatchCases[0].shape // R3 S3 str1: eligible for every path
+	for _, tc := range []struct {
+		opt  Options
+		want string
+	}{
+		{Options{}, "12x8.r3s3.s1"},
+		{Options{ForceGenericKernel: true}, "generic"},
+		{Options{UnrolledKernels: true}, "12x8.s3.unrolled"},
+	} {
+		plan, err := TryNewPlan(s, tc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.KernelName(); got != tc.want {
+			t.Fatalf("opts %+v: KernelName = %q, want %q", tc.opt, got, tc.want)
+		}
+	}
+}
+
+// TestDispatchRejectsUncoveredShapes: shapes without a kernel family
+// (5×5), with a non-12×8 register tile (7×7 stride 2), or invalid are
+// not registerable.
+func TestDispatchRejectsUncoveredShapes(t *testing.T) {
+	for _, s := range []conv.Shape{
+		{N: 1, C: 4, H: 12, W: 12, K: 8, R: 5, S: 5, Str: 1, Pad: 2},  // no family
+		{N: 1, C: 3, H: 32, W: 32, K: 16, R: 7, S: 7, Str: 2, Pad: 3}, // solves to 20×4
+		{N: 1, C: 0, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1},    // invalid
+	} {
+		if RegisterShapeKernel(s) {
+			t.Fatalf("RegisterShapeKernel(%v) = true, want false", s)
+		}
+	}
+}
+
+// TestDispatchModelTableCoverage: the init-time registration covers
+// the evaluation table — every Table 4 row with a matching family
+// plans onto its specialized variant with no explicit registration.
+func TestDispatchModelTableCoverage(t *testing.T) {
+	covered := 0
+	for _, l := range conv.Table4 {
+		want := ""
+		switch {
+		case l.Shape.R == 3 && l.Shape.S == 3 && l.Shape.Str == 1:
+			want = "12x8.r3s3.s1"
+		case l.Shape.R == 3 && l.Shape.S == 3 && l.Shape.Str == 2:
+			want = "12x8.r3s3.s2"
+		case l.Shape.R == 1 && l.Shape.S == 1 && l.Shape.Str == 1:
+			want = "12x8.r1s1.s1"
+		case l.Shape.R == 1 && l.Shape.S == 1 && l.Shape.Str == 2:
+			want = "12x8.r1s1.s2"
+		default:
+			continue // the 7×7 stem stays on the generic kernel
+		}
+		plan, err := TryNewPlan(l.Shape.WithBatch(1), Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.KernelName(); got != want {
+			t.Fatalf("Table 4 layer %d (%v): KernelName = %q, want %q", l.ID, l.Shape, got, want)
+		}
+		covered++
+	}
+	if covered == 0 {
+		t.Fatal("no Table 4 layer matched a kernel family")
+	}
+	if st := KernelDispatchStats(); st.Registered < covered {
+		t.Fatalf("dispatch registry holds %d shapes, want >= %d distinct Table 4 rows", st.Registered, covered)
+	}
+}
+
+// TestDispatchConcurrentSharedPlan: one specialized plan executed from
+// many goroutines over the shared worker pool (the -race target for
+// the variant call path); every result must be bit-identical.
+func TestDispatchConcurrentSharedPlan(t *testing.T) {
+	registerDispatchCases(t)
+	s := dispatchCases[0].shape
+	plan, err := TryNewPlan(s, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := s.NewInput()
+	in.FillRandom(41)
+	f := s.NewFilter()
+	f.FillRandom(42)
+	want := s.NewOutput()
+	if err := plan.TryExecute(in, f, want); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := s.NewOutput()
+			for i := 0; i < 4; i++ {
+				if err := plan.TryExecute(in, f, out); err != nil {
+					errCh <- err
+					return
+				}
+				if d := tensor.MaxAbsDiff(want, out); d != 0 {
+					errCh <- fmt.Errorf("concurrent execution diverged by %g", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestDispatchRegistrationRekeysPlanCache: a plan cached before a
+// shape was registered must not mask the specialized variant — the
+// registry generation is part of the cache key, so the next Get after
+// a registration re-plans.
+func TestDispatchRegistrationRekeysPlanCache(t *testing.T) {
+	s := conv.Shape{N: 1, C: 4, H: 13, W: 13, K: 9, R: 3, S: 3, Str: 1, Pad: 1}
+	cache := NewPlanCache(8)
+	before, err := cache.Get(s, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := before.KernelName(); name != "12x8" {
+		t.Skipf("shape unexpectedly already registered (kernel %q)", name)
+	}
+	if !RegisterShapeKernel(s) {
+		t.Fatalf("RegisterShapeKernel(%v) = false", s)
+	}
+	after, err := cache.Get(s, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("plan cache returned the pre-registration plan after RegisterShapeKernel")
+	}
+	if got := after.KernelName(); got != "12x8.r3s3.s1" {
+		t.Fatalf("post-registration KernelName = %q, want 12x8.r3s3.s1", got)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d plans, want 2 (one per dispatch generation)", cache.Len())
+	}
+}

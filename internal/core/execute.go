@@ -375,8 +375,12 @@ func (p *Plan) applyFallback(ref *tensor.Tensor, dst []float32, nchw, accumulate
 // transformed filter block, the packed input buffer, the generic
 // accumulator file, and the per-stage timers.
 type workerScratch struct {
-	tf    []float32
-	buf   []float32
+	tf  []float32
+	buf []float32
+	// acc lives in the scratch (not on the worker's stack) so passing
+	// &acc through a registered variant's indirect kernel call cannot
+	// make it escape — the steady-state path stays allocation-free.
+	acc   accFile8
 	accG  []simd.Vec4
 	stats *Stats // always non-nil; only accumulated when timed
 	timed bool
@@ -634,7 +638,7 @@ func (p *Plan) worker(in, filter, pre, out []float32, imgIn, imgOut [][]float32,
 	wIn := (vw-1)*s.Str + s.S
 	use12x8 := p.kind != kindGeneric
 	rsv := s.R * s.S * vk // one channel's slab in a transformed block
-	var acc accFile8
+	acc := &ws.acc
 
 	for ct := 0; ct < s.C; ct += tc { // L3
 		tcEff := tc
@@ -689,7 +693,7 @@ func (p *Plan) worker(in, filter, pre, out []float32, imgIn, imgOut [][]float32,
 									tfBlock = pre[((kt/vk+kb)*s.C+ct)*rsv:]
 								}
 								if use12x8 {
-									acc = accFile8{}
+									*acc = accFile8{}
 									if kb == 0 {
 										if p.opts.SequentialPack {
 											t0 = now(ws)
@@ -700,17 +704,17 @@ func (p *Plan) worker(in, filter, pre, out []float32, imgIn, imgOut [][]float32,
 											}
 											addTime(ws, &ws.stats.PackSec, t0)
 											t0 = now(ws)
-											p.mainKernel(&acc, ws.buf, tfBlock, tcEff, vwEff, wIn)
+											p.mainKernel(acc, ws.buf, tfBlock, tcEff, vwEff, wIn)
 											addTime(ws, &ws.stats.KernelSec, t0)
 										} else {
 											t0 = now(ws)
-											packCompute12x8(&acc, inD, ws.buf, tfBlock, g,
+											packCompute12x8(acc, inD, ws.buf, tfBlock, g,
 												nEff, s.C, s.H, s.W, ct, tcEff, s.R, s.S, s.Str, vwEff, nchw)
 											addTime(ws, &ws.stats.KernelSec, t0)
 										}
 									} else {
 										t0 = now(ws)
-										p.mainKernel(&acc, ws.buf, tfBlock, tcEff, vwEff, wIn)
+										p.mainKernel(acc, ws.buf, tfBlock, tcEff, vwEff, wIn)
 										addTime(ws, &ws.stats.KernelSec, t0)
 									}
 									t0 = now(ws)
@@ -747,6 +751,8 @@ func (p *Plan) worker(in, filter, pre, out []float32, imgIn, imgOut [][]float32,
 func (p *Plan) mainKernel(acc *accFile8, buf, tf []float32, tcEff, vwEff, wIn int) {
 	s := p.Shape
 	switch p.kind {
+	case kindSpecialized:
+		p.variant.kern(acc, buf, tf, tcEff, vwEff, wIn)
 	case kind12x8S3:
 		kernel12x8S3(acc, buf, tf, tcEff, s.R, vwEff, wIn)
 	case kind12x8S1:

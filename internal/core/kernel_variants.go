@@ -1,0 +1,122 @@
+package core
+
+import "ndirect/internal/simd"
+
+// Constant-folded main micro-kernel variants for the dispatch registry
+// (dispatch.go). Each body is kernel12x8 with one (R, S, stride)
+// family's constants substituted: the row/filter offsets become
+// compile-time products, the stride-indexed input walk becomes a
+// constant-step induction the prove pass can reason about, and the S
+// loop bounds are literals. The floating-point work is untouched —
+// per accumulator, the FMA sequence (cv ascending, r ascending, s
+// ascending, the same f0/f1 vectors and input scalars) is exactly
+// fmaRow12x8's, so a specialized plan's output is bit-identical to
+// the looped kernel's on the same operands.
+//
+// The bodies deliberately stay in the *looped-S* register discipline
+// (two filter vectors live at a time) rather than the fully S-unrolled
+// Algorithm 3 form of kernel12x8S3: the unrolled form needs the full
+// 32-vector register file and spills on 16-register SIMD hosts
+// (Options.UnrolledKernels documents the measurement), while these
+// variants win on constant folding alone without growing the live set.
+
+// kernel12x8R3S3s1 is kernel12x8 specialised to R=3, S=3, stride 1 —
+// the dominant ResNet/VGG body family (Table 4 IDs 3, 10, 16, 21,
+// 24–28).
+func kernel12x8R3S3s1(acc *accFile8, buf, tf []float32, tc, vwEff, wIn int) {
+	if vwEff <= 0 || vwEff > maxVw {
+		return
+	}
+	a := acc[:2*vwEff]
+	for cv := 0; cv < tc; cv++ {
+		for rr := 0; rr < 3; rr++ {
+			row := buf[(cv*3+rr)*wIn : (cv*3+rr)*wIn+wIn]
+			fTap := tf[(cv*3+rr)*24:]
+			for ss := 0; ss < 3; ss++ {
+				fs := fTap[ss*8 : ss*8+8]
+				f0 := simd.Load(fs)
+				f1 := simd.Load(fs[4:])
+				r := row[ss:]
+				x := vwEff - 1
+				for i := len(a) - 1; i > 0; i -= 2 {
+					v := r[x]
+					a[i-1] = a[i-1].FMAScalar(f0, v)
+					a[i] = a[i].FMAScalar(f1, v)
+					x--
+				}
+			}
+		}
+	}
+}
+
+// kernel12x8R3S3s2 is kernel12x8 specialised to R=3, S=3, stride 2
+// (the downsampling 3×3 layers: Table 4 IDs 2, 9, 15).
+func kernel12x8R3S3s2(acc *accFile8, buf, tf []float32, tc, vwEff, wIn int) {
+	if vwEff <= 0 || vwEff > maxVw {
+		return
+	}
+	a := acc[:2*vwEff]
+	for cv := 0; cv < tc; cv++ {
+		for rr := 0; rr < 3; rr++ {
+			row := buf[(cv*3+rr)*wIn : (cv*3+rr)*wIn+wIn]
+			fTap := tf[(cv*3+rr)*24:]
+			for ss := 0; ss < 3; ss++ {
+				fs := fTap[ss*8 : ss*8+8]
+				f0 := simd.Load(fs)
+				f1 := simd.Load(fs[4:])
+				r := row[ss:]
+				x := (vwEff - 1) * 2
+				for i := len(a) - 1; i > 0; i -= 2 {
+					v := r[x]
+					a[i-1] = a[i-1].FMAScalar(f0, v)
+					a[i] = a[i].FMAScalar(f1, v)
+					x -= 2
+				}
+			}
+		}
+	}
+}
+
+// kernel12x8R1S1s1 is kernel12x8 specialised to R=1, S=1, stride 1 —
+// the pointwise family (Table 4 IDs 5–8, 12–14, 18–20, 22–23).
+func kernel12x8R1S1s1(acc *accFile8, buf, tf []float32, tc, vwEff, wIn int) {
+	if vwEff <= 0 || vwEff > maxVw {
+		return
+	}
+	a := acc[:2*vwEff]
+	for cv := 0; cv < tc; cv++ {
+		row := buf[cv*wIn : cv*wIn+wIn]
+		fs := tf[cv*8 : cv*8+8]
+		f0 := simd.Load(fs)
+		f1 := simd.Load(fs[4:])
+		x := vwEff - 1
+		for i := len(a) - 1; i > 0; i -= 2 {
+			v := row[x]
+			a[i-1] = a[i-1].FMAScalar(f0, v)
+			a[i] = a[i].FMAScalar(f1, v)
+			x--
+		}
+	}
+}
+
+// kernel12x8R1S1s2 is kernel12x8 specialised to R=1, S=1, stride 2
+// (the strided projection shortcuts: Table 4 IDs 4, 11, 17).
+func kernel12x8R1S1s2(acc *accFile8, buf, tf []float32, tc, vwEff, wIn int) {
+	if vwEff <= 0 || vwEff > maxVw {
+		return
+	}
+	a := acc[:2*vwEff]
+	for cv := 0; cv < tc; cv++ {
+		row := buf[cv*wIn : cv*wIn+wIn]
+		fs := tf[cv*8 : cv*8+8]
+		f0 := simd.Load(fs)
+		f1 := simd.Load(fs[4:])
+		x := (vwEff - 1) * 2
+		for i := len(a) - 1; i > 0; i -= 2 {
+			v := row[x]
+			a[i-1] = a[i-1].FMAScalar(f0, v)
+			a[i] = a[i].FMAScalar(f1, v)
+			x -= 2
+		}
+	}
+}

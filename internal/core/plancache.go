@@ -83,6 +83,7 @@ type planKey struct {
 	unrolled   bool
 	numerics   bool
 	budget     time.Duration
+	dgen       uint64 // dispatch-registry generation at key time
 }
 
 // floatsKey serialises a float slice to its exact bit pattern for use
@@ -120,6 +121,7 @@ func planKeyFor(s conv.Shape, opt Options) planKey {
 		unrolled: opt.UnrolledKernels,
 		numerics: opt.CheckNumerics,
 		budget:   opt.FallbackBudget,
+		dgen:     dispatchGen.Load(),
 	}
 	if fe := opt.FusedEpilogue; fe != nil {
 		key.fusedSet = true

@@ -266,6 +266,45 @@ func TestPlanCacheKeyDistinguishesBias(t *testing.T) {
 	}
 }
 
+// TestPlanCacheKeyDistinguishesEpilogue: option sets differing only in
+// their epilogue configuration — enum vs none, fused vs none, fused
+// params differing in one vector element or the ReLU flag — must never
+// share a cached plan: the epilogue is baked into the plan's store
+// path, so a collision would silently apply the wrong activation.
+func TestPlanCacheKeyDistinguishesEpilogue(t *testing.T) {
+	c := NewPlanCache(0)
+	s := conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	scale1 := make([]float32, s.K)
+	scale2 := make([]float32, s.K)
+	for i := range scale1 {
+		scale1[i], scale2[i] = 1, 1
+	}
+	scale2[5] = 2
+	shift := make([]float32, s.K)
+	opts := []Options{
+		{},
+		{Epilogue: EpilogueReLU},
+		{FusedEpilogue: &EpilogueParams{Scale: scale1, Shift: shift}},
+		{FusedEpilogue: &EpilogueParams{Scale: scale2, Shift: shift}},
+		{FusedEpilogue: &EpilogueParams{Scale: scale1, Shift: shift, ReLU: true}},
+		{FusedEpilogue: &EpilogueParams{}}, // all-nil params ≠ no FusedEpilogue
+	}
+	plans := map[*Plan]int{}
+	for i, opt := range opts {
+		p, err := c.Get(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j, dup := plans[p]; dup {
+			t.Fatalf("option sets %d and %d (differing only in epilogue) shared a cached plan", j, i)
+		}
+		plans[p] = i
+	}
+	if c.Len() != len(opts) {
+		t.Fatalf("cache holds %d plans for %d distinct epilogue configurations", c.Len(), len(opts))
+	}
+}
+
 func TestPlanCacheErrorNotCached(t *testing.T) {
 	c := NewPlanCache(0)
 	bad := conv.Shape{N: 1, C: 0, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}

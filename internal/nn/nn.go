@@ -335,8 +335,79 @@ func (eng *Engine) Tune(n *Network, opt autotune.TuneOptions) {
 		}
 		opt.Threads = eng.Threads
 		res := autotune.Tune(s, opt)
+		if res.Trials == 0 || !res.Best.Valid(s) {
+			// A search where every candidate failed to measure leaves
+			// Result.Best as the zero value; storing it would feed an
+			// inadmissible schedule into eng.schedule on the serving
+			// path. Fall back to the default (ClampFor would anyway).
+			eng.logLimited("tune|"+key, "nn: tuning %v measured no admissible schedule; keeping default", s)
+			continue
+		}
 		eng.Schedules[key] = res.Best
 	}
+}
+
+// LoadManifest merges a tuning manifest (the `ndtune -manifest`
+// output) into the engine's schedule table, keyed the same way Tune
+// keys its results, so Ansor-backend calls use the offline-tuned
+// schedule instead of searching or defaulting. Entries with an
+// invalid shape or a schedule failing Schedule.Valid are rejected
+// with a rate-limited log — a stale or hand-edited manifest degrades
+// to the default schedule, never crashes. Nil-safe. Returns how many
+// entries were loaded and how many rejected.
+func (eng *Engine) LoadManifest(m *autotune.Manifest) (loaded, rejected int) {
+	if m == nil {
+		return 0, 0
+	}
+	if eng.Schedules == nil {
+		eng.Schedules = map[string]autotune.Schedule{}
+	}
+	for _, e := range m.Entries {
+		if e.Shape.Validate() != nil || !e.Schedule.Valid(e.Shape) {
+			rejected++
+			eng.logLimited("manifest|"+shapeKey(e.Shape),
+				"nn: manifest entry for %v rejected (invalid shape or schedule); planning as untuned", e.Shape)
+			continue
+		}
+		eng.Schedules[shapeKey(e.Shape)] = e.Schedule
+		loaded++
+	}
+	return loaded, rejected
+}
+
+// WarmPlans pre-builds the steady-state serving state — the cached
+// plan, the per-unit plan memo and the packed weights — for every
+// conv unit whose shape the covered filter admits (nil covers all),
+// at batch 1 with the exact options the Reuse serving path uses. A
+// warmed unit's first request (and every one after) runs with zero
+// plan-cache misses and zero filter transforms: the warm-start
+// contract the tuning manifest promises. Requires a Reuse engine (or
+// an explicit Plans cache). Weight-residency hooks fire exactly as
+// they would on a first request, so warming charges the same budget.
+func (n *Network) WarmPlans(eng *Engine, covered func(conv.Shape) bool) (warmed int, err error) {
+	cache := eng.plans()
+	if cache == nil {
+		return 0, fmt.Errorf("nn: WarmPlans needs Reuse or an explicit plan cache")
+	}
+	for _, u := range n.ConvUnits() {
+		s := u.Shape.WithBatch(1)
+		if covered != nil && !covered(s) {
+			continue
+		}
+		opt := core.Options{Threads: eng.Threads, PlanCache: cache}
+		if ep := u.fusedEpilogue(); ep != nil {
+			opt.FusedEpilogue = ep
+		}
+		plan, perr := u.planFor(s, opt)
+		if perr != nil {
+			return warmed, fmt.Errorf("nn: warm %s: %w", u.LayerName, perr)
+		}
+		if _, perr := u.packedFor(eng, plan, u.Weights); perr != nil {
+			return warmed, fmt.Errorf("nn: warm %s: %w", u.LayerName, perr)
+		}
+		warmed++
+	}
+	return warmed, nil
 }
 
 // --- Convolution unit (conv [+BN] [+ReLU]) ---

@@ -196,7 +196,11 @@ func modelKey(tenant, model string) string { return tenant + "\x00" + model }
 
 // Register adds a tenant's network under the given model name. The
 // model's packed weights become resident lazily, on first inference,
-// charged against the shared weight budget.
+// charged against the shared weight budget — unless the Runtime was
+// built with a tuning manifest, in which case every manifest-covered
+// conv unit is warmed eagerly (plan cache entry, per-unit plan memo,
+// packed weights, specialized kernel registration) before the model
+// becomes visible, so covered traffic never pays planning latency.
 func (r *Registry) Register(tenant, model string, net *nn.Network) error {
 	if tenant == "" || model == "" {
 		return fmt.Errorf("%w: empty tenant or model name", core.ErrBadOptions)
@@ -204,6 +208,13 @@ func (r *Registry) Register(tenant, model string, net *nn.Network) error {
 	if net == nil {
 		return fmt.Errorf("%w: nil network", core.ErrBadOptions)
 	}
+	key := modelKey(tenant, model)
+	r.mu.Lock()
+	if _, ok := r.models[key]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s", ErrModelExists, tenant, model)
+	}
+	r.mu.Unlock()
 	e := &modelEntry{
 		tenant:   tenant,
 		model:    model,
@@ -226,10 +237,33 @@ func (r *Registry) Register(tenant, model string, net *nn.Network) error {
 		Plans:          r.rt.plans,
 		ForceReference: true,
 	}
-	key := modelKey(tenant, model)
+	if m := r.rt.manifest; m != nil {
+		// Warm-start outside every registry lock: warming takes the
+		// units' packMu (which orders before r.mu) and charges the
+		// weight budget through the entry's own hooks — exactly the
+		// charges a first request would make. A warm failure degrades
+		// to cold-start planning, never blocks registration.
+		e.eng.LoadManifest(m)
+		for _, u := range net.ConvUnits() {
+			if m.Covers(u.Shape) {
+				core.RegisterShapeKernel(u.Shape)
+			}
+		}
+		if _, err := net.WarmPlans(e.eng, m.Covers); err != nil {
+			core.Logf("serve: warm-start %s/%s failed (serving cold): %v", tenant, model, err)
+		}
+	}
 	r.mu.Lock()
 	if _, ok := r.models[key]; ok {
 		r.mu.Unlock()
+		// A concurrent Register won the name between the pre-check and
+		// the insert. Retire this entry's warmed residency so the lost
+		// race cannot leak weight-budget charges.
+		e.mu.Lock()
+		e.dead = true
+		r.releaseResidentLocked(e)
+		e.mu.Unlock()
+		e.net.InvalidateReuse(e.eng)
 		return fmt.Errorf("%w: %s/%s", ErrModelExists, tenant, model)
 	}
 	r.models[key] = e

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ndirect/internal/autotune"
 	"ndirect/internal/conv"
 	"ndirect/internal/core"
 	"ndirect/internal/nn"
@@ -89,6 +90,15 @@ type Config struct {
 	// cache. Configure breaker fields (BreakerThreshold) on the engine
 	// to quarantine failing baseline backends.
 	Engine *nn.Engine
+	// Manifest, when non-nil, warm-starts the runtime from an offline
+	// `ndtune -manifest` run: each valid entry's shape is registered
+	// with the core kernel-dispatch registry and its plan pre-built
+	// into the runtime cache at construction, and registry-registered
+	// models covered by the manifest are fully warmed (plans, memos,
+	// packed weights) at Register time — production traffic on covered
+	// shapes then never pays autotune or plan-construction latency.
+	// Entries failing validation are dropped with a log, never fatal.
+	Manifest *autotune.Manifest
 }
 
 // DefaultPoolIdleBytes bounds the activation pool when Config leaves
@@ -103,13 +113,14 @@ const DefaultBatchMax = 8
 // Runtime is the overload-safe serving runtime. All methods are safe
 // for concurrent use.
 type Runtime struct {
-	gate    *Gate
-	budget  *Budget
-	plans   *core.PlanCache
-	pool    *bufferPool
-	opts    core.Options
-	engine  *nn.Engine
-	batcher *batcher // nil: batching disabled
+	gate     *Gate
+	budget   *Budget
+	plans    *core.PlanCache
+	pool     *bufferPool
+	opts     core.Options
+	engine   *nn.Engine
+	batcher  *batcher // nil: batching disabled
+	manifest *autotune.Manifest
 
 	degradedOnce sync.Once
 	degraded     core.Options
@@ -169,6 +180,25 @@ func New(cfg Config) *Runtime {
 			},
 			rt.Recycle)
 	}
+	if cfg.Manifest != nil {
+		rt.manifest = cfg.Manifest
+		if rejected := rt.manifest.Validate(); len(rejected) > 0 {
+			core.Logf("serve: manifest: %d entries rejected (invalid shape or schedule); covered shapes reduced", len(rejected))
+		}
+		rt.engine.LoadManifest(rt.manifest)
+		// Warm-start: register each covered shape with the kernel-
+		// dispatch registry and pre-solve its batch-1 plan into the
+		// runtime cache, so the first request on a tuned shape is a
+		// cache hit on a specialized plan. Failures are logged and
+		// skipped — a bad entry degrades to cold planning, never
+		// blocks startup.
+		for _, e := range rt.manifest.Entries {
+			core.RegisterShapeKernel(e.Shape)
+			if _, err := rt.plans.Get(e.Shape.WithBatch(1), rt.opts); err != nil {
+				core.Logf("serve: manifest: pre-planning %v failed: %v", e.Shape, err)
+			}
+		}
+	}
 	// Warm the process-wide worker pool at construction: the first
 	// request should land on already-parked workers, not pay the
 	// worker spawns (and their allocations) inside its latency budget.
@@ -189,6 +219,10 @@ func (rt *Runtime) Engine() *nn.Engine { return rt.engine }
 
 // PlanCache returns the runtime's shared plan cache.
 func (rt *Runtime) PlanCache() *core.PlanCache { return rt.plans }
+
+// Manifest returns the validated tuning manifest the runtime was
+// built with (nil without Config.Manifest).
+func (rt *Runtime) Manifest() *autotune.Manifest { return rt.manifest }
 
 // TryConv2D is TryConv2DCtx with a background context (admission can
 // still fail fast on a full queue; there is no deadline to wait out).

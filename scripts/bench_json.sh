@@ -21,12 +21,12 @@ COUNT=${COUNT:-5}
 BENCHTIME=${BENCHTIME:-500x}
 
 echo "==> warmup pass (discarded)"
-go test -run '^$' -bench 'EngineSteadyState|SmallConvServing' -benchtime 100x . >/dev/null
+go test -run '^$' -bench 'EngineSteadyState|SmallConvServing|WarmStartPlan' -benchtime 100x . >/dev/null
 go test -run '^$' -bench 'MicroKernelBodies' -benchtime 100x ./internal/core >/dev/null
 
 echo "==> measured passes (count=$COUNT, benchtime=$BENCHTIME, best-of-N)"
 {
-    go test -run '^$' -bench 'EngineSteadyState|SmallConvServing' \
+    go test -run '^$' -bench 'EngineSteadyState|SmallConvServing|WarmStartPlan' \
         -benchtime "$BENCHTIME" -count "$COUNT" .
     go test -run '^$' -bench 'MicroKernelBodies' \
         -benchtime "$BENCHTIME" -count "$COUNT" ./internal/core

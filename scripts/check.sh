@@ -21,6 +21,13 @@ go test -run='^$' -fuzz=FuzzTryConv2D -fuzztime=10s ./internal/core
 echo "==> ndserve selftest (multi-tenant HTTP lifecycle + batching burst)"
 go run ./cmd/ndserve -selftest
 
+echo "==> warm-start round trip (ndtune -manifest -> ndserve -selftest -manifest)"
+MANIFEST=$(mktemp /tmp/ndtune-manifest.XXXXXX.json)
+trap 'rm -f "$MANIFEST"' EXIT
+go run ./cmd/ndtune -shape 8,16,16,16,3,3,1,1 -trials 6 -population 4 -generations 2 \
+    -threads 2 -seed 1 -manifest "$MANIFEST"
+go run ./cmd/ndserve -selftest -manifest "$MANIFEST"
+
 echo "==> ndsoak batching smoke (8s, coalesced serving invariants)"
 go run ./cmd/ndsoak -duration 8s -batch -clients 8
 
