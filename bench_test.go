@@ -421,7 +421,7 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 	// per forward (asserted deterministically by
 	// core.TestSteadyStateZeroAllocs and by scripts/bench_smoke.sh in
 	// CI).
-	b.Run("packed-pooled", func(b *testing.B) {
+	runPackedPooled := func(b *testing.B) {
 		shapes := []conv.Shape{
 			{N: 1, C: 3, H: 56, W: 56, K: 16, R: 3, S: 3, Str: 2, Pad: 1},
 			{N: 1, C: 16, H: 28, W: 28, K: 8, R: 1, S: 1, Str: 1, Pad: 0},
@@ -458,6 +458,35 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 				}
 			}
 		}
+	}
+	b.Run("packed-pooled", runPackedPooled)
+
+	// packed-pooled-sentinel is the same hot loop with the full
+	// silent-corruption defense active: packed-filter checksum
+	// verification sampled aggressively (every 64th consumption instead
+	// of the production default) and a serving runtime whose integrity
+	// sentinel probes kernel families in the background — its gate
+	// sees no traffic, so it probes at the full configured rate. The
+	// hot path must stay at 0 allocs/op (scripts/bench_smoke.sh gates
+	// on it) and within noise of packed-pooled; EXPERIMENTS.md records
+	// the measured delta.
+	b.Run("packed-pooled-sentinel", func(b *testing.B) {
+		core.SetPackedVerifyInterval(64)
+		defer core.SetPackedVerifyInterval(core.DefaultPackedVerifyInterval)
+		// Warm each family's cached probe state (plan, operands,
+		// reference oracle) so the probes the sentinel fires during the
+		// timed window run at their allocation-free steady state.
+		for _, name := range core.KernelFamilyNames() {
+			if err := core.VerifyKernelFamily(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv := ndirect.NewServer(ndirect.ServeConfig{
+			SentinelInterval: 2 * time.Millisecond,
+			Options:          core.Options{Threads: 1},
+		})
+		defer srv.Close()
+		runPackedPooled(b)
 	})
 }
 

@@ -15,11 +15,19 @@
 //	DELETE /v1/models/{tenant}/{model}
 //	POST   /v1/infer/{tenant}/{model}      {"seed":N} or {"dims":[n,c,h,w],"data":[...]}
 //	GET    /v1/stats
-//	GET    /healthz
+//	GET    /healthz                        200 ok / 503 degraded, with integrity detail
+//
+// /healthz reflects the silent-corruption defense (DESIGN.md §12): it
+// reports degraded (HTTP 503, so a load balancer can rotate the
+// replica out) while any kernel family or model is under integrity
+// quarantine, and returns to ok when the background sentinel's clean
+// probes restore them. -sentinel sets the probe interval.
 //
 // -selftest starts the server on a loopback port, drives a scripted
 // multi-tenant exercise over real HTTP (register, concurrent bit-exact
-// inference for two tenants, a forced weight-eviction storm, drain,
+// inference for two tenants, a forced weight-eviction storm, an
+// integrity drill that forces a kernel-family quarantine and watches
+// /healthz flip degraded→ok across the sentinel's restore, drain,
 // unregister, budget-back-to-baseline), and exits 0/1. `make check`
 // runs it.
 package main
@@ -254,6 +262,39 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.reg.Stats())
 }
 
+// healthResponse is the GET /healthz body. A load balancer keys on the
+// HTTP status alone (200 ok, 503 degraded); the fields tell an
+// operator why: how much capacity is under integrity quarantine and
+// what the defense layers have caught so far.
+type healthResponse struct {
+	Status             string `json:"status"` // "ok" or "degraded"
+	KernelsQuarantined int    `json:"kernels_quarantined"`
+	ModelsQuarantined  int    `json:"models_quarantined"`
+	SentinelProbes     uint64 `json:"sentinel_probes"`
+	IntegrityFailures  uint64 `json:"integrity_failures"`
+	CanaryTrips        uint64 `json:"canary_trips"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := s.reg.Stats()
+	h := healthResponse{
+		Status:             "ok",
+		KernelsQuarantined: core.KernelDispatchStats().Quarantined,
+		ModelsQuarantined:  st.QuarantinedNow,
+		SentinelProbes:     st.Runtime.SentinelProbes,
+		IntegrityFailures:  st.Runtime.IntegrityFailures,
+		CanaryTrips:        st.Runtime.CanaryTrips,
+	}
+	if h.KernelsQuarantined > 0 || h.ModelsQuarantined > 0 {
+		h.Status = "degraded"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
+}
+
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handlePutTenant)
@@ -261,9 +302,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/models/{tenant}/{model}", s.handleUnregister)
 	mux.HandleFunc("POST /v1/infer/{tenant}/{model}", s.handleInfer)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
 
@@ -279,6 +318,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0, "cross-request micro-batching window (0 = batching disabled); compatible concurrent requests coalesce into one execution")
 	batchMax := flag.Int("batch-max", serve.DefaultBatchMax, "max images per coalesced batch (effective with -batch-window > 0)")
 	manifestPath := flag.String("manifest", "", "warm-start tuning manifest (ndtune -manifest output); covered shapes serve with pre-built plans and specialized kernels")
+	sentinel := flag.Duration("sentinel", time.Second, "integrity sentinel probe interval (0 = disabled); probes run only while the admission gate is idle")
 	selftest := flag.Bool("selftest", false, "run the scripted multi-tenant exercise against a loopback server and exit")
 	flag.Parse()
 
@@ -300,15 +340,22 @@ func main() {
 		*batchWindow = 25 * time.Millisecond
 		*batchMax = 4
 	}
+	if *selftest {
+		// The integrity drill waits on the sentinel's quarantine and
+		// restore; probe fast so the selftest finishes in seconds.
+		*sentinel = 2 * time.Millisecond
+	}
 	rt := serve.New(serve.Config{
-		MaxInFlight:   *inFlight,
-		MaxQueue:      *queue,
-		MemLimitBytes: *memKB << 10,
-		BatchWindow:   *batchWindow,
-		BatchMax:      *batchMax,
-		Options:       core.Options{Threads: *threads},
-		Manifest:      manifest,
+		MaxInFlight:      *inFlight,
+		MaxQueue:         *queue,
+		MemLimitBytes:    *memKB << 10,
+		BatchWindow:      *batchWindow,
+		BatchMax:         *batchMax,
+		SentinelInterval: *sentinel,
+		Options:          core.Options{Threads: *threads},
+		Manifest:         manifest,
 	})
+	defer rt.Close()
 	s := &server{
 		reg: serve.NewRegistry(serve.RegistryConfig{
 			Runtime:             rt,
@@ -552,6 +599,58 @@ func runSelftest(s *server) error {
 		if err := do("DELETE", "/v1/models/warm/m", nil, http.StatusNoContent, nil); err != nil {
 			return err
 		}
+	}
+
+	// Integrity drill: /healthz must report ok now; arming an unlimited
+	// kernel-miscompute makes the always-on selftest sentinel quarantine
+	// a kernel family, flipping /healthz to 503 degraded; clearing the
+	// fault lets the sentinel's clean probes restore the family and
+	// /healthz return to 200 ok — the whole detect→quarantine→restore
+	// loop observed through the operator endpoint, with serving still
+	// bit-exact afterwards.
+	getHealth := func() (int, healthResponse, error) {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return 0, healthResponse{}, err
+		}
+		defer resp.Body.Close()
+		var h healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			return 0, healthResponse{}, fmt.Errorf("decoding /healthz: %w", err)
+		}
+		return resp.StatusCode, h, nil
+	}
+	waitHealth := func(wantCode int, wantStatus string) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			code, h, err := getHealth()
+			if err != nil {
+				return err
+			}
+			if code == wantCode && h.Status == wantStatus {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("healthz stuck at %d %q (kernels=%d models=%d), want %d %q",
+					code, h.Status, h.KernelsQuarantined, h.ModelsQuarantined, wantCode, wantStatus)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if code, h, err := getHealth(); err != nil || code != http.StatusOK || h.Status != "ok" {
+		return fmt.Errorf("healthz before the drill: %d %q err=%v, want 200 ok", code, h.Status, err)
+	}
+	faultinject.ArmN(faultinject.KernelMiscompute, -1, -1)
+	if err := waitHealth(http.StatusServiceUnavailable, "degraded"); err != nil {
+		faultinject.Reset()
+		return fmt.Errorf("integrity drill (quarantine): %w", err)
+	}
+	faultinject.Reset()
+	if err := waitHealth(http.StatusOK, "ok"); err != nil {
+		return fmt.Errorf("integrity drill (restore): %w", err)
+	}
+	if err := inferOnce("alice"); err != nil {
+		return fmt.Errorf("after the integrity drill: %w", err)
 	}
 
 	// Unregister everything: the weight budget returns to baseline, and

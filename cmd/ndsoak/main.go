@@ -10,8 +10,8 @@
 //     traffic uses integer-valued tensors, so all execution modes and
 //     fallback paths agree to the bit) or an error wrapping one of the
 //     typed sentinels (ErrOverloaded, ErrDeadline, ErrExecFault,
-//     ErrWorkerPanic). Anything else — a wrong answer, an untyped
-//     error, a panic — is a violation.
+//     ErrWorkerPanic, ErrIntegrity). Anything else — a wrong answer,
+//     an untyped error, a panic — is a violation.
 //  2. After the storm, parallel.LeakedWorkers drains to zero: every
 //     abandoned worker terminates once stalls are released.
 //  3. Memory accounting returns to its post-setup baseline (the
@@ -25,9 +25,25 @@
 //     back to the post-setup baseline — a steady-state request must
 //     not leave goroutines behind.
 //
+// With -integrity the storm additionally arms the silent-corruption
+// drills (weight-bitflip, scratch-overrun, kernel-miscompute), the
+// runtime's integrity sentinel runs throughout, packed-filter checksum
+// sampling is tightened, and two more invariants apply:
+//
+//  6. Zero corrupted outputs reach callers: every injected corruption
+//     is either caught (typed core.ErrIntegrity, a canary trip, a
+//     checksum failure) or bit-exactly absent from the results — which
+//     invariant 1's oracle comparison already enforces. The detection
+//     layers must actually fire: a storm that armed weight-bitflip and
+//     scratch-overrun without a single checksum failure or canary trip
+//     means the defense was asleep, and is a violation.
+//  7. The sentinel closes the loop unattended: after the drain, an
+//     armed kernel-miscompute must drive quarantine of a kernel family
+//     out of dispatch, and clearing the fault must drive its restore.
+//
 // Exit status: 0 on a clean soak, 1 on invariant violations, 2 on a
 // hang (clients failed to drain). CI runs this for ~30 seconds with
-// -storm on every push.
+// -storm on every push, plus an -integrity -storm soak under -race.
 package main
 
 import (
@@ -85,6 +101,7 @@ func main() {
 	tenants := flag.Int("tenants", 0, "run the multi-tenant registry soak with this many tenants (0 = classic single-runtime soak)")
 	weightKB := flag.Int64("weight-kb", 0, "packed-weight residency budget in KiB for -tenants mode (0 = unlimited); lower it so serving thrashes the weight LRU")
 	batch := flag.Bool("batch", false, "enable cross-request micro-batching (2ms window, max 4 images) so the soak drives coalesced execution through the storm")
+	integrity := flag.Bool("integrity", false, "run the integrity sentinel, arm the silent-corruption drills in the storm, and assert every injected corruption is detected")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -118,6 +135,16 @@ func main() {
 			cfg.MaxInFlight = 2 * cfg.BatchMax
 			cfg.MaxQueue = 2 * cfg.MaxInFlight
 		}
+	}
+	if *integrity {
+		// The sentinel probes only when the gate is idle, so a short
+		// interval costs the soak nothing while traffic is flowing and
+		// turns every lull into a verification pass.
+		cfg.SentinelInterval = 2 * time.Millisecond
+		// Tighten checksum sampling from the production default so the
+		// sampled (not just injection-forced) verification path fires
+		// many times inside a 30-second soak.
+		core.SetPackedVerifyInterval(64)
 	}
 	rt := serve.New(cfg)
 
@@ -167,12 +194,24 @@ func main() {
 			faultinject.WorkerStall,
 			faultinject.PackedCorrupt,
 		}
+		if *integrity {
+			// The silent-corruption drills: a finite bit flip only the
+			// checksum can see, a scratch overrun only the canary can
+			// see, and a kernel miscompute only the sentinel's golden
+			// probe can see.
+			points = append(points,
+				faultinject.WeightBitflip,
+				faultinject.ScratchOverrun,
+				faultinject.KernelMiscompute,
+			)
+		}
 		lastReset := time.Now()
 		for trafficCtx.Err() == nil {
 			for n := 1 + rng.Intn(2); n > 0; n-- {
 				p := points[rng.Intn(len(points))]
 				arg := -1
-				if p == faultinject.NaNPoison || p == faultinject.PackedCorrupt {
+				switch p {
+				case faultinject.NaNPoison, faultinject.PackedCorrupt, faultinject.WeightBitflip:
 					arg = rng.Intn(1 << 16) // element index, clamped by the hook
 				}
 				faultinject.ArmN(p, arg, 1+rng.Intn(3))
@@ -282,6 +321,14 @@ drain:
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	// Invariant 7 (-integrity): with the gate idle, the sentinel must
+	// close the detect→quarantine→restore loop on its own. Runs before
+	// rt.Close() tears the sentinel down.
+	if *integrity {
+		sentinelDrill(rt, violate)
+	}
+	rt.Close()
+
 	// Invariant 5: goroutine count settles back to the post-setup
 	// baseline — steady-state serving dispatches onto the persistent
 	// pool, and spawn-fallback workers exit with their grid, so any
@@ -323,6 +370,23 @@ drain:
 	if br := rt.Engine().BreakerStats(nn.AlgoIm2col); br.Trips > 0 || br.Skips > 0 {
 		fmt.Printf("ndsoak: im2col breaker %+v\n", br)
 	}
+	if *integrity {
+		fmt.Printf("ndsoak: integrity: %d sentinel probes, %d canary trips, %d integrity failures, kernel quarantines/restores %d/%d\n",
+			st.SentinelProbes, st.CanaryTrips, st.IntegrityFailures, st.KernelQuarantines, st.KernelRestores)
+		fmt.Printf("ndsoak: integrity: %d packed verifies (%d failed), %d scratch canary trips\n",
+			st.Integrity.PackedVerifies, st.Integrity.PackedVerifyFailures, st.Integrity.ScratchCanaryTrips)
+		// Invariant 6: the detection layers actually fired. The oracle
+		// comparison proves no corruption got through; these prove the
+		// storm's corruptions were caught rather than never injected.
+		if *storm {
+			if st.Integrity.PackedVerifyFailures == 0 {
+				violate("storm armed weight-bitflip but no packed checksum verification ever failed")
+			}
+			if st.Integrity.ScratchCanaryTrips == 0 {
+				violate("storm armed scratch-overrun but no scratch canary ever tripped")
+			}
+		}
+	}
 	if violations.Load() > 0 {
 		os.Exit(1)
 	}
@@ -334,7 +398,42 @@ func typedError(err error) bool {
 	return errors.Is(err, core.ErrOverloaded) ||
 		errors.Is(err, conv.ErrDeadline) ||
 		errors.Is(err, core.ErrExecFault) ||
-		errors.Is(err, parallel.ErrWorkerPanic)
+		errors.Is(err, parallel.ErrWorkerPanic) ||
+		errors.Is(err, core.ErrIntegrity)
+}
+
+// sentinelDrill proves the sentinel's unattended quarantine/restore
+// loop after the traffic drains: an unlimited kernel-miscompute is
+// armed (it fires only at the sentinel's golden probes), the drill
+// waits for a kernel family to be quarantined out of dispatch, clears
+// the fault, and waits for every family to be restored.
+func sentinelDrill(rt *serve.Runtime, violate func(string, ...any)) {
+	defer faultinject.Reset()
+	faultinject.ArmN(faultinject.KernelMiscompute, -1, -1)
+	deadline := time.Now().Add(15 * time.Second)
+	for rt.Stats().KernelQuarantines == 0 {
+		if time.Now().After(deadline) {
+			violate("sentinel never quarantined a kernel family under an armed kernel-miscompute")
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	faultinject.Reset()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		st := rt.Stats()
+		if st.KernelRestores >= st.KernelQuarantines && core.KernelDispatchStats().Quarantined == 0 {
+			fmt.Printf("ndsoak: sentinel drill: quarantined and restored (%d/%d), dispatch clean\n",
+				st.KernelQuarantines, st.KernelRestores)
+			return
+		}
+		if time.Now().After(deadline) {
+			violate("sentinel failed to restore after the fault cleared: quarantines=%d restores=%d families still out=%d",
+				st.KernelQuarantines, st.KernelRestores, core.KernelDispatchStats().Quarantined)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // buildTraffic precomputes the mixed-shape workloads and their oracles

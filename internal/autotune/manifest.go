@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -25,10 +26,21 @@ import (
 // "operator error" — and neither is ever allowed to crash a server:
 // serve.New and nn.Engine reject invalid entries with a rate-limited
 // log and fall back to planning as if the entry were absent.
+//
+// Version 2 (DESIGN.md §12) adds a CRC32-C per entry over the entry's
+// load-bearing fields (shape + schedule): a manifest is long-lived
+// state that crosses machines and sits on disk between tuning and
+// serving, so a flipped bit in a tile size would otherwise warm-start
+// production onto a silently wrong (or invalid) schedule. Version 1
+// manifests remain readable — they simply carry no checksums to check.
 
-// ManifestVersion is the on-disk format version this build reads and
-// writes. Bump on any incompatible change to the entry encoding.
-const ManifestVersion = 1
+// ManifestVersion is the on-disk format version this build writes.
+// Decoding also accepts manifestVersionV1.
+const ManifestVersion = 2
+
+// manifestVersionV1 is the pre-checksum format: identical except that
+// entries carry no crc32c field.
+const manifestVersionV1 = 1
 
 var (
 	// ErrManifestVersion marks a manifest written by an incompatible
@@ -39,12 +51,34 @@ var (
 )
 
 // ManifestEntry is one tuned shape: the schedule that won the search
-// plus its measurement provenance.
+// plus its measurement provenance. Checksum is the CRC32-C over the
+// entry's canonical shape+schedule encoding, stamped by EncodeManifest
+// and verified by DecodeManifest (0 = absent: a v1 entry, or a
+// hand-written one — tolerated but unprotected).
 type ManifestEntry struct {
 	Shape    conv.Shape `json:"shape"`
 	Schedule Schedule   `json:"schedule"`
 	BestSec  float64    `json:"best_sec,omitempty"` // winning measured seconds
 	Trials   int        `json:"trials,omitempty"`   // schedules measured to find it
+	Checksum uint32     `json:"crc32c,omitempty"`
+}
+
+// entryChecksum computes the CRC32-C over the fields that steer
+// execution (shape and schedule; provenance is advisory). The input is
+// the JSON encoding of a fixed two-field struct, which Go marshals
+// deterministically, so the checksum is stable across encode cycles
+// and Go versions.
+func entryChecksum(e ManifestEntry) uint32 {
+	raw, err := json.Marshal(struct {
+		Shape    conv.Shape `json:"shape"`
+		Schedule Schedule   `json:"schedule"`
+	}{e.Shape, e.Schedule})
+	if err != nil {
+		// Plain structs of ints cannot fail to marshal; keep the zero
+		// (= unprotected) rather than inventing an error path.
+		return 0
+	}
+	return crc32.Checksum(raw, crc32.MakeTable(crc32.Castagnoli))
 }
 
 // Manifest is a versioned collection of tuned schedules keyed by
@@ -122,9 +156,12 @@ func (m *Manifest) Validate() (rejected []ManifestEntry) {
 
 // EncodeManifest serialises the manifest to deterministic, indented
 // JSON (entries sorted by shape string so repeated tuning runs diff
-// cleanly).
+// cleanly), stamping every entry's CRC32-C.
 func EncodeManifest(m *Manifest) ([]byte, error) {
 	out := Manifest{Version: ManifestVersion, Entries: append([]ManifestEntry(nil), m.Entries...)}
+	for i := range out.Entries {
+		out.Entries[i].Checksum = entryChecksum(out.Entries[i])
+	}
 	sort.Slice(out.Entries, func(i, j int) bool {
 		return out.Entries[i].Shape.String() < out.Entries[j].Shape.String()
 	})
@@ -136,16 +173,31 @@ func EncodeManifest(m *Manifest) ([]byte, error) {
 }
 
 // DecodeManifest parses manifest bytes, returning ErrManifestCorrupt
-// for malformed JSON and ErrManifestVersion for a version other than
-// ManifestVersion. Entries are decoded as-is; call Validate before
-// trusting the schedules.
+// for malformed JSON (or a version-2 entry failing its checksum) and
+// ErrManifestVersion for an unknown version. Version 1 manifests are
+// accepted without checksum protection. Entries are otherwise decoded
+// as-is; call Validate before trusting the schedules.
 func DecodeManifest(raw []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrManifestCorrupt, err)
 	}
-	if m.Version != ManifestVersion {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrManifestVersion, m.Version, ManifestVersion)
+	switch m.Version {
+	case manifestVersionV1:
+		return &m, nil
+	case ManifestVersion:
+	default:
+		return nil, fmt.Errorf("%w: got %d, want %d (or %d)", ErrManifestVersion, m.Version, ManifestVersion, manifestVersionV1)
+	}
+	for i := range m.Entries {
+		e := m.Entries[i]
+		if e.Checksum == 0 {
+			continue // unstamped entry (hand-written): tolerated, unprotected
+		}
+		if got := entryChecksum(e); got != e.Checksum {
+			return nil, fmt.Errorf("%w: entry %d (%v) fails its CRC32-C (stored %#x, computed %#x): the manifest was altered or damaged after tuning",
+				ErrManifestCorrupt, i, e.Shape, e.Checksum, got)
+		}
 	}
 	return &m, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ndirect/internal/conv"
@@ -73,6 +74,53 @@ func TestManifestCorruptAndStale(t *testing.T) {
 	}
 	if m, err := ReadManifestFile(empty); err != nil || len(m.Entries) != 0 {
 		t.Fatalf("zero-byte file (mktemp pre-created): m=%v err=%v, want empty manifest", m, err)
+	}
+}
+
+// Version-2 integrity: the encoder stamps a CRC32-C per entry. The
+// decoder must reject an entry whose load-bearing fields (shape,
+// schedule) were altered after stamping — typed as ErrManifestCorrupt,
+// naming the entry — while provenance edits stay legal (outside the
+// checksum) and version-1 manifests stay readable (no protection).
+func TestManifestChecksumDefense(t *testing.T) {
+	m := testManifest()
+	raw, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A flipped tile size after stamping must be caught.
+	tampered := []byte(strings.Replace(string(raw), `"TileK": 16`, `"TileK": 61`, 1))
+	if string(tampered) == string(raw) {
+		t.Fatal("test setup: TileK field not found in encoding")
+	}
+	if _, err := DecodeManifest(tampered); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("tampered schedule: err = %v, want ErrManifestCorrupt", err)
+	}
+
+	// Provenance is advisory and outside the checksum: editing it is
+	// not corruption.
+	prov := []byte(strings.Replace(string(raw), `"trials": 24`, `"trials": 999`, 1))
+	if _, err := DecodeManifest(prov); err != nil {
+		t.Fatalf("provenance edit rejected: %v", err)
+	}
+
+	// A v1 manifest (no checksums) still reads.
+	v1 := []byte(`{"version": 1, "entries": [{"shape": {"N":1,"C":8,"H":16,"W":16,"K":16,"R":3,"S":3,"Str":1,"Pad":1},
+		"schedule": {"TileK":16,"TileC":8,"TileH":4,"TileW":12,"VecW":12,"UnrollS":true}}]}`)
+	got, err := DecodeManifest(v1)
+	if err != nil {
+		t.Fatalf("v1 manifest rejected: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].Checksum != 0 {
+		t.Fatalf("v1 decode: %d entries, checksum %#x; want 1 unstamped entry", len(got.Entries), got.Entries[0].Checksum)
+	}
+
+	// An unstamped v2 entry (hand-written) is tolerated.
+	unstamped := []byte(`{"version": 2, "entries": [{"shape": {"N":1,"C":8,"H":16,"W":16,"K":16,"R":3,"S":3,"Str":1,"Pad":1},
+		"schedule": {"TileK":16,"TileC":8,"TileH":4,"TileW":12,"VecW":12}}]}`)
+	if _, err := DecodeManifest(unstamped); err != nil {
+		t.Fatalf("unstamped v2 entry rejected: %v", err)
 	}
 }
 

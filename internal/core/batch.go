@@ -151,6 +151,25 @@ func (p *Plan) execBatch(ctx context.Context, ins []*tensor.Tensor, filter *tens
 	var pre []float32
 	if pf != nil {
 		pre = pf.data
+		forceVerify := false
+		if injecting {
+			if idx, ok := faultinject.Take(faultinject.WeightBitflip); ok && len(pre) > 0 {
+				if idx < 0 || idx >= len(pre) {
+					idx = 0
+				}
+				// Finite mantissa flip on a run-private copy, exactly as
+				// execChecked does: only the checksum can catch it.
+				corrupted := append([]float32(nil), pre...)
+				corrupted[idx] = math.Float32frombits(math.Float32bits(corrupted[idx]) ^ 0x00400000)
+				pre = corrupted
+				forceVerify = true
+			}
+		}
+		if forceVerify || pf.shouldVerify() {
+			if verr := pf.verifyConsumed(pre); verr != nil {
+				return verr
+			}
+		}
 		if injecting {
 			if idx, ok := faultinject.Take(faultinject.PackedCorrupt); ok && len(pre) > 0 {
 				if idx < 0 || idx >= len(pre) {
@@ -181,6 +200,11 @@ func (p *Plan) execBatch(ctx context.Context, ins []*tensor.Tensor, filter *tens
 	}
 	if err == nil {
 		return nil
+	}
+	if errors.Is(err, ErrIntegrity) {
+		// Detected corruption passes through typed (see execChecked):
+		// the owning layer quarantines or re-packs before retrying.
+		return err
 	}
 	if errors.Is(err, conv.ErrDeadline) {
 		if p.opts.FallbackBudget <= 0 {

@@ -23,11 +23,14 @@ package core
 // through RegisterShapeKernel before traffic arrives).
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"ndirect/internal/conv"
+	"ndirect/internal/faultinject"
 	"ndirect/internal/model"
+	"ndirect/internal/tensor"
 )
 
 // specializedKernel is the calling convention of a constant-folded
@@ -64,6 +67,14 @@ var (
 	dispatchGen atomic.Uint64
 
 	dispatchHits, dispatchMisses atomic.Uint64
+
+	// Integrity quarantine (DESIGN.md §12): a family whose probe output
+	// diverged from the reference oracle is pulled from the table —
+	// every shape it covered reverts to the bit-identical fallback
+	// kernels — and its shapes are remembered here so a passing
+	// re-probe restores coverage. Both maps are guarded by dispatchMu.
+	quarFamilies = map[string]bool{}
+	quarShapes   = map[string][]conv.Shape{}
 )
 
 // dispatchShapeKey normalises the registry key: the micro-kernel is
@@ -104,12 +115,30 @@ func RegisterShapeKernel(s conv.Shape) bool {
 	}
 	key := dispatchShapeKey(s)
 	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	if quarFamilies[v.name] {
+		// The family is under integrity quarantine: refuse coverage now
+		// (the shape serves on the bit-identical fallback kernels) but
+		// remember the shape so a passing re-probe restores it.
+		if !containsShape(quarShapes[v.name], key) {
+			quarShapes[v.name] = append(quarShapes[v.name], key)
+		}
+		return false
+	}
 	if dispatchTable[key] == nil {
 		dispatchTable[key] = v
 		dispatchGen.Add(1)
 	}
-	dispatchMu.Unlock()
 	return true
+}
+
+func containsShape(list []conv.Shape, s conv.Shape) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 // lookupKernelVariant resolves the registered variant for s (nil when
@@ -132,23 +161,199 @@ func lookupKernelVariant(s conv.Shape) *kernelVariant {
 // DispatchStats is a point-in-time snapshot of the kernel dispatch
 // registry's counters.
 type DispatchStats struct {
-	Registered int    // exact shapes with a specialized variant
-	Hits       uint64 // plan constructions that selected a variant
-	Misses     uint64 // eligible constructions that fell back
-	Generation uint64 // bumped per registration (plan-cache key input)
+	Registered  int    // exact shapes with a specialized variant
+	Quarantined int    // kernel families under integrity quarantine
+	Hits        uint64 // plan constructions that selected a variant
+	Misses      uint64 // eligible constructions that fell back
+	Generation  uint64 // bumped per registration (plan-cache key input)
 }
 
 // KernelDispatchStats snapshots the dispatch registry.
 func KernelDispatchStats() DispatchStats {
 	dispatchMu.RLock()
-	n := len(dispatchTable)
+	n, q := len(dispatchTable), len(quarFamilies)
 	dispatchMu.RUnlock()
 	return DispatchStats{
-		Registered: n,
-		Hits:       dispatchHits.Load(),
-		Misses:     dispatchMisses.Load(),
-		Generation: dispatchGen.Load(),
+		Registered:  n,
+		Quarantined: q,
+		Hits:        dispatchHits.Load(),
+		Misses:      dispatchMisses.Load(),
+		Generation:  dispatchGen.Load(),
 	}
+}
+
+// KernelFamilyNames returns the names of the constant-folded kernel
+// families available for registration, in a fixed order — the probe
+// target list the integrity sentinel walks.
+func KernelFamilyNames() []string {
+	names := make([]string, len(kernelFamilies))
+	for i, v := range kernelFamilies {
+		names[i] = v.name
+	}
+	return names
+}
+
+func familyByName(name string) *kernelVariant {
+	for _, v := range kernelFamilies {
+		if v.name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// KernelFamilyQuarantined reports whether the named family is under
+// integrity quarantine.
+func KernelFamilyQuarantined(name string) bool {
+	dispatchMu.RLock()
+	defer dispatchMu.RUnlock()
+	return quarFamilies[name]
+}
+
+// QuarantineKernelFamily pulls the named family out of service: every
+// dispatch-table entry it covers is removed (and remembered for
+// restore), re-registration is barred, and the dispatch generation is
+// bumped so plan caches re-key — cached specialized plans stop being
+// served and new plans select the bit-identical fallback kernels.
+// Idempotent; returns false only for an unknown family name.
+func QuarantineKernelFamily(name string) bool {
+	v := familyByName(name)
+	if v == nil {
+		return false
+	}
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	if quarFamilies[name] {
+		return true
+	}
+	quarFamilies[name] = true
+	for key, kv := range dispatchTable {
+		if kv == v {
+			if !containsShape(quarShapes[name], key) {
+				quarShapes[name] = append(quarShapes[name], key)
+			}
+			delete(dispatchTable, key)
+		}
+	}
+	dispatchGen.Add(1)
+	return true
+}
+
+// RestoreKernelFamily lifts the named family's quarantine and
+// re-registers every shape it covered when pulled (plus any that
+// tried to register while it was out), bumping the dispatch
+// generation so plan caches pick the variant back up. Idempotent;
+// returns false only for an unknown family name.
+func RestoreKernelFamily(name string) bool {
+	v := familyByName(name)
+	if v == nil {
+		return false
+	}
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	if !quarFamilies[name] {
+		return true
+	}
+	delete(quarFamilies, name)
+	for _, key := range quarShapes[name] {
+		if dispatchTable[key] == nil {
+			dispatchTable[key] = v
+		}
+	}
+	delete(quarShapes, name)
+	dispatchGen.Add(1)
+	return true
+}
+
+// verifyShapeFor is the golden probe geometry for a family: small
+// enough that a probe costs microseconds, with ragged C and K edges
+// (neither divides the tile sizes) so the variant's edge handling is
+// exercised, padded so the boundary row/column paths run too.
+func verifyShapeFor(v *kernelVariant) conv.Shape {
+	return conv.Shape{N: 1, C: 5, H: 11, W: 11, K: 13, R: v.r, S: v.s, Str: v.str, Pad: 1}
+}
+
+// kernelProbe caches one family's golden-probe state — the plan
+// (forced through the family's variant), the integer operands and the
+// reference oracle, computed once — so a steady-state sentinel probe
+// costs one plan execution plus a compare, with zero heap allocations
+// after the first probe per family: a background sentinel must not
+// pollute the serving process's allocation profile. mu serialises
+// probes of the same family (the output buffer is shared state).
+type kernelProbe struct {
+	mu              sync.Mutex
+	plan            *Plan
+	in, filter, out *tensor.Tensor
+	want            *tensor.Tensor
+}
+
+var (
+	kernelProbesMu sync.Mutex
+	kernelProbes   = map[string]*kernelProbe{}
+)
+
+// VerifyKernelFamily runs the named family's constant-folded kernel
+// over a golden integer-valued probe shape and compares the output
+// bit-for-bit against the conv.Reference oracle (exact on integers).
+// A divergence returns an error wrapping ErrIntegrity; the caller
+// (the serve-layer integrity sentinel) then quarantines the family.
+// The probe runs the variant directly — quarantine state and table
+// coverage are irrelevant — so it also serves as the restore probe.
+// A nil error on an unknown-name or unprobeable family is never
+// returned: unknown names fail typed with ErrBadOptions, and a family
+// whose solved register tile is not the 12×8 file the variants are
+// written for reports nothing to verify with a nil error.
+func VerifyKernelFamily(name string) error {
+	v := familyByName(name)
+	if v == nil {
+		return fmt.Errorf("%w: unknown kernel family %q", ErrBadOptions, name)
+	}
+	s := verifyShapeFor(v)
+	if rt := model.SolveRegisterTile(s.S, s.Str); rt.Vk != 8 || rt.Vw > maxVw {
+		return nil // not probeable on this build's register file
+	}
+	kernelProbesMu.Lock()
+	kp := kernelProbes[name]
+	kernelProbesMu.Unlock()
+	if kp == nil {
+		p, err := TryNewPlan(s, Options{Threads: 1})
+		if err != nil {
+			return err
+		}
+		// Force the probe through the family's kernel regardless of
+		// what the registry resolved: the point is to test the variant
+		// body, including while it is quarantined (the restore probe).
+		p.kind = kindSpecialized
+		p.variant = v
+		kp = &kernelProbe{plan: p, in: s.NewInput(), filter: s.NewFilter(), out: s.NewOutput()}
+		fillProbe(kp.in.Data, 0xA11CE)
+		fillProbe(kp.filter.Data, 0xB0B)
+		kp.want = conv.Reference(s, kp.in, kp.filter)
+		kernelProbesMu.Lock()
+		if prev := kernelProbes[name]; prev != nil {
+			kp = prev // lost a construction race; keep the canonical state
+		} else {
+			kernelProbes[name] = kp
+		}
+		kernelProbesMu.Unlock()
+	}
+	kp.mu.Lock()
+	defer kp.mu.Unlock()
+	if err := kp.plan.TryExecute(kp.in, kp.filter, kp.out); err != nil {
+		return err
+	}
+	if _, ok := faultinject.Take(faultinject.KernelMiscompute); ok && len(kp.out.Data) > 0 {
+		// A plausible silent miscompute: finite, small, wrong — the
+		// bit-exact comparison below is the only thing that can see it.
+		kp.out.Data[0]++
+	}
+	for i := range kp.out.Data {
+		if kp.out.Data[i] != kp.want.Data[i] {
+			return fmt.Errorf("%w: kernel family %s diverges from reference at element %d on probe %v: got %g, want %g",
+				ErrIntegrity, name, i, s, kp.out.Data[i], kp.want.Data[i])
+		}
+	}
+	return nil
 }
 
 // KernelName reports which main micro-kernel the plan dispatches to —

@@ -37,6 +37,17 @@ var (
 	// staleness signal: drop the handle and re-pack from the KCRS
 	// source, which reproduces the packed bytes bit-identically.
 	ErrWeightsReleased = errors.New("core: packed weights released")
+	// ErrIntegrity reports detected silent data corruption: a packed
+	// filter whose bytes no longer match their pack-time CRC32-C, a
+	// scratch-buffer canary overwritten by an out-of-bounds store, or a
+	// kernel variant whose probe output diverged bit-for-bit from the
+	// reference oracle. Unlike ErrExecFault it is never silently
+	// recovered by the reference fallback: the corrupted artifact must
+	// be discarded (re-packed from the retained KCRS source, the buffer
+	// quarantined, the variant de-registered) before the result can be
+	// trusted, so the checked Execute variants return it typed and the
+	// owning layer performs the recovery.
+	ErrIntegrity = errors.New("core: integrity check failed")
 )
 
 // maxThreads bounds Options.Threads so the thread-mapping solver's

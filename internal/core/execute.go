@@ -217,6 +217,31 @@ func (p *Plan) execChecked(ctx context.Context, in, filter *tensor.Tensor, pf *P
 	var pre []float32
 	if pf != nil {
 		pre = pf.data
+		forceVerify := false
+		if injecting {
+			if idx, ok := faultinject.Take(faultinject.WeightBitflip); ok && len(pre) > 0 {
+				if idx < 0 || idx >= len(pre) {
+					idx = 0
+				}
+				// Flip one mantissa bit on a run-private copy (the shared
+				// PackedFilter is immutable): the value stays finite, so
+				// the non-finite scan can never catch it — only the
+				// checksum can, which is exactly what this drill proves.
+				corrupted := append([]float32(nil), pre...)
+				corrupted[idx] = math.Float32frombits(math.Float32bits(corrupted[idx]) ^ 0x00400000)
+				pre = corrupted
+				forceVerify = true
+			}
+		}
+		if forceVerify || pf.shouldVerify() {
+			// Sampled (or injection-forced) pre-consumption verification:
+			// a checksum mismatch is silent corruption, returned typed —
+			// the reference fallback below must not mask it, because the
+			// resident artifact stays poisoned until the owner re-packs.
+			if verr := pf.verifyConsumed(pre); verr != nil {
+				return verr
+			}
+		}
 		if injecting {
 			if idx, ok := faultinject.Take(faultinject.PackedCorrupt); ok && len(pre) > 0 {
 				if idx < 0 || idx >= len(pre) {
@@ -249,6 +274,13 @@ func (p *Plan) execChecked(ctx context.Context, in, filter *tensor.Tensor, pf *P
 	}
 	if err == nil {
 		return nil
+	}
+	if errors.Is(err, ErrIntegrity) {
+		// Detected corruption is never silently recovered: the faulty
+		// artifact (scratch state, packed weights) must be quarantined
+		// or re-packed by the owning layer before results can be
+		// trusted again, so the typed error passes through.
+		return err
 	}
 	if accumulate && prev == nil {
 		// Fault without a snapshot (injection armed mid-run): the
@@ -377,6 +409,11 @@ func (p *Plan) applyFallback(ref *tensor.Tensor, dst []float32, nchw, accumulate
 type workerScratch struct {
 	tf  []float32
 	buf []float32
+	// tfFull/bufFull are the guarded allocations behind tf/buf:
+	// canaryWords stamped guard words sit past each logical end, and
+	// intact() checks them when the run's grid joins (DESIGN.md §12).
+	tfFull  []float32
+	bufFull []float32
 	// acc lives in the scratch (not on the worker's stack) so passing
 	// &acc through a registered variant's indirect kernel call cannot
 	// make it escape — the steady-state path stays allocation-free.
@@ -386,13 +423,23 @@ type workerScratch struct {
 	timed bool
 }
 
+// intact reports whether the scratch guard words still hold their
+// stamp.
+func (ws *workerScratch) intact() bool {
+	return canariesIntact(ws.tfFull, len(ws.tf)) && canariesIntact(ws.bufFull, len(ws.buf))
+}
+
 func (p *Plan) newScratch() *workerScratch {
 	s := p.Shape
 	kBlocks := (p.CT.Tk + p.RT.Vk - 1) / p.RT.Vk
+	tfLen := kBlocks * p.RT.Vk * p.CT.Tc * s.R * s.S
+	bufLen := p.CT.Tc * s.R * ((p.RT.Vw-1)*s.Str + s.S)
 	ws := &workerScratch{
-		tf:  make([]float32, kBlocks*p.RT.Vk*p.CT.Tc*s.R*s.S),
-		buf: make([]float32, p.CT.Tc*s.R*((p.RT.Vw-1)*s.Str+s.S)),
+		tfFull:  newGuarded(tfLen),
+		bufFull: newGuarded(bufLen),
 	}
+	ws.tf = ws.tfFull[:tfLen:tfLen]
+	ws.buf = ws.bufFull[:bufLen:bufLen]
 	if p.kind == kindGeneric {
 		ws.accG = make([]simd.Vec4, p.RT.Vw*p.RT.Vk/simd.Width)
 	}
@@ -475,6 +522,14 @@ func (p *Plan) newRun() *planRun {
 					t.body = func() {
 						faultinject.Fire(faultinject.WorkerPanic, t.w)
 						faultinject.Stall(faultinject.WorkerStall, t.w)
+						if faultinject.Should(faultinject.ScratchOverrun, t.w) {
+							// Simulate an out-of-bounds store past the packing
+							// buffer's logical end (what a miscompiled or
+							// assembly kernel could do): clobber the first
+							// guard word. The canary check at run completion
+							// must catch it and quarantine this run state.
+							t.ws.bufFull[len(t.ws.buf)] = 1
+						}
 						p.worker(r.in, r.filter, r.pre, r.out, r.imgIn, r.imgOut, r.nchw, r.accumulate,
 							t.kLo, t.kHi, t.nr, t.hr, t.wr, t.ws, &r.fs)
 					}
@@ -531,11 +586,31 @@ func (p *Plan) releaseRun(r *planRun) {
 	}
 	r.in, r.filter, r.pre, r.out = nil, nil, nil, nil
 	r.imgIn, r.imgOut = nil, nil
+	if r.scratchTripped() >= 0 {
+		// A guard word past a worker's scratch was overwritten: the run
+		// state is quarantined — dropped to the GC, never parked — so a
+		// buffer that has hosted an overrun can never serve another
+		// request (the pool-level twin of the serve layer's canary
+		// quarantine).
+		scratchCanaryTrips.Add(1)
+		return
+	}
 	p.runMu.Lock()
 	if len(p.runFree) < maxFreeRuns {
 		p.runFree = append(p.runFree, r)
 	}
 	p.runMu.Unlock()
+}
+
+// scratchTripped returns the grid slot of the first worker whose
+// scratch guard words were overwritten, or -1 when all are intact.
+func (r *planRun) scratchTripped() int {
+	for _, t := range r.tasks {
+		if !t.ws.intact() {
+			return t.w
+		}
+	}
+	return -1
 }
 
 // run executes the §6 thread grid: PT_k workers along the output
@@ -589,6 +664,11 @@ func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, imgIn, i
 			r.tasks[0].fn()
 		}
 		err := r.fs.Err()
+		if err == nil {
+			if w := r.scratchTripped(); w >= 0 {
+				err = fmt.Errorf("%w: scratch canary tripped on grid slot %d", ErrIntegrity, w)
+			}
+		}
 		p.releaseRun(r)
 		return err
 	}
@@ -605,6 +685,11 @@ func (p *Plan) run(ctx context.Context, in, filter, pre, out []float32, imgIn, i
 		return fmt.Errorf("%w: %w", conv.ErrDeadline, err)
 	}
 	err := r.fs.Err()
+	if err == nil {
+		if w := r.scratchTripped(); w >= 0 {
+			err = fmt.Errorf("%w: scratch canary tripped on grid slot %d", ErrIntegrity, w)
+		}
+	}
 	p.releaseRun(r)
 	return err
 }

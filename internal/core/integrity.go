@@ -1,0 +1,141 @@
+package core
+
+// Silent-data-corruption defense (DESIGN.md §12). The bit-exactness
+// contract the rest of the library is built on — packed filters
+// re-pack bit-identically, dispatch variants match the looped kernel
+// with MaxAbsDiff==0 — is enforced here at runtime by three layers:
+// CRC32-C checksums over packed weight artifacts (verified on re-pack
+// and on a sampled schedule), canary words around every worker's
+// scratch buffers (checked when a run's grid joins), and the
+// kernel-family probe VerifyKernelFamily (dispatch.go) that compares a
+// variant's output bit-for-bit against the reference oracle. Each
+// detection surfaces as a typed ErrIntegrity and is counted in the
+// package-level IntegrityStats.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"sync/atomic"
+)
+
+// castagnoli is the CRC32-C polynomial table; Castagnoli is the SSE4/
+// ARMv8-hardware-accelerated polynomial, and hash/crc32 uses the
+// CRC32C instructions when the CPU has them, so checksumming a packed
+// filter costs well under the transform that built it.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcFloats computes the CRC32-C over the float32 bit patterns of
+// data. It stages through a stack buffer so the steady-state verify
+// path allocates nothing.
+func crcFloats(data []float32) uint32 {
+	var buf [1024]byte
+	var crc uint32
+	i := 0
+	for i < len(data) {
+		n := 0
+		for n < len(buf) && i < len(data) {
+			binary.LittleEndian.PutUint32(buf[n:], math.Float32bits(data[i]))
+			n += 4
+			i++
+		}
+		crc = crc32.Update(crc, castagnoli, buf[:n])
+	}
+	return crc
+}
+
+// Scratch-canary constants: every worker scratch buffer is allocated
+// with canaryWords guard words past its logical end, stamped with a
+// bit pattern no kernel computes (a fixed quiet negative float), and
+// checked when the run's grid joins. In pure Go an overrun past a
+// slice length panics before it reaches the guard; the canaries exist
+// for the faultinject.ScratchOverrun drill and for future assembly
+// kernels, whose stores bypass bounds checks entirely.
+const (
+	canaryBits  = 0xDEADBEEF // not NaN/Inf (exponent 0xBD): survives any scan
+	canaryWords = 4
+)
+
+// newGuarded allocates an n-element scratch buffer followed by
+// canaryWords stamped guard words; the caller keeps the full slice for
+// checking and hands out full[:n] for use.
+func newGuarded(n int) []float32 {
+	full := make([]float32, n+canaryWords)
+	for i := n; i < len(full); i++ {
+		full[i] = math.Float32frombits(canaryBits)
+	}
+	return full
+}
+
+// canariesIntact reports whether the guard words past element n still
+// hold their stamp.
+func canariesIntact(full []float32, n int) bool {
+	for i := n; i < len(full); i++ {
+		if math.Float32bits(full[i]) != canaryBits {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultPackedVerifyInterval is the sampled-verification period: one
+// in this many packed executions re-checksums the weights it is about
+// to consume. The period amortises the CRC cost to noise on the hot
+// path while still bounding how long a resident bit flip can serve
+// before detection.
+const DefaultPackedVerifyInterval = 1024
+
+var packedVerifyInterval atomic.Int64
+
+func init() { packedVerifyInterval.Store(DefaultPackedVerifyInterval) }
+
+// SetPackedVerifyInterval sets the sampled-verification period for
+// packed executions (1 = verify every run, n <= 0 = sampling off;
+// explicit Verify calls and the eviction/re-pack path are unaffected).
+// It returns the previous value so tests and harnesses can restore it.
+func SetPackedVerifyInterval(n int) int {
+	return int(packedVerifyInterval.Swap(int64(n)))
+}
+
+// PackedVerifyInterval returns the current sampled-verification
+// period.
+func PackedVerifyInterval() int { return int(packedVerifyInterval.Load()) }
+
+var (
+	packedVerifies       atomic.Uint64
+	packedVerifyFailures atomic.Uint64
+	scratchCanaryTrips   atomic.Uint64
+)
+
+// IntegrityStats is a point-in-time snapshot of the package-level
+// corruption-defense counters.
+type IntegrityStats struct {
+	PackedVerifies       uint64 `json:"packed_verifies"`        // checksum verifications run (sampled + explicit)
+	PackedVerifyFailures uint64 `json:"packed_verify_failures"` // verifications that found a mismatch
+	ScratchCanaryTrips   uint64 `json:"scratch_canary_trips"`   // runs quarantined for an overwritten guard word
+}
+
+// IntegritySnapshot snapshots the corruption-defense counters.
+func IntegritySnapshot() IntegrityStats {
+	return IntegrityStats{
+		PackedVerifies:       packedVerifies.Load(),
+		PackedVerifyFailures: packedVerifyFailures.Load(),
+		ScratchCanaryTrips:   scratchCanaryTrips.Load(),
+	}
+}
+
+// FillProbe fills data with small integers in [-3, 3] from a
+// deterministic stream — the library-wide convention for bit-exact
+// oracles: integer-valued float32 operands make the optimised float32
+// paths and the float64 reference produce identical bits, so a probe
+// can demand MaxAbsDiff == 0. Exported for the serving layer's
+// integrity sentinel, which builds golden model inputs the same way.
+func FillProbe(data []float32, seed uint64) { fillProbe(data, seed) }
+
+func fillProbe(data []float32, seed uint64) {
+	x := seed*2654435761 + 12345
+	for i := range data {
+		x = x*6364136223846793005 + 1442695040888963407
+		data[i] = float32(int64(x>>33)%7 - 3)
+	}
+}

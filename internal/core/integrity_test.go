@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/tensor"
+)
+
+func integrityShape() conv.Shape {
+	return conv.Shape{N: 1, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+}
+
+// intOperands builds integer-valued operands so every path is
+// bit-exact against the reference oracle.
+func intOperands(s conv.Shape) (in, filter *tensor.Tensor) {
+	in, filter = s.NewInput(), s.NewFilter()
+	fillProbe(in.Data, 1)
+	fillProbe(filter.Data, 2)
+	return in, filter
+}
+
+// Packing must stamp a checksum that Verify accepts; corrupting the
+// resident bytes must flip Verify to a typed ErrIntegrity; re-packing
+// the same source must reproduce the identical checksum (the property
+// the eviction/re-pack recovery path rests on).
+func TestPackedFilterChecksumRoundTrip(t *testing.T) {
+	s := integrityShape()
+	_, filter := intOperands(s)
+	p := NewPlan(s, Options{Threads: 1})
+	pf, err := p.TransformFilter(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Verify(); err != nil {
+		t.Fatalf("fresh pack must verify: %v", err)
+	}
+	pf2, err := p.TransformFilter(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Checksum() != pf2.Checksum() {
+		t.Fatalf("re-pack checksum %#x != original %#x: the transform is supposed to be deterministic",
+			pf2.Checksum(), pf.Checksum())
+	}
+
+	// Corrupt one resident element the way a DRAM bit flip would.
+	pf.data[3] = math.Float32frombits(math.Float32bits(pf.data[3]) ^ 0x00400000)
+	if err := pf.Verify(); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("Verify on corrupted bytes = %v, want ErrIntegrity", err)
+	}
+}
+
+// An armed weight-bitflip must surface as a typed ErrIntegrity — never
+// a silently wrong output, and never a silent reference-fallback
+// recovery (the resident artifact must be re-packed by the owner). The
+// shared PackedFilter itself must stay undamaged and keep serving
+// bit-exact results afterwards.
+func TestWeightBitflipCaughtByChecksum(t *testing.T) {
+	defer faultinject.Reset()
+	s := integrityShape()
+	in, filter := intOperands(s)
+	want := conv.Reference(s, in, filter)
+	p := NewPlan(s, Options{Threads: 2})
+	pf, err := p.TransformFilter(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.NewOutput()
+
+	pre := IntegritySnapshot()
+	faultinject.Arm(faultinject.WeightBitflip, 7)
+	err = p.TryExecutePacked(in, pf, out)
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("bitflipped packed run = %v, want ErrIntegrity", err)
+	}
+	post := IntegritySnapshot()
+	if post.PackedVerifyFailures != pre.PackedVerifyFailures+1 {
+		t.Fatalf("PackedVerifyFailures %d -> %d, want +1", pre.PackedVerifyFailures, post.PackedVerifyFailures)
+	}
+
+	// The corruption was run-private: the next run is clean and exact.
+	if err := p.TryExecutePacked(in, pf, out); err != nil {
+		t.Fatalf("clean run after the drill: %v", err)
+	}
+	if d := tensor.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("output differs from reference by %g after recovery, want bit-exact", d)
+	}
+}
+
+// The sampled schedule must verify every run at interval 1, never at
+// interval 0, and must not change results either way.
+func TestSampledVerifySchedule(t *testing.T) {
+	prev := SetPackedVerifyInterval(1)
+	defer SetPackedVerifyInterval(prev)
+	s := integrityShape()
+	in, filter := intOperands(s)
+	p := NewPlan(s, Options{Threads: 1})
+	pf, err := p.TransformFilter(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.NewOutput()
+
+	pre := IntegritySnapshot()
+	for i := 0; i < 3; i++ {
+		if err := p.TryExecutePacked(in, pf, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post := IntegritySnapshot()
+	if post.PackedVerifies < pre.PackedVerifies+3 {
+		t.Fatalf("interval 1: PackedVerifies %d -> %d over 3 runs, want +3", pre.PackedVerifies, post.PackedVerifies)
+	}
+
+	SetPackedVerifyInterval(0)
+	pre = IntegritySnapshot()
+	if err := p.TryExecutePacked(in, pf, out); err != nil {
+		t.Fatal(err)
+	}
+	if post := IntegritySnapshot(); post.PackedVerifies != pre.PackedVerifies {
+		t.Fatalf("interval 0 must disable sampling: PackedVerifies %d -> %d", pre.PackedVerifies, post.PackedVerifies)
+	}
+}
+
+// An injected scratch overrun must fail the run typed with
+// ErrIntegrity, count a canary trip, quarantine the run state (never
+// re-pool it), and leave subsequent runs clean and bit-exact.
+func TestScratchOverrunTripsCanary(t *testing.T) {
+	defer faultinject.Reset()
+	s := integrityShape()
+	in, filter := intOperands(s)
+	want := conv.Reference(s, in, filter)
+	p := NewPlan(s, Options{Threads: 2})
+	out := s.NewOutput()
+	// Warm the run pool first so the drill proves a poisoned parked run
+	// is quarantined rather than reused.
+	if err := p.TryExecute(in, filter, out); err != nil {
+		t.Fatal(err)
+	}
+
+	pre := IntegritySnapshot()
+	faultinject.Arm(faultinject.ScratchOverrun, 0)
+	err := p.TryExecute(in, filter, out)
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("overrun run = %v, want ErrIntegrity", err)
+	}
+	post := IntegritySnapshot()
+	if post.ScratchCanaryTrips != pre.ScratchCanaryTrips+1 {
+		t.Fatalf("ScratchCanaryTrips %d -> %d, want +1", pre.ScratchCanaryTrips, post.ScratchCanaryTrips)
+	}
+
+	if err := p.TryExecute(in, filter, out); err != nil {
+		t.Fatalf("run after quarantine: %v", err)
+	}
+	if d := tensor.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("post-quarantine output differs by %g, want bit-exact", d)
+	}
+}
+
+// Every built-in kernel family must pass its golden probe; an armed
+// kernel-miscompute must flip the probe to ErrIntegrity; quarantining
+// a family must drop its dispatch coverage (with a generation bump so
+// plan caches re-key) and bar re-registration; restoring must bring
+// the shapes back.
+func TestKernelFamilyQuarantineCycle(t *testing.T) {
+	defer faultinject.Reset()
+	for _, name := range KernelFamilyNames() {
+		if err := VerifyKernelFamily(name); err != nil {
+			t.Fatalf("family %s: clean probe failed: %v", name, err)
+		}
+	}
+	if err := VerifyKernelFamily("no-such-family"); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("unknown family = %v, want ErrBadOptions", err)
+	}
+
+	const fam = "12x8.r3s3.s1"
+	faultinject.Arm(faultinject.KernelMiscompute, -1)
+	if err := VerifyKernelFamily(fam); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("miscompute probe = %v, want ErrIntegrity", err)
+	}
+
+	preStats := KernelDispatchStats()
+	if !QuarantineKernelFamily(fam) {
+		t.Fatal("QuarantineKernelFamily must accept a known family")
+	}
+	defer RestoreKernelFamily(fam)
+	if !KernelFamilyQuarantined(fam) {
+		t.Fatal("family must report quarantined")
+	}
+	qStats := KernelDispatchStats()
+	if qStats.Quarantined != preStats.Quarantined+1 {
+		t.Fatalf("Quarantined %d -> %d, want +1", preStats.Quarantined, qStats.Quarantined)
+	}
+	if qStats.Generation == preStats.Generation {
+		t.Fatal("quarantine must bump the dispatch generation")
+	}
+	if qStats.Registered >= preStats.Registered {
+		t.Fatalf("quarantine must drop the family's shapes: registered %d -> %d",
+			preStats.Registered, qStats.Registered)
+	}
+
+	// A quarantined family's shape plans on the fallback kernel, still
+	// bit-exact.
+	s := integrityShape() // 3x3 stride-1: the quarantined family
+	if RegisterShapeKernel(s) {
+		t.Fatal("RegisterShapeKernel must refuse a quarantined family")
+	}
+	p := NewPlan(s, Options{Threads: 1})
+	if p.KernelName() == fam {
+		t.Fatalf("plan for a quarantined family still dispatches %s", p.KernelName())
+	}
+	in, filter := intOperands(s)
+	out := s.NewOutput()
+	if err := p.TryExecute(in, filter, out); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(out, conv.Reference(s, in, filter)); d != 0 {
+		t.Fatalf("fallback path differs by %g, want bit-exact", d)
+	}
+
+	if !RestoreKernelFamily(fam) {
+		t.Fatal("RestoreKernelFamily must accept a known family")
+	}
+	rStats := KernelDispatchStats()
+	if rStats.Quarantined != preStats.Quarantined {
+		t.Fatalf("restore must clear the quarantine count: %d, want %d", rStats.Quarantined, preStats.Quarantined)
+	}
+	if rStats.Registered < preStats.Registered {
+		t.Fatalf("restore must re-register the remembered shapes: %d < %d", rStats.Registered, preStats.Registered)
+	}
+	if rStats.Generation == qStats.Generation {
+		t.Fatal("restore must bump the dispatch generation")
+	}
+	// The shape recorded while quarantined is covered again.
+	p2 := NewPlan(s, Options{Threads: 1})
+	if p2.KernelName() != fam {
+		t.Fatalf("restored family not selected: plan dispatches %s", p2.KernelName())
+	}
+	if err := VerifyKernelFamily(fam); err != nil {
+		t.Fatalf("restore probe: %v", err)
+	}
+}
+
+// Satellite: PackedFilter.Release and Verify racing concurrent
+// TryExecutePacked calls must stay memory-safe under -race, with every
+// execution either bit-exact or failing typed (ErrWeightsReleased once
+// the release lands). Verify itself must keep returning nil — the
+// buffer is immutable, released or not.
+func TestPackedReleaseVerifyRace(t *testing.T) {
+	s := integrityShape()
+	in, filter := intOperands(s)
+	want := conv.Reference(s, in, filter)
+	p := NewPlan(s, Options{Threads: 2})
+	pf, err := p.TransformFilter(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const execs = 4
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, execs*8+1)
+	for g := 0; g < execs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := s.NewOutput()
+			<-start
+			for i := 0; i < 8; i++ {
+				err := p.TryExecutePacked(in, pf, out)
+				switch {
+				case err == nil:
+					if d := tensor.MaxAbsDiff(out, want); d != 0 {
+						errCh <- errors.New("racing execution produced a wrong output")
+						return
+					}
+				case errors.Is(err, ErrWeightsReleased):
+					// Typed staleness after the release landed: expected.
+				default:
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 16; i++ {
+			if err := pf.Verify(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		pf.Release()
+	}()
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := pf.Verify(); err != nil {
+		t.Fatalf("Verify after Release must still pass (buffer is immutable): %v", err)
+	}
+	if err := p.TryExecutePacked(in, pf, s.NewOutput()); !errors.Is(err, ErrWeightsReleased) {
+		t.Fatalf("released filter = %v, want ErrWeightsReleased", err)
+	}
+}

@@ -83,6 +83,8 @@ type PackedFilter struct {
 	src            *tensor.Tensor // original KCRS weights (fallback path)
 	data           []float32      // [⌈K/Vk⌉][C][R][S][Vk], zero lanes past K
 	released       atomic.Bool    // set by Release; checked by validateFor
+	crc            uint32         // CRC32-C of data, computed at pack time
+	verifySeq      atomic.Uint64  // execution counter driving sampled verification
 }
 
 // TransformFilter pre-transforms the KCRS filter for this plan's
@@ -107,7 +109,48 @@ func (p *Plan) TransformFilter(filter *tensor.Tensor) (*PackedFilter, error) {
 	// [⌈K/Vk⌉][C][R][S][Vk] layout directly, zero-filling the lanes of
 	// the ragged last block exactly as the per-tile transform does.
 	transformFilter(filter.Data, pf.data, s.K, s.C, s.R, s.S, 0, s.K, 0, s.C, vk)
+	pf.crc = crcFloats(pf.data)
 	return pf, nil
+}
+
+// Checksum returns the CRC32-C computed over the packed buffer at
+// pack time. Because the transform is deterministic, re-packing the
+// same KCRS source always reproduces the same checksum — the property
+// the eviction/re-pack path's verification rests on.
+func (pf *PackedFilter) Checksum() uint32 { return pf.crc }
+
+// Verify re-checksums the packed buffer against the pack-time CRC32-C,
+// returning an error wrapping ErrIntegrity on mismatch. A mismatch
+// means the resident bytes were corrupted after packing (a DRAM bit
+// flip, a stray store); the owner must drop the handle and re-pack
+// from the retained KCRS source rather than keep serving from it.
+// Safe for concurrent use with executions — the buffer is read-only.
+func (pf *PackedFilter) Verify() error {
+	return pf.verifyConsumed(pf.data)
+}
+
+// verifyConsumed checks the buffer an execution is about to consume
+// (pf.data, or a run-private copy under fault injection) against the
+// pack-time checksum, counting the verification and any failure.
+func (pf *PackedFilter) verifyConsumed(pre []float32) error {
+	packedVerifies.Add(1)
+	if crcFloats(pre) != pf.crc {
+		packedVerifyFailures.Add(1)
+		return fmt.Errorf("%w: packed filter K%d C%d R%d S%d fails its pack-time CRC32-C; re-pack from the KCRS source",
+			ErrIntegrity, pf.k, pf.c, pf.r, pf.s)
+	}
+	return nil
+}
+
+// shouldVerify implements the sampled verification schedule: every
+// PackedVerifyInterval-th execution of this filter re-checksums the
+// weights before consuming them.
+func (pf *PackedFilter) shouldVerify() bool {
+	iv := packedVerifyInterval.Load()
+	if iv <= 0 {
+		return false
+	}
+	return pf.verifySeq.Add(1)%uint64(iv) == 0
 }
 
 // CompatibleWith reports whether the packed filter can serve the

@@ -62,17 +62,45 @@ const (
 	// must be invisible in the outputs while the weight-budget
 	// accounting churns charge/release pairs under it.
 	WeightEvict = "weight-evict"
+	// WeightBitflip flips one mantissa bit of a packed-filter element
+	// before a TryExecutePacked* run consumes it — the silent-DRAM-
+	// corruption drill. The armed argument is the element index
+	// (clamped; negative picks element 0). Unlike PackedCorrupt the
+	// flipped value stays finite, so the non-finite output scan can
+	// never catch it: only the pack-time CRC32-C can, and the firing
+	// run force-verifies, so the corruption must surface as a typed
+	// core.ErrIntegrity. Applied to a run-private copy; the shared
+	// PackedFilter is never damaged.
+	WeightBitflip = "weight-bitflip"
+	// ScratchOverrun overwrites the guard word just past a worker's
+	// packing scratch at the armed grid-slot index — the buffer-overrun
+	// drill a miscompiled or assembly kernel motivates. The canary
+	// check at run completion must detect it, fail the run typed with
+	// core.ErrIntegrity, and quarantine the run state (its scratch is
+	// never pooled again).
+	ScratchOverrun = "scratch-overrun"
+	// KernelMiscompute perturbs the output of the next kernel-family
+	// probe (core.VerifyKernelFamily) by one unit — finite, small,
+	// plausible — forcing a bit-exact divergence from the reference
+	// oracle so the integrity sentinel quarantines the family. It fires
+	// at the probe site only: live traffic always runs real kernels
+	// (a real miscompute there is caught by the same probe pulling the
+	// family before more traffic selects it).
+	KernelMiscompute = "kernel-miscompute"
 )
 
 // knownPoints is the registry parse validates against: arming a name
 // outside this set from the environment is a typo, not a new point.
 var knownPoints = map[string]bool{
-	WorkerPanic:     true,
-	ScheduleCorrupt: true,
-	NaNPoison:       true,
-	WorkerStall:     true,
-	PackedCorrupt:   true,
-	WeightEvict:     true,
+	WorkerPanic:      true,
+	ScheduleCorrupt:  true,
+	NaNPoison:        true,
+	WorkerStall:      true,
+	PackedCorrupt:    true,
+	WeightEvict:      true,
+	WeightBitflip:    true,
+	ScratchOverrun:   true,
+	KernelMiscompute: true,
 }
 
 type point struct {
@@ -85,6 +113,13 @@ var (
 	points  = map[string]*point{}
 	enabled atomic.Bool   // mirrors len(points) > 0 for the lock-free fast path
 	stallC  chan struct{} // gate stalled workers block on; closed by Reset
+
+	// warnf is the unknown-point warning sink; tests swap it to count
+	// emissions. warnedUnknown rate-limits to one warning per name per
+	// process — a soak harness re-parsing a storm spec with a typo must
+	// not flood stderr. Both guarded by mu.
+	warnf         = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+	warnedUnknown = map[string]bool{}
 )
 
 func storeEnabled(v bool) { enabled.Store(v) }
@@ -101,7 +136,8 @@ func init() {
 // parse arms points from the environment syntax documented above. A
 // spec naming an unregistered point is a typo that would otherwise
 // create a point that never fires: it is skipped with a warning to
-// stderr instead of being armed, and the remaining specs still apply.
+// stderr (rate-limited to once per name) instead of being armed, and
+// the remaining specs still apply.
 func parse(env string) error {
 	for _, spec := range strings.Split(env, ",") {
 		spec = strings.TrimSpace(spec)
@@ -110,9 +146,7 @@ func parse(env string) error {
 		}
 		name, rest, hasArg := strings.Cut(spec, "=")
 		if !knownPoints[name] {
-			fmt.Fprintf(os.Stderr,
-				"faultinject: skipping unknown point %q in NDIRECT_FAULTS (known: %s)\n",
-				name, strings.Join(KnownPoints(), ", "))
+			warnUnknown(name)
 			continue
 		}
 		arg, shots := -1, 1
@@ -134,6 +168,20 @@ func parse(env string) error {
 		ArmN(name, arg, shots)
 	}
 	return nil
+}
+
+// warnUnknown emits the unknown-point warning at most once per name.
+func warnUnknown(name string) {
+	mu.Lock()
+	seen := warnedUnknown[name]
+	warnedUnknown[name] = true
+	w := warnf
+	mu.Unlock()
+	if seen {
+		return
+	}
+	w("faultinject: skipping unknown point %q in NDIRECT_FAULTS (known: %s)\n",
+		name, strings.Join(KnownPoints(), ", "))
 }
 
 // KnownPoints returns the registered point names in sorted order.

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -173,12 +174,59 @@ func TestParseUnknownOnlySpecArmsNothing(t *testing.T) {
 	}
 }
 
+// The unknown-point warning must actually be emitted, name the typo
+// and the known points, and be rate-limited to one emission per name
+// no matter how many times a spec naming it is re-parsed (a soak
+// harness re-arming a storm list with a typo every 150ms must not
+// flood stderr).
+func TestUnknownPointWarningRateLimited(t *testing.T) {
+	defer Reset()
+	var warnings []string
+	mu.Lock()
+	prevWarnf := warnf
+	warnf = func(format string, args ...interface{}) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	delete(warnedUnknown, "no-such-point")
+	delete(warnedUnknown, "also-missing")
+	mu.Unlock()
+	defer func() {
+		mu.Lock()
+		warnf = prevWarnf
+		mu.Unlock()
+	}()
+
+	for i := 0; i < 5; i++ {
+		if err := parse("no-such-point=1,worker-panic=0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("5 parses of the same typo emitted %d warnings, want exactly 1: %q", len(warnings), warnings)
+	}
+	if !strings.Contains(warnings[0], `"no-such-point"`) || !strings.Contains(warnings[0], WorkerPanic) {
+		t.Fatalf("warning %q must name the typo and list the known points", warnings[0])
+	}
+	// A different typo still gets its own (single) warning.
+	if err := parse("also-missing"); err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 2 || !strings.Contains(warnings[1], `"also-missing"`) {
+		t.Fatalf("a new typo must warn once more: %q", warnings)
+	}
+	// The valid spec in the same list was still armed every parse.
+	if !Should(WorkerPanic, 0) {
+		t.Fatal("valid spec alongside the typo must still arm")
+	}
+}
+
 func TestKnownPointsSortedAndComplete(t *testing.T) {
 	got := KnownPoints()
 	if !sort.StringsAreSorted(got) {
 		t.Fatalf("KnownPoints not sorted: %v", got)
 	}
-	want := map[string]bool{WorkerPanic: true, ScheduleCorrupt: true, NaNPoison: true, WorkerStall: true, PackedCorrupt: true, WeightEvict: true}
+	want := map[string]bool{WorkerPanic: true, ScheduleCorrupt: true, NaNPoison: true, WorkerStall: true, PackedCorrupt: true, WeightEvict: true,
+		WeightBitflip: true, ScratchOverrun: true, KernelMiscompute: true}
 	if len(got) != len(want) {
 		t.Fatalf("KnownPoints = %v, want the %d registered names", got, len(want))
 	}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"testing"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/tensor"
+)
+
+// An armed weight-bitflip against a reuse engine's packed weights must
+// be invisible in the outputs: the checksum catches it, the suspect
+// artifact is discarded and the request served with the on-the-fly
+// transform, and the next forward re-packs bit-identically — the full
+// detect-and-recover chain of DESIGN.md §12.
+func TestForwardRecoversFromWeightBitflip(t *testing.T) {
+	defer faultinject.Reset()
+	s := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	w := s.NewFilter()
+	fillIntsB(w, 21)
+	net := &Network{Name: "sdc", Layers: []Layer{
+		&ConvUnit{LayerName: "c1", Shape: s, Weights: w, ReLU: true},
+	}}
+	eng := &Engine{Algo: AlgoNDirect, Threads: 2, Reuse: true}
+	x := tensor.New(1, 4, 8, 8)
+	fillIntsB(x, 50)
+
+	want, err := net.TryForward(eng, x) // warm: plans built, weights packed
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre := core.IntegritySnapshot()
+	faultinject.Arm(faultinject.WeightBitflip, 5)
+	got, err := net.TryForward(eng, x)
+	faultinject.Reset()
+	if err != nil {
+		t.Fatalf("forward under bitflip must recover, not fail: %v", err)
+	}
+	if d := tensor.MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("bitflipped forward differs by %g, want bit-exact (corruption must never reach the output)", d)
+	}
+	post := core.IntegritySnapshot()
+	if post.PackedVerifyFailures != pre.PackedVerifyFailures+1 {
+		t.Fatalf("PackedVerifyFailures %d -> %d, want +1 (the flip must be caught, not missed)",
+			pre.PackedVerifyFailures, post.PackedVerifyFailures)
+	}
+
+	// The discarded artifact was re-packed on the next fetch: a clean
+	// forward is packed again and still bit-exact.
+	got2, err := net.TryForward(eng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got2, want); d != 0 {
+		t.Fatalf("post-recovery forward differs by %g", d)
+	}
+	if u := net.ConvUnits()[0]; u.packedRaw == nil {
+		t.Fatal("clean forward after recovery must have re-packed the weights")
+	}
+}
+
+// A scratch-canary trip inside a reuse engine's packed execution also
+// surfaces as ErrIntegrity; the forward must recover bit-exactly on
+// the unpacked retry (whose fresh run state has intact canaries).
+func TestForwardRecoversFromScratchOverrun(t *testing.T) {
+	defer faultinject.Reset()
+	s := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	w := s.NewFilter()
+	fillIntsB(w, 31)
+	net := &Network{Name: "sdc2", Layers: []Layer{
+		&ConvUnit{LayerName: "c1", Shape: s, Weights: w, ReLU: true},
+	}}
+	eng := &Engine{Algo: AlgoNDirect, Threads: 2, Reuse: true}
+	x := tensor.New(1, 4, 8, 8)
+	fillIntsB(x, 60)
+
+	want, err := net.TryForward(eng, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.ScratchOverrun, 0)
+	got, err := net.TryForward(eng, x)
+	faultinject.Reset()
+	if err != nil {
+		t.Fatalf("forward under scratch overrun must recover, not fail: %v", err)
+	}
+	if d := tensor.MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("overrun forward differs by %g, want bit-exact", d)
+	}
+}

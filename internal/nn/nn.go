@@ -564,7 +564,44 @@ func (c *ConvUnit) packedFor(eng *Engine, p *core.Plan, w *tensor.Tensor) (*core
 	if eng.OnPackRetain != nil {
 		eng.OnPackRetain(pf)
 	}
+	// Post-pack verification (DESIGN.md §12): every rebuild — including
+	// the eviction-path re-pack — proves the fresh artifact matches its
+	// own pack-time checksum before it can serve. A failure here means
+	// the packed bytes were corrupted under us between transform and
+	// check; the artifact is discarded (charge returned) and this call
+	// serves with the on-the-fly transform from the intact KCRS source.
+	if verr := pf.Verify(); verr != nil {
+		eng.logLimited("integrity|pack|"+c.LayerName,
+			"nn: %s: fresh pack failed verification, serving unpacked: %v", c.LayerName, verr)
+		*slot = nil
+		if eng.OnPackDrop != nil {
+			eng.OnPackDrop(pf)
+		} else {
+			pf.Release()
+		}
+		return nil, nil
+	}
 	return pf, nil
+}
+
+// discardPacked retires a packed filter that failed an integrity check
+// mid-execution: the slot holding it is cleared (so the next fetch
+// re-packs bit-identically from the retained KCRS source) and its
+// residency charge returned. Safe when the slot was already replaced —
+// only a matching slot is cleared.
+func (c *ConvUnit) discardPacked(eng *Engine, pf *core.PackedFilter) {
+	c.packMu.Lock()
+	defer c.packMu.Unlock()
+	for _, slot := range []**core.PackedFilter{&c.packedRaw, &c.packedFolded} {
+		if *slot == pf {
+			*slot = nil
+		}
+	}
+	if eng != nil && eng.OnPackDrop != nil {
+		eng.OnPackDrop(pf)
+	} else {
+		pf.Release()
+	}
 }
 
 // invalidateReuse retires the unit's reuse state: packed filters are
@@ -773,6 +810,10 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 			// copy (bit-identically) under the fresh budget charge.
 			return c.runUnpacked(eng, s, plan, ctx, x, w, out)
 		}
+		if errors.Is(err, core.ErrIntegrity) {
+			c.recoverIntegrity(eng, pf, err)
+			return c.runUnpacked(eng, s, plan, ctx, x, w, out)
+		}
 		if err != nil {
 			eng.release(out)
 			return nil, err
@@ -783,6 +824,12 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 		if errors.Is(err, core.ErrWeightsReleased) {
 			return c.runUnpacked(eng, s, plan, ctx, x, w, out)
 		}
+		if errors.Is(err, core.ErrIntegrity) {
+			// Integrity failures join the grid before returning, so out
+			// is safe to reuse on the unpacked retry.
+			c.recoverIntegrity(eng, pf, err)
+			return c.runUnpacked(eng, s, plan, ctx, x, w, out)
+		}
 		eng.logLimited("budget|ndirect|"+shapeKey(s), "nn: ndirect backend missed ConvBudget on %v; recomputing unbounded: %v", s, err)
 		// Abandoned workers may still write into out: leak it (never
 		// back to the pool) and recompute into a fresh tensor.
@@ -791,11 +838,29 @@ func (c *ConvUnit) tryNDirect(eng *Engine, s conv.Shape, x, w *tensor.Tensor, op
 			if errors.Is(err, core.ErrWeightsReleased) {
 				return c.runUnpacked(eng, s, plan, ctx, x, w, out)
 			}
+			if errors.Is(err, core.ErrIntegrity) {
+				c.recoverIntegrity(eng, pf, err)
+				return c.runUnpacked(eng, s, plan, ctx, x, w, out)
+			}
 			eng.release(out)
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// recoverIntegrity handles a typed integrity failure surfaced by a
+// packed execution (checksum mismatch or a tripped scratch canary):
+// the packed artifact is conservatively quarantined — dropped so the
+// next fetch re-packs bit-identically from the retained KCRS source —
+// and the failure logged rate-limited. The caller then serves the
+// current request with the on-the-fly transform, which never touches
+// the suspect artifact.
+func (c *ConvUnit) recoverIntegrity(eng *Engine, pf *core.PackedFilter, err error) {
+	eng.logLimited("integrity|"+c.LayerName,
+		"nn: %s: integrity failure on packed path; re-packing from KCRS source and serving unpacked: %v",
+		c.LayerName, err)
+	c.discardPacked(eng, pf)
 }
 
 // runUnpacked executes plan with the on-the-fly filter transform into

@@ -293,17 +293,20 @@ func (rt *Runtime) execConvBatch(key batchKey, reqs []*batchReq) {
 
 	outs := make([]*tensor.Tensor, len(reqs))
 	ins := make([]*tensor.Tensor, len(reqs))
+	bufs := make([][]float32, len(reqs))
 	for i, r := range reqs {
 		ins[i] = r.in
 		si := key.shape.WithBatch(r.n)
 		outLen := si.N * si.K * si.P() * si.Q()
-		if buf := rt.pool.get(outLen); buf != nil {
+		buf := rt.pool.get(outLen)
+		if buf != nil {
 			rt.poolHits.Add(1)
-			outs[i] = tensor.FromSlice(buf, si.N, si.K, si.P(), si.Q())
 		} else {
 			rt.freshAllocs.Add(1)
-			outs[i] = tensor.New(si.N, si.K, si.P(), si.Q())
+			buf = rt.pool.alloc(outLen)
 		}
+		bufs[i] = buf
+		outs[i] = tensor.FromSlice(buf, si.N, si.K, si.P(), si.Q())
 	}
 
 	kcrs := key.filter
@@ -321,7 +324,13 @@ func (rt *Runtime) execConvBatch(key batchKey, reqs []*batchReq) {
 				perr = rp.TryExecuteReferenceCtx(r.ctx, r.in, kcrs, outs[i])
 			}
 			if perr != nil {
-				r.err = perr // buffer dropped: never back in the pool
+				r.err = perr
+				rt.pool.forget(bufs[i]) // dropped: never back in the pool
+				continue
+			}
+			if rt.pool.check(bufs[i]) {
+				r.err = fmt.Errorf("%w: output-buffer canary tripped after batched reference execution on %v",
+					core.ErrIntegrity, si)
 				continue
 			}
 			r.out = outs[i]
@@ -340,10 +349,21 @@ func (rt *Runtime) execConvBatch(key batchKey, reqs []*batchReq) {
 	if execErr != nil {
 		// An abandoned grid's stragglers may still write the buffers:
 		// drop them all to the GC, never back into the pool.
+		for _, buf := range bufs {
+			rt.pool.forget(buf)
+		}
 		fail(execErr)
 		return
 	}
 	for i, r := range reqs {
+		if rt.pool.check(bufs[i]) {
+			// The grid wrote past this request's output window: fail it
+			// typed and quarantine the buffer. The other requests' outputs
+			// live in separate guarded arrays and stand on their own checks.
+			r.err = fmt.Errorf("%w: output-buffer canary tripped after coalesced execution on %v",
+				core.ErrIntegrity, key.shape.WithBatch(r.n))
+			continue
+		}
 		r.out = outs[i]
 	}
 }

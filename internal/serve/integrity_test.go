@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/faultinject"
+	"ndirect/internal/nn"
+	"ndirect/internal/tensor"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A recycled buffer whose guard words were overwritten must be
+// quarantined — counted in CanaryTrips, never parked for a future
+// request — while an intact recycle still round-trips.
+func TestRecycleQuarantinesTrippedCanary(t *testing.T) {
+	rt := New(Config{})
+	in, filter, _ := testOperands(testShape)
+	out, err := rt.TryConv2D(testShape, in, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite the tail guard the way an out-of-bounds store would
+	// (white box: the outstanding index maps the user view to the full
+	// guarded array).
+	rt.pool.mu.Lock()
+	full := rt.pool.outstanding[&out.Data[0]]
+	rt.pool.mu.Unlock()
+	if full == nil {
+		t.Fatal("runtime output not tracked in the outstanding index")
+	}
+	full[len(full)-1] = 42
+
+	rt.Recycle(out)
+	st := rt.Stats()
+	if st.CanaryTrips != 1 || st.IntegrityFailures != 1 {
+		t.Fatalf("CanaryTrips = %d IntegrityFailures = %d, want 1 and 1", st.CanaryTrips, st.IntegrityFailures)
+	}
+	if st.RecycleRefused != 0 {
+		t.Fatalf("RecycleRefused = %d: a trip is a quarantine, not a refusal", st.RecycleRefused)
+	}
+	if st.PoolIdleBytes != 0 {
+		t.Fatal("tripped buffer was parked")
+	}
+	if buf := rt.pool.get(len(out.Data)); buf != nil {
+		t.Fatal("tripped buffer came back out of the pool")
+	}
+}
+
+// A buffer the runtime never issued carries no guard words: Recycle
+// must refuse it (it can never be safely pooled) rather than trusting
+// the caller.
+func TestRecycleRefusesForeignBuffer(t *testing.T) {
+	rt := New(Config{})
+	rt.Recycle(tensor.New(4, 4))
+	if st := rt.Stats(); st.RecycleRefused != 1 || st.PoolIdleBytes != 0 {
+		t.Fatalf("foreign recycle: RecycleRefused = %d PoolIdleBytes = %d, want 1 and 0",
+			st.RecycleRefused, st.PoolIdleBytes)
+	}
+}
+
+// check must quarantine a checked-out buffer whose guards are gone
+// (the convAdmitted post-run path), and a parked array corrupted while
+// idle must be caught at get instead of being handed to a request.
+func TestBufferPoolCheckAndGetCatchTrips(t *testing.T) {
+	trips := 0
+	bp := newBufferPool(1<<20, func() { trips++ })
+
+	buf := bp.alloc(6)
+	bp.mu.Lock()
+	full := bp.outstanding[&buf[0]]
+	bp.mu.Unlock()
+	full[0] = 1 // head guard
+	if !bp.check(buf) {
+		t.Fatal("check missed an overwritten head guard")
+	}
+	if trips != 1 {
+		t.Fatalf("trips = %d after check, want 1", trips)
+	}
+	if parked, _ := bp.put(buf); parked {
+		t.Fatal("quarantined buffer was parked on a later put")
+	}
+
+	// Corrupt a parked array while idle.
+	buf2 := bp.alloc(6)
+	if parked, _ := bp.put(buf2); !parked {
+		t.Fatal("clean put refused")
+	}
+	bp.mu.Lock()
+	bp.bySize[6][0][0] = 7
+	bp.mu.Unlock()
+	if got := bp.get(6); got != nil {
+		t.Fatal("get handed out a buffer with overwritten guards")
+	}
+	if trips != 2 {
+		t.Fatalf("trips = %d after poisoned get, want 2", trips)
+	}
+}
+
+// The sentinel must detect an injected kernel miscompute on its golden
+// probe, quarantine the family out of dispatch, and restore it on the
+// first clean probe once the fault clears — all without an operator in
+// the loop.
+func TestSentinelQuarantinesAndRestoresKernelFamily(t *testing.T) {
+	defer faultinject.Reset()
+	rt := New(Config{SentinelInterval: time.Millisecond})
+	defer rt.Close()
+	defer func() {
+		// Belt and braces: never leak a quarantined family into other
+		// tests, whatever this test's outcome.
+		for _, name := range core.KernelFamilyNames() {
+			core.RestoreKernelFamily(name)
+		}
+	}()
+
+	faultinject.ArmN(faultinject.KernelMiscompute, -1, -1)
+	waitFor(t, 10*time.Second, "a sentinel kernel quarantine", func() bool {
+		return rt.Stats().KernelQuarantines >= 1
+	})
+	st := rt.Stats()
+	if st.SentinelProbes == 0 || st.IntegrityFailures == 0 {
+		t.Fatalf("SentinelProbes = %d IntegrityFailures = %d, want both > 0", st.SentinelProbes, st.IntegrityFailures)
+	}
+	if core.KernelDispatchStats().Quarantined == 0 {
+		t.Fatal("runtime counted a quarantine the dispatch registry does not show")
+	}
+
+	faultinject.Reset()
+	waitFor(t, 10*time.Second, "sentinel restores after the fault cleared", func() bool {
+		s := rt.Stats()
+		return s.KernelRestores >= s.KernelQuarantines && core.KernelDispatchStats().Quarantined == 0
+	})
+}
+
+// The sentinel's model probe: a clean model keeps its fast path; a
+// sentinel-quarantined model serves typed-correct results on the
+// reference path (even with the fault-driven quarantine ladder
+// disabled) and is restored by the next clean probe.
+func TestSentinelModelQuarantineAndRestore(t *testing.T) {
+	rt := New(Config{SentinelInterval: time.Millisecond})
+	defer rt.Close()
+	reg := NewRegistry(RegistryConfig{Runtime: rt})
+
+	s := conv.Shape{N: 1, C: 4, H: 8, W: 8, K: 8, R: 3, S: 3, Str: 1, Pad: 1}
+	w := s.NewFilter()
+	fillInts(w, 9)
+	net := &nn.Network{Name: "sentinel", Layers: []nn.Layer{
+		&nn.ConvUnit{LayerName: "c1", Shape: s, Weights: w, ReLU: true},
+	}}
+	if err := reg.Register("acme", "m", net); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Unregister("acme", "m")
+
+	x := tensor.New(1, 4, 8, 8)
+	fillInts(x, 10)
+	want, err := reg.Infer(context.Background(), "acme", "m", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean model: probes run, nothing quarantines.
+	waitFor(t, 10*time.Second, "a sentinel model probe", func() bool {
+		return rt.Stats().SentinelProbes >= 6 // a full round-robin lap covers the model target
+	})
+	if reg.Quarantined("acme", "m") {
+		t.Fatal("clean model was quarantined")
+	}
+
+	// Force the mismatch verdict through the testable seam (silent
+	// fast-path corruption cannot be manufactured from outside — every
+	// injectable fault is already caught by an inner layer).
+	e, err := reg.lookup("acme", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.settleModelProbe(e, true)
+	if !reg.Quarantined("acme", "m") {
+		t.Fatal("mismatch verdict did not quarantine the model")
+	}
+	if got := rt.Stats().IntegrityFailures; got == 0 {
+		t.Fatal("model quarantine not counted as an integrity failure")
+	}
+
+	// Quarantined + quarThreshold 0: requests serve on the reference
+	// path, still bit-exact.
+	preRef := reg.Stats().ReferenceInfers
+	out, err := reg.Infer(context.Background(), "acme", "m", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("reference-path result differs by %g, want bit-exact", d)
+	}
+	if got := reg.Stats().ReferenceInfers; got <= preRef {
+		t.Fatalf("ReferenceInfers = %d, want > %d (quarantined model must serve on the reference path)", got, preRef)
+	}
+
+	// The model is healthy, so the sentinel's next clean probe restores
+	// the fast path.
+	waitFor(t, 10*time.Second, "sentinel restores the model", func() bool {
+		return !reg.Quarantined("acme", "m")
+	})
+	if reg.Stats().Restores == 0 {
+		t.Fatal("restore not counted")
+	}
+}

@@ -269,7 +269,78 @@ func (r *Registry) Register(tenant, model string, net *nn.Network) error {
 	r.models[key] = e
 	e.lruEl = r.lru.PushFront(e)
 	r.mu.Unlock()
+	if len(net.ConvUnits()) > 0 {
+		// Hand the model to the integrity sentinel (no-op when the
+		// Runtime has no sentinel): an idle-time golden probe comparing
+		// the fast engine bit-for-bit against the reference engine.
+		r.rt.addSentinelTarget(key, r.gateIdle, func() { r.sentinelProbe(e) })
+	}
 	return nil
+}
+
+// gateIdle reports whether the tenant gate is fully idle — the
+// sentinel's extra predicate for model probes, so a probe never runs
+// beside (or ahead of) tenant traffic.
+func (r *Registry) gateIdle() bool {
+	gs := r.gate.Stats()
+	return gs.InFlight == 0 && gs.Queued == 0
+}
+
+// sentinelProbe runs one golden-input forward pass of the model on
+// both engines and settles the quarantine machine on the comparison.
+// Engine errors (not miscompares) move nothing: typed faults are the
+// fault ladder's evidence, the sentinel's is silent divergence.
+func (r *Registry) sentinelProbe(e *modelEntry) {
+	e.mu.Lock()
+	dead := e.dead
+	e.mu.Unlock()
+	if dead {
+		return
+	}
+	units := e.net.ConvUnits()
+	if len(units) == 0 {
+		return
+	}
+	s := units[0].Shape
+	x := tensor.New(1, s.C, s.H, s.W)
+	core.FillProbe(x.Data, 0xC0FFEE)
+	fast, err := e.net.TryForward(e.eng, x)
+	if err != nil {
+		return
+	}
+	ref, err := e.net.TryForward(e.refEng, x)
+	if err != nil {
+		return
+	}
+	r.settleModelProbe(e, tensor.MaxAbsDiff(fast, ref) != 0)
+}
+
+// settleModelProbe advances the model quarantine machine on a sentinel
+// comparison: a miscompare quarantines (idempotently), a clean probe
+// restores. Split from sentinelProbe so the mismatch path is testable
+// without manufacturing silent fast-path corruption.
+func (r *Registry) settleModelProbe(e *modelEntry, mismatch bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if mismatch {
+		r.rt.integrityFailures.Add(1)
+		if !e.quarantined {
+			e.quarantined = true
+			e.quarUntil = time.Now().Add(r.quarCooldown)
+			e.faults = 0
+			r.quarantines.Add(1)
+			core.Logf("serve: sentinel: model %s/%s fast path diverges from reference on the golden probe; quarantined",
+				e.tenant, e.model)
+		}
+		return
+	}
+	if e.quarantined {
+		e.quarantined = false
+		e.probing = false
+		e.faults = 0
+		r.restores.Add(1)
+		core.Logf("serve: sentinel: model %s/%s probes clean; restored to the fast path", e.tenant, e.model)
+	}
 }
 
 // Unregister removes a tenant's model and releases its resident weight
@@ -292,6 +363,7 @@ func (r *Registry) Unregister(tenant, model string) error {
 	r.releaseResidentLocked(e)
 	e.mu.Unlock()
 	r.mu.Unlock()
+	r.rt.removeSentinelTarget(key)
 	// Retire the network's reuse state outside every registry lock
 	// (InvalidateReuse takes the units' packMu, which orders before
 	// r.mu). The entry is dead, so the drop hooks release nothing twice
@@ -425,13 +497,18 @@ func (r *Registry) lookup(tenant, model string) (*modelEntry, error) {
 // fast path (success restores the model, a surfaced fault re-opens
 // the quarantine).
 func (r *Registry) engineFor(e *modelEntry) (eng *nn.Engine, probe bool) {
-	if r.quarThreshold <= 0 {
-		return e.eng, false
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.quarantined {
 		return e.eng, false
+	}
+	if r.quarThreshold <= 0 {
+		// The fault-driven ladder is disabled, so this quarantine came
+		// from the integrity sentinel: serve the reference path until the
+		// sentinel's own probe proves the fast path clean again (the
+		// cooldown/probe machinery below belongs to the fault ladder).
+		r.refInfers.Add(1)
+		return e.refEng, false
 	}
 	if time.Now().Before(e.quarUntil) || e.probing {
 		r.refInfers.Add(1)
@@ -449,7 +526,8 @@ func (r *Registry) recordOutcome(e *modelEntry, probe bool, err error) {
 	if r.quarThreshold <= 0 {
 		return
 	}
-	faulted := err != nil && (errors.Is(err, parallel.ErrWorkerPanic) || errors.Is(err, core.ErrExecFault))
+	faulted := err != nil && (errors.Is(err, parallel.ErrWorkerPanic) || errors.Is(err, core.ErrExecFault) ||
+		errors.Is(err, core.ErrIntegrity))
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if probe {

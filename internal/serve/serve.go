@@ -90,6 +90,18 @@ type Config struct {
 	// cache. Configure breaker fields (BreakerThreshold) on the engine
 	// to quarantine failing baseline backends.
 	Engine *nn.Engine
+	// SentinelInterval enables the background integrity sentinel: every
+	// interval, while the admission gate is fully idle (no request in
+	// flight or queued — the sentinel never takes a slot), one
+	// round-robin golden-shape probe runs: a registered kernel-dispatch
+	// family is re-verified bit-for-bit against the single-threaded
+	// reference (core.VerifyKernelFamily), or a registered model's fast
+	// engine is compared against its reference engine. A miscomparing
+	// kernel family is quarantined out of dispatch (with a generation
+	// bump, so plan caches re-key to the generic kernel); a miscomparing
+	// model is quarantined to its reference path. Both are restored by
+	// the first clean probe. 0 (the default) disables the sentinel.
+	SentinelInterval time.Duration
 	// Manifest, when non-nil, warm-starts the runtime from an offline
 	// `ndtune -manifest` run: each valid entry's shape is registered
 	// with the core kernel-dispatch registry and its plan pre-built
@@ -121,6 +133,7 @@ type Runtime struct {
 	engine   *nn.Engine
 	batcher  *batcher // nil: batching disabled
 	manifest *autotune.Manifest
+	sentinel *sentinel // nil: sentinel disabled
 
 	degradedOnce sync.Once
 	degraded     core.Options
@@ -134,6 +147,13 @@ type Runtime struct {
 	memRejected    atomic.Uint64
 	recycleRefused atomic.Uint64
 	batchStats     batchStats
+
+	// Silent-corruption defense (DESIGN.md §12).
+	canaryTrips       atomic.Uint64
+	integrityFailures atomic.Uint64
+	sentinelProbes    atomic.Uint64
+	kernelQuarantines atomic.Uint64
+	kernelRestores    atomic.Uint64
 }
 
 // New builds a Runtime from cfg (see Config for defaults).
@@ -156,10 +176,13 @@ func New(cfg Config) *Runtime {
 		gate:   NewGate(inFlight, queue),
 		budget: NewBudget(cfg.MemLimitBytes),
 		plans:  core.NewPlanCache(cfg.PlanCacheCap),
-		pool:   newBufferPool(poolIdle),
 		opts:   opts,
 		engine: cfg.Engine,
 	}
+	rt.pool = newBufferPool(poolIdle, func() {
+		rt.canaryTrips.Add(1)
+		rt.integrityFailures.Add(1)
+	})
 	if rt.engine == nil {
 		rt.engine = &nn.Engine{
 			Algo:    nn.AlgoNDirect,
@@ -199,11 +222,23 @@ func New(cfg Config) *Runtime {
 			}
 		}
 	}
+	if cfg.SentinelInterval > 0 {
+		rt.sentinel = newSentinel(rt, cfg.SentinelInterval)
+	}
 	// Warm the process-wide worker pool at construction: the first
 	// request should land on already-parked workers, not pay the
 	// worker spawns (and their allocations) inside its latency budget.
 	parallel.DefaultPool()
 	return rt
+}
+
+// Close stops the runtime's background machinery (the integrity
+// sentinel). In-flight requests are unaffected; Close is idempotent
+// and a runtime without a sentinel needs no Close at all.
+func (rt *Runtime) Close() {
+	if rt.sentinel != nil {
+		rt.sentinel.stop()
+	}
 }
 
 // Budget returns the runtime's memory accountant (for charging
@@ -316,15 +351,25 @@ func (rt *Runtime) Forward(ctx context.Context, net *nn.Network, x *tensor.Tenso
 //
 // Hazardous recycles are detected and refused rather than poisoning
 // the pool: a view tensor (its Data does not own the full backing
-// array — batched-inference outputs are such views) is never parked,
-// and recycling the same tensor twice parks its array once — the
-// second call is refused instead of listing one buffer for two future
-// requests. Refusals are counted in Stats.RecycleRefused.
+// array — batched-inference outputs are such views) is never parked;
+// recycling the same tensor twice parks its array once (the second
+// call is refused instead of listing one buffer for two future
+// requests); and a buffer the runtime did not itself hand out —
+// engine-allocated Forward outputs, caller-built tensors — is refused
+// outright, because only runtime-issued buffers carry the guard words
+// the pool checks. Refusals are counted in Stats.RecycleRefused. A
+// buffer whose guard words were overwritten is quarantined — counted
+// in Stats.CanaryTrips, never parked.
 func (rt *Runtime) Recycle(t *tensor.Tensor) {
 	if t == nil || len(t.Data) == 0 {
 		return
 	}
-	if len(t.Data) != cap(t.Data) || !rt.pool.put(t.Data) {
+	if len(t.Data) != cap(t.Data) {
+		rt.recycleRefused.Add(1)
+		return
+	}
+	parked, tripped := rt.pool.put(t.Data)
+	if !parked && !tripped {
 		rt.recycleRefused.Add(1)
 	}
 }
@@ -409,14 +454,14 @@ func (rt *Runtime) convAdmitted(ctx context.Context, s conv.Shape, in, filter *t
 	}
 
 	outLen := int(plan.OutputBytes() / 4)
-	var out *tensor.Tensor
-	if buf := rt.pool.get(outLen); buf != nil {
+	buf := rt.pool.get(outLen)
+	if buf != nil {
 		rt.poolHits.Add(1)
-		out = tensor.FromSlice(buf, s.N, s.K, s.P(), s.Q())
 	} else {
 		rt.freshAllocs.Add(1)
-		out = tensor.New(s.N, s.K, s.P(), s.Q())
+		buf = rt.pool.alloc(outLen)
 	}
+	out := tensor.FromSlice(buf, s.N, s.K, s.P(), s.Q())
 
 	var execErr error
 	switch {
@@ -430,7 +475,14 @@ func (rt *Runtime) convAdmitted(ctx context.Context, s conv.Shape, in, filter *t
 	if execErr != nil {
 		// An abandoned grid's stragglers may still write the buffer:
 		// drop it to the GC, never back into the pool.
+		rt.pool.forget(buf)
 		return nil, execErr
+	}
+	if rt.pool.check(buf) {
+		// The run wrote past the output window: the result cannot be
+		// trusted and the buffer is quarantined. Fail typed — the
+		// corruption must never reach the caller.
+		return nil, fmt.Errorf("%w: output-buffer canary tripped after execution on %v", core.ErrIntegrity, s)
 	}
 	return out, nil
 }
@@ -463,8 +515,22 @@ type Stats struct {
 	BatchExpired     uint64
 
 	// RecycleRefused counts hazardous Recycle calls that were refused
-	// (view tensors, double-recycles) instead of poisoning the pool.
+	// (view tensors, double-recycles, foreign buffers) instead of
+	// poisoning the pool.
 	RecycleRefused uint64
+
+	// Silent-corruption defense (DESIGN.md §12). CanaryTrips counts
+	// activation buffers quarantined for overwritten guard words;
+	// SentinelProbes, KernelQuarantines and KernelRestores track the
+	// background sentinel; IntegrityFailures totals every detection the
+	// runtime surfaced (canary trips plus sentinel miscompares —
+	// checksum failures live in Integrity, the core-layer counters).
+	CanaryTrips       uint64
+	IntegrityFailures uint64
+	SentinelProbes    uint64
+	KernelQuarantines uint64
+	KernelRestores    uint64
+	Integrity         core.IntegrityStats
 
 	PlanCache core.PlanCacheStats
 
@@ -497,6 +563,12 @@ func (rt *Runtime) Stats() Stats {
 		BatchSoloFlushes: rt.batchStats.soloFlushes.Load(),
 		BatchExpired:     rt.batchStats.expired.Load(),
 		RecycleRefused:   rt.recycleRefused.Load(),
+		CanaryTrips:       rt.canaryTrips.Load(),
+		IntegrityFailures: rt.integrityFailures.Load(),
+		SentinelProbes:    rt.sentinelProbes.Load(),
+		KernelQuarantines: rt.kernelQuarantines.Load(),
+		KernelRestores:    rt.kernelRestores.Load(),
+		Integrity:         core.IntegritySnapshot(),
 		PlanCache:        rt.plans.Stats(),
 	}
 }

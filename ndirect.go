@@ -76,6 +76,14 @@ var (
 	// ladder. The request can be retried once load drains; no partial
 	// work was done.
 	ErrOverloaded = core.ErrOverloaded
+	// ErrIntegrity: detected silent data corruption — a packed filter
+	// failing its pack-time CRC32-C before consumption, a scratch or
+	// output-buffer canary overwritten by an out-of-bounds store, or a
+	// kernel family diverging from the reference oracle on its golden
+	// probe. Never silently repaired at this level: the artifact may
+	// stay corrupt, so the owner must discard and rebuild it (the nn
+	// engine re-packs, the serving runtime quarantines).
+	ErrIntegrity = core.ErrIntegrity
 )
 
 // LeakedWorkers reports worker goroutines abandoned by expired-context

@@ -31,4 +31,7 @@ go run ./cmd/ndserve -selftest -manifest "$MANIFEST"
 echo "==> ndsoak batching smoke (8s, coalesced serving invariants)"
 go run ./cmd/ndsoak -duration 8s -batch -clients 8
 
+echo "==> ndsoak integrity smoke (8s, silent-corruption drills + sentinel loop)"
+go run ./cmd/ndsoak -duration 8s -integrity -storm -clients 8
+
 echo "OK: all checks passed"
