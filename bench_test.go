@@ -490,6 +490,83 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 	})
 }
 
+// BenchmarkSeparableSteadyState is the depthwise-separable fusion
+// acceptance bench: a MobileNet-style dw3×3→pw1×1 block at steady
+// state (plans cached, filters packed, outputs preallocated), fused
+// through one SeparablePlan versus the strongest unfused composition
+// — a cached DepthwisePlan feeding the same pointwise plan through a
+// preallocated full intermediate. The fused sub-bench must report 0
+// allocs/op (the deterministic counterpart is
+// core.TestSeparablePackedZeroAllocs); the unfused sub-bench pays the
+// intermediate's memory traffic, and EXPERIMENTS.md records the
+// measured fusion speedup.
+func BenchmarkSeparableSteadyState(b *testing.B) {
+	ss := core.SeparableShape{N: 1, C: 32, H: 28, W: 28, K: 64, R: 3, S: 3, Str: 1, Pad: 1}
+	in := tensor.New(ss.N, ss.C, ss.H, ss.W)
+	in.FillRandom(1)
+	dwF := tensor.New(ss.C, ss.R, ss.S)
+	dwF.FillRandom(2)
+	pwF := tensor.New(ss.K, ss.C, 1, 1)
+	pwF.FillRandom(3)
+	sepFLOPs := int64(2*ss.N*ss.C*ss.P()*ss.Q()) * int64(ss.R*ss.S+ss.K)
+
+	fused, err := core.TryNewSeparablePlan(ss, core.Options{Threads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdw, ppw, err := fused.TransformFilters(dwF, pwF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pdw.Release()
+	defer ppw.Release()
+	out := tensor.New(ss.N, ss.K, ss.P(), ss.Q())
+
+	b.Run("fused", func(b *testing.B) {
+		if err := fused.TryExecutePacked(in, pdw, ppw, out); err != nil { // warm scratch
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fused.TryExecutePacked(in, pdw, ppw, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(sepFLOPs)*float64(b.N)/sec/1e9, "GFLOPS")
+		}
+	})
+
+	b.Run("unfused", func(b *testing.B) {
+		dwPlan, err := core.TryNewDepthwisePlan(ss.DWShape(), core.Options{Threads: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mid := tensor.New(ss.N, ss.C, ss.P(), ss.Q())
+		pwPlan := fused.PointwisePlan()
+		if err := dwPlan.TryExecutePacked(in, pdw, mid); err != nil { // warm scratch
+			b.Fatal(err)
+		}
+		if err := pwPlan.TryExecutePacked(mid, ppw, out); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dwPlan.TryExecutePacked(in, pdw, mid); err != nil {
+				b.Fatal(err)
+			}
+			if err := pwPlan.TryExecutePacked(mid, ppw, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(sepFLOPs)*float64(b.N)/sec/1e9, "GFLOPS")
+		}
+	})
+}
+
 // BenchmarkSmallConvServing is the per-call-overhead acceptance bench:
 // on a small serving shape the one-shot path (the public stateless
 // API: fresh plan, on-the-fly filter transform and a new output tensor

@@ -9,9 +9,11 @@
 //	ndbench -exp all                             # every modeled experiment
 //
 // Experiments: table2 table3 table4 fig1a fig1b fig4 fig5 fig6 fig7
-// fig8 fig9 steady all. See EXPERIMENTS.md for the mapping to the
-// paper and the expected shapes of the results; "steady" is the
-// serving-loop extra (one-shot calls vs the cached-plan packed path).
+// fig8 fig9 steady dwsep all. See EXPERIMENTS.md for the mapping to
+// the paper and the expected shapes of the results; "steady" is the
+// serving-loop extra (one-shot calls vs the cached-plan packed path)
+// and "dwsep" the MobileNet-block extra (fused depthwise-separable vs
+// the unfused two-call composition).
 package main
 
 import (
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2|table3|table4|fig1a|fig1b|fig4|fig5|fig6|fig7|fig8|fig9|winograd|fft|variance|steady|all")
+		exp      = flag.String("exp", "all", "experiment: table2|table3|table4|fig1a|fig1b|fig4|fig5|fig6|fig7|fig8|fig9|winograd|fft|variance|steady|dwsep|all")
 		platform = flag.String("platform", "phytium", "modeled platform: phytium|kp920|tx2|rpi4")
 		measured = flag.Bool("measured", false, "run the measured (host wall-clock) variant where available")
 		batch    = flag.Int("batch", 1, "measured-mode batch size")
@@ -122,6 +124,8 @@ func main() {
 			bench.Variance(cfg, 3)
 		case "steady":
 			bench.Steady(cfg)
+		case "dwsep":
+			bench.DWSep(cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

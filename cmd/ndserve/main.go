@@ -80,6 +80,10 @@ type modelSpec struct {
 	Seed  uint64     `json:"seed"`
 	ReLU  bool       `json:"relu"`
 	Shape *shapeSpec `json:"shape,omitempty"`
+	// Separable appends a depthwise-separable block (dw 3×3 over the
+	// first conv's output, then a 1×1 expansion) — a MobileNet-class
+	// model, served through the fused separable executor.
+	Separable bool `json:"separable,omitempty"`
 }
 
 type inferRequest struct {
@@ -120,9 +124,37 @@ func buildNet(name string, sp modelSpec) (*nn.Network, conv.Shape) {
 	s := ss.shape()
 	w := s.NewFilter()
 	fillInts(w, sp.Seed)
-	return &nn.Network{Name: name, Layers: []nn.Layer{
+	layers := []nn.Layer{
 		&nn.ConvUnit{LayerName: "conv1", Shape: s, Weights: w, ReLU: sp.ReLU},
-	}}, s
+	}
+	if sp.Separable {
+		// Integer weights and an exact-identity BN (Eps = 0) keep the
+		// block bit-exact on every rung, fused or not, like conv1.
+		dw := conv.Shape{N: 1, C: s.K, H: s.P(), W: s.Q(), K: s.K, R: 3, S: 3, Str: 1, Pad: 1}
+		dwW := tensor.New(dw.C, dw.R, dw.S)
+		fillInts(dwW, sp.Seed+1)
+		bn := &nn.BNParams{
+			Gamma: make([]float32, dw.C),
+			Beta:  make([]float32, dw.C),
+			Mean:  make([]float32, dw.C),
+			Var:   make([]float32, dw.C),
+		}
+		for i := range bn.Gamma {
+			bn.Gamma[i] = 1
+			bn.Var[i] = 1
+		}
+		pw := conv.Shape{N: 1, C: dw.C, H: dw.P(), W: dw.Q(), K: 2 * dw.C, R: 1, S: 1, Str: 1, Pad: 0}
+		pwW := pw.NewFilter()
+		fillInts(pwW, sp.Seed+2)
+		layers = append(layers, &nn.DepthwiseSeparable{
+			LayerName: "dwsep",
+			DWShape:   dw,
+			DWFilter:  dwW,
+			DWBN:      bn,
+			PW:        &nn.ConvUnit{LayerName: "dwsep_pw", Shape: pw, Weights: pwW, ReLU: true},
+		})
+	}
+	return &nn.Network{Name: name, Layers: layers}, s
 }
 
 func parseClass(s string) (serve.QoSClass, error) {
@@ -461,22 +493,22 @@ func runSelftest(s *server) error {
 	}
 
 	seed := uint64(inputSeed)
-	inferOnce := func(tn string) error {
+	inferModel := func(tn, model string, want *tensor.Tensor) error {
 		var got inferResponse
-		if err := do("POST", "/v1/infer/"+tn+"/m", inferRequest{Seed: &seed}, http.StatusOK, &got); err != nil {
+		if err := do("POST", "/v1/infer/"+tn+"/"+model, inferRequest{Seed: &seed}, http.StatusOK, &got); err != nil {
 			return err
 		}
-		want := oracles[tn]
 		if len(got.Data) != len(want.Data) {
-			return fmt.Errorf("tenant %s: got %d elements, want %d", tn, len(got.Data), len(want.Data))
+			return fmt.Errorf("tenant %s/%s: got %d elements, want %d", tn, model, len(got.Data), len(want.Data))
 		}
 		for i := range want.Data {
 			if got.Data[i] != want.Data[i] {
-				return fmt.Errorf("tenant %s: output differs at element %d: %g != %g", tn, i, got.Data[i], want.Data[i])
+				return fmt.Errorf("tenant %s/%s: output differs at element %d: %g != %g", tn, model, i, got.Data[i], want.Data[i])
 			}
 		}
 		return nil
 	}
+	inferOnce := func(tn string) error { return inferModel(tn, "m", oracles[tn]) }
 
 	// Concurrent multi-tenant traffic, every response bit-exact.
 	var wg sync.WaitGroup
@@ -559,6 +591,56 @@ func runSelftest(s *server) error {
 	if post.BatchedRequests < pre.BatchedRequests+2 {
 		return fmt.Errorf("BatchedRequests %d -> %d over a 16-way burst, want at least +2",
 			pre.BatchedRequests, post.BatchedRequests)
+	}
+
+	// Depthwise-separable serving: a MobileNet-class model (conv1 →
+	// dw 3×3 → 1×1 expansion) runs its block through the fused
+	// separable executor on the registry's per-model nDirect engine.
+	// After the first request the block is fully warm — separable plan
+	// memo, packed depthwise and pointwise filters — so five more
+	// requests must not construct a single plan (the shared plan
+	// cache's miss counter stays frozen) while every response stays
+	// bit-exact against the local unfused oracle.
+	sepSpec := modelSpec{Seed: 44, ReLU: true, Separable: true}
+	if err := do("POST", "/v1/models/alice/sep", sepSpec, http.StatusCreated, nil); err != nil {
+		return err
+	}
+	sepNet, sepShape := buildNet("alice/sep", sepSpec)
+	sx := sepShape.NewInput()
+	fillInts(sx, inputSeed)
+	sepWant, err := sepNet.TryForward(&nn.Engine{Algo: nn.AlgoNDirect, Threads: 1}, sx)
+	if err != nil {
+		return fmt.Errorf("separable oracle forward: %w", err)
+	}
+	if err := inferModel("alice", "sep", sepWant); err != nil {
+		return fmt.Errorf("separable first request: %w", err)
+	}
+	// The always-on selftest sentinel builds the new model's reference-
+	// probe plans through the shared cache on its first visit — probe
+	// startup cost, not serving cost. Wait for the miss counter to go
+	// quiet before asserting the serving loop itself is plan-silent.
+	settleDeadline := time.Now().Add(5 * time.Second)
+	preSep := s.reg.Stats().Runtime.PlanCache
+	for quiet := time.Now(); time.Since(quiet) < 100*time.Millisecond; {
+		if time.Now().After(settleDeadline) {
+			return fmt.Errorf("plan-cache misses never settled after separable registration (at %d)", preSep.Misses)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if st := s.reg.Stats().Runtime.PlanCache; st.Misses != preSep.Misses {
+			preSep, quiet = st, time.Now()
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := inferModel("alice", "sep", sepWant); err != nil {
+			return fmt.Errorf("separable warm serving: %w", err)
+		}
+	}
+	if postSep := s.reg.Stats().Runtime.PlanCache; postSep.Misses != preSep.Misses {
+		return fmt.Errorf("separable model still constructed plans while serving warm: plan-cache misses %d -> %d",
+			preSep.Misses, postSep.Misses)
+	}
+	if err := do("DELETE", "/v1/models/alice/sep", nil, http.StatusNoContent, nil); err != nil {
+		return err
 	}
 
 	// Warm-start phase (only with -manifest): a model whose shape the

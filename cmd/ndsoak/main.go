@@ -464,21 +464,98 @@ func buildTraffic(rt *serve.Runtime) (works []*workload, baseline int64, net *nn
 		works = append(works, w)
 	}
 
-	// One integer-weight conv+ReLU unit: its oracle is exact on every
-	// engine backend, including the post-breaker nDirect fallback.
+	// One integer-weight conv+ReLU unit followed by a depthwise-
+	// separable block: integer weights and an exact-identity BN
+	// (Eps = 0, so the fold contributes bit-nothing) keep the oracle
+	// exact on every engine backend and ladder rung — fused separable,
+	// unfused composition, post-breaker nDirect and the float64
+	// reference alike.
 	ns := conv.Shape{N: 1, C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
 	nw := ns.NewFilter()
 	fillInts(nw, 77)
+	dwShape := conv.Shape{N: 1, C: 16, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+	dwW := tensor.New(16, 3, 3)
+	fillInts(dwW, 79)
+	pwShape := conv.Shape{N: 1, C: 16, H: 16, W: 16, K: 24, R: 1, S: 1, Str: 1, Pad: 0}
+	pwW := pwShape.NewFilter()
+	fillInts(pwW, 80)
 	net = &nn.Network{Name: "soak", Layers: []nn.Layer{
 		&nn.ConvUnit{LayerName: "conv1", Shape: ns, Weights: nw, ReLU: true},
+		&nn.DepthwiseSeparable{
+			LayerName: "dwsep",
+			DWShape:   dwShape,
+			DWFilter:  dwW,
+			DWBN:      exactIdentityBN(dwShape.C),
+			PW:        &nn.ConvUnit{LayerName: "dwsep_pw", Shape: pwShape, Weights: pwW, ReLU: true},
+		},
 	}}
 	netIn = ns.NewInput()
 	fillInts(netIn, 78)
-	netWant = conv.Reference(ns, netIn, nw)
-	for i, v := range netWant.Data {
+	// The oracle composes the naive per-stage references (injection is
+	// still disarmed here).
+	y := conv.Reference(ns, netIn, nw)
+	reluInPlace(y)
+	mid := depthwiseReference(dwShape, y, dwW)
+	reluInPlace(mid) // identity BN at Eps 0 contributes nothing
+	netWant = conv.Reference(pwShape, mid, pwW)
+	reluInPlace(netWant)
+	return works, rt.Budget().InUse(), net, netIn, netWant
+}
+
+// exactIdentityBN builds BatchNorm parameters that fold to an exact
+// float32 no-op: Eps = 0 so scale is exactly 1 and shift exactly 0,
+// keeping integer tensors integer through every rung.
+func exactIdentityBN(c int) *nn.BNParams {
+	bn := &nn.BNParams{
+		Gamma: make([]float32, c),
+		Beta:  make([]float32, c),
+		Mean:  make([]float32, c),
+		Var:   make([]float32, c),
+	}
+	for i := range bn.Gamma {
+		bn.Gamma[i] = 1
+		bn.Var[i] = 1
+	}
+	return bn
+}
+
+func reluInPlace(t *tensor.Tensor) {
+	for i, v := range t.Data {
 		if v < 0 {
-			netWant.Data[i] = 0
+			t.Data[i] = 0
 		}
 	}
-	return works, rt.Budget().InUse(), net, netIn, netWant
+}
+
+// depthwiseReference is the naive per-channel oracle for the depthwise
+// stage (s.K = s.C; filter is [C, R, S]). float64 accumulation like
+// conv.Reference — exact for the soak's integer operands either way.
+func depthwiseReference(s conv.Shape, in, filter *tensor.Tensor) *tensor.Tensor {
+	p, q := s.P(), s.Q()
+	out := tensor.New(s.N, s.C, p, q)
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for oj := 0; oj < p; oj++ {
+				for oi := 0; oi < q; oi++ {
+					var acc float64
+					for r := 0; r < s.R; r++ {
+						ih := s.Str*oj - s.Pad + r
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for ss := 0; ss < s.S; ss++ {
+							iw := s.Str*oi - s.Pad + ss
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							acc += float64(in.Data[((n*s.C+c)*s.H+ih)*s.W+iw]) *
+								float64(filter.Data[(c*s.R+r)*s.S+ss])
+						}
+					}
+					out.Data[((n*s.C+c)*p+oj)*q+oi] = float32(acc)
+				}
+			}
+		}
+	}
+	return out
 }

@@ -60,14 +60,36 @@ func buildTenants(reg *serve.Registry, nTenants int) []*tenantWork {
 	for i := 0; i < nTenants; i++ {
 		w := s.NewFilter()
 		fillInts(w, uint64(1000+2*i))
+		layers := []nn.Layer{
+			&nn.ConvUnit{LayerName: "conv1", Shape: s, Weights: w, ReLU: true},
+		}
+		if i%2 == 1 {
+			// Every other tenant serves a depthwise-separable block, so
+			// the storm also hits the fused separable executor (the
+			// registry's per-model engines run Reuse+nDirect, where the
+			// fused path is live) and its packed dw+pw recovery ladder.
+			// Integer weights + exact-identity BN keep invariant 6's
+			// bit-exact oracle demand satisfiable on every rung.
+			dwShape := conv.Shape{N: 1, C: 16, H: 16, W: 16, K: 16, R: 3, S: 3, Str: 1, Pad: 1}
+			dwW := tensor.New(16, 3, 3)
+			fillInts(dwW, uint64(5000+2*i))
+			pwShape := conv.Shape{N: 1, C: 16, H: 16, W: 16, K: 24, R: 1, S: 1, Str: 1, Pad: 0}
+			pwW := pwShape.NewFilter()
+			fillInts(pwW, uint64(5001+2*i))
+			layers = append(layers, &nn.DepthwiseSeparable{
+				LayerName: "dwsep",
+				DWShape:   dwShape,
+				DWFilter:  dwW,
+				DWBN:      exactIdentityBN(dwShape.C),
+				PW:        &nn.ConvUnit{LayerName: "dwsep_pw", Shape: pwShape, Weights: pwW, ReLU: true},
+			})
+		}
+		layers = append(layers, &nn.MaxPool{K: 2, Str: 2})
 		tw := &tenantWork{
 			tenant: fmt.Sprintf("t%d", i),
 			class:  serve.QoSClass(i % serve.NumQoSClasses),
-			net: &nn.Network{Name: fmt.Sprintf("m%d", i), Layers: []nn.Layer{
-				&nn.ConvUnit{LayerName: "conv1", Shape: s, Weights: w, ReLU: true},
-				&nn.MaxPool{K: 2, Str: 2},
-			}},
-			in: s.NewInput(),
+			net:    &nn.Network{Name: fmt.Sprintf("m%d", i), Layers: layers},
+			in:     s.NewInput(),
 		}
 		fillInts(tw.in, uint64(1001+2*i))
 		want, err := tw.net.TryForward(&nn.Engine{Algo: nn.AlgoNDirect, Threads: 1}, tw.in)

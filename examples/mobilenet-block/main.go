@@ -1,7 +1,10 @@
 // Depthwise-separable convolution block (MobileNet/Xception style),
-// the §10.2 extension: a depthwise 3×3 followed by a pointwise 1×1,
-// both through the nDirect kernels, compared against a standard 3×3
-// convolution of the same output shape.
+// the §10.2 extension: a depthwise 3×3 followed by a pointwise 1×1.
+// The block runs three ways — the fused single-plan executor
+// (TrySeparableConv2D, which never materialises the intermediate),
+// the unfused two-call composition it is bit-identical to, and the
+// standard 3×3 convolution of the same output shape it replaces —
+// and reports the fusion speedup and the FLOP saving.
 package main
 
 import (
@@ -26,37 +29,67 @@ func main() {
 	const (
 		n, c, h, w = 1, 64, 56, 56
 		k          = 128
+		reps       = 5 // min-of-reps timing
 	)
 
 	in := ndirect.NewTensor(n, c, h, w)
 	in.FillRandom(1)
-
-	// Depthwise stage: one 3×3 filter per input channel.
-	dw := ndirect.Shape{N: n, C: c, H: h, W: w, K: c, R: 3, S: 3, Str: 1, Pad: 1}
-	dwFilter := ndirect.NewTensor(c, 3, 3)
+	dwFilter := ndirect.NewTensor(c, 3, 3) // one 3×3 filter per channel
 	dwFilter.FillRandom(2)
-
-	// Pointwise stage: 1×1 over the depthwise output.
-	pwFilter := ndirect.NewTensor(k, c, 1, 1)
+	pwFilter := ndirect.NewTensor(k, c, 1, 1) // 1×1 expansion
 	pwFilter.FillRandom(3)
 
-	t0 := time.Now()
-	mid := must(ndirect.TryDepthwiseConv2D(dw, in, dwFilter, ndirect.Options{}))
-	out := must(ndirect.TryPointwiseConv2D(n, c, h, w, k, mid, pwFilter, ndirect.Options{}))
-	dscTime := time.Since(t0)
+	sep := ndirect.SeparableShape{N: n, C: c, H: h, W: w, K: k, R: 3, S: 3, Str: 1, Pad: 1}
+
+	// Fused: one plan, row tiles of depthwise output consumed by the
+	// pointwise micro-kernel straight from pooled scratch.
+	var out *ndirect.Tensor
+	fused := timeMin(reps, func() {
+		out = must(ndirect.TrySeparableConv2D(sep, in, dwFilter, pwFilter, ndirect.Options{}))
+	})
+
+	// Unfused: the same block as two calls, materialising the full
+	// [N][C][P][Q] intermediate in between.
+	dw := sep.DWShape()
+	var outUnfused *ndirect.Tensor
+	unfused := timeMin(reps, func() {
+		mid := must(ndirect.TryDepthwiseConv2D(dw, in, dwFilter, ndirect.Options{}))
+		outUnfused = must(ndirect.TryPointwiseConv2DShape(sep.PWShape(), mid, pwFilter, ndirect.Options{}))
+	})
+	for i := range out.Data {
+		if out.Data[i] != outUnfused.Data[i] {
+			fmt.Fprintf(os.Stderr, "fused and unfused outputs differ at element %d: %g != %g\n",
+				i, out.Data[i], outUnfused.Data[i])
+			os.Exit(1)
+		}
+	}
 
 	// The standard convolution the DSC block replaces.
 	std := ndirect.Shape{N: n, C: c, H: h, W: w, K: k, R: 3, S: 3, Str: 1, Pad: 1}
 	stdFilter := ndirect.NewTensor(k, c, 3, 3)
 	stdFilter.FillRandom(4)
-	t0 = time.Now()
-	outStd := must(ndirect.TryConv2D(std, in, stdFilter, ndirect.Options{}))
-	stdTime := time.Since(t0)
+	var outStd *ndirect.Tensor
+	stdTime := timeMin(reps, func() {
+		outStd = must(ndirect.TryConv2D(std, in, stdFilter, ndirect.Options{}))
+	})
 
 	dscFLOPs := int64(2*n*c*h*w*3*3) + int64(2*n*c*k*h*w)
-	fmt.Printf("DSC block:    out %v, %6.2f MFLOP, %8.3fms\n", out.Dims, float64(dscFLOPs)/1e6, dscFTime(dscTime))
-	fmt.Printf("standard 3x3: out %v, %6.2f MFLOP, %8.3fms\n", outStd.Dims, float64(std.FLOPs())/1e6, dscFTime(stdTime))
-	fmt.Printf("DSC uses %.1fx fewer FLOPs\n", float64(std.FLOPs())/float64(dscFLOPs))
+	fmt.Printf("DSC fused:    out %v, %6.2f MFLOP, %8.3fms\n", out.Dims, float64(dscFLOPs)/1e6, fused*1e3)
+	fmt.Printf("DSC unfused:  out %v, %6.2f MFLOP, %8.3fms  (bit-identical to fused)\n", outUnfused.Dims, float64(dscFLOPs)/1e6, unfused*1e3)
+	fmt.Printf("standard 3x3: out %v, %6.2f MFLOP, %8.3fms\n", outStd.Dims, float64(std.FLOPs())/1e6, stdTime*1e3)
+	fmt.Printf("fusion speedup over two-call: %.2fx\n", unfused/fused)
+	fmt.Printf("DSC uses %.1fx fewer FLOPs than the standard 3x3\n", float64(std.FLOPs())/float64(dscFLOPs))
 }
 
-func dscFTime(d time.Duration) float64 { return d.Seconds() * 1e3 }
+// timeMin reports the fastest of reps runs of f, in seconds.
+func timeMin(reps int, f func()) float64 {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0).Seconds(); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

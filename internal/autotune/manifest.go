@@ -61,6 +61,15 @@ type ManifestEntry struct {
 	BestSec  float64    `json:"best_sec,omitempty"` // winning measured seconds
 	Trials   int        `json:"trials,omitempty"`   // schedules measured to find it
 	Checksum uint32     `json:"crc32c,omitempty"`
+	// Depthwise marks a depthwise-stage entry (`ndtune -depthwise`):
+	// Shape carries the depthwise geometry (K = C) and DWRowTile — not
+	// Schedule, which stays zero — is the tuned knob: the depthwise
+	// output row-tile height the fused separable executor should force
+	// (0 = let the plan solve it). Both fields omit from JSON when
+	// zero, so v2 manifests without depthwise entries checksum exactly
+	// as before.
+	Depthwise bool `json:"depthwise,omitempty"`
+	DWRowTile int  `json:"dw_row_tile,omitempty"`
 }
 
 // entryChecksum computes the CRC32-C over the fields that steer
@@ -69,10 +78,15 @@ type ManifestEntry struct {
 // deterministically, so the checksum is stable across encode cycles
 // and Go versions.
 func entryChecksum(e ManifestEntry) uint32 {
+	// The depthwise fields use omitempty so standard entries encode —
+	// and checksum — byte-identically to manifests written before the
+	// fields existed.
 	raw, err := json.Marshal(struct {
-		Shape    conv.Shape `json:"shape"`
-		Schedule Schedule   `json:"schedule"`
-	}{e.Shape, e.Schedule})
+		Shape     conv.Shape `json:"shape"`
+		Schedule  Schedule   `json:"schedule"`
+		Depthwise bool       `json:"depthwise,omitempty"`
+		DWRowTile int        `json:"dw_row_tile,omitempty"`
+	}{e.Shape, e.Schedule, e.Depthwise, e.DWRowTile})
 	if err != nil {
 		// Plain structs of ints cannot fail to marshal; keep the zero
 		// (= unprotected) rather than inventing an error path.
@@ -107,7 +121,23 @@ func (m *Manifest) Set(s conv.Shape, sch Schedule, bestSec float64, trials int) 
 	key := manifestShape(s)
 	e := ManifestEntry{Shape: key, Schedule: sch, BestSec: bestSec, Trials: trials}
 	for i := range m.Entries {
-		if m.Entries[i].Shape == key {
+		if m.Entries[i].Shape == key && !m.Entries[i].Depthwise {
+			m.Entries[i] = e
+			return
+		}
+	}
+	m.Entries = append(m.Entries, e)
+}
+
+// SetDepthwise records the tuned depthwise row-tile height for the
+// depthwise geometry s (any batch; K normalised to C), replacing an
+// existing depthwise entry for the same shape.
+func (m *Manifest) SetDepthwise(s conv.Shape, rowTile int, bestSec float64, trials int) {
+	key := manifestShape(s)
+	key.K = key.C
+	e := ManifestEntry{Shape: key, Depthwise: true, DWRowTile: rowTile, BestSec: bestSec, Trials: trials}
+	for i := range m.Entries {
+		if m.Entries[i].Shape == key && m.Entries[i].Depthwise {
 			m.Entries[i] = e
 			return
 		}
@@ -116,24 +146,46 @@ func (m *Manifest) Set(s conv.Shape, sch Schedule, bestSec float64, trials int) 
 }
 
 // Lookup returns the schedule tuned for s (any batch) and whether one
-// exists. Nil-safe: a nil manifest covers nothing.
+// exists. Depthwise entries are invisible here — their Schedule is
+// deliberately zero and must never reach the Ansor executor. Nil-safe:
+// a nil manifest covers nothing.
 func (m *Manifest) Lookup(s conv.Shape) (Schedule, bool) {
 	if m == nil {
 		return Schedule{}, false
 	}
 	key := manifestShape(s)
 	for i := range m.Entries {
-		if m.Entries[i].Shape == key {
+		if m.Entries[i].Shape == key && !m.Entries[i].Depthwise {
 			return m.Entries[i].Schedule, true
 		}
 	}
 	return Schedule{}, false
 }
 
+// LookupDepthwise returns the tuned depthwise row-tile height for the
+// depthwise geometry s (any batch) and whether an entry exists.
+// Nil-safe.
+func (m *Manifest) LookupDepthwise(s conv.Shape) (int, bool) {
+	if m == nil {
+		return 0, false
+	}
+	key := manifestShape(s)
+	key.K = key.C
+	for i := range m.Entries {
+		if m.Entries[i].Shape == key && m.Entries[i].Depthwise {
+			return m.Entries[i].DWRowTile, true
+		}
+	}
+	return 0, false
+}
+
 // Covers reports whether the manifest holds an entry for s (any
-// batch). Nil-safe.
+// batch), standard or depthwise. Nil-safe.
 func (m *Manifest) Covers(s conv.Shape) bool {
-	_, ok := m.Lookup(s)
+	if _, ok := m.Lookup(s); ok {
+		return true
+	}
+	_, ok := m.LookupDepthwise(s)
 	return ok
 }
 
@@ -144,6 +196,17 @@ func (m *Manifest) Covers(s conv.Shape) bool {
 func (m *Manifest) Validate() (rejected []ManifestEntry) {
 	kept := m.Entries[:0]
 	for _, e := range m.Entries {
+		if e.Depthwise {
+			// Depthwise entries carry no schedule; the row tile is the
+			// only executable field and any non-negative height is safe
+			// (the plan clamps it to the output rows).
+			if e.Shape.Validate() != nil || e.Shape.K != e.Shape.C || e.DWRowTile < 0 {
+				rejected = append(rejected, e)
+				continue
+			}
+			kept = append(kept, e)
+			continue
+		}
 		if e.Shape.Validate() != nil || !e.Schedule.Valid(e.Shape) {
 			rejected = append(rejected, e)
 			continue

@@ -173,3 +173,73 @@ func TestManifestLookupBatchNormalized(t *testing.T) {
 		t.Fatal("nil manifest claims coverage")
 	}
 }
+
+// TestManifestDepthwiseEntries: depthwise entries (ndtune -depthwise)
+// round-trip with checksum protection, stay invisible to the standard
+// Lookup (their zero schedule must never reach the Ansor executor),
+// and validate on their own rules.
+func TestManifestDepthwiseEntries(t *testing.T) {
+	dw := conv.Shape{N: 1, C: 32, H: 112, W: 112, K: 32, R: 3, S: 3, Str: 1, Pad: 1}
+	m := testManifest()
+	m.SetDepthwise(dw, 7, 0.0009, 5)
+	raw, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt, ok := got.LookupDepthwise(dw.WithBatch(8)); !ok || rt != 7 {
+		t.Fatalf("LookupDepthwise = (%d, %v), want (7, true)", rt, ok)
+	}
+	if _, ok := got.Lookup(dw); ok {
+		t.Fatal("depthwise entry leaked into the standard Lookup")
+	}
+	if !got.Covers(dw) {
+		t.Fatal("Covers must include depthwise entries")
+	}
+
+	// A standard and a depthwise entry for the same shape coexist.
+	m.Set(dw, Schedule{TileK: 16, TileC: 8, TileH: 4, TileW: 12, VecW: 12}, 0.002, 9)
+	if sch, ok := m.Lookup(dw); !ok || sch.TileK != 16 {
+		t.Fatalf("standard entry displaced by depthwise twin: %v ok=%v", sch, ok)
+	}
+	if rt, ok := m.LookupDepthwise(dw); !ok || rt != 7 {
+		t.Fatalf("depthwise entry displaced by standard twin: (%d, %v)", rt, ok)
+	}
+
+	// Corrupting the row tile after encoding trips the entry checksum.
+	tampered := strings.Replace(string(raw), `"dw_row_tile": 7`, `"dw_row_tile": 9`, 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper target not found in encoding")
+	}
+	if _, err := DecodeManifest([]byte(tampered)); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("tampered depthwise entry decoded: %v", err)
+	}
+
+	// Validate: negative row tile and non-depthwise geometry (K != C)
+	// are rejected; a zero row tile (plan-solved) is kept.
+	v := NewManifest()
+	v.SetDepthwise(dw, 0, 0, 0)
+	v.Entries = append(v.Entries,
+		ManifestEntry{Shape: dw, Depthwise: true, DWRowTile: -1},
+		ManifestEntry{Shape: conv.Shape{N: 1, C: 32, H: 56, W: 56, K: 64, R: 3, S: 3, Str: 1, Pad: 1}, Depthwise: true, DWRowTile: 2},
+	)
+	if rej := v.Validate(); len(rej) != 2 || len(v.Entries) != 1 {
+		t.Fatalf("Validate kept %d rejected %d, want 1/2", len(v.Entries), len(rej))
+	}
+}
+
+// TestManifestChecksumBackCompat: a manifest containing only standard
+// entries encodes byte-identically (and so checksum-identically) to
+// what the pre-depthwise format produced — the omitempty contract.
+func TestManifestChecksumBackCompat(t *testing.T) {
+	raw, err := EncodeManifest(testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "depthwise") || strings.Contains(string(raw), "dw_row_tile") {
+		t.Fatal("standard entries must not serialise depthwise fields")
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+
+	"ndirect/internal/conv"
+	"ndirect/internal/core"
+	"ndirect/internal/tensor"
+)
+
+// dwsepCase is one depthwise-separable block of the MobileNet serving
+// comparison: the depthwise stage's geometry plus the pointwise
+// expansion K.
+type dwsepCase struct {
+	name string
+	ss   core.SeparableShape
+}
+
+// dwsepCases pairs the MobileNet table rows (conv.MobileNetRows) into
+// the separable blocks they model: dw 3×3 then 1×1 expansion, the
+// early stride-1 block at full 112×112 resolution and the mid-network
+// stride-2 reduction block.
+func dwsepCases(batch int) []dwsepCase {
+	var cases []dwsepCase
+	for _, pair := range [][2]int{{29, 30}, {31, 32}} {
+		dw, okDW := conv.LayerByID(pair[0])
+		pw, okPW := conv.LayerByID(pair[1])
+		if !okDW || !okPW || !dw.Depthwise || pw.Depthwise {
+			continue
+		}
+		s := dw.Shape.WithBatch(batch)
+		cases = append(cases, dwsepCase{
+			name: fmt.Sprintf("L%d+L%d dw%dx%d/s%d %d->%d", dw.ID, pw.ID, s.R, s.S, s.Str, s.C, pw.Shape.K),
+			ss: core.SeparableShape{N: s.N, C: s.C, H: s.H, W: s.W, K: pw.Shape.K,
+				R: s.R, S: s.S, Str: s.Str, Pad: s.Pad},
+		})
+	}
+	return cases
+}
+
+// DWSep contrasts the fused depthwise-separable executor with the
+// unfused two-call composition it is bit-identical to, both in their
+// steady state (cached plans, packed filters, preallocated output).
+// The unfused column still materialises the [N][C][P][Q] intermediate
+// every call — that round-trip through memory, plus the second grid
+// launch, is what fusion removes — so the rightmost columns report the
+// speedup and the intermediate bytes the fused path never allocates.
+func DWSep(cfg Config) {
+	cfg.setDefaults()
+	w := cfg.Out
+	fprintf(w, "Fused depthwise-separable vs unfused two-call (measured, batch=%d, threads=%d, min of %d×%d calls)\n",
+		cfg.Batch, cfg.Threads, cfg.Reps, steadyInnerIters)
+	fprintf(w, "%-28s %14s %14s %9s %12s %12s\n",
+		"block", "unfused", "fused", "speedup", "mid bytes", "scratch")
+	var ratios []float64
+	for _, c := range dwsepCases(cfg.Batch) {
+		ss := c.ss
+		dwShape := ss.DWShape()
+		in := tensor.New(ss.N, ss.C, ss.H, ss.W)
+		in.FillRandom(11)
+		dwF := tensor.New(ss.C, ss.R, ss.S)
+		dwF.FillRandom(13)
+		pwF := tensor.New(ss.K, ss.C, 1, 1)
+		pwF.FillRandom(17)
+		out := tensor.New(ss.N, ss.K, ss.P(), ss.Q())
+
+		opt := core.Options{Threads: cfg.Threads, Platform: &cfg.Platform}
+		fused, err := core.TryNewSeparablePlan(ss, opt)
+		if err != nil {
+			fprintf(w, "%-28s fused planning failed: %v\n", c.name, err)
+			continue
+		}
+		pdw, ppw, err := fused.TransformFilters(dwF, pwF)
+		if err != nil {
+			fprintf(w, "%-28s packing failed: %v\n", c.name, err)
+			continue
+		}
+		if err := fused.TryExecutePacked(in, pdw, ppw, out); err != nil { // warm the scratch pool
+			fprintf(w, "%-28s fused execution failed: %v\n", c.name, err)
+			continue
+		}
+		fusedSec := timeIt(cfg.Reps, func() {
+			for i := 0; i < steadyInnerIters; i++ {
+				if err := fused.TryExecutePacked(in, pdw, ppw, out); err != nil {
+					panic(err)
+				}
+			}
+		}) / steadyInnerIters
+
+		// The steady-state unfused composition: both plans cached, the
+		// pointwise filter packed, the intermediate preallocated — the
+		// strongest two-call baseline, so the speedup isolates fusion.
+		dwPlan, err := core.TryNewDepthwisePlan(dwShape, opt)
+		if err != nil {
+			fprintf(w, "%-28s depthwise planning failed: %v\n", c.name, err)
+			continue
+		}
+		pdw2, err := dwPlan.TransformFilter(dwF)
+		if err != nil {
+			fprintf(w, "%-28s depthwise packing failed: %v\n", c.name, err)
+			continue
+		}
+		pwPlan := fused.PointwisePlan()
+		mid := tensor.New(ss.N, ss.C, ss.P(), ss.Q())
+		unfused := timeIt(cfg.Reps, func() {
+			for i := 0; i < steadyInnerIters; i++ {
+				if err := dwPlan.TryExecutePacked(in, pdw2, mid); err != nil {
+					panic(err)
+				}
+				if err := pwPlan.TryExecutePacked(mid, ppw, out); err != nil {
+					panic(err)
+				}
+			}
+		}) / steadyInnerIters
+
+		ratio := unfused / fusedSec
+		ratios = append(ratios, ratio)
+		fprintf(w, "%-28s %12.0fµs %12.0fµs %8.2fx %11dKB %10dKB\n",
+			c.name, unfused*1e6, fusedSec*1e6, ratio,
+			fused.IntermediateBytes()>>10, fused.ScratchBytes()>>10)
+	}
+	if len(ratios) > 0 {
+		fprintf(w, "geomean fusion speedup: %.2fx\n", Geomean(ratios))
+	}
+}

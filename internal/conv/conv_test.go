@@ -224,8 +224,19 @@ func TestLayerByID(t *testing.T) {
 	if _, ok := LayerByID(0); ok {
 		t.Fatal("ID 0 must not resolve")
 	}
-	if _, ok := LayerByID(29); ok {
-		t.Fatal("ID 29 must not resolve")
+	dw, ok := LayerByID(29)
+	if !ok || !dw.Depthwise || dw.Shape.C != 32 || dw.Shape.H != 112 || dw.Shape.Str != 1 {
+		t.Fatalf("MobileNet row 29 = %+v, ok=%v", dw, ok)
+	}
+	pw, ok := LayerByID(32)
+	if !ok || pw.Depthwise || pw.Shape.C != 128 || pw.Shape.K != 256 || pw.Shape.R != 1 {
+		t.Fatalf("MobileNet row 32 = %+v, ok=%v", pw, ok)
+	}
+	if _, ok := LayerByID(len(Table4) + len(MobileNetRows) + 1); ok {
+		t.Fatal("past-the-end ID must not resolve")
+	}
+	if got := AllLayers(); len(got) != len(Table4)+len(MobileNetRows) {
+		t.Fatalf("AllLayers length %d", len(got))
 	}
 }
 

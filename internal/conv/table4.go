@@ -15,9 +15,10 @@ package conv
 
 // Layer pairs a Table 4 row ID with its convolution shape.
 type Layer struct {
-	ID    int
-	Shape Shape
-	Net   string // source network: "ResNet-50" or "VGG-16"
+	ID        int
+	Shape     Shape
+	Net       string // source network: "ResNet-50", "VGG-16" or "MobileNetV1"
+	Depthwise bool   // Shape describes a depthwise (per-channel) stage; K is implied by C
 }
 
 // layer builds a Table 4 row; pad is derived from the kernel: R=S=7 →
@@ -72,7 +73,28 @@ var Table4 = []Layer{
 	layer(28, 512, 512, 14, 3, 1, "VGG-16"),
 }
 
-// LayerByID returns the Table 4 row with the given ID (1-based).
+// dwLayer builds a MobileNet depthwise row: a per-channel 3×3 stage
+// (K = C, same padding).
+func dwLayer(id, c, hw, str int) Layer {
+	l := layer(id, c, c, hw, 3, str, "MobileNetV1")
+	l.Depthwise = true
+	return l
+}
+
+// MobileNetRows extends the evaluation table beyond the paper with
+// the MobileNetV1 depthwise-separable serving shapes (ROADMAP:
+// MobileNet-class workloads): the 112×112×32 stride-1 and 56×56×128
+// stride-2 depthwise stages and their matching 1×1 pointwise stages.
+// IDs continue after Table 4's 28 rows.
+var MobileNetRows = []Layer{
+	dwLayer(29, 32, 112, 1),
+	layer(30, 32, 64, 112, 1, 1, "MobileNetV1"),
+	dwLayer(31, 128, 56, 2),
+	layer(32, 128, 256, 28, 1, 1, "MobileNetV1"),
+}
+
+// LayerByID returns the evaluation-table row with the given ID:
+// Table 4 rows 1–28, MobileNet extension rows above that.
 func LayerByID(id int) (Layer, bool) {
 	if id >= 1 && id <= len(Table4) && Table4[id-1].ID == id {
 		return Table4[id-1], true
@@ -82,7 +104,21 @@ func LayerByID(id int) (Layer, bool) {
 			return l, true
 		}
 	}
+	for _, l := range MobileNetRows {
+		if l.ID == id {
+			return l, true
+		}
+	}
 	return Layer{}, false
+}
+
+// AllLayers returns the full evaluation table: the paper's 28 rows
+// followed by the MobileNet extension rows.
+func AllLayers() []Layer {
+	out := make([]Layer, 0, len(Table4)+len(MobileNetRows))
+	out = append(out, Table4...)
+	out = append(out, MobileNetRows...)
+	return out
 }
 
 // Layers1to20 returns the ResNet-50 subset used by Figures 1, 6, 8

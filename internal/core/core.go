@@ -122,6 +122,14 @@ type Options struct {
 	// default — the zero-options path stores raw accumulators exactly
 	// as before.
 	FusedEpilogue *EpilogueParams
+	// DepthwiseEpilogue is the depthwise-stage epilogue of a separable
+	// plan (length C; typically the folded depthwise BN + ReLU), applied
+	// to each depthwise row tile before the fused pointwise stage
+	// consumes it. Only TryNewSeparablePlan honors it; the standard and
+	// depthwise plans reject it so a misrouted option fails loudly
+	// instead of being silently ignored. For a separable plan,
+	// FusedEpilogue above is the pointwise-stage epilogue (length K).
+	DepthwiseEpilogue *EpilogueParams
 	// CollectStats makes Execute accumulate per-stage wall time,
 	// readable via Plan.LastStats (filter transform, packing,
 	// kernel, store).
@@ -302,6 +310,9 @@ func validateOptions(s conv.Shape, opt Options) error {
 		}
 	default:
 		return fmt.Errorf("%w: unknown epilogue %d", ErrBadOptions, opt.Epilogue)
+	}
+	if opt.DepthwiseEpilogue != nil {
+		return fmt.Errorf("%w: DepthwiseEpilogue only applies to separable plans", ErrBadOptions)
 	}
 	if fe := opt.FusedEpilogue; fe != nil {
 		if opt.Epilogue != EpilogueNone {

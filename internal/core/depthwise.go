@@ -7,7 +7,6 @@ import (
 
 	"ndirect/internal/conv"
 	"ndirect/internal/parallel"
-	"ndirect/internal/simd"
 	"ndirect/internal/tensor"
 )
 
@@ -131,79 +130,73 @@ func DepthwiseConv2D(s conv.Shape, in, filter *tensor.Tensor, opt Options) *tens
 // vectorises over 4 adjacent output columns for stride 1 (the common
 // MobileNet case) and falls back to scalars otherwise.
 func depthwisePlane(s conv.Shape, in, filter, out []float32) {
-	p, q := s.P(), s.Q()
-	for oh := 0; oh < p; oh++ {
-		ihBase := oh*s.Str - s.Pad
-		ow := 0
-		if s.Str == 1 {
-			for ; ow+simd.Width <= q; ow += simd.Width {
-				iwBase := ow - s.Pad
-				acc := simd.Zero()
-				for r := 0; r < s.R; r++ {
-					ih := ihBase + r
-					if ih < 0 || ih >= s.H {
-						continue
-					}
-					row := in[ih*s.W : (ih+1)*s.W]
-					for ss := 0; ss < s.S; ss++ {
-						iw := iwBase + ss
-						f := filter[r*s.S+ss]
-						// All four lanes in range: vector load.
-						if iw >= 0 && iw+simd.Width <= s.W {
-							acc = acc.FMAScalar(simd.Load(row[iw:]), f)
-							continue
-						}
-						// Halo: per-lane guard.
-						var v simd.Vec4
-						for lane := 0; lane < simd.Width; lane++ {
-							if x := iw + lane; x >= 0 && x < s.W {
-								v[lane] = row[x]
-							}
-						}
-						acc = acc.FMAScalar(v, f)
-					}
-				}
-				acc.Store(out[oh*q+ow:])
-			}
-		}
-		for ; ow < q; ow++ {
-			iwBase := ow*s.Str - s.Pad
-			var acc float32
-			for r := 0; r < s.R; r++ {
-				ih := ihBase + r
-				if ih < 0 || ih >= s.H {
-					continue
-				}
-				for ss := 0; ss < s.S; ss++ {
-					iw := iwBase + ss
-					if iw < 0 || iw >= s.W {
-						continue
-					}
-					acc += in[ih*s.W+iw] * filter[r*s.S+ss]
-				}
-			}
-			out[oh*q+ow] = acc
-		}
-	}
+	depthwisePlaneRange(s, in, filter, out, 0, s.P())
 }
 
-// TryPointwiseConv2D is the 1×1 convolution of a depthwise-separable
-// block, dispatched straight to the standard nDirect path (§10.2:
-// "nDirect can be directly called to compute the Pointwise
-// Convolution").
-func TryPointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
-	s := conv.Shape{N: n, C: c, H: h, W: w, K: k, R: 1, S: 1, Str: 1, Pad: 0}
+// PointwiseShape returns the conv.Shape of a 1×1/stride-1/pad-0
+// pointwise convolution over an H×W grid with C input and K output
+// channels.
+func PointwiseShape(n, c, h, w, k int) conv.Shape {
+	return conv.Shape{N: n, C: c, H: h, W: w, K: k, R: 1, S: 1, Str: 1, Pad: 0}
+}
+
+// validatePointwiseShape checks that s really is a pointwise
+// convolution (the geometry the entry's name promises) and that it
+// describes a realisable computation.
+func validatePointwiseShape(s conv.Shape) error {
+	if s.R != 1 || s.S != 1 || s.Str != 1 || s.Pad != 0 {
+		return fmt.Errorf("%w: pointwise convolution requires R=S=1, Str=1, Pad=0; got R=%d S=%d Str=%d Pad=%d",
+			conv.ErrBadShape, s.R, s.S, s.Str, s.Pad)
+	}
+	return s.Validate()
+}
+
+// TryPointwiseConv2DShape is the 1×1 convolution of a
+// depthwise-separable block, dispatched straight to the standard
+// nDirect path (§10.2: "nDirect can be directly called to compute the
+// Pointwise Convolution"). The shape is validated as a pointwise
+// geometry (R=S=1, Str=1, Pad=0) before planning, so a malformed
+// dimension fails typed here instead of producing an undersized
+// output tensor downstream. Build it with PointwiseShape or a
+// SeparableShape's PWShape.
+func TryPointwiseConv2DShape(s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	if err := validatePointwiseShape(s); err != nil {
+		return nil, err
+	}
 	return TryConv2D(s, in, filter, opt)
 }
 
-// TryPointwiseConv2DCtx is TryPointwiseConv2D bounded by ctx, with
-// the deadline semantics of TryConv2DCtx.
-func TryPointwiseConv2DCtx(ctx context.Context, n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
-	s := conv.Shape{N: n, C: c, H: h, W: w, K: k, R: 1, S: 1, Str: 1, Pad: 0}
+// TryPointwiseConv2DShapeCtx is TryPointwiseConv2DShape bounded by
+// ctx, with the deadline semantics of TryConv2DCtx.
+func TryPointwiseConv2DShapeCtx(ctx context.Context, s conv.Shape, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	if err := validatePointwiseShape(s); err != nil {
+		return nil, err
+	}
 	return TryConv2DCtx(ctx, s, in, filter, opt)
 }
 
+// TryPointwiseConv2D is the bare-dimension form of
+// TryPointwiseConv2DShape.
+//
+// Deprecated: the five positional ints are an argument-transposition
+// hazard with no validation story; use TryPointwiseConv2DShape with
+// PointwiseShape(n, c, h, w, k), which validates the geometry before
+// planning.
+func TryPointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	return TryPointwiseConv2DShape(PointwiseShape(n, c, h, w, k), in, filter, opt)
+}
+
+// TryPointwiseConv2DCtx is the bare-dimension form of
+// TryPointwiseConv2DShapeCtx.
+//
+// Deprecated: use TryPointwiseConv2DShapeCtx with PointwiseShape.
+func TryPointwiseConv2DCtx(ctx context.Context, n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) (*tensor.Tensor, error) {
+	return TryPointwiseConv2DShapeCtx(ctx, PointwiseShape(n, c, h, w, k), in, filter, opt)
+}
+
 // PointwiseConv2D is the panicking wrapper over TryPointwiseConv2D.
+//
+// Deprecated: use TryPointwiseConv2DShape and handle the error.
 func PointwiseConv2D(n, c, h, w, k int, in, filter *tensor.Tensor, opt Options) *tensor.Tensor {
 	out, err := TryPointwiseConv2D(n, c, h, w, k, in, filter, opt)
 	if err != nil {

@@ -57,6 +57,26 @@ var kernelFamilies = []*kernelVariant{
 	{name: "12x8.r1s1.s2", r: 1, s: 1, str: 2, kern: kernel12x8R1S1s2},
 }
 
+// dwKernelVariant pairs a constant-folded depthwise kernel body
+// (dwkernel.go) with the (R, S, stride) family it implements.
+type dwKernelVariant struct {
+	name      string
+	r, s, str int
+	kern      depthwiseKernel
+}
+
+// dwKernelFamilies lists the register-tiled depthwise variants. Unlike
+// the standard families there is no per-shape registration table — the
+// constant folding depends only on (R, S, stride), so any matching
+// depthwise plan selects the variant directly — but the families share
+// the quarantine flags, the dispatch generation, KernelFamilyNames,
+// and VerifyKernelFamily with the standard registry, so the integrity
+// sentinel covers them with no serve-layer changes.
+var dwKernelFamilies = []*dwKernelVariant{
+	{name: "dw.r3s3.s1", r: 3, s: 3, str: 1, kern: dwKernel3x3s1},
+	{name: "dw.r3s3.s2", r: 3, s: 3, str: 2, kern: dwKernel3x3s2},
+}
+
 var (
 	dispatchMu    sync.RWMutex
 	dispatchTable = map[conv.Shape]*kernelVariant{}
@@ -182,13 +202,23 @@ func KernelDispatchStats() DispatchStats {
 	}
 }
 
+// KernelDispatchGeneration returns the current dispatch-registry
+// generation without taking the registry lock — the cheap memo
+// invalidation check for callers holding a DepthwisePlan or
+// SeparablePlan outside the core plan cache.
+func KernelDispatchGeneration() uint64 { return dispatchGen.Load() }
+
 // KernelFamilyNames returns the names of the constant-folded kernel
-// families available for registration, in a fixed order — the probe
+// families available for dispatch — the standard exact-shape families
+// followed by the depthwise families — in a fixed order: the probe
 // target list the integrity sentinel walks.
 func KernelFamilyNames() []string {
-	names := make([]string, len(kernelFamilies))
-	for i, v := range kernelFamilies {
-		names[i] = v.name
+	names := make([]string, 0, len(kernelFamilies)+len(dwKernelFamilies))
+	for _, v := range kernelFamilies {
+		names = append(names, v.name)
+	}
+	for _, v := range dwKernelFamilies {
+		names = append(names, v.name)
 	}
 	return names
 }
@@ -196,6 +226,33 @@ func KernelFamilyNames() []string {
 func familyByName(name string) *kernelVariant {
 	for _, v := range kernelFamilies {
 		if v.name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+func dwFamilyByName(name string) *dwKernelVariant {
+	for _, v := range dwKernelFamilies {
+		if v.name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// dwVariantFor resolves the depthwise kernel variant for a shape at
+// plan construction, honouring integrity quarantine. Nil means the
+// plan runs the generic depthwisePlaneRange oracle body.
+func dwVariantFor(s conv.Shape) *dwKernelVariant {
+	for _, v := range dwKernelFamilies {
+		if v.r == s.R && v.s == s.S && v.str == s.Str {
+			dispatchMu.RLock()
+			q := quarFamilies[v.name]
+			dispatchMu.RUnlock()
+			if q {
+				return nil
+			}
 			return v
 		}
 	}
@@ -219,7 +276,20 @@ func KernelFamilyQuarantined(name string) bool {
 func QuarantineKernelFamily(name string) bool {
 	v := familyByName(name)
 	if v == nil {
-		return false
+		if dwFamilyByName(name) == nil {
+			return false
+		}
+		// Depthwise family: no shape table to drain — the quarantine
+		// flag alone reroutes new depthwise plans onto the generic
+		// oracle body, and the generation bump re-keys plan memos.
+		dispatchMu.Lock()
+		defer dispatchMu.Unlock()
+		if quarFamilies[name] {
+			return true
+		}
+		quarFamilies[name] = true
+		dispatchGen.Add(1)
+		return true
 	}
 	dispatchMu.Lock()
 	defer dispatchMu.Unlock()
@@ -247,7 +317,17 @@ func QuarantineKernelFamily(name string) bool {
 func RestoreKernelFamily(name string) bool {
 	v := familyByName(name)
 	if v == nil {
-		return false
+		if dwFamilyByName(name) == nil {
+			return false
+		}
+		dispatchMu.Lock()
+		defer dispatchMu.Unlock()
+		if !quarFamilies[name] {
+			return true
+		}
+		delete(quarFamilies, name)
+		dispatchGen.Add(1)
+		return true
 	}
 	dispatchMu.Lock()
 	defer dispatchMu.Unlock()
@@ -306,6 +386,9 @@ var (
 func VerifyKernelFamily(name string) error {
 	v := familyByName(name)
 	if v == nil {
+		if dv := dwFamilyByName(name); dv != nil {
+			return verifyDepthwiseFamily(dv)
+		}
 		return fmt.Errorf("%w: unknown kernel family %q", ErrBadOptions, name)
 	}
 	s := verifyShapeFor(v)
@@ -376,7 +459,14 @@ func (p *Plan) KernelName() string {
 func init() {
 	// The evaluation table's layer shapes are the known-hot set; every
 	// row with a matching family is specialized from process start.
+	// Depthwise rows are skipped: the depthwise families dispatch on
+	// (R, S, Str) at plan construction, not through the per-shape table.
 	for _, l := range conv.Table4 {
 		RegisterShapeKernel(l.Shape)
+	}
+	for _, l := range conv.MobileNetRows {
+		if !l.Depthwise {
+			RegisterShapeKernel(l.Shape)
+		}
 	}
 }

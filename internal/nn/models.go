@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"ndirect/internal/conv"
 	"ndirect/internal/core"
@@ -283,6 +285,21 @@ type DepthwiseSeparable struct {
 	DWFilter  *tensor.Tensor // [C, 3, 3]
 	DWBN      *BNParams
 	PW        *ConvUnit // the 1×1 expansion
+
+	// Fused serving state (separable.go): on a Reuse+nDirect engine the
+	// block runs as one core.SeparablePlan — depthwise BN+ReLU in the
+	// per-channel epilogue, pointwise epilogue at the store, row tiles
+	// of depthwise output consumed from pooled scratch without ever
+	// materialising the full intermediate. Bit-identical to the unfused
+	// path below.
+	dwEpOnce sync.Once
+	dwEp     *core.EpilogueParams
+
+	sepMemos [4]atomic.Pointer[sepMemoEntry]
+	sepGen   atomic.Uint64
+
+	sepMu       sync.Mutex
+	sepPackedDW *core.PackedDepthwiseFilter
 }
 
 func (d *DepthwiseSeparable) Name() string { return d.LayerName }
@@ -298,6 +315,14 @@ func (d *DepthwiseSeparable) Forward(eng *Engine, x *tensor.Tensor) *tensor.Tens
 }
 
 func (d *DepthwiseSeparable) tryForward(eng *Engine, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if out, handled, err := d.tryFused(eng, x); handled {
+		return out, err
+	}
+	// Unfused composition: depthwise plane loop, separate BN/ReLU
+	// sweeps, then the pointwise unit on the materialised intermediate.
+	// This is the reference behaviour the fused path is bit-identical
+	// to, and the quarantine/degradation route (ForceReference engines
+	// land here with the pointwise unit on its reference rung).
 	s := d.DWShape.WithBatch(x.Dims[0])
 	y, err := core.TryDepthwiseConv2D(s, x, d.DWFilter, core.Options{Threads: eng.Threads})
 	if err != nil {

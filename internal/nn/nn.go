@@ -152,6 +152,11 @@ type Engine struct {
 	planCache *core.PlanCache
 	pools     sync.Map // len([]float32) → *sync.Pool of buffers
 
+	// dwRowTiles maps a depthwise geometry key to the manifest-tuned
+	// separable row-tile height (LoadManifest; read-only afterwards,
+	// the same discipline as Schedules).
+	dwRowTiles map[string]int
+
 	breakers [numAlgos]breaker
 	logMu    sync.Mutex
 	logSeen  map[string]*list.Element // key → LRU element (*logEntry)
@@ -363,6 +368,22 @@ func (eng *Engine) LoadManifest(m *autotune.Manifest) (loaded, rejected int) {
 		eng.Schedules = map[string]autotune.Schedule{}
 	}
 	for _, e := range m.Entries {
+		if e.Depthwise {
+			// Depthwise entries tune the fused separable executor's
+			// row-tile height, not an Ansor schedule.
+			if e.Shape.Validate() != nil || e.Shape.K != e.Shape.C || e.DWRowTile < 0 {
+				rejected++
+				eng.logLimited("manifest|"+shapeKey(e.Shape),
+					"nn: depthwise manifest entry for %v rejected (invalid shape or row tile); planning as untuned", e.Shape)
+				continue
+			}
+			if eng.dwRowTiles == nil {
+				eng.dwRowTiles = map[string]int{}
+			}
+			eng.dwRowTiles[shapeKey(e.Shape)] = e.DWRowTile
+			loaded++
+			continue
+		}
 		if e.Shape.Validate() != nil || !e.Schedule.Valid(e.Shape) {
 			rejected++
 			eng.logLimited("manifest|"+shapeKey(e.Shape),
@@ -373,6 +394,14 @@ func (eng *Engine) LoadManifest(m *autotune.Manifest) (loaded, rejected int) {
 		loaded++
 	}
 	return loaded, rejected
+}
+
+// dwRowTile returns the manifest-tuned depthwise row-tile height for
+// the depthwise geometry s (0 = untuned: the plan solves its own).
+// Like Schedules, the map is written by LoadManifest before serving
+// and read-only after.
+func (eng *Engine) dwRowTile(s conv.Shape) int {
+	return eng.dwRowTiles[shapeKey(s)]
 }
 
 // WarmPlans pre-builds the steady-state serving state — the cached
@@ -407,7 +436,45 @@ func (n *Network) WarmPlans(eng *Engine, covered func(conv.Shape) bool) (warmed 
 		}
 		warmed++
 	}
+	// Depthwise-separable units additionally hold a fused plan (memo)
+	// and a packed depthwise filter; a depthwise manifest entry for the
+	// unit's depthwise geometry marks it covered. The pointwise packed
+	// filter is shared with the unit's ConvUnit (warmed above when its
+	// own shape is covered), built here against the fused plan's
+	// pointwise half when it was not.
+	for _, d := range n.sepUnits() {
+		ss, ok := d.separableShape(1)
+		if !ok {
+			continue
+		}
+		if covered != nil && !covered(ss.DWShape()) {
+			continue
+		}
+		plan, perr := d.sepPlanFor(eng, ss)
+		if perr != nil {
+			return warmed, fmt.Errorf("nn: warm %s: %w", d.LayerName, perr)
+		}
+		if _, perr := d.packedDWFor(eng, plan); perr != nil {
+			return warmed, fmt.Errorf("nn: warm %s: %w", d.LayerName, perr)
+		}
+		if _, perr := d.PW.packedFor(eng, plan.PointwisePlan(), d.PW.Weights); perr != nil {
+			return warmed, fmt.Errorf("nn: warm %s: %w", d.LayerName, perr)
+		}
+		warmed++
+	}
 	return warmed, nil
+}
+
+// sepUnits returns the network's depthwise-separable blocks (they only
+// occur at the top level of the layer sequence).
+func (n *Network) sepUnits() []*DepthwiseSeparable {
+	var units []*DepthwiseSeparable
+	for _, l := range n.Layers {
+		if d, ok := l.(*DepthwiseSeparable); ok {
+			units = append(units, d)
+		}
+	}
+	return units
 }
 
 // --- Convolution unit (conv [+BN] [+ReLU]) ---
@@ -639,6 +706,9 @@ func (c *ConvUnit) invalidateReuse(eng *Engine) {
 func (n *Network) InvalidateReuse(eng *Engine) {
 	for _, u := range n.ConvUnits() {
 		u.invalidateReuse(eng)
+	}
+	for _, d := range n.sepUnits() {
+		d.invalidateReuse(eng)
 	}
 }
 

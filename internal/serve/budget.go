@@ -103,7 +103,7 @@ func poolCanary() float32 { return math.Float32frombits(poolCanaryBits) }
 // overwritten; such buffers are quarantined — forgotten, never parked.
 type bufferPool struct {
 	mu           sync.Mutex
-	bySize       map[int][][]float32   // full guarded arrays, keyed by user length
+	bySize       map[int][][]float32    // full guarded arrays, keyed by user length
 	outstanding  map[*float32][]float32 // checked-out user-view base → full array
 	idleBytes    int64
 	maxIdleBytes int64

@@ -216,6 +216,15 @@ func New(cfg Config) *Runtime {
 		// skipped — a bad entry degrades to cold planning, never
 		// blocks startup.
 		for _, e := range rt.manifest.Entries {
+			if e.Depthwise {
+				// Depthwise entries carry a separable row tile, not a
+				// standard schedule: they reach execution through
+				// Engine.LoadManifest above (nn plans separable blocks
+				// with the tuned ForceTh), and the depthwise kernel
+				// families are registered statically — nothing to
+				// pre-plan here.
+				continue
+			}
 			core.RegisterShapeKernel(e.Shape)
 			if _, err := rt.plans.Get(e.Shape.WithBatch(1), rt.opts); err != nil {
 				core.Logf("serve: manifest: pre-planning %v failed: %v", e.Shape, err)
@@ -545,30 +554,30 @@ type Stats struct {
 // Stats snapshots the runtime's counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
-		WorkerPool:    parallel.DefaultPool().Stats(),
-		Gate:          rt.gate.Stats(),
-		MemInUse:      rt.budget.InUse(),
-		MemPeak:       rt.budget.Peak(),
-		MemLimit:      rt.budget.Limit(),
-		PoolIdleBytes: rt.pool.idle(),
-		PoolHits:      rt.poolHits.Load(),
-		FreshAllocs:   rt.freshAllocs.Load(),
-		FullRuns:         rt.fullRuns.Load(),
-		DegradedRuns:     rt.degRuns.Load(),
-		ReferenceRuns:    rt.refRuns.Load(),
-		OverBudget:       rt.overBudget.Load(),
-		MemRejected:      rt.memRejected.Load(),
-		BatchesExecuted:  rt.batchStats.batches.Load(),
-		BatchedRequests:  rt.batchStats.batchedReqs.Load(),
-		BatchSoloFlushes: rt.batchStats.soloFlushes.Load(),
-		BatchExpired:     rt.batchStats.expired.Load(),
-		RecycleRefused:   rt.recycleRefused.Load(),
+		WorkerPool:        parallel.DefaultPool().Stats(),
+		Gate:              rt.gate.Stats(),
+		MemInUse:          rt.budget.InUse(),
+		MemPeak:           rt.budget.Peak(),
+		MemLimit:          rt.budget.Limit(),
+		PoolIdleBytes:     rt.pool.idle(),
+		PoolHits:          rt.poolHits.Load(),
+		FreshAllocs:       rt.freshAllocs.Load(),
+		FullRuns:          rt.fullRuns.Load(),
+		DegradedRuns:      rt.degRuns.Load(),
+		ReferenceRuns:     rt.refRuns.Load(),
+		OverBudget:        rt.overBudget.Load(),
+		MemRejected:       rt.memRejected.Load(),
+		BatchesExecuted:   rt.batchStats.batches.Load(),
+		BatchedRequests:   rt.batchStats.batchedReqs.Load(),
+		BatchSoloFlushes:  rt.batchStats.soloFlushes.Load(),
+		BatchExpired:      rt.batchStats.expired.Load(),
+		RecycleRefused:    rt.recycleRefused.Load(),
 		CanaryTrips:       rt.canaryTrips.Load(),
 		IntegrityFailures: rt.integrityFailures.Load(),
 		SentinelProbes:    rt.sentinelProbes.Load(),
 		KernelQuarantines: rt.kernelQuarantines.Load(),
 		KernelRestores:    rt.kernelRestores.Load(),
 		Integrity:         core.IntegritySnapshot(),
-		PlanCache:        rt.plans.Stats(),
+		PlanCache:         rt.plans.Stats(),
 	}
 }

@@ -279,21 +279,95 @@ func TryDepthwiseConv2DCtx(ctx context.Context, s Shape, in, filter *Tensor, opt
 	return core.TryDepthwiseConv2DCtx(ctx, s, in, filter, opt)
 }
 
+// PointwiseShape builds the conv.Shape of a 1×1 (pointwise)
+// convolution over an N×C×H×W input producing K output channels — the
+// explicit-shape form the pointwise entry points consume.
+func PointwiseShape(n, c, h, w, k int) Shape { return core.PointwiseShape(n, c, h, w, k) }
+
 // PointwiseConv2D computes the 1×1 convolution of a depthwise-
 // separable block through the standard nDirect path.
+//
+// Deprecated: the bare-int parameter list invites argument-order
+// bugs the compiler cannot catch. Use TryPointwiseConv2DShape with
+// PointwiseShape (or an explicit Shape literal) instead.
 func PointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) *Tensor {
 	return core.PointwiseConv2D(n, c, h, w, k, in, filter, opt)
 }
 
 // TryPointwiseConv2D is the checked form of PointwiseConv2D.
+//
+// Deprecated: use TryPointwiseConv2DShape (see PointwiseConv2D).
 func TryPointwiseConv2D(n, c, h, w, k int, in, filter *Tensor, opt Options) (*Tensor, error) {
 	return core.TryPointwiseConv2D(n, c, h, w, k, in, filter, opt)
 }
 
 // TryPointwiseConv2DCtx is TryPointwiseConv2D bounded by ctx (see
 // TryConv2DCtx).
+//
+// Deprecated: use TryPointwiseConv2DShapeCtx (see PointwiseConv2D).
 func TryPointwiseConv2DCtx(ctx context.Context, n, c, h, w, k int, in, filter *Tensor, opt Options) (*Tensor, error) {
 	return core.TryPointwiseConv2DCtx(ctx, n, c, h, w, k, in, filter, opt)
+}
+
+// TryPointwiseConv2DShape computes a 1×1 convolution for an explicit
+// pointwise shape (R = S = 1, stride 1, pad 0 — anything else fails
+// with ErrBadShape).
+func TryPointwiseConv2DShape(s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryPointwiseConv2DShape(s, in, filter, opt)
+}
+
+// TryPointwiseConv2DShapeCtx is TryPointwiseConv2DShape bounded by
+// ctx (see TryConv2DCtx).
+func TryPointwiseConv2DShapeCtx(ctx context.Context, s Shape, in, filter *Tensor, opt Options) (*Tensor, error) {
+	return core.TryPointwiseConv2DShapeCtx(ctx, s, in, filter, opt)
+}
+
+// DepthwisePlan is the reusable execution state for a depthwise
+// convolution: register-tiled 3×3 micro-kernels behind the shape
+// dispatch, a packed per-channel filter layout (TransformFilter), a
+// pooled scratch grid, and the same fault ladder as Plan.
+type DepthwisePlan = core.DepthwisePlan
+
+// TryNewDepthwisePlan builds a DepthwisePlan for the depthwise
+// geometry s (s.K must equal s.C; filter is [C, R, S]).
+func TryNewDepthwisePlan(s Shape, opt Options) (*DepthwisePlan, error) {
+	return core.TryNewDepthwisePlan(s, opt)
+}
+
+// PackedDepthwiseFilter is the pre-transformed, CRC32-C-protected
+// per-channel filter artifact a DepthwisePlan (or SeparablePlan)
+// executes packed with.
+type PackedDepthwiseFilter = core.PackedDepthwiseFilter
+
+// SeparableShape describes a fused depthwise-separable block: the
+// depthwise stage's geometry plus the pointwise stage's K output
+// channels (always 1×1, stride 1, pad 0 on the depthwise output).
+type SeparableShape = core.SeparableShape
+
+// SeparablePlan executes a depthwise-separable block as ONE fused
+// plan: each grid cell computes a row tile of depthwise output for
+// all C channels into pooled scratch and immediately feeds it to the
+// pointwise micro-kernel while cache-hot — the full [N][C][P][Q]
+// intermediate is never materialised, and the result is bit-identical
+// to TryDepthwiseConv2D followed by TryPointwiseConv2DShape.
+type SeparablePlan = core.SeparablePlan
+
+// TryNewSeparablePlan builds a SeparablePlan for the block shape.
+func TryNewSeparablePlan(s SeparableShape, opt Options) (*SeparablePlan, error) {
+	return core.TryNewSeparablePlan(s, opt)
+}
+
+// TrySeparableConv2D runs a depthwise-separable block (depthwise
+// filter [C, R, S], pointwise filter [K, C, 1, 1]) through the fused
+// executor, returning the freshly allocated [N, K, P, Q] output.
+func TrySeparableConv2D(s SeparableShape, in, dwFilter, pwFilter *Tensor, opt Options) (*Tensor, error) {
+	return core.TrySeparableConv2D(s, in, dwFilter, pwFilter, opt)
+}
+
+// TrySeparableConv2DCtx is TrySeparableConv2D bounded by ctx (see
+// TryConv2DCtx).
+func TrySeparableConv2DCtx(ctx context.Context, s SeparableShape, in, dwFilter, pwFilter *Tensor, opt Options) (*Tensor, error) {
+	return core.TrySeparableConv2DCtx(ctx, s, in, dwFilter, pwFilter, opt)
 }
 
 // GroupedConv2D convolves in `groups` independent channel groups

@@ -11,8 +11,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> TestSteadyStateZeroAllocs"
-go test -run 'TestSteadyStateZeroAllocs' -count=1 ./internal/core/
+echo "==> TestSteadyStateZeroAllocs (+ depthwise/separable packed paths)"
+go test -run 'TestSteadyStateZeroAllocs|TestDepthwisePackedZeroAllocs|TestSeparablePackedZeroAllocs' -count=1 ./internal/core/
 
 # 100 iterations (~0.1 s for the slowest bench) rather than 1: the
 # sentinel variant runs background probes whose one-time warmup (pool
@@ -20,15 +20,15 @@ go test -run 'TestSteadyStateZeroAllocs' -count=1 ./internal/core/
 # single iteration cannot amortise that fixed cost, 100 prove the
 # per-op hot path allocation-free.
 echo "==> bench smoke (warmup + 100 measured iterations, allocs gate)"
-go test -run '^$' -bench 'EngineSteadyState/packed-pooled|SmallConvServing/steady' -benchtime=100x . >/dev/null # warmup (discarded)
-out=$(go test -run '^$' -bench 'EngineSteadyState/packed-pooled|SmallConvServing/steady' -benchtime=100x .)
+go test -run '^$' -bench 'EngineSteadyState/packed-pooled|SmallConvServing/steady|SeparableSteadyState/fused' -benchtime=100x . >/dev/null # warmup (discarded)
+out=$(go test -run '^$' -bench 'EngineSteadyState/packed-pooled|SmallConvServing/steady|SeparableSteadyState/fused' -benchtime=100x .)
 echo "$out"
 
 # The -[0-9]+ alternative covers the GOMAXPROCS>1 name suffix; the
 # bare-name alternative covers single-proc runs. Anchoring on the
 # following whitespace keeps packed-pooled from matching its
 # -sentinel sibling.
-for bench in packed-pooled packed-pooled-sentinel SmallConvServing/steady; do
+for bench in packed-pooled packed-pooled-sentinel SmallConvServing/steady SeparableSteadyState/fused; do
     line=$(echo "$out" | grep -E "$bench(-[0-9]+)?[[:space:]]" || true)
     if [ -z "$line" ]; then
         echo "FAIL: benchmark $bench did not run" >&2
